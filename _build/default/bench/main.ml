@@ -1,0 +1,653 @@
+(* TANGO benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 5), plus the ablations listed in DESIGN.md.
+
+   Experiments (select with --experiment, comma-separated; default all):
+
+     fig8      Query 1 (temporal aggregation), 3 plans x relation sizes
+     fig10     Query 2 (aggregation + temporal join), 6 plans x period ends
+     fig11a    Query 3 (temporal self-join), 2 plans x start bounds
+     fig11b    Query 4 (regular join), 3 plans x relation sizes
+     sel       Section 3.3 selectivity: naive vs temporal vs actual
+     choice    optimizer plan choice with vs without histograms (Query 2)
+     memo      equivalence class / element counts for Queries 1-4
+     overhead  middleware optimization time vs execution time
+     prefetch  row-prefetch sweep for TRANSFER^M (Section 3.2 remark)
+     calib     cost-model quality: default vs calibrated factors
+     feedback  cost-factor adaptation across repeated queries
+     micro     Bechamel micro-benchmarks of the core algorithms
+
+   Sizes are scaled down from the paper's 83,857-tuple POSITION by --scale
+   (default 0.02) so the full suite runs in minutes; shapes (who wins,
+   where crossovers fall) are preserved.  Absolute times are this machine's,
+   not the paper's 2001 testbed. *)
+
+open Tango_rel
+open Tango_algebra
+open Tango_core
+open Tango_workload
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  scale : float;
+  quick : bool;
+  factors : Tango_cost.Factors.t;  (* calibrated once, shared *)
+  full_position : Relation.t;  (* the scaled "original" POSITION *)
+  full_employee : Relation.t;
+}
+
+let make_ctx ~scale ~quick =
+  let n_pos = max 60 (int_of_float (scale *. float_of_int Uis.position_full_cardinality)) in
+  let n_emp = max 40 (int_of_float (scale *. float_of_int Uis.employee_full_cardinality)) in
+  Fmt.pr "# scale %.3f: POSITION %d tuples (paper: %d), EMPLOYEE %d (paper: %d)@."
+    scale n_pos Uis.position_full_cardinality n_emp Uis.employee_full_cardinality;
+  let full_position = Uis.position ~n:n_pos () in
+  let full_employee = Uis.employee ~n:n_emp () in
+  (* calibrate once against a representative database *)
+  Fmt.pr "# calibrating cost factors...@.";
+  let db = Tango_dbms.Database.create () in
+  Tango_dbms.Database.load_relation db "POSITION" full_position;
+  Tango_dbms.Database.analyze_all db ();
+  let mw = Middleware.connect db in
+  Middleware.calibrate mw;
+  let factors = Middleware.factors mw in
+  Fmt.pr "# factors: %a@.@." Tango_cost.Factors.pp factors;
+  { scale; quick; factors; full_position; full_employee }
+
+(* Prefix of the full POSITION: the paper's size variants are subsets of
+   the original relation. *)
+let position_prefix ctx n =
+  let tuples = Relation.tuples ctx.full_position in
+  let n = min n (Array.length tuples) in
+  Relation.make (Relation.schema ctx.full_position) (Array.sub tuples 0 n)
+
+(* A session over a database holding [tables]; adopts calibrated factors. *)
+let session ctx tables =
+  let db = Tango_dbms.Database.create () in
+  List.iter (fun (name, rel) -> Tango_dbms.Database.load_relation db name rel) tables;
+  if List.mem_assoc "EMPLOYEE" tables then
+    Tango_dbms.Database.create_index db ~clustered:true "EMPLOYEE" "EmpID";
+  Tango_dbms.Database.analyze_all db ();
+  let mw = Middleware.connect db in
+  Middleware.adopt_factors mw ctx.factors;
+  (db, mw)
+
+let ms report = report.Middleware.execute_us /. 1000.0
+
+(* Paper size variants, rescaled. *)
+let scaled_sizes ctx =
+  let full = Relation.cardinality ctx.full_position in
+  let variants = Uis.position_variant_cardinalities @ [ Uis.position_full_cardinality ] in
+  let sizes =
+    List.map
+      (fun v ->
+        max 40
+          (int_of_float
+             (float_of_int v /. float_of_int Uis.position_full_cardinality
+             *. float_of_int full)))
+      variants
+  in
+  if ctx.quick then List.filteri (fun i _ -> i mod 2 = 0 || i = List.length sizes - 1) sizes
+  else sizes
+
+let period_ends ctx =
+  let all =
+    [ "1984-01-01"; "1986-01-01"; "1988-01-01"; "1990-01-01"; "1992-01-01";
+      "1994-01-01"; "1996-01-01"; "1998-01-01"; "2000-01-01" ]
+  in
+  if ctx.quick then [ "1986-01-01"; "1992-01-01"; "1996-01-01"; "2000-01-01" ]
+  else all
+
+let header cols = Fmt.pr "%s@." (String.concat "  " cols)
+
+(* ------------------------------------------------------------------ *)
+(* fig8: Query 1                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Classify which of the paper's three Query 1 plans the optimizer's choice
+   corresponds to. *)
+let classify_q1_plan (plan : Tango_volcano.Physical.plan) =
+  let open Tango_volcano.Physical in
+  let rec any p f = f p || List.exists (fun c -> any c f) p.children in
+  if any plan (fun p -> p.algorithm = Taggr_d) then "plan3"
+  else if any plan (fun p -> p.algorithm = Sort_d) then "plan1"
+  else if any plan (fun p -> p.algorithm = Taggr_m) then "plan2"
+  else "other"
+
+let fig8 ctx =
+  Fmt.pr "== Figure 8: Query 1 (temporal aggregation), running time [ms] ==@.";
+  Fmt.pr "(paper: plans 1-2 in the middleware outperform the all-DBMS plan 3 by up to 10x)@.";
+  header [ "size"; "plan1_sortD_taggrM"; "plan2_sortM_taggrM"; "plan3_allDBMS"; "optimizer_picks" ];
+  List.iter
+    (fun n ->
+      let _db, mw = session ctx [ ("POSITION", position_prefix ctx n) ] in
+      let run tree = ms (Middleware.run_fixed mw ~required_order:Queries.q1_order tree) in
+      let t1 = run (Queries.q1_plan1 ~position:"POSITION" ()) in
+      let t2 = run (Queries.q1_plan2 ~position:"POSITION" ()) in
+      let t3 = run (Queries.q1_plan3 ~position:"POSITION" ()) in
+      let choice =
+        let initial =
+          Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) Queries.q1_sql
+        in
+        match (Middleware.optimize mw ~required_order:Queries.q1_order initial).Tango_volcano.Search.plan with
+        | Some p -> classify_q1_plan p
+        | None -> "none"
+      in
+      Fmt.pr "%6d  %12.1f  %12.1f  %12.1f  %s@." n t1 t2 t3 choice)
+    (scaled_sizes ctx);
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* fig10: Query 2                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 ctx =
+  Fmt.pr "== Figure 10: Query 2 (aggregation + temporal join), running time [ms] ==@.";
+  Fmt.pr "(paper: plans 4-5 suffer from expensive transfers; plan 6 deteriorates as the@.";
+  Fmt.pr " window grows; plans 2-3 with the temporal join in the middleware scale best)@.";
+  header
+    [ "period_end"; "p1_taggrM"; "p2_tjoinM"; "p3_sortM"; "p4_filterM";
+      "p5_noreduce"; "p6_allDBMS" ];
+  let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  List.iter
+    (fun period_end ->
+      let times =
+        List.map
+          (fun (_, tree) ->
+            ms (Middleware.run_fixed mw ~required_order:Queries.q2_order tree))
+          (Queries.q2_plans ~position:"POSITION" ~period_end ())
+      in
+      Fmt.pr "%s  %s@." period_end
+        (String.concat "  " (List.map (Printf.sprintf "%9.1f") times)))
+    (period_ends ctx);
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* fig11a: Query 3                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig11a ctx =
+  Fmt.pr "== Figure 11(a): Query 3 (temporal self-join), running time [ms] ==@.";
+  Fmt.pr "(paper: the middleware join wins once the result outgrows the arguments,@.";
+  Fmt.pr " i.e. for later start bounds; the optimizer switches plans accordingly)@.";
+  header [ "start_bound"; "plan1_allDBMS"; "plan2_tjoinM"; "optimizer_picks" ];
+  let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  (* The paper predates the transfer-sharing refinement (our A4 ablation);
+     disable it here so plan 2 pays both transfers, as in Figure 11(a). *)
+  Middleware.set_transfer_sharing mw false;
+  let bounds =
+    let all = [ "1984-01-01"; "1986-01-01"; "1988-01-01"; "1990-01-01";
+                "1992-01-01"; "1994-01-01"; "1996-01-01"; "1998-01-01" ] in
+    if ctx.quick then [ "1988-01-01"; "1994-01-01"; "1998-01-01" ] else all
+  in
+  List.iter
+    (fun start_bound ->
+      let run tree = ms (Middleware.run_fixed mw ~required_order:Queries.q3_order tree) in
+      let t1 = run (Queries.q3_plan1 ~position:"POSITION" ~start_bound ()) in
+      let t2 = run (Queries.q3_plan2 ~position:"POSITION" ~start_bound ()) in
+      let choice =
+        let initial =
+          Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw)
+            (Queries.q3_sql ~start_bound)
+        in
+        match (Middleware.optimize mw ~required_order:Queries.q3_order initial).Tango_volcano.Search.plan with
+        | Some p ->
+            let open Tango_volcano.Physical in
+            let rec any q f = f q || List.exists (fun c -> any c f) q.children in
+            if any p (fun q -> q.algorithm = Tjoin_m) then "plan2" else "plan1"
+        | None -> "none"
+      in
+      Fmt.pr "%s  %12.1f  %12.1f  %s@." start_bound t1 t2 choice)
+    bounds;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* fig11b: Query 4                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig11b ctx =
+  Fmt.pr "== Figure 11(b): Query 4 (regular join), running time [ms] ==@.";
+  Fmt.pr "(paper: the DBMS join plans win; plan 1 in the middleware stays competitive,@.";
+  Fmt.pr " showing TANGO's run-time overhead is small)@.";
+  header [ "size"; "plan1_joinM"; "plan2_DBMS_NL"; "plan3_DBMS_SM"; "optimizer_picks" ];
+  List.iter
+    (fun n ->
+      let db, mw =
+        session ctx
+          [ ("POSITION", position_prefix ctx n); ("EMPLOYEE", ctx.full_employee) ]
+      in
+      let run tree = ms (Middleware.run_fixed mw ~required_order:Queries.q4_order tree) in
+      let t1 = run (Queries.q4_plan1 ~position:"POSITION" ~employee:"EMPLOYEE" ()) in
+      Tango_dbms.Database.set_join_method db Tango_dbms.Executor.Force_nested_loop;
+      let t2 = run (Queries.q4_plan_dbms ~position:"POSITION" ~employee:"EMPLOYEE" ()) in
+      Tango_dbms.Database.set_join_method db Tango_dbms.Executor.Force_sort_merge;
+      let t3 = run (Queries.q4_plan_dbms ~position:"POSITION" ~employee:"EMPLOYEE" ()) in
+      Tango_dbms.Database.set_join_method db Tango_dbms.Executor.Auto;
+      let choice =
+        let initial =
+          Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) Queries.q4_sql
+        in
+        match (Middleware.optimize mw ~required_order:Queries.q4_order initial).Tango_volcano.Search.plan with
+        | Some p ->
+            let open Tango_volcano.Physical in
+            let rec any q f = f q || List.exists (fun c -> any c f) q.children in
+            if any p (fun q -> q.algorithm = Merge_join_m) then "mw-join" else "dbms-join"
+        | None -> "none"
+      in
+      Fmt.pr "%6d  %11.1f  %12.1f  %12.1f  %s@." n t1 t2 t3 choice)
+    (scaled_sizes ctx);
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* sel: Section 3.3 selectivity                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sel _ctx =
+  Fmt.pr "== Section 3.3: selectivity of temporal predicates ==@.";
+  Fmt.pr "(paper: 100k tuples, 7-day periods uniform over 1995-2000;@.";
+  Fmt.pr " Overlaps(1997-02-01, 1997-02-08): the naive estimate is 24.7%%, a factor@.";
+  Fmt.pr " of 40 too high; the temporal estimate lands at ~0.8%%, close to actual)@.";
+  let rel = Uniform.generate ~n:100_000 () in
+  let db = Tango_dbms.Database.create () in
+  Tango_dbms.Database.load_relation db "R" rel;
+  let with_hist = Tango_stats.Collector.collect ~histograms:`All db ~qualifier:"R" "R" in
+  let without = Tango_stats.Collector.collect ~histograms:`None db ~qualifier:"R" "R" in
+  header [ "window"; "actual%"; "naive%"; "temporal%"; "temporal_hist%" ];
+  let windows =
+    [ ("1997-02-01", "1997-02-08"); ("1995-06-01", "1995-06-08");
+      ("1999-01-01", "1999-03-01"); ("1996-01-01", "1997-01-01");
+      ("1997-11-11", "1997-11-12") ]
+  in
+  List.iter
+    (fun (a_s, b_s) ->
+      let a = Tango_temporal.Chronon.of_string a_s
+      and b = Tango_temporal.Chronon.of_string b_s in
+      let pred =
+        Tango_sql.Ast.(
+          Binop
+            ( And,
+              Binop (Lt, Col (None, "T1"), Lit (Value.Date b)),
+              Binop (Gt, Col (None, "T2"), Lit (Value.Date a)) ))
+      in
+      let pct x = 100.0 *. x in
+      let actual =
+        float_of_int (Uniform.actual_overlaps rel ~a ~b) /. 100_000.0
+      in
+      let naive = Tango_stats.Selectivity.selectivity ~mode:Tango_stats.Selectivity.Naive without pred in
+      let temporal = Tango_stats.Selectivity.selectivity ~mode:Tango_stats.Selectivity.Temporal without pred in
+      let temporal_h = Tango_stats.Selectivity.selectivity ~mode:Tango_stats.Selectivity.Temporal with_hist pred in
+      Fmt.pr "%s..%s  %7.3f  %7.3f  %9.3f  %9.3f@." a_s b_s (pct actual)
+        (pct naive) (pct temporal) (pct temporal_h))
+    windows;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* choice: histograms and plan choice (Query 2)                         *)
+(* ------------------------------------------------------------------ *)
+
+let classify_q2 (plan : Tango_volcano.Physical.plan) =
+  let open Tango_volcano.Physical in
+  let rec any p f = f p || List.exists (fun c -> any c f) p.children in
+  let taggr_m = any plan (fun p -> p.algorithm = Taggr_m) in
+  let tjoin_m = any plan (fun p -> p.algorithm = Tjoin_m) in
+  match (taggr_m, tjoin_m) with
+  | true, true -> "taggrM+tjoinM"
+  | true, false -> "taggrM"
+  | false, true -> "tjoinM"
+  | false, false -> "all-DBMS"
+
+let choice ctx =
+  Fmt.pr "== Optimizer choice with vs without histograms (Query 2) ==@.";
+  Fmt.pr "(paper: with histograms the optimizer always returned the better plan 2;@.";
+  Fmt.pr " without them it misjudged the temporal selection for mid-range windows)@.";
+  header
+    [ "period_end"; "with_hist"; "without_hist"; "est_ms_h"; "est_ms_noh";
+      "selcard_hist"; "selcard_nohist"; "selcard_naive"; "actual" ];
+  let db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  List.iter
+    (fun period_end ->
+      let sql = Queries.q2_sql ~period_end in
+      let choose () =
+        let initial =
+          Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) sql
+        in
+        match (Middleware.optimize mw ~required_order:Queries.q2_order initial).Tango_volcano.Search.plan with
+        | Some p -> (classify_q2 p, p.Tango_volcano.Physical.total_cost /. 1000.0)
+        | None -> ("none", nan)
+      in
+      (* Estimated cardinality of the Query 2 window+payrate selection on
+         POSITION, under the three estimation regimes, vs the truth. *)
+      let sel_op =
+        Op.select (Queries.q2_sel_b ~period_end)
+          (Op.scan ~alias:"B" "POSITION" Uis.position_schema)
+      in
+      let est_card mode hist =
+        Middleware.set_histograms mw hist;
+        Middleware.set_selectivity_mode mw mode;
+        let env = Middleware.stats_env mw in
+        (Tango_stats.Derive.derive env sel_op).Tango_stats.Rel_stats.card
+      in
+      let card_hist = est_card Tango_stats.Selectivity.Temporal true in
+      let card_nohist = est_card Tango_stats.Selectivity.Temporal false in
+      let card_naive = est_card Tango_stats.Selectivity.Naive false in
+      Middleware.set_selectivity_mode mw Tango_stats.Selectivity.Temporal;
+      let actual =
+        Relation.cardinality
+          (Tango_dbms.Database.query_ast db
+             (Tango_sqlgen.Translate.translate sel_op))
+      in
+      Middleware.set_histograms mw true;
+      let with_h, est_w = choose () in
+      Middleware.set_histograms mw false;
+      let without_h, est_wo = choose () in
+      Middleware.set_histograms mw true;
+      Fmt.pr "%s  %-14s  %-14s  %8.1f  %8.1f  %8.0f  %8.0f  %8.0f  %6d@."
+        period_end with_h without_h est_w est_wo card_hist card_nohist
+        card_naive actual)
+    (period_ends ctx);
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* memo: class/element counts                                           *)
+(* ------------------------------------------------------------------ *)
+
+let memo ctx =
+  Fmt.pr "== Equivalence classes and elements per query (Section 5.2) ==@.";
+  Fmt.pr "(paper, with its rule set: Q1 12/29, Q2 142/452, Q3 104/301, Q4 13/30)@.";
+  header [ "query"; "classes"; "elements"; "opt_time[ms]" ];
+  let _db, mw =
+    session ctx [ ("POSITION", ctx.full_position); ("EMPLOYEE", ctx.full_employee) ]
+  in
+  List.iter
+    (fun (name, sql, order) ->
+      let initial =
+        Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) sql
+      in
+      let r = Middleware.optimize mw ~required_order:order initial in
+      Fmt.pr "%-8s %8d %9d  %10.1f@." name r.Tango_volcano.Search.classes
+        r.Tango_volcano.Search.elements
+        (r.Tango_volcano.Search.time_us /. 1000.0))
+    [
+      ("query1", Queries.q1_sql, Queries.q1_order);
+      ("query2", Queries.q2_sql ~period_end:"1996-01-01", Queries.q2_order);
+      ("query3", Queries.q3_sql ~start_bound:"1996-01-01", Queries.q3_order);
+      ("query4", Queries.q4_sql, Queries.q4_order);
+    ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* overhead: optimization vs execution                                  *)
+(* ------------------------------------------------------------------ *)
+
+let overhead ctx =
+  Fmt.pr "== Middleware overhead: optimization vs execution time [ms] ==@.";
+  Fmt.pr "(paper: \"for the tested queries, the middleware optimization overhead@.";
+  Fmt.pr " was very small\")@.";
+  header [ "query"; "optimize[ms]"; "execute[ms]"; "overhead%" ];
+  let _db, mw =
+    session ctx [ ("POSITION", ctx.full_position); ("EMPLOYEE", ctx.full_employee) ]
+  in
+  List.iter
+    (fun (name, sql) ->
+      let r = Middleware.query mw sql in
+      let o = r.Middleware.optimize_us /. 1000.0 in
+      let e = Stdlib.max 0.001 (ms r) in
+      Fmt.pr "%-8s %11.1f %11.1f %9.1f@." name o e (100.0 *. o /. (o +. e)))
+    [
+      ("query1", Queries.q1_sql);
+      ("query2", Queries.q2_sql ~period_end:"1996-01-01");
+      ("query3", Queries.q3_sql ~start_bound:"1996-01-01");
+      ("query4", Queries.q4_sql);
+    ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* prefetch: row-prefetch sweep (A1)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prefetch ctx =
+  Fmt.pr "== Ablation: JDBC-style row-prefetch and TRANSFER^M [ms] ==@.";
+  Fmt.pr "(paper Section 3.2: performance is \"affected by the row-prefetch setting\")@.";
+  header [ "row_prefetch"; "transfer_ms"; "roundtrips" ];
+  List.iter
+    (fun pf ->
+      let db = Tango_dbms.Database.create () in
+      Tango_dbms.Database.load_relation db "POSITION" ctx.full_position;
+      Tango_dbms.Database.analyze_all db ();
+      let mw = Middleware.connect ~row_prefetch:pf db in
+      Middleware.adopt_factors mw ctx.factors;
+      let tree = Op.to_mw (Op.scan "POSITION" Uis.position_schema) in
+      let r = Middleware.run_fixed mw tree in
+      Fmt.pr "%12d  %10.1f  %10d@." pf (ms r)
+        (Tango_dbms.Client.roundtrips (Middleware.client mw)))
+    [ 1; 2; 5; 10; 25; 50; 100; 250 ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* calib: does calibration improve the cost model? (A2)                 *)
+(* ------------------------------------------------------------------ *)
+
+let calib ctx =
+  Fmt.pr "== Ablation: cost-model quality, default vs calibrated factors ==@.";
+  Fmt.pr "(does the cheapest-estimated plan coincide with the fastest-measured one?)@.";
+  header [ "query"; "variant"; "est_best"; "measured_best"; "agree" ];
+  let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  let default_factors = Tango_cost.Factors.default () in
+  let best xs =
+    fst
+      (List.fold_left
+         (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+         ("?", infinity) xs)
+  in
+  let eval_set name plans order =
+    let measured =
+      List.map
+        (fun (pname, tree) ->
+          (pname, ms (Middleware.run_fixed mw ~required_order:order tree)))
+        plans
+    in
+    let measured_best = best measured in
+    List.iter
+      (fun (variant, factors) ->
+        let estimates =
+          List.map
+            (fun (pname, tree) ->
+              match
+                Tango_volcano.Search.cost_plan ~factors
+                  ~stats_env:(Middleware.stats_env mw) ~required_order:order tree
+              with
+              | Some p -> (pname, p.Tango_volcano.Physical.total_cost)
+              | None -> (pname, infinity))
+            plans
+        in
+        let est_best = best estimates in
+        Fmt.pr "%-8s %-11s %-18s %-18s %b@." name variant est_best measured_best
+          (String.equal est_best measured_best))
+      [ ("default", default_factors); ("calibrated", ctx.factors) ]
+  in
+  eval_set "query1" (Queries.q1_plans ~position:"POSITION" ()) Queries.q1_order;
+  eval_set "query3"
+    (Queries.q3_plans ~position:"POSITION" ~start_bound:"1996-01-01" ())
+    Queries.q3_order;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* feedback: adaptation (A3)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let feedback ctx =
+  Fmt.pr "== Ablation: feedback adaptation of cost factors ==@.";
+  Fmt.pr "(repeated queries refine the transfer factor toward its measured value)@.";
+  header [ "round"; "p_tm_before"; "p_tm_after" ];
+  let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  Middleware.set_feedback mw true;
+  for round = 1 to 5 do
+    let before = (Middleware.factors mw).Tango_cost.Factors.p_tm in
+    ignore (Middleware.query mw Queries.q1_sql);
+    let after = (Middleware.factors mw).Tango_cost.Factors.p_tm in
+    Fmt.pr "%5d  %11.4f  %11.4f@." round before after
+  done;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* sharing: the paper's sec-7 single-T^M refinement (A4)                *)
+(* ------------------------------------------------------------------ *)
+
+let sharing ctx =
+  Fmt.pr "== Ablation: transfer sharing (paper sec. 7: \"issue only one T^M\") ==@.";
+  Fmt.pr "(Query 3 reads POSITION twice with alpha-equivalent SQL; sharing fetches once)@.";
+  header [ "start_bound"; "unshared_ms"; "shared_ms"; "roundtrips_unshared"; "roundtrips_shared" ];
+  let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  List.iter
+    (fun start_bound ->
+      let tree = Queries.q3_plan2 ~position:"POSITION" ~start_bound () in
+      Middleware.set_transfer_sharing mw false;
+      Tango_dbms.Client.reset_counters (Middleware.client mw);
+      let t_un = ms (Middleware.run_fixed mw ~required_order:Queries.q3_order tree) in
+      let rt_un = Tango_dbms.Client.roundtrips (Middleware.client mw) in
+      Middleware.set_transfer_sharing mw true;
+      Tango_dbms.Client.reset_counters (Middleware.client mw);
+      let t_sh = ms (Middleware.run_fixed mw ~required_order:Queries.q3_order tree) in
+      let rt_sh = Tango_dbms.Client.roundtrips (Middleware.client mw) in
+      Fmt.pr "%s  %10.1f  %10.1f  %12d  %12d@." start_bound t_un t_sh rt_un rt_sh)
+    [ "1990-01-01"; "1996-01-01"; "2000-01-01" ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* micro: Bechamel micro-benchmarks                                     *)
+(* ------------------------------------------------------------------ *)
+
+let micro ctx =
+  Fmt.pr "== Bechamel micro-benchmarks of core algorithms ==@.";
+  let open Bechamel in
+  let open Toolkit in
+  let n = 2000 in
+  let rel = position_prefix ctx (min n (Relation.cardinality ctx.full_position)) in
+  let sorted_rel = Relation.sort [ Order.asc "PosID"; Order.asc "T1" ] rel in
+  let qual alias =
+    Relation.make
+      (Schema.qualify alias (Schema.unqualify (Relation.schema rel)))
+      (Relation.tuples sorted_rel)
+  in
+  let db = Tango_dbms.Database.create () in
+  Tango_dbms.Database.load_relation db "POSITION" rel;
+  let small = position_prefix ctx 250 in
+  let db_small = Tango_dbms.Database.create () in
+  Tango_dbms.Database.load_relation db_small "POSITION" small;
+  let taggr_sql =
+    Tango_sqlgen.Translate.translate
+      (Op.temporal_aggregate [ "POSITION.PosID" ] [ Op.count_star "CNT" ]
+         (Op.scan "POSITION" Uis.position_schema))
+  in
+  let tests =
+    Test.make_grouped ~name:"tango"
+      [
+        Test.make
+          ~name:(Printf.sprintf "TAGGR^M (%d tuples)" (Relation.cardinality rel))
+          (Staged.stage (fun () ->
+               ignore
+                 (Tango_xxl.Cursor.to_relation
+                    (Tango_xxl.Taggr.taggr ~group_by:[ "PosID" ]
+                       ~aggs:[ Op.count_star "CNT" ]
+                       (Tango_xxl.Cursor.of_relation sorted_rel)))));
+        Test.make
+          ~name:
+            (Printf.sprintf "TJOIN^M (%dx%d)" (Relation.cardinality rel)
+               (Relation.cardinality rel))
+          (Staged.stage (fun () ->
+               ignore
+                 (Tango_xxl.Cursor.to_relation
+                    (Tango_xxl.Joins.temporal_merge_join
+                       ~pred:(Tango_sql.Ast.Lit (Value.Bool true))
+                       ~left_keys:[ "A.PosID" ] ~right_keys:[ "B.PosID" ]
+                       (Tango_xxl.Cursor.of_relation (qual "A"))
+                       (Tango_xxl.Cursor.of_relation (qual "B"))))));
+        Test.make
+          ~name:(Printf.sprintf "SORT^M (%d tuples)" (Relation.cardinality rel))
+          (Staged.stage (fun () ->
+               ignore
+                 (Tango_xxl.Cursor.to_relation
+                    (Tango_xxl.Sort.sort [ Order.asc "T1" ]
+                       (Tango_xxl.Cursor.of_relation rel)))));
+        Test.make
+          ~name:
+            (Printf.sprintf "tuple marshalling (%d tuples)"
+               (Relation.cardinality rel))
+          (Staged.stage (fun () ->
+               Relation.iter (fun t -> ignore (Tuple.marshal_roundtrip t)) rel));
+        Test.make
+          ~name:(Printf.sprintf "DBMS scan (%d tuples)" (Relation.cardinality rel))
+          (Staged.stage (fun () ->
+               ignore
+                 (Tango_dbms.Database.query db "SELECT COUNT(*) AS C FROM POSITION")));
+        Test.make
+          ~name:
+            (Printf.sprintf "TAGGR^D SQL (%d tuples)" (Relation.cardinality small))
+          (Staged.stage (fun () ->
+               ignore (Tango_dbms.Database.query_ast db_small taggr_sql)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) -> Fmt.pr "%-40s %12.1f us/run@." name (t /. 1000.0)
+      | _ -> Fmt.pr "%-40s (no estimate)@." name)
+    (List.sort compare rows);
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("fig8", fig8); ("fig10", fig10); ("fig11a", fig11a); ("fig11b", fig11b);
+    ("sel", sel); ("choice", choice); ("memo", memo); ("overhead", overhead);
+    ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
+    ("sharing", sharing); ("micro", micro) ]
+
+let () =
+  let scale = ref 0.02 in
+  let quick = ref false in
+  let selected = ref [] in
+  let spec =
+    [
+      ( "--scale",
+        Arg.Set_float scale,
+        "S  size multiplier vs the paper's relations (default 0.02)" );
+      ("--quick", Arg.Set quick, "  fewer sweep points");
+      ( "--experiment",
+        Arg.String (fun s -> selected := String.split_on_char ',' s @ !selected),
+        "NAMES  comma-separated experiments (default: all)" );
+    ]
+  in
+  Arg.parse spec
+    (fun s -> selected := s :: !selected)
+    "tango bench: regenerate the paper's tables and figures";
+  let to_run =
+    match !selected with
+    | [] -> experiments
+    | names ->
+        List.filter_map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> Some (n, f)
+            | None ->
+                Fmt.epr "unknown experiment %s (known: %s)@." n
+                  (String.concat ", " (List.map fst experiments));
+                None)
+          (List.rev names)
+  in
+  if to_run = [] then exit 1;
+  let t0 = Unix.gettimeofday () in
+  let ctx = make_ctx ~scale:!scale ~quick:!quick in
+  List.iter (fun (_, f) -> f ctx) to_run;
+  Fmt.pr "# total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,242 @@
+(* tango — command-line front end to the TANGO temporal middleware.
+
+   The embedded DBMS is in-memory, so every invocation builds its database
+   from generator options and/or CSV files, then runs queries against it.
+
+   Examples:
+
+     # staffing counts over time on a generated UIS workload
+     tango run --scale 0.01 \
+       "VALIDTIME SELECT PosID, COUNT(*) AS CNT FROM POSITION GROUP BY PosID ORDER BY PosID"
+
+     # just show the chosen plan and the SQL shipped to the DBMS
+     tango explain --scale 0.01 "VALIDTIME SELECT ..."
+
+     # interactive session (one query per line, 'quit' exits)
+     tango repl --scale 0.01
+
+   CSV tables: --csv NAME=FILE loads FILE as table NAME; the header must be
+   "Col:TYPE,Col:TYPE,..." with TYPE one of INT, FLOAT, VARCHAR, DATE,
+   BOOL.  DATE cells are ISO dates (1997-02-01). *)
+
+open Tango_rel
+open Tango_core
+open Cmdliner
+
+(* ---------------- database setup ---------------- *)
+
+let parse_typed_header line =
+  List.map
+    (fun cell ->
+      match String.split_on_char ':' cell with
+      | [ name; ty ] -> (String.trim name, Value.dtype_of_name (String.trim ty))
+      | _ -> failwith ("header cell must be Name:TYPE, got " ^ cell))
+    (String.split_on_char ',' line)
+
+let load_csv db spec =
+  match String.index_opt spec '=' with
+  | None -> failwith ("--csv expects NAME=FILE, got " ^ spec)
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let ic = open_in path in
+      let header = input_line ic in
+      close_in ic;
+      let schema = Schema.make (parse_typed_header header) in
+      (* re-read with plain names for the Csv module *)
+      let tmp = Filename.temp_file "tango" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let ic = open_in path and oc = open_out tmp in
+          ignore (input_line ic);
+          output_string oc (String.concat "," (Schema.names schema));
+          output_char oc '\n';
+          (try
+             while true do
+               output_string oc (input_line ic);
+               output_char oc '\n'
+             done
+           with End_of_file -> ());
+          close_in ic;
+          close_out oc;
+          let rel =
+            Csv.read_file schema tmp
+          in
+          (* ISO date cells: Csv parses TDate from ints; fix up strings *)
+          Tango_dbms.Database.load_relation db name rel);
+      ignore (Tango_dbms.Database.analyze db name)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  if verbose then Logs.Src.set_level Middleware.log_src (Some Logs.Debug)
+
+let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate =
+  let db = Tango_dbms.Database.create () in
+  if scale > 0.0 then Tango_workload.Uis.load ~scale db;
+  List.iter (load_csv db) csvs;
+  let mw = Middleware.connect ?row_prefetch:prefetch db in
+  if no_histograms then Middleware.set_histograms mw false;
+  if calibrate then begin
+    Fmt.epr "calibrating cost factors...@.";
+    Middleware.calibrate mw
+  end;
+  mw
+
+(* ---------------- output ---------------- *)
+
+let print_result ?(limit = 40) (r : Relation.t) =
+  let n = Relation.cardinality r in
+  let shown =
+    if n <= limit then r
+    else Relation.of_list (Relation.schema r)
+        (List.filteri (fun i _ -> i < limit) (Relation.to_list r))
+  in
+  Fmt.pr "%a" Relation.pp shown;
+  if n > limit then Fmt.pr "... (%d rows total)@." n
+  else Fmt.pr "(%d rows)@." n
+
+let run_query mw ~explain_only ~verbose sql =
+  if explain_only then begin
+    let initial =
+      Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) sql
+    in
+    let order = Tango_tsql.Compile.required_order sql in
+    let res = Middleware.optimize mw ~required_order:order initial in
+    match res.Tango_volcano.Search.plan with
+    | None -> Fmt.pr "no feasible plan@."
+    | Some plan ->
+        Fmt.pr "physical plan (estimated %.0f us):@.%s@."
+          plan.Tango_volcano.Physical.total_cost
+          (Tango_volcano.Physical.to_string plan);
+        let exec, _ = Exec_plan.of_physical (Middleware.database mw) plan in
+        Fmt.pr "execution-ready plan:@.%s@." (Exec_plan.to_string exec);
+        Fmt.pr "%d classes, %d elements, optimized in %.1f ms@."
+          res.Tango_volcano.Search.classes res.Tango_volcano.Search.elements
+          (res.Tango_volcano.Search.time_us /. 1000.0)
+  end
+  else begin
+    let report = Middleware.query mw sql in
+    if verbose then begin
+      Fmt.pr "plan:@.%s@."
+        (Tango_volcano.Physical.to_string report.Middleware.physical);
+      Fmt.pr "optimization: %.1f ms (%d classes, %d elements)@."
+        (report.Middleware.optimize_us /. 1000.0)
+        report.Middleware.classes report.Middleware.elements
+    end;
+    print_result report.Middleware.result;
+    Fmt.pr "executed in %.1f ms@." (report.Middleware.execute_us /. 1000.0)
+  end
+
+let catch_errors f =
+  try
+    f ();
+    0
+  with
+  | Tango_sql.Parser.Parse_error m -> Fmt.epr "parse error: %s@." m; 1
+  | Tango_sql.Lexer.Lex_error m -> Fmt.epr "lex error: %s@." m; 1
+  | Tango_tsql.Compile.Unsupported m -> Fmt.epr "unsupported: %s@." m; 1
+  | Tango_dbms.Executor.Sql_error m -> Fmt.epr "SQL error: %s@." m; 1
+  | Tango_dbms.Catalog.No_such_table t -> Fmt.epr "no such table: %s@." t; 1
+  | Tango_algebra.Op.Ill_formed m -> Fmt.epr "ill-formed query: %s@." m; 1
+  | Middleware.No_plan m -> Fmt.epr "no plan: %s@." m; 1
+  | Failure m -> Fmt.epr "error: %s@." m; 1
+
+(* ---------------- commands ---------------- *)
+
+let scale_arg =
+  Arg.(value & opt float 0.01
+       & info [ "scale" ] ~docv:"S"
+           ~doc:"Generate the UIS workload (POSITION, EMPLOYEE) scaled by $(docv); 0 disables generation.")
+
+let csv_arg =
+  Arg.(value & opt_all string []
+       & info [ "csv" ] ~docv:"NAME=FILE"
+           ~doc:"Load a CSV file as a table (typed header Col:TYPE,...). Repeatable.")
+
+let prefetch_arg =
+  Arg.(value & opt (some int) None
+       & info [ "row-prefetch" ] ~docv:"N" ~doc:"Client row-prefetch setting.")
+
+let no_hist_arg =
+  Arg.(value & flag
+       & info [ "no-histograms" ] ~doc:"Collect statistics without histograms.")
+
+let calibrate_arg =
+  Arg.(value & flag & info [ "calibrate" ] ~doc:"Calibrate cost factors before running.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print the chosen plan.")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let run_cmd =
+  let doc = "Run a temporal SQL query through the middleware." in
+  let f scale csvs prefetch no_histograms calibrate verbose sql =
+    catch_errors (fun () ->
+        setup_logs verbose;
+        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate in
+        run_query mw ~explain_only:false ~verbose sql)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
+          $ calibrate_arg $ verbose_arg $ sql_arg)
+
+let explain_cmd =
+  let doc = "Optimize a query and print the chosen plan without executing it." in
+  let f scale csvs prefetch no_histograms calibrate sql =
+    catch_errors (fun () ->
+        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate in
+        run_query mw ~explain_only:true ~verbose:false sql)
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
+          $ calibrate_arg $ sql_arg)
+
+let repl_cmd =
+  let doc = "Interactive session: one query per line; 'quit' exits." in
+  let f scale csvs prefetch no_histograms calibrate verbose =
+    let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate in
+    Fmt.pr "tango> @?";
+    (try
+       let rec loop () =
+         match String.trim (input_line stdin) with
+         | "quit" | "exit" -> ()
+         | "" ->
+             Fmt.pr "tango> @?";
+             loop ()
+         | sql ->
+             ignore (catch_errors (fun () -> run_query mw ~explain_only:false ~verbose sql));
+             Fmt.pr "tango> @?";
+             loop ()
+       in
+       loop ()
+     with End_of_file -> ());
+    0
+  in
+  Cmd.v (Cmd.info "repl" ~doc)
+    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
+          $ calibrate_arg $ verbose_arg)
+
+let tables_cmd =
+  let doc = "List the tables of the generated/loaded database with statistics." in
+  let f scale csvs =
+    catch_errors (fun () ->
+        let mw = setup ~scale ~csvs ~prefetch:None ~no_histograms:false ~calibrate:false in
+        let db = Middleware.database mw in
+        List.iter
+          (fun name ->
+            match Tango_dbms.Database.stats_of db name with
+            | Some st -> Fmt.pr "%a@.@." Tango_dbms.Stat.pp st
+            | None -> Fmt.pr "%s (not analyzed)@." name)
+          (Tango_dbms.Catalog.table_names (Tango_dbms.Database.catalog db)))
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const f $ scale_arg $ csv_arg)
+
+let main =
+  let doc = "TANGO: adaptable temporal query middleware on a conventional DBMS" in
+  Cmd.group (Cmd.info "tango" ~version:"1.0.0" ~doc)
+    [ run_cmd; explain_cmd; repl_cmd; tables_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/adaptive_offload.ml: Fmt List Middleware Queries Relation Tango_core Tango_cost Tango_dbms Tango_rel Tango_volcano Tango_workload Uis

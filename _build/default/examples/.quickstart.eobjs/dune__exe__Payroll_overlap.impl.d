@@ -1,0 +1,1 @@
+examples/payroll_overlap.ml: Array Fmt List Middleware Queries Relation Sys Tango_core Tango_dbms Tango_rel Tango_volcano Tango_workload Tuple Uis Value

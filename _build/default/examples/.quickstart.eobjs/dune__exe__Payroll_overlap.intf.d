@@ -1,0 +1,1 @@
+examples/payroll_overlap.mli:

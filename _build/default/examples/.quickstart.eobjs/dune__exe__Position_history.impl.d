@@ -1,0 +1,1 @@
+examples/position_history.ml: Array Fmt List Middleware Queries Relation Sys Tango_core Tango_cost Tango_dbms Tango_rel Tango_volcano Tango_workload Uis

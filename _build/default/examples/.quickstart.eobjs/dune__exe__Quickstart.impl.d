@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Exec_plan Fmt Middleware Relation Tango_core Tango_dbms Tango_rel Tango_volcano

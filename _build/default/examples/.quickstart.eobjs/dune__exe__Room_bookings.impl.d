@@ -1,0 +1,1 @@
+examples/room_bookings.ml: Fmt List Middleware Relation Schema Tango_core Tango_dbms Tango_rel Tango_temporal Tango_volcano Tuple Value

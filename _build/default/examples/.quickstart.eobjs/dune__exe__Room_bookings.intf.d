@@ -1,0 +1,1 @@
+examples/room_bookings.mli:

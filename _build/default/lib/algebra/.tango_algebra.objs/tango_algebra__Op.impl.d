@@ -1,0 +1,1 @@
+lib/algebra/op.ml: Ast Fmt Format List Option Order Printf Scalar Schema String Tango_rel Tango_sql Value

@@ -1,0 +1,1 @@
+lib/algebra/op.mli: Format Order Schema Tango_rel Tango_sql Value

@@ -1,0 +1,1 @@
+lib/algebra/reference.ml: Array Ast Hashtbl List Op Option Order Relation Scalar Schema Tango_rel Tango_sql Tango_temporal Tuple Value

@@ -1,0 +1,1 @@
+lib/algebra/reference.mli: Op Relation Schema Tango_rel

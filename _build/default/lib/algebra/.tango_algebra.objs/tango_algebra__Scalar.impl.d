@@ -1,0 +1,1 @@
+lib/algebra/scalar.ml: Array Ast List Option Printer Schema String Tango_rel Tango_sql Tuple Value

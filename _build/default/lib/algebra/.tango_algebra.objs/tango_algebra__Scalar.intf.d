@@ -1,0 +1,1 @@
+lib/algebra/scalar.mli: Ast Schema Tango_rel Tango_sql Tuple Value

@@ -1,0 +1,278 @@
+(** Reference (naive, in-memory) semantics of the algebra.
+
+    This evaluator defines the meaning of every operator directly over
+    materialized relations, ignoring locations (transfers are identities).
+    It is the ground truth against which the middleware algorithms, the
+    Translator-To-SQL output, and the optimizer's plan transformations are
+    tested: all of them must be list- or multiset-equivalent to this. *)
+
+open Tango_rel
+open Tango_sql
+
+let period_of schema t =
+  match Op.period_attrs schema with
+  | None -> Op.ill_formed "expected a temporal relation"
+  | Some (a1, a2) ->
+      let c1 = Tango_temporal.Chronon.of_value (Tuple.field schema t a1) in
+      let c2 = Tango_temporal.Chronon.of_value (Tuple.field schema t a2) in
+      Tango_temporal.Period.make c1 c2
+
+let non_period_values schema t =
+  List.map
+    (fun (a : Schema.attribute) -> Tuple.field schema t a.name)
+    (Op.non_period_attrs schema)
+
+(** [eval lookup op]: evaluate [op] with [lookup] resolving base-table
+    names to relations. *)
+let rec eval (lookup : string -> Relation.t) (op : Op.t) : Relation.t =
+  let out_schema = Op.schema op in
+  match op with
+  | Op.Scan { table; _ } ->
+      let r = lookup table in
+      Relation.make out_schema (Relation.tuples r)
+  | Op.Select { pred; arg } ->
+      let r = eval lookup arg in
+      let p = Scalar.compile_pred (Relation.schema r) pred in
+      Relation.filter p r
+  | Op.Project { items; arg } ->
+      let r = eval lookup arg in
+      let fns = List.map (fun (e, _) -> Scalar.compile (Relation.schema r) e) items in
+      Relation.make out_schema
+        (Array.map
+           (fun t -> Array.of_list (List.map (fun f -> f t) fns))
+           (Relation.tuples r))
+  | Op.Sort { order; arg } ->
+      let r = eval lookup arg in
+      Relation.make out_schema
+        (Relation.tuples (Relation.sort order r))
+  | Op.Product { left; right } ->
+      let l = eval lookup left and r = eval lookup right in
+      let out = ref [] in
+      Relation.iter
+        (fun lt ->
+          Relation.iter (fun rt -> out := Tuple.concat lt rt :: !out) r)
+        l;
+      Relation.of_list out_schema (List.rev !out)
+  | Op.Join { pred; left; right } ->
+      let l = eval lookup left and r = eval lookup right in
+      let p = Scalar.compile_pred out_schema pred in
+      let out = ref [] in
+      Relation.iter
+        (fun lt ->
+          Relation.iter
+            (fun rt ->
+              let t = Tuple.concat lt rt in
+              if p t then out := t :: !out)
+            r)
+        l;
+      Relation.of_list out_schema (List.rev !out)
+  | Op.Temporal_join { pred; left; right } ->
+      let l = eval lookup left and r = eval lookup right in
+      let sl = Relation.schema l and sr = Relation.schema r in
+      let concat_schema = Schema.concat sl sr in
+      let p = Scalar.compile_pred concat_schema pred in
+      let out = ref [] in
+      Relation.iter
+        (fun lt ->
+          let pl = period_of sl lt in
+          Relation.iter
+            (fun rt ->
+              let pr = period_of sr rt in
+              match Tango_temporal.Period.intersect pl pr with
+              | Some i when p (Tuple.concat lt rt) ->
+                  let vals =
+                    non_period_values sl lt @ non_period_values sr rt
+                    @ [
+                        Value.Date (Tango_temporal.Period.t1 i);
+                        Value.Date (Tango_temporal.Period.t2 i);
+                      ]
+                  in
+                  out := Tuple.of_list vals :: !out
+              | _ -> ())
+            r)
+        l;
+      Relation.of_list out_schema (List.rev !out)
+  | Op.Temporal_aggregate { group_by; aggs; arg } ->
+      let r = eval lookup arg in
+      temporal_aggregate out_schema group_by aggs r
+  | Op.Dup_elim arg ->
+      let r = eval lookup arg in
+      let seen = Hashtbl.create 64 in
+      let out = ref [] in
+      Relation.iter
+        (fun t ->
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.replace seen t ();
+            out := t :: !out
+          end)
+        r;
+      Relation.of_list out_schema (List.rev !out)
+  | Op.Coalesce arg ->
+      let r = eval lookup arg in
+      coalesce out_schema r
+  | Op.Difference { left; right } ->
+      let l = eval lookup left and r = eval lookup right in
+      (* Multiset difference preserving left order: each right tuple removes
+         one matching left occurrence. *)
+      let budget = Hashtbl.create 64 in
+      Relation.iter
+        (fun t ->
+          let k = Array.to_list t in
+          Hashtbl.replace budget k (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
+        r;
+      let out = ref [] in
+      Relation.iter
+        (fun t ->
+          let k = Array.to_list t in
+          match Hashtbl.find_opt budget k with
+          | Some n when n > 0 -> Hashtbl.replace budget k (n - 1)
+          | _ -> out := t :: !out)
+        l;
+      Relation.of_list out_schema (List.rev !out)
+  | Op.To_mw arg | Op.To_db arg ->
+      let r = eval lookup arg in
+      Relation.make out_schema (Relation.tuples r)
+
+(** Temporal aggregation over a materialized relation: for each group, split
+    the timeline at period endpoints and aggregate the tuples covering each
+    constant interval (paper Section 3.4; result as in Figure 3(c)).
+    Output is sorted by grouping attributes, then interval start. *)
+and temporal_aggregate out_schema group_by aggs (r : Relation.t) : Relation.t =
+  let s = Relation.schema r in
+  let group_key t = List.map (fun g -> Tuple.field s t g) group_by in
+  (* Partition tuples by group key, preserving first-occurrence order of
+     keys for determinism before the final sort. *)
+  let groups : (Value.t list, Tuple.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let key_order = ref [] in
+  Relation.iter
+    (fun t ->
+      let k = group_key t in
+      match Hashtbl.find_opt groups k with
+      | Some cell -> cell := t :: !cell
+      | None ->
+          Hashtbl.replace groups k (ref [ t ]);
+          key_order := k :: !key_order)
+    r;
+  let compute_agg (members : Tuple.t list) (a : Op.agg) : Value.t =
+    let arg_values attr =
+      List.filter_map
+        (fun t ->
+          let v = Tuple.field s t attr in
+          if Value.is_null v then None else Some v)
+        members
+    in
+    match (a.Op.fn, a.Op.arg) with
+    | Ast.Count_star, _ -> Value.Int (List.length members)
+    | Ast.Count, Some attr -> Value.Int (List.length (arg_values attr))
+    | Ast.Count, None -> Value.Int (List.length members)
+    | Ast.Sum, Some attr -> (
+        match arg_values attr with
+        | [] -> Value.Null
+        | v :: rest -> List.fold_left Value.add v rest)
+    | Ast.Avg, Some attr -> (
+        match arg_values attr with
+        | [] -> Value.Null
+        | vs ->
+            Value.Float
+              (List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 vs
+              /. float_of_int (List.length vs)))
+    | Ast.Min, Some attr -> (
+        match arg_values attr with
+        | [] -> Value.Null
+        | v :: rest ->
+            List.fold_left
+              (fun a b -> if Value.compare b a < 0 then b else a)
+              v rest)
+    | Ast.Max, Some attr -> (
+        match arg_values attr with
+        | [] -> Value.Null
+        | v :: rest ->
+            List.fold_left
+              (fun a b -> if Value.compare b a > 0 then b else a)
+              v rest)
+    | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+        Op.ill_formed "aggregate needs an argument"
+  in
+  let out = ref [] in
+  List.iter
+    (fun key ->
+      let members = List.rev !(Hashtbl.find groups key) in
+      let periods = List.map (period_of s) members in
+      let intervals = Tango_temporal.Period.constant_intervals periods in
+      List.iter
+        (fun (interval, _count) ->
+          let covering =
+            List.filter
+              (fun t ->
+                let p = period_of s t in
+                Tango_temporal.Period.t1 p <= Tango_temporal.Period.t1 interval
+                && Tango_temporal.Period.t2 p >= Tango_temporal.Period.t2 interval)
+              members
+          in
+          let tuple =
+            Array.of_list
+              (key
+              @ [
+                  Value.Date (Tango_temporal.Period.t1 interval);
+                  Value.Date (Tango_temporal.Period.t2 interval);
+                ]
+              @ List.map (compute_agg covering) aggs)
+          in
+          out := tuple :: !out)
+        intervals)
+    (List.rev !key_order);
+  let rel = Relation.of_list out_schema (List.rev !out) in
+  let order =
+    List.map Order.asc (group_by @ [ "T1" ])
+  in
+  (* Normalize output order to (G..., T1): both TAGGR implementations
+     produce it, and the paper relies on it (Query 1 needs no final sort). *)
+  Relation.sort
+    (List.map
+       (fun k -> { k with Order.attr = Schema.base_name k.Order.attr })
+       order)
+    rel
+
+(** Coalescing: merge periods of value-equivalent tuples (same non-period
+    attributes) that overlap or are adjacent. *)
+and coalesce out_schema (r : Relation.t) : Relation.t =
+  let s = Relation.schema r in
+  let t1_name, t2_name =
+    match Op.period_attrs s with
+    | Some p -> p
+    | None -> Op.ill_formed "coalesce argument must be temporal"
+  in
+  let groups : (Value.t list, Tango_temporal.Period.t list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let key_order = ref [] in
+  Relation.iter
+    (fun t ->
+      let k = non_period_values s t in
+      let p = period_of s t in
+      match Hashtbl.find_opt groups k with
+      | Some cell -> cell := p :: !cell
+      | None ->
+          Hashtbl.replace groups k (ref [ p ]);
+          key_order := k :: !key_order)
+    r;
+  let t1_idx = Schema.index s t1_name and t2_idx = Schema.index s t2_name in
+  let nonperiod_idxs =
+    List.map
+      (fun (a : Schema.attribute) -> Schema.index s a.name)
+      (Op.non_period_attrs s)
+  in
+  let out = ref [] in
+  List.iter
+    (fun key ->
+      let merged = Tango_temporal.Period.coalesce !(Hashtbl.find groups key) in
+      List.iter
+        (fun p ->
+          let t = Array.make (Schema.arity s) Value.Null in
+          List.iteri (fun i idx -> t.(idx) <- List.nth key i) nonperiod_idxs;
+          t.(t1_idx) <- Value.Date (Tango_temporal.Period.t1 p);
+          t.(t2_idx) <- Value.Date (Tango_temporal.Period.t2 p);
+          out := t :: !out)
+        merged)
+    (List.rev !key_order);
+  Relation.of_list out_schema (List.rev !out)

@@ -1,0 +1,1 @@
+lib/core/exec_plan.mli: Ast Format Op Order Schema Tango_algebra Tango_dbms Tango_rel Tango_sql Tango_volcano Tango_xxl

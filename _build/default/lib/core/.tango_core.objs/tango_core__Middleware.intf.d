@@ -1,0 +1,1 @@
+lib/core/middleware.mli: Exec_plan Logs Op Order Relation Schema Tango_algebra Tango_cost Tango_dbms Tango_rel Tango_stats Tango_volcano

@@ -1,0 +1,241 @@
+(** TANGO — the temporal middleware session (paper Figure 1).
+
+    A session owns a client connection to the conventional DBMS and drives
+    the full pipeline:
+
+    + parse temporal SQL into the initial plan (all processing in the DBMS,
+      one [T^M] on top) — {!Tango_tsql.Compile};
+    + collect statistics from the DBMS catalog — {!Tango_stats.Collector};
+    + calibrate cost factors — {!Tango_cost.Calibrate};
+    + optimize: transformation rules + cost-based physical search —
+      {!Tango_volcano.Search};
+    + translate DBMS-resident parts to SQL and execute the plan through the
+      iterator engine — {!Exec_plan};
+    + optionally adapt cost factors from measured per-algorithm times
+      (the paper's performance-feedback loop). *)
+
+open Tango_rel
+open Tango_algebra
+open Tango_stats
+open Tango_cost
+open Tango_volcano
+open Tango_dbms
+
+type t = {
+  client : Client.t;
+  factors : Factors.t;
+  mutable selectivity_mode : Selectivity.mode;
+  mutable histograms : bool;  (** collect histograms during ANALYZE *)
+  mutable feedback : bool;  (** adapt cost factors from executions *)
+  mutable feedback_alpha : float;
+  mutable max_memo_elements : int;
+  mutable share_transfers : bool;
+  stats_cache : (string * string, Rel_stats.t) Hashtbl.t;
+}
+
+let connect ?row_prefetch ?roundtrip_spin (db : Database.t) : t =
+  {
+    client = Client.connect ?row_prefetch ?roundtrip_spin db;
+    factors = Factors.default ();
+    selectivity_mode = Selectivity.Temporal;
+    histograms = true;
+    feedback = false;
+    feedback_alpha = 0.3;
+    max_memo_elements = 5_000;
+    share_transfers = true;
+    stats_cache = Hashtbl.create 16;
+  }
+
+let client t = t.client
+let database t = Client.database t.client
+let factors t = t.factors
+
+let set_selectivity_mode t m = t.selectivity_mode <- m
+let set_feedback t b = t.feedback <- b
+let set_transfer_sharing t b = t.share_transfers <- b
+
+let set_histograms t b =
+  t.histograms <- b;
+  Hashtbl.reset t.stats_cache
+
+(** Run cost-factor calibration against the connected DBMS and adopt the
+    measured factors. *)
+let calibrate ?sizes t =
+  let measured = Calibrate.run ?sizes t.client in
+  Factors.blend ~alpha:1.0 t.factors measured
+
+(** Adopt previously calibrated factors (e.g. shared across sessions against
+    the same DBMS installation). *)
+let adopt_factors t (f : Factors.t) = Factors.blend ~alpha:1.0 t.factors f
+
+(** Invalidate cached statistics (after loads or ANALYZE). *)
+let refresh_statistics t = Hashtbl.reset t.stats_cache
+
+(* The Statistics Collector hook used for optimization. *)
+let base_stats t ~qualifier table : Rel_stats.t =
+  match Hashtbl.find_opt t.stats_cache (qualifier, table) with
+  | Some s -> s
+  | None ->
+      let histograms = if t.histograms then `All else `None in
+      let s = Collector.collect ~histograms (database t) ~qualifier table in
+      Hashtbl.replace t.stats_cache (qualifier, table) s;
+      s
+
+let stats_env t : Derive.env =
+  Derive.env ~mode:t.selectivity_mode (fun ~qualifier table ->
+      base_stats t ~qualifier table)
+
+let schema_lookup t name = Database.table_schema (database t) name
+
+(* ------------------------------------------------------------------ *)
+(* Optimization                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Optimize an initial algebra plan (which must already carry its top
+    [T^M]). *)
+let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
+    Search.result =
+  Search.optimize ~factors:t.factors ~stats_env:(stats_env t) ~required_order
+    ~max_elements:t.max_memo_elements initial
+
+(** Cost a fixed plan without exploring alternatives. *)
+let cost_plan t ?(required_order : Order.t = []) (plan : Op.t) :
+    Physical.plan option =
+  Search.cost_plan ~factors:t.factors ~stats_env:(stats_env t) ~required_order
+    plan
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  result : Relation.t;
+  physical : Physical.plan;
+  exec : Exec_plan.node;
+  optimize_us : float;
+  execute_us : float;
+  classes : int;
+  elements : int;
+  estimated_cost_us : float;
+}
+
+let now_us () = Unix.gettimeofday () *. 1_000_000.0
+
+exception No_plan of string
+
+(* Log source for the middleware pipeline; enable with
+   [Logs.Src.set_level Middleware.log_src (Some Logs.Debug)]. *)
+let log_src = Logs.Src.create "tango.middleware" ~doc:"TANGO middleware pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Feedback: turn measured per-node times into factor observations and
+   blend them in.  Dividing TRANSFER^M time between the transfer and the
+   DBMS work below it is not possible from out here (the paper calls this
+   an "interesting challenge"), so the whole time is attributed to the
+   transfer factor. *)
+let apply_feedback t (root : Exec_plan.node) =
+  let observed = Factors.copy t.factors in
+  let sum_children n =
+    List.fold_left
+      (fun acc (c : Exec_plan.node) -> acc +. c.Exec_plan.elapsed_us)
+      0.0 (Exec_plan.children n)
+  in
+  let in_bytes n =
+    match Exec_plan.children n with
+    | [] -> n.Exec_plan.out_bytes
+    | cs ->
+        List.fold_left
+          (fun acc (c : Exec_plan.node) -> acc +. c.Exec_plan.out_bytes)
+          0.0 cs
+  in
+  Exec_plan.iter
+    (fun n ->
+      let own = Float.max 0.0 (n.Exec_plan.elapsed_us -. sum_children n) in
+      let ib = Float.max 1.0 (in_bytes n) in
+      let ob = Float.max 1.0 n.Exec_plan.out_bytes in
+      match n.Exec_plan.kind with
+      | Exec_plan.Transfer_m _ -> observed.Factors.p_tm <- own /. ob
+      | Exec_plan.Sort _ ->
+          observed.Factors.p_sortm <-
+            own /. (ib *. Formulas.sort_levels ~size:ib)
+      | Exec_plan.Filter _ -> observed.Factors.p_sem <- own /. ib
+      | Exec_plan.Project _ -> observed.Factors.p_pm <- own /. ib
+      | Exec_plan.Taggr _ -> observed.Factors.p_taggm1 <- own /. ib
+      | Exec_plan.Merge_join _ -> observed.Factors.p_mjm1 <- own /. ib
+      | Exec_plan.Tjoin _ -> observed.Factors.p_tjm1 <- own /. ib
+      | Exec_plan.Sort_noop _ | Exec_plan.Dupelim _ | Exec_plan.Coalesce _
+      | Exec_plan.Difference _ ->
+          ())
+    root;
+  Factors.blend ~alpha:t.feedback_alpha t.factors observed;
+  Log.debug (fun m -> m "feedback: %a" Factors.pp t.factors)
+
+(** Execute a chosen physical plan; returns the result and measured times.
+    Temp tables created by `TRANSFER^D` steps are dropped afterwards. *)
+let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node * float =
+  let exec, temp_tables = Exec_plan.of_physical (database t) physical in
+  let t0 = now_us () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (Tango_xxl.Transfer.drop_temp_table t.client) temp_tables)
+      (fun () ->
+        let ctx = Exec_plan.run_ctx ~share_transfers:t.share_transfers t.client in
+        Tango_xxl.Cursor.to_relation (Exec_plan.build_cursor ctx exec))
+  in
+  let elapsed = now_us () -. t0 in
+  if t.feedback then apply_feedback t exec;
+  (result, exec, elapsed)
+
+(** Optimize and execute an initial algebra plan. *)
+let run_plan t ?(required_order : Order.t = []) (initial : Op.t) : report =
+  let r = optimize t ~required_order initial in
+  match r.Search.plan with
+  | None -> raise (No_plan "optimizer found no feasible plan")
+  | Some physical ->
+      Log.debug (fun m ->
+          m "optimized in %.1f ms (%d classes, %d elements): %s est=%.0fus"
+            (r.Search.time_us /. 1000.0) r.Search.classes r.Search.elements
+            (Physical.signature physical) physical.Physical.total_cost);
+      let result, exec, execute_us = execute_physical t physical in
+      Log.info (fun m ->
+          m "executed %s: %d tuples in %.1f ms (estimated %.1f ms)"
+            (Physical.algorithm_name physical.Physical.algorithm)
+            (Relation.cardinality result) (execute_us /. 1000.0)
+            (physical.Physical.total_cost /. 1000.0));
+      {
+        result;
+        physical;
+        exec;
+        optimize_us = r.Search.time_us;
+        execute_us;
+        classes = r.Search.classes;
+        elements = r.Search.elements;
+        estimated_cost_us = physical.Physical.total_cost;
+      }
+
+(** The full pipeline: temporal SQL in, relation out. *)
+let query t (sql : string) : report =
+  Log.debug (fun m -> m "query: %s" sql);
+  let initial = Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql in
+  let required_order = Tango_tsql.Compile.required_order sql in
+  run_plan t ~required_order initial
+
+(** Execute a {e fixed} plan tree (used by the experiments to time the
+    paper's hand-enumerated plan alternatives). *)
+let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
+  match cost_plan t ~required_order plan_tree with
+  | None -> raise (No_plan "plan tree is not executable as written")
+  | Some physical ->
+      let result, exec, execute_us = execute_physical t physical in
+      {
+        result;
+        physical;
+        exec;
+        optimize_us = 0.0;
+        execute_us;
+        classes = 0;
+        elements = 0;
+        estimated_cost_us = physical.Physical.total_cost;
+      }

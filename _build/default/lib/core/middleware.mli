@@ -1,0 +1,99 @@
+(** TANGO — the temporal middleware session (paper Figure 1).
+
+    A session owns a client connection to the conventional DBMS and drives
+    the full pipeline: parse temporal SQL into the initial plan, collect
+    statistics, optimize (transformation rules + cost-based physical
+    search), translate DBMS-resident parts to SQL, execute through the
+    iterator engine, and optionally adapt cost factors from measured
+    times. *)
+
+open Tango_rel
+open Tango_algebra
+
+type t
+
+val log_src : Logs.src
+(** The middleware's log source ([tango.middleware]); set its level to see
+    chosen plans, execution times and feedback updates. *)
+
+val connect : ?row_prefetch:int -> ?roundtrip_spin:int -> Tango_dbms.Database.t -> t
+(** Open a session over a DBMS.  [row_prefetch] and [roundtrip_spin]
+    configure the client boundary (see {!Tango_dbms.Client}). *)
+
+val client : t -> Tango_dbms.Client.t
+val database : t -> Tango_dbms.Database.t
+
+val factors : t -> Tango_cost.Factors.t
+(** The session's (mutable) cost factors. *)
+
+val set_selectivity_mode : t -> Tango_stats.Selectivity.mode -> unit
+(** [Temporal] (default) or [Naive] — the §3.3 comparison toggle. *)
+
+val set_feedback : t -> bool -> unit
+(** Enable adaptation of cost factors from measured per-algorithm times
+    after each execution (off by default). *)
+
+val set_transfer_sharing : t -> bool -> unit
+(** Fetch alpha-equivalent `TRANSFER^M` statements only once per query
+    (on by default) — the paper's §7 "issue only one T^M" refinement. *)
+
+val set_histograms : t -> bool -> unit
+(** Collect histograms during ANALYZE (on by default); invalidates cached
+    statistics. *)
+
+val calibrate : ?sizes:Tango_cost.Calibrate.probe_sizes -> t -> unit
+(** Run cost-factor calibration against the connected DBMS and adopt the
+    measured factors. *)
+
+val adopt_factors : t -> Tango_cost.Factors.t -> unit
+(** Adopt previously calibrated factors (e.g. shared across sessions). *)
+
+val refresh_statistics : t -> unit
+(** Invalidate cached statistics (after loads or ANALYZE). *)
+
+val base_stats : t -> qualifier:string -> string -> Tango_stats.Rel_stats.t
+(** The Statistics Collector hook: statistics for a base table under a
+    qualifier, cached per session. *)
+
+val stats_env : t -> Tango_stats.Derive.env
+val schema_lookup : t -> string -> Schema.t
+
+(** {1 Optimization} *)
+
+val optimize : t -> ?required_order:Order.t -> Op.t -> Tango_volcano.Search.result
+(** Optimize an initial algebra plan (which must carry its top [T^M]). *)
+
+val cost_plan :
+  t -> ?required_order:Order.t -> Op.t -> Tango_volcano.Physical.plan option
+(** Cost a fixed plan tree without exploring alternatives. *)
+
+(** {1 Execution} *)
+
+type report = {
+  result : Relation.t;
+  physical : Tango_volcano.Physical.plan;  (** the chosen plan *)
+  exec : Exec_plan.node;  (** with per-algorithm measured times *)
+  optimize_us : float;
+  execute_us : float;
+  classes : int;  (** memo equivalence classes explored *)
+  elements : int;  (** memo class elements explored *)
+  estimated_cost_us : float;
+}
+
+exception No_plan of string
+
+val execute_physical :
+  t -> Tango_volcano.Physical.plan -> Relation.t * Exec_plan.node * float
+(** Execute a chosen physical plan; returns result, instrumented exec plan,
+    and elapsed microseconds.  Temp tables are dropped afterwards. *)
+
+val run_plan : t -> ?required_order:Order.t -> Op.t -> report
+(** Optimize and execute an initial algebra plan. *)
+
+val query : t -> string -> report
+(** The full pipeline: temporal SQL in, relation out. *)
+
+val run_fixed : t -> ?required_order:Order.t -> Op.t -> report
+(** Execute a {e fixed} plan tree (used by the experiments to time the
+    paper's hand-enumerated plan alternatives); raises {!No_plan} when the
+    tree is not executable as written. *)

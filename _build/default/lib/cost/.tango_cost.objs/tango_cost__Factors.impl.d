@@ -1,0 +1,1 @@
+lib/cost/factors.ml: Fmt

@@ -1,0 +1,1 @@
+lib/cost/formulas.ml: Ast Factors Float Tango_sql

@@ -1,0 +1,1 @@
+lib/cost/formulas.mli: Ast Factors Tango_sql

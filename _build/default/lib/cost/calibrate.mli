@@ -1,0 +1,18 @@
+(** Cost-factor calibration — the Cost Estimator's calibration phase.
+
+    Like Du et al. [4], factors are deduced by running designed probe
+    queries against the actual substrate and fitting the formula
+    coefficients to measured times.  Probes use synthetic relations, so
+    calibration is independent of user data; it takes a few hundred
+    milliseconds at the default sizes and is run once per DBMS
+    installation. *)
+
+open Tango_dbms
+
+type probe_sizes = { small : int; large : int }
+
+val default_sizes : probe_sizes
+
+val run : ?sizes:probe_sizes -> Client.t -> Factors.t
+(** Calibrate against the client's database; returns fresh factors and
+    leaves no tables behind. *)

@@ -1,0 +1,94 @@
+(** Cost factors — the [p] coefficients of the paper's cost formulas
+    (Figure 6 and the "generic" DBMS formulas of [20]).
+
+    Units: microseconds per byte of relation data ([size(r)] is in bytes).
+    The defaults below are order-of-magnitude guesses good enough for unit
+    tests; real runs determine them with {!Calibrate}, the analogue of the
+    Cost Estimator module's calibration phase (Du et al. style), and the
+    middleware's feedback loop may adapt them after each query. *)
+
+type t = {
+  (* transfers *)
+  mutable p_tm : float;  (** `TRANSFER^M` per byte *)
+  mutable p_td : float;  (** `TRANSFER^D` per byte *)
+  (* middleware algorithms *)
+  mutable p_sem : float;  (** `FILTER^M` per byte per predicate term *)
+  mutable p_pm : float;  (** `PROJECT^M` per byte *)
+  mutable p_sortm : float;  (** `SORT^M` per byte per merge level *)
+  mutable p_mjm1 : float;  (** `MERGEJOIN^M` per input byte *)
+  mutable p_mjm2 : float;  (** `MERGEJOIN^M` per output byte *)
+  mutable p_tjm1 : float;  (** `TJOIN^M` per input byte *)
+  mutable p_tjm2 : float;  (** `TJOIN^M` per output byte *)
+  mutable p_taggm1 : float;  (** `TAGGR^M` per input byte *)
+  mutable p_taggm2 : float;  (** `TAGGR^M` per output byte *)
+  mutable p_dupm : float;  (** `DUPELIM^M` per byte *)
+  mutable p_coalm : float;  (** `COALESCE^M` per byte *)
+  mutable p_diffm : float;  (** `DIFFERENCE^M` per byte *)
+  (* generic DBMS algorithms *)
+  mutable p_scan : float;  (** full table scan per byte *)
+  mutable p_isc : float;  (** index scan per fetched byte *)
+  mutable p_sortd : float;  (** DBMS sort per byte per log2(blocks) *)
+  mutable p_joind1 : float;  (** DBMS join per input byte *)
+  mutable p_joind2 : float;  (** DBMS join per output byte *)
+  mutable p_cartd : float;  (** DBMS Cartesian product per output byte *)
+  mutable p_taggd1 : float;  (** DBMS temporal aggregation per input byte *)
+  mutable p_taggd2 : float;  (** DBMS temporal aggregation per output byte *)
+}
+
+let default () =
+  {
+    p_tm = 0.5;
+    p_td = 0.6;
+    p_sem = 0.02;
+    p_pm = 0.02;
+    p_sortm = 0.02;
+    p_mjm1 = 0.05;
+    p_mjm2 = 0.02;
+    p_tjm1 = 0.05;
+    p_tjm2 = 0.02;
+    p_taggm1 = 0.08;
+    p_taggm2 = 0.03;
+    p_dupm = 0.02;
+    p_coalm = 0.02;
+    p_diffm = 0.04;
+    p_scan = 0.05;
+    p_isc = 0.08;
+    p_sortd = 0.03;
+    p_joind1 = 0.08;
+    p_joind2 = 0.03;
+    p_cartd = 0.05;
+    p_taggd1 = 5.0;
+    p_taggd2 = 0.5;
+  }
+
+let copy (f : t) = { f with p_tm = f.p_tm }
+
+(** Blend measured factors into the current ones — used by the feedback
+    loop ([alpha] = weight of the new observation). *)
+let blend ~(alpha : float) (current : t) (observed : t) =
+  let mix a b = ((1.0 -. alpha) *. a) +. (alpha *. b) in
+  current.p_tm <- mix current.p_tm observed.p_tm;
+  current.p_td <- mix current.p_td observed.p_td;
+  current.p_sem <- mix current.p_sem observed.p_sem;
+  current.p_pm <- mix current.p_pm observed.p_pm;
+  current.p_sortm <- mix current.p_sortm observed.p_sortm;
+  current.p_mjm1 <- mix current.p_mjm1 observed.p_mjm1;
+  current.p_mjm2 <- mix current.p_mjm2 observed.p_mjm2;
+  current.p_tjm1 <- mix current.p_tjm1 observed.p_tjm1;
+  current.p_tjm2 <- mix current.p_tjm2 observed.p_tjm2;
+  current.p_taggm1 <- mix current.p_taggm1 observed.p_taggm1;
+  current.p_taggm2 <- mix current.p_taggm2 observed.p_taggm2;
+  current.p_scan <- mix current.p_scan observed.p_scan;
+  current.p_sortd <- mix current.p_sortd observed.p_sortd;
+  current.p_joind1 <- mix current.p_joind1 observed.p_joind1;
+  current.p_joind2 <- mix current.p_joind2 observed.p_joind2;
+  current.p_taggd1 <- mix current.p_taggd1 observed.p_taggd1;
+  current.p_taggd2 <- mix current.p_taggd2 observed.p_taggd2
+
+let pp ppf f =
+  Fmt.pf ppf
+    "tm=%.4f td=%.4f sem=%.4f sortm=%.4f mjm=%.4f/%.4f tjm=%.4f/%.4f \
+     taggm=%.4f/%.4f scan=%.4f sortd=%.4f joind=%.4f/%.4f taggd=%.4f/%.4f"
+    f.p_tm f.p_td f.p_sem f.p_sortm f.p_mjm1 f.p_mjm2 f.p_tjm1 f.p_tjm2
+    f.p_taggm1 f.p_taggm2 f.p_scan f.p_sortd f.p_joind1 f.p_joind2 f.p_taggd1
+    f.p_taggd2

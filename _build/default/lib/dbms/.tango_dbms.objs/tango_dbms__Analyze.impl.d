@@ -1,0 +1,1 @@
+lib/dbms/analyze.ml: Array Catalog Histogram List Relation Schema Stat Tango_rel Tango_storage Value

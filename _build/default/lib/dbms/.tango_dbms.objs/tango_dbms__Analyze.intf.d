@@ -1,0 +1,1 @@
+lib/dbms/analyze.mli: Catalog Stat

@@ -1,0 +1,1 @@
+lib/dbms/catalog.ml: Buffer_pool Hashtbl Heap_file Io_stats List Ordered_index Schema Stat String Tango_rel Tango_storage

@@ -1,0 +1,1 @@
+lib/dbms/catalog.mli: Buffer_pool Hashtbl Heap_file Io_stats Ordered_index Schema Stat Tango_rel Tango_storage

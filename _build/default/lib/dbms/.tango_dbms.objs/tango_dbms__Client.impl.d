@@ -1,0 +1,1 @@
+lib/dbms/client.ml: Array Ast Buffer Catalog Database List Relation Schema Seq Sys Tango_rel Tango_sql Tango_storage Tuple

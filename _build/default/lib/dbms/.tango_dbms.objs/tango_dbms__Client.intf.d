@@ -1,0 +1,1 @@
+lib/dbms/client.mli: Ast Database Relation Schema Seq Tango_rel Tango_sql Tuple

@@ -1,0 +1,1 @@
+lib/dbms/database.ml: Analyze Ast Catalog Executor List Parser Printf Relation Schema Stat Tango_rel Tango_sql Tango_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/dbms/database.mli: Ast Catalog Executor Relation Schema Stat Tango_rel Tango_sql Tango_storage

@@ -1,0 +1,1 @@
+lib/dbms/executor.ml: Array Ast Catalog Format Hashtbl Int Lazy List Option Relation Schema Tango_rel Tango_sql Tango_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/dbms/executor.mli: Ast Catalog Relation Tango_rel Tango_sql

@@ -1,0 +1,1 @@
+lib/dbms/stat.ml: Fmt Histogram List String Tango_rel Value

@@ -1,0 +1,1 @@
+lib/dbms/stat.mli: Format Histogram Tango_rel Value

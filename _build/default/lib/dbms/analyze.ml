@@ -1,0 +1,74 @@
+(** ANALYZE: compute catalog statistics for a table.
+
+    Produces exactly the statistics the paper's middleware consumes: table
+    cardinality, block count, average tuple size; per-column min/max,
+    distinct count, null count, and (optionally) an equi-depth histogram;
+    plus index availability and clustering flags. *)
+
+open Tango_rel
+
+(** Number of histogram buckets, matching typical DBMS defaults. *)
+let default_buckets = 32
+
+(** [run ?histograms ?buckets table] scans the table once and attaches fresh
+    statistics to it.  [histograms] lists the columns that get histograms
+    ([`All] for every column, [`None] to skip, [`Cols names] to select);
+    the with/without-histogram optimizer comparison of the paper's Query 2
+    experiment toggles this. *)
+let run ?(histograms = `All) ?(buckets = default_buckets)
+    (table : Catalog.table) : Stat.table_stats =
+  let file = table.file in
+  let schema = Tango_storage.Heap_file.schema file in
+  let rel = Tango_storage.Heap_file.to_relation file in
+  let wants_histogram name =
+    match histograms with
+    | `All -> true
+    | `None -> false
+    | `Cols names -> List.mem name names
+  in
+  let columns =
+    List.map
+      (fun (a : Schema.attribute) ->
+        let vals = Relation.column rel a.name in
+        let nulls =
+          Array.fold_left
+            (fun acc v -> if Value.is_null v then acc + 1 else acc)
+            0 vals
+        in
+        let numeric =
+          match a.dtype with
+          | Value.TInt | Value.TFloat | Value.TDate -> true
+          | Value.TBool | Value.TStr -> false
+        in
+        let histogram =
+          if numeric && wants_histogram a.name && Array.length vals > 0 then
+            Some (Histogram.height_balanced ~buckets vals)
+          else None
+        in
+        let index = Catalog.index_on table a.name in
+        {
+          Stat.col = a.name;
+          min_value = Relation.min_value rel a.name;
+          max_value = Relation.max_value rel a.name;
+          distinct = Relation.distinct_count rel a.name;
+          nulls;
+          histogram;
+          indexed = index <> None;
+          clustered =
+            (match index with
+            | Some i -> Tango_storage.Ordered_index.clustered i
+            | None -> false);
+        })
+      (Schema.attributes schema)
+  in
+  let stats =
+    {
+      Stat.table = table.name;
+      cardinality = Tango_storage.Heap_file.tuple_count file;
+      blocks = Tango_storage.Heap_file.block_count file;
+      avg_tuple_size = Tango_storage.Heap_file.avg_tuple_size file;
+      columns;
+    }
+  in
+  table.stats <- Some stats;
+  stats

@@ -1,0 +1,157 @@
+(** The middleware⇄DBMS boundary — the JDBC stand-in.
+
+    Everything the middleware moves across this boundary pays real
+    marshalling work: each tuple is serialized into a wire buffer and parsed
+    back on the other side.  Fetches are batched by a row-prefetch setting
+    (the paper notes Oracle JDBC's row-prefetch affects `TRANSFER^M`
+    performance); each round trip additionally costs a fixed CPU spin that
+    stands in for network latency, so small prefetch values hurt, as they do
+    over a real wire. *)
+
+open Tango_rel
+open Tango_sql
+
+type t = {
+  db : Database.t;
+  mutable row_prefetch : int;  (** tuples fetched per round trip *)
+  mutable roundtrip_spin : int;  (** latency stand-in: spin iterations *)
+  mutable roundtrips : int;  (** counter: round trips performed *)
+  mutable tuples_shipped : int;  (** counter: tuples across the boundary *)
+}
+
+let default_row_prefetch = 10 (* Oracle JDBC's historical default *)
+let default_roundtrip_spin = 20_000
+
+let connect ?(row_prefetch = default_row_prefetch)
+    ?(roundtrip_spin = default_roundtrip_spin) db =
+  { db; row_prefetch; roundtrip_spin; roundtrips = 0; tuples_shipped = 0 }
+
+let database c = c.db
+let set_row_prefetch c n = c.row_prefetch <- max 1 n
+let row_prefetch c = c.row_prefetch
+let set_roundtrip_spin c n = c.roundtrip_spin <- max 0 n
+
+let reset_counters c =
+  c.roundtrips <- 0;
+  c.tuples_shipped <- 0
+
+let roundtrips c = c.roundtrips
+let tuples_shipped c = c.tuples_shipped
+
+(* The latency stand-in: a data-dependent spin the compiler cannot remove. *)
+let spin c =
+  c.roundtrips <- c.roundtrips + 1;
+  let acc = ref 0 in
+  for i = 1 to c.roundtrip_spin do
+    acc := (!acc + i) land 0xFFFF
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* Ship a batch of tuples through a wire buffer (serialize + deserialize). *)
+let ship_batch c (batch : Tuple.t list) : Tuple.t list =
+  spin c;
+  let buf = Buffer.create 4096 in
+  List.iter (Tuple.serialize buf) batch;
+  let wire = Buffer.contents buf in
+  let pos = ref 0 in
+  List.map
+    (fun _ ->
+      let t, p = Tuple.deserialize wire !pos in
+      pos := p;
+      c.tuples_shipped <- c.tuples_shipped + 1;
+      t)
+    batch
+
+(** A server-side cursor being drained by the middleware. *)
+type cursor = {
+  schema : Schema.t;
+  mutable pending : Tuple.t list;  (** rows not yet shipped *)
+  mutable buffered : Tuple.t list;  (** client-side prefetch buffer *)
+  client : t;
+}
+
+(** Execute a query and open a cursor over its (already computed) result.
+    Like a JDBC statement, the rows stream to the client in prefetch-sized
+    batches as the cursor is advanced. *)
+let execute_query c (sql : string) : cursor =
+  let rel = Database.query c.db sql in
+  {
+    schema = Relation.schema rel;
+    pending = Array.to_list (Relation.tuples rel);
+    buffered = [];
+    client = c;
+  }
+
+let execute_query_ast c (q : Ast.query) : cursor =
+  let rel = Database.query_ast c.db q in
+  {
+    schema = Relation.schema rel;
+    pending = Array.to_list (Relation.tuples rel);
+    buffered = [];
+    client = c;
+  }
+
+let cursor_schema cur = cur.schema
+
+let rec fetch (cur : cursor) : Tuple.t option =
+  match cur.buffered with
+  | t :: rest ->
+      cur.buffered <- rest;
+      Some t
+  | [] -> (
+      match cur.pending with
+      | [] -> None
+      | pending ->
+          let n = cur.client.row_prefetch in
+          let rec take k = function
+            | x :: rest when k > 0 ->
+                let taken, rem = take (k - 1) rest in
+                (x :: taken, rem)
+            | rest -> ([], rest)
+          in
+          let batch, rest = take n pending in
+          cur.pending <- rest;
+          cur.buffered <- ship_batch cur.client batch;
+          fetch cur)
+
+(** Drain a cursor into a relation (paying all transfer work). *)
+let fetch_all (cur : cursor) : Relation.t =
+  let rec go acc =
+    match fetch cur with None -> List.rev acc | Some t -> go (t :: acc)
+  in
+  Relation.of_list cur.schema (go [])
+
+(** Run a non-query statement. *)
+let execute_update c (sql : string) : int =
+  match Database.execute c.db sql with
+  | Database.Ok_count n -> n
+  | Database.Rows _ -> 0
+
+(** Direct-path bulk load — the SQL*Loader analogue used by `TRANSFER^D`.
+    Creates the table and streams tuples to the server in prefetch-sized
+    batches, writing them straight into fresh pages.  Returns the created
+    table's name. *)
+let bulk_load c ~table (schema : Schema.t) (tuples : Tuple.t Seq.t) : string =
+  Database.create_table c.db table (Schema.unqualify schema);
+  let cat_table = Catalog.find (Database.catalog c.db) table in
+  let batch = ref [] in
+  let batch_len = ref 0 in
+  let flush () =
+    if !batch_len > 0 then begin
+      let shipped = ship_batch c (List.rev !batch) in
+      List.iter
+        (fun t ->
+          ignore (Tango_storage.Heap_file.append cat_table.Catalog.file t))
+        shipped;
+      batch := [];
+      batch_len := 0
+    end
+  in
+  Seq.iter
+    (fun t ->
+      batch := t :: !batch;
+      incr batch_len;
+      if !batch_len >= c.row_prefetch then flush ())
+    tuples;
+  flush ();
+  table

@@ -1,0 +1,45 @@
+(** The middleware⇄DBMS boundary — the JDBC stand-in.
+
+    Every tuple crossing this boundary pays real marshalling work (wire
+    serialization + parse).  Fetches are batched by a row-prefetch setting
+    (the paper notes Oracle JDBC's row prefetch affects `TRANSFER^M`), and
+    each round trip additionally costs a configurable CPU spin standing in
+    for network latency. *)
+
+open Tango_rel
+open Tango_sql
+
+type t
+
+val default_row_prefetch : int
+(** 10 — Oracle JDBC's historical default. *)
+
+val default_roundtrip_spin : int
+
+val connect : ?row_prefetch:int -> ?roundtrip_spin:int -> Database.t -> t
+
+val database : t -> Database.t
+val set_row_prefetch : t -> int -> unit
+val row_prefetch : t -> int
+val set_roundtrip_spin : t -> int -> unit
+
+val reset_counters : t -> unit
+val roundtrips : t -> int
+val tuples_shipped : t -> int
+
+(** A server-side cursor being drained by the middleware; rows stream to
+    the client in prefetch-sized batches as the cursor advances. *)
+type cursor
+
+val execute_query : t -> string -> cursor
+val execute_query_ast : t -> Ast.query -> cursor
+val cursor_schema : cursor -> Schema.t
+val fetch : cursor -> Tuple.t option
+val fetch_all : cursor -> Relation.t
+
+val execute_update : t -> string -> int
+
+val bulk_load : t -> table:string -> Schema.t -> Tuple.t Seq.t -> string
+(** Direct-path bulk load — the SQL*Loader analogue used by `TRANSFER^D`:
+    creates [table] (schema unqualified) and streams tuples to the server
+    in prefetch-sized batches.  Returns the table name. *)

@@ -1,0 +1,34 @@
+(** The DBMS's SQL execution engine.
+
+    Queries compile to closures once (column references become positional),
+    then run.  Behaviour mirrors a circa-2000 relational DBMS:
+
+    - base-table access picks an index range/point scan when a conjunct
+      matches an indexed attribute, else a full scan;
+    - equi-joins default to sort-merge, or an index nested loop when the
+      inner side is a base table with an index on its join attribute; a
+      session can force a method (the Oracle-hint stand-in);
+    - grouping and DISTINCT are sort-based;
+    - derived tables materialize once per statement (memoized), while
+      correlated scalar subqueries re-evaluate per outer row — which is
+      precisely why temporal aggregation expressed in SQL is slow. *)
+
+open Tango_rel
+open Tango_sql
+
+exception Sql_error of string
+
+type join_method = Auto | Force_nested_loop | Force_sort_merge
+
+type settings = { mutable join_method : join_method }
+
+val default_settings : unit -> settings
+
+type ctx
+
+val make_ctx : ?settings:settings -> Catalog.t -> ctx
+
+val run_query : ?settings:settings -> Catalog.t -> Ast.query -> Relation.t
+(** Execute a query AST against a catalog.  Raises {!Sql_error} on
+    unresolvable columns, arity mismatches, or unsupported constructs
+    (e.g. VALIDTIME, which only the middleware evaluates). *)

@@ -1,0 +1,1 @@
+lib/rel/csv.ml: Array Buffer Fun List Printf Relation Schema String Tuple Value

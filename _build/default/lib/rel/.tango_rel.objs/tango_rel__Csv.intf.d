@@ -1,0 +1,1 @@
+lib/rel/csv.mli: Relation Schema

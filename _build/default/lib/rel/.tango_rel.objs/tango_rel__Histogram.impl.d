@@ -1,0 +1,1 @@
+lib/rel/histogram.ml: Array Float Fmt Seq Value

@@ -1,0 +1,1 @@
+lib/rel/histogram.mli: Format Value

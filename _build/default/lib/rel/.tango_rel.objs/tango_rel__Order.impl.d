@@ -1,0 +1,1 @@
+lib/rel/order.ml: Array Fmt List Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/rel/order.mli: Format Schema Tuple

@@ -1,0 +1,1 @@
+lib/rel/relation.ml: Array Fmt List Order Schema Seq String Tuple Value

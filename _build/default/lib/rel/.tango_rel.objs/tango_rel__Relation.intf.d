@@ -1,0 +1,1 @@
+lib/rel/relation.mli: Format Order Schema Tuple Value

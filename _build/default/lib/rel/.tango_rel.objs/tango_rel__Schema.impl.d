@@ -1,0 +1,1 @@
+lib/rel/schema.ml: Array Fmt List String Value

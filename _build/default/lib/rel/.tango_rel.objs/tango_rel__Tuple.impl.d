@@ -1,0 +1,1 @@
+lib/rel/tuple.ml: Array Buffer Fmt Int32 List Schema String Value

@@ -1,0 +1,1 @@
+lib/rel/value.ml: Bool Buffer Float Fmt Int Int64 Printf String

@@ -1,0 +1,133 @@
+(** Minimal CSV import/export for relations, used by examples and the CLI.
+
+    The dialect is deliberately simple: comma separator, double-quote
+    escaping for fields containing commas/quotes/newlines, first line is the
+    header.  Values are written in a typed syntax and parsed back against a
+    schema. *)
+
+let escape_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let split_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec go i in_quotes =
+    if i >= n then fields := Buffer.contents buf :: !fields
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' then go (i + 1) true
+      else if c = ',' then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !fields
+
+let field_of_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Str s -> s
+  | Value.Date d -> string_of_int d
+
+(* DATE cells parse as raw chronons by default; {!Tango_temporal.Chronon}
+   installs a parser that also accepts ISO dates (1997-02-01). *)
+let date_parser : (string -> int) ref = ref int_of_string
+
+let set_date_parser f = date_parser := f
+
+let value_of_field dtype s =
+  if s = "" then Value.Null
+  else
+    match dtype with
+    | Value.TBool -> Value.Bool (bool_of_string s)
+    | Value.TInt -> Value.Int (int_of_string s)
+    | Value.TFloat -> Value.Float (float_of_string s)
+    | Value.TStr -> Value.Str s
+    | Value.TDate -> Value.Date (!date_parser s)
+
+let write_channel oc r =
+  output_string oc
+    (String.concat "," (List.map escape_field (Schema.names (Relation.schema r))));
+  output_char oc '\n';
+  Relation.iter
+    (fun t ->
+      output_string oc
+        (String.concat ","
+           (List.map (fun v -> escape_field (field_of_value v)) (Tuple.to_list t)));
+      output_char oc '\n')
+    r
+
+let write_file path r =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc r)
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+(** [read_file schema path] parses a CSV whose header must list exactly the
+    schema's attribute names (order may differ). *)
+let read_file schema path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match read_lines ic with
+      | [] -> Relation.of_list schema []
+      | header :: rows ->
+          let cols = split_line header in
+          let positions =
+            List.map
+              (fun name ->
+                match List.find_index (String.equal name) cols with
+                | Some i -> i
+                | None -> failwith ("Csv.read_file: missing column " ^ name))
+              (Schema.names schema)
+          in
+          let parse_row line =
+            let fields = Array.of_list (split_line line) in
+            Array.of_list
+              (List.mapi
+                 (fun attr_i col_i ->
+                   value_of_field (Schema.dtype_at schema attr_i) fields.(col_i))
+                 positions)
+          in
+          Relation.of_list schema (List.map parse_row rows))

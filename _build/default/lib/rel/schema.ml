@@ -1,0 +1,86 @@
+(** Relation schemas: ordered lists of named, typed attributes.
+
+    Attribute names may be qualified ([POS.T1]) or unqualified ([T1]).
+    Lookup by an unqualified name succeeds when exactly one attribute's
+    base name (the part after the last dot) matches. *)
+
+type attribute = { name : string; dtype : Value.dtype }
+
+type t = attribute array
+
+let make pairs : t =
+  Array.of_list (List.map (fun (name, dtype) -> { name; dtype }) pairs)
+
+let arity (s : t) = Array.length s
+let attributes (s : t) = Array.to_list s
+let names (s : t) = Array.to_list (Array.map (fun a -> a.name) s)
+let dtype_at (s : t) i = s.(i).dtype
+let name_at (s : t) i = s.(i).name
+
+(** Base name of a possibly qualified attribute name. *)
+let base_name name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+(** Index of attribute [name] in schema [s].  An exact match wins; otherwise
+    an unqualified [name] matches a unique attribute with that base name.
+    Raises [Not_found] when the attribute is missing or ambiguous. *)
+let index (s : t) name =
+  let exact = ref (-1) in
+  Array.iteri (fun i a -> if !exact < 0 && String.equal a.name name then exact := i) s;
+  if !exact >= 0 then !exact
+  else begin
+    let matches = ref [] in
+    Array.iteri
+      (fun i a -> if String.equal (base_name a.name) name then matches := i :: !matches)
+      s;
+    match !matches with
+    | [ i ] -> i
+    | [] -> raise Not_found
+    | _ -> raise Not_found (* ambiguous *)
+  end
+
+let index_opt s name = try Some (index s name) with Not_found -> None
+let mem s name = index_opt s name <> None
+
+let dtype_of s name = (s.(index s name)).dtype
+
+(** Concatenation for joins and products. *)
+let concat (a : t) (b : t) : t = Array.append a b
+
+(** [project s names] keeps the named attributes, in the given order. *)
+let project (s : t) names_ : t =
+  Array.of_list (List.map (fun n -> s.(index s n)) names_)
+
+(** [qualify alias s] prefixes every attribute base name with [alias.]. *)
+let qualify alias (s : t) : t =
+  Array.map (fun a -> { a with name = alias ^ "." ^ base_name a.name }) s
+
+(** [unqualify s] strips qualifiers; used when materializing a derived table
+    whose column names must be plain. *)
+let unqualify (s : t) : t =
+  Array.map (fun a -> { a with name = base_name a.name }) s
+
+(** [rename s from to_] renames a single attribute. *)
+let rename (s : t) from to_ : t =
+  let i = index s from in
+  Array.mapi (fun j a -> if j = i then { a with name = to_ } else a) s
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> String.equal x.name y.name && x.dtype = y.dtype) a b
+
+(** Schemas are union-compatible when arities and types agree (names may
+    differ), as required by difference and union. *)
+let union_compatible (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x.dtype = y.dtype) a b
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "(%a)"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf a ->
+         Fmt.pf ppf "%s %s" a.name (Value.dtype_name a.dtype)))
+    (Array.to_list s)
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,65 @@
+(** Tuples are flat arrays of values, positionally matching a {!Schema.t}. *)
+
+type t = Value.t array
+
+let arity = Array.length
+let get (t : t) i = t.(i)
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+(** Field access by name through a schema. *)
+let field schema (t : t) name = t.(Schema.index schema name)
+
+(** Concatenation, used by join and product. *)
+let concat (a : t) (b : t) : t = Array.append a b
+
+(** [project schema names t] builds the sub-tuple with the given attributes. *)
+let project schema names (t : t) : t =
+  Array.of_list (List.map (fun n -> t.(Schema.index schema n)) names)
+
+let compare (a : t) (b : t) =
+  let n = Array.length a and m = Array.length b in
+  let rec go i =
+    if i >= n && i >= m then 0
+    else if i >= n then -1
+    else if i >= m then 1
+    else
+      match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+(** Total tuple size in bytes, the per-tuple contribution to [size(r)]. *)
+let byte_size (t : t) =
+  Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 t
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) (to_list t)
+
+let to_string t = Fmt.str "%a" pp t
+
+(* --- marshalling: a tuple serializes as a value-count header followed by
+   each value; used by storage pages and the DBMS client boundary --- *)
+
+let serialize buf (t : t) =
+  Buffer.add_int32_le buf (Int32.of_int (Array.length t));
+  Array.iter (Value.serialize buf) t
+
+let deserialize s pos : t * int =
+  let n = Int32.to_int (String.get_int32_le s pos) in
+  let pos = ref (pos + 4) in
+  let t =
+    Array.init n (fun _ ->
+        let v, p = Value.deserialize s !pos in
+        pos := p;
+        v)
+  in
+  (t, !pos)
+
+(** Round-trip through bytes: the "marshalling work" performed for every
+    tuple that crosses the middleware/DBMS boundary. *)
+let marshal_roundtrip (t : t) : t =
+  let buf = Buffer.create 64 in
+  serialize buf t;
+  fst (deserialize (Buffer.contents buf) 0)

@@ -1,0 +1,34 @@
+(** Tuples: flat arrays of values, positionally matching a {!Schema.t}. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val field : Schema.t -> t -> string -> Value.t
+(** Field access by (possibly qualified) attribute name. *)
+
+val concat : t -> t -> t
+
+val project : Schema.t -> string list -> t -> t
+(** Sub-tuple with the named attributes, in the given order. *)
+
+val compare : t -> t -> int
+(** Lexicographic by {!Value.compare}. *)
+
+val equal : t -> t -> bool
+
+val byte_size : t -> int
+(** Total bytes, the per-tuple contribution to [size(r)]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val serialize : Buffer.t -> t -> unit
+val deserialize : string -> int -> t * int
+
+val marshal_roundtrip : t -> t
+(** Serialize to a wire buffer and parse back — the marshalling work paid
+    by every tuple crossing the middleware/DBMS boundary. *)

@@ -1,0 +1,1 @@
+lib/sql/printer.ml: Ast Buffer List Printf String Tango_rel Tango_temporal Value

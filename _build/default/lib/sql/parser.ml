@@ -1,0 +1,436 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}).
+
+    Precedence, loosest first: OR, AND, NOT, comparison/BETWEEN/IN/IS,
+    additive, multiplicative, unary minus, primary. *)
+
+open Tango_rel
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let error st msg =
+  let next =
+    match st.toks with t :: _ -> Lexer.token_to_string t | [] -> "<none>"
+  in
+  raise (Parse_error (Printf.sprintf "%s (next token: %s)" msg next))
+
+let peek st = match st.toks with t :: _ -> t | [] -> Lexer.EOF
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw -> advance st
+  | _ -> error st ("expected " ^ kw)
+
+let eat_sym st sym =
+  match peek st with
+  | Lexer.SYM s when s = sym -> advance st
+  | _ -> error st ("expected '" ^ sym ^ "'")
+
+let try_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let try_sym st sym =
+  match peek st with
+  | Lexer.SYM s when s = sym ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> error st "expected identifier"
+
+(* Split a possibly qualified name "A.B" into Col (Some "A", "B"). *)
+let col_of_ident name =
+  match String.rindex_opt name '.' with
+  | None -> Ast.Col (None, name)
+  | Some i ->
+      Ast.Col
+        ( Some (String.sub name 0 i),
+          String.sub name (i + 1) (String.length name - i - 1) )
+
+let aggfun_of_kw = function
+  | "COUNT" -> Some Ast.Count
+  | "SUM" -> Some Ast.Sum
+  | "AVG" -> Some Ast.Avg
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | _ -> None
+
+let rec parse_query st : Ast.query =
+  let left = parse_select st in
+  match peek st with
+  | Lexer.KW "UNION" ->
+      advance st;
+      if try_kw st "ALL" then Ast.Union_all (left, parse_query st)
+      else Ast.Union (left, parse_query st)
+  | _ -> left
+
+and parse_select st : Ast.query =
+  let validtime = try_kw st "VALIDTIME" in
+  let coalesce = validtime && try_kw st "COALESCE" in
+  eat_kw st "SELECT";
+  let distinct = try_kw st "DISTINCT" in
+  let items = parse_select_items st in
+  eat_kw st "FROM";
+  let from = parse_table_refs st in
+  let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if try_kw st "GROUP" then begin
+      eat_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if try_kw st "HAVING" then Some (parse_expr st) else None in
+  let order_by =
+    if try_kw st "ORDER" then begin
+      eat_kw st "BY";
+      parse_order_items st
+    end
+    else []
+  in
+  Ast.Select
+    { validtime; coalesce; distinct; items; from; where; group_by; having;
+      order_by }
+
+and parse_select_items st =
+  let item () =
+    if try_sym st "*" then Ast.Star
+    else begin
+      let e = parse_expr st in
+      let alias =
+        if try_kw st "AS" then Some (ident st)
+        else
+          match peek st with
+          | Lexer.IDENT a
+            when not (String.contains a '.') ->
+              advance st;
+              Some a
+          | _ -> None
+      in
+      Ast.Expr (e, alias)
+    end
+  in
+  let first = item () in
+  let rec more acc =
+    if try_sym st "," then more (item () :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_table_refs st =
+  let table_ref () =
+    if try_sym st "(" then begin
+      let q = parse_query st in
+      eat_sym st ")";
+      ignore (try_kw st "AS");
+      let alias = ident st in
+      Ast.Derived (q, alias)
+    end
+    else begin
+      let name = ident st in
+      let alias =
+        match peek st with
+        | Lexer.IDENT a when not (String.contains a '.') ->
+            advance st;
+            Some a
+        | Lexer.KW "AS" ->
+            advance st;
+            Some (ident st)
+        | _ -> None
+      in
+      Ast.Table (name, alias)
+    end
+  in
+  let first = table_ref () in
+  let rec more acc =
+    if try_sym st "," then more (table_ref () :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_order_items st =
+  let item () =
+    let e = parse_expr st in
+    let asc =
+      if try_kw st "DESC" then false
+      else begin
+        ignore (try_kw st "ASC");
+        true
+      end
+    in
+    (e, asc)
+  in
+  let first = item () in
+  let rec more acc =
+    if try_sym st "," then more (item () :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_expr_list st =
+  let first = parse_expr st in
+  let rec more acc =
+    if try_sym st "," then more (parse_expr st :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if try_kw st "OR" then Ast.Binop (Ast.Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if try_kw st "AND" then Ast.Binop (Ast.And, left, parse_and st) else left
+
+and parse_not st =
+  if try_kw st "NOT" then Ast.Not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  match peek st with
+  | Lexer.SYM "=" ->
+      advance st;
+      Ast.Binop (Ast.Eq, left, parse_additive st)
+  | Lexer.SYM "<>" ->
+      advance st;
+      Ast.Binop (Ast.Neq, left, parse_additive st)
+  | Lexer.SYM "<" ->
+      advance st;
+      Ast.Binop (Ast.Lt, left, parse_additive st)
+  | Lexer.SYM "<=" ->
+      advance st;
+      Ast.Binop (Ast.Le, left, parse_additive st)
+  | Lexer.SYM ">" ->
+      advance st;
+      Ast.Binop (Ast.Gt, left, parse_additive st)
+  | Lexer.SYM ">=" ->
+      advance st;
+      Ast.Binop (Ast.Ge, left, parse_additive st)
+  | Lexer.KW "BETWEEN" ->
+      advance st;
+      let lo = parse_additive st in
+      eat_kw st "AND";
+      let hi = parse_additive st in
+      Ast.Between (left, lo, hi)
+  | Lexer.KW "IS" ->
+      advance st;
+      if try_kw st "NOT" then begin
+        eat_kw st "NULL";
+        Ast.Is_not_null left
+      end
+      else begin
+        eat_kw st "NULL";
+        Ast.Is_null left
+      end
+  | Lexer.KW "IN" ->
+      advance st;
+      eat_sym st "(";
+      let q = parse_query st in
+      eat_sym st ")";
+      Ast.In_subquery (left, q)
+  | _ -> left
+
+and parse_additive st =
+  let left = parse_multiplicative st in
+  let rec go acc =
+    if try_sym st "+" then
+      go (Ast.Binop (Ast.Add, acc, parse_multiplicative st))
+    else if try_sym st "-" then
+      go (Ast.Binop (Ast.Sub, acc, parse_multiplicative st))
+    else acc
+  in
+  go left
+
+and parse_multiplicative st =
+  let left = parse_unary st in
+  let rec go acc =
+    if try_sym st "*" then go (Ast.Binop (Ast.Mul, acc, parse_unary st))
+    else if try_sym st "/" then go (Ast.Binop (Ast.Div, acc, parse_unary st))
+    else acc
+  in
+  go left
+
+and parse_unary st =
+  if try_sym st "-" then
+    Ast.Binop (Ast.Sub, Ast.Lit (Value.Int 0), parse_primary st)
+  else parse_primary st
+
+and parse_arg_list st =
+  eat_sym st "(";
+  let args = parse_expr_list st in
+  eat_sym st ")";
+  args
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Ast.Lit (Value.Int i)
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Lit (Value.Float f)
+  | Lexer.STRING s ->
+      advance st;
+      Ast.Lit (Value.Str s)
+  | Lexer.KW "NULL" ->
+      advance st;
+      Ast.Lit Value.Null
+  | Lexer.KW "TRUE" ->
+      advance st;
+      Ast.Lit (Value.Bool true)
+  | Lexer.KW "FALSE" ->
+      advance st;
+      Ast.Lit (Value.Bool false)
+  | Lexer.KW "DATE" -> (
+      advance st;
+      match peek st with
+      | Lexer.STRING s ->
+          advance st;
+          Ast.Lit (Value.Date (Tango_temporal.Chronon.of_string s))
+      | _ -> error st "expected date literal string after DATE")
+  | Lexer.KW "EXISTS" ->
+      advance st;
+      eat_sym st "(";
+      let q = parse_query st in
+      eat_sym st ")";
+      Ast.Exists q
+  | Lexer.KW "GREATEST" ->
+      advance st;
+      Ast.Greatest (parse_arg_list st)
+  | Lexer.KW "LEAST" ->
+      advance st;
+      Ast.Least (parse_arg_list st)
+  | Lexer.KW kw when aggfun_of_kw kw <> None -> (
+      advance st;
+      eat_sym st "(";
+      if try_sym st "*" then begin
+        eat_sym st ")";
+        match kw with
+        | "COUNT" -> Ast.Agg (Ast.Count_star, None)
+        | _ -> error st (kw ^ "(*) is only valid for COUNT")
+      end
+      else begin
+        let distinct = try_kw st "DISTINCT" in
+        if distinct then error st "aggregate DISTINCT is not supported";
+        let e = parse_expr st in
+        eat_sym st ")";
+        match aggfun_of_kw kw with
+        | Some f -> Ast.Agg (f, Some e)
+        | None -> assert false
+      end)
+  | Lexer.SYM "(" -> (
+      (* parenthesized expression or scalar subquery *)
+      match peek2 st with
+      | Lexer.KW "SELECT" | Lexer.KW "VALIDTIME" ->
+          advance st;
+          let q = parse_query st in
+          eat_sym st ")";
+          Ast.Scalar_subquery q
+      | _ ->
+          advance st;
+          let e = parse_expr st in
+          eat_sym st ")";
+          e)
+  | Lexer.IDENT name ->
+      advance st;
+      col_of_ident name
+  | _ -> error st "expected expression"
+
+let parse_column_defs st =
+  eat_sym st "(";
+  let def () =
+    let name = ident st in
+    let ty =
+      match peek st with
+      | Lexer.IDENT t ->
+          advance st;
+          Value.dtype_of_name t
+      | Lexer.KW "DATE" ->
+          advance st;
+          Value.TDate
+      | _ -> error st "expected column type"
+    in
+    (* Optional length, e.g. VARCHAR(32): parsed and ignored. *)
+    if try_sym st "(" then begin
+      (match peek st with
+      | Lexer.INT _ -> advance st
+      | _ -> error st "expected length");
+      eat_sym st ")"
+    end;
+    { Ast.col_name = name; col_type = ty }
+  in
+  let first = def () in
+  let rec more acc =
+    if try_sym st "," then more (def () :: acc) else List.rev acc
+  in
+  let defs = more [ first ] in
+  eat_sym st ")";
+  defs
+
+let parse_statement st : Ast.statement =
+  match peek st with
+  | Lexer.KW "SELECT" | Lexer.KW "VALIDTIME" -> Ast.Query (parse_query st)
+  | Lexer.SYM "(" -> Ast.Query (parse_query st)
+  | Lexer.KW "CREATE" ->
+      advance st;
+      eat_kw st "TABLE";
+      let name = ident st in
+      Ast.Create_table (name, parse_column_defs st)
+  | Lexer.KW "DROP" ->
+      advance st;
+      eat_kw st "TABLE";
+      Ast.Drop_table (ident st)
+  | Lexer.KW "INSERT" ->
+      advance st;
+      eat_kw st "INTO";
+      let name = ident st in
+      eat_kw st "VALUES";
+      let row () =
+        eat_sym st "(";
+        let vs =
+          List.map
+            (function
+              | Ast.Lit v -> v
+              | _ -> error st "INSERT VALUES must be literals")
+            (parse_expr_list st)
+        in
+        eat_sym st ")";
+        vs
+      in
+      let first = row () in
+      let rec more acc =
+        if try_sym st "," then more (row () :: acc) else List.rev acc
+      in
+      Ast.Insert (name, more [ first ])
+  | _ -> error st "expected statement"
+
+(** Parse a complete SQL statement (a trailing [;] is allowed). *)
+let statement (sql : string) : Ast.statement =
+  let st = { toks = Lexer.tokenize sql } in
+  let stmt = parse_statement st in
+  ignore (try_sym st ";");
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t ->
+      raise
+        (Parse_error ("trailing input: " ^ Lexer.token_to_string t)));
+  stmt
+
+(** Parse a query (SELECT/UNION). *)
+let query (sql : string) : Ast.query =
+  match statement sql with
+  | Ast.Query q -> q
+  | _ -> raise (Parse_error "expected a SELECT query")

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}), including the
+    temporal-SQL extensions ([VALIDTIME [COALESCE] SELECT]). *)
+
+exception Parse_error of string
+
+val statement : string -> Ast.statement
+(** Parse one SQL statement (a trailing [;] is allowed).  Raises
+    {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val query : string -> Ast.query
+(** Parse a query (SELECT/UNION); raises {!Parse_error} on DDL/DML. *)

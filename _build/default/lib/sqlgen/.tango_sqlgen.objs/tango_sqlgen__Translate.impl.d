@@ -1,0 +1,1 @@
+lib/sqlgen/translate.ml: Ast Format List Op Option Order Printer Printf Scalar Schema String Tango_algebra Tango_rel Tango_sql

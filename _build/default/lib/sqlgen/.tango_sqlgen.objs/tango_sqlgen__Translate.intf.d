@@ -1,0 +1,1 @@
+lib/sqlgen/translate.mli: Ast Op Schema Tango_algebra Tango_rel Tango_sql

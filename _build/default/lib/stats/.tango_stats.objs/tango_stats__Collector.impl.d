@@ -1,0 +1,1 @@
+lib/stats/collector.ml: Database List Option Rel_stats Stat Tango_dbms Tango_rel Value

@@ -1,0 +1,1 @@
+lib/stats/collector.mli: Database Rel_stats Stat Tango_dbms Tango_rel Value

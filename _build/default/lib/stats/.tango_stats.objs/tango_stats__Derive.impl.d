@@ -1,0 +1,1 @@
+lib/stats/derive.ml: Ast Float List Op Option Rel_stats Schema Selectivity String Tango_algebra Tango_rel Tango_sql

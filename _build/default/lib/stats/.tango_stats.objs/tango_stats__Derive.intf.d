@@ -1,0 +1,1 @@
+lib/stats/derive.mli: Ast Op Rel_stats Selectivity Tango_algebra Tango_sql

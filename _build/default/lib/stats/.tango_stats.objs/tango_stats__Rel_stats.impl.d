@@ -1,0 +1,1 @@
+lib/stats/rel_stats.ml: Float Fmt Histogram List Printf Schema String Tango_rel Value

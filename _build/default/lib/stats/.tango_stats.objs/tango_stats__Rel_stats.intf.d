@@ -1,0 +1,1 @@
+lib/stats/rel_stats.mli: Format Histogram Tango_rel Value

@@ -1,0 +1,1 @@
+lib/stats/selectivity.ml: Ast Float Histogram List Option Rel_stats Schema String Tango_rel Tango_sql Value

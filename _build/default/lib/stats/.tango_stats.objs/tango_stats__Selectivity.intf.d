@@ -1,0 +1,1 @@
+lib/stats/selectivity.mli: Ast Rel_stats Tango_sql

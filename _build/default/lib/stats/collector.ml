@@ -1,0 +1,62 @@
+(** The Statistics Collector (paper Figure 1): obtains statistics on base
+    relations and attributes from the DBMS catalog and converts them to the
+    middleware's {!Rel_stats.t} form, with attribute names qualified the way
+    the algebra's [Scan] qualifies its output schema. *)
+
+open Tango_rel
+open Tango_dbms
+
+let numeric_view (v : Value.t) : float option =
+  match v with
+  | Value.Int _ | Value.Float _ | Value.Date _ | Value.Bool _ ->
+      Some (Value.to_float v)
+  | Value.Str _ | Value.Null -> None
+
+(** Convert catalog statistics for one table.  [qualifier] is the alias (or
+    table name) the scan uses. *)
+let of_table_stats ~(qualifier : string) (ts : Stat.table_stats) : Rel_stats.t
+    =
+  let card = float_of_int ts.Stat.cardinality in
+  (* Distribute the measured average tuple size over columns proportionally
+     to their per-dtype default widths, so projections estimate sizes
+     sensibly. *)
+  let raw_widths =
+    List.map
+      (fun (c : Stat.column_stats) ->
+        match (c.min_value, c.max_value) with
+        | Some (Value.Str _), _ | _, Some (Value.Str _) -> 16.0
+        | _ -> 8.0)
+      ts.Stat.columns
+  in
+  let total_raw = List.fold_left ( +. ) 0.0 raw_widths in
+  let scale =
+    if total_raw > 0.0 && ts.Stat.avg_tuple_size > 0.0 then
+      ts.Stat.avg_tuple_size /. total_raw
+    else 1.0
+  in
+  let cols =
+    List.map2
+      (fun (c : Stat.column_stats) raw ->
+        ( qualifier ^ "." ^ c.Stat.col,
+          {
+            Rel_stats.distinct = float_of_int (max 1 c.Stat.distinct);
+            min_v = Option.bind c.Stat.min_value numeric_view;
+            max_v = Option.bind c.Stat.max_value numeric_view;
+            histogram = c.Stat.histogram;
+            avg_width = raw *. scale;
+            indexed = c.Stat.indexed;
+          } ))
+      ts.Stat.columns raw_widths
+  in
+  { Rel_stats.card; cols }
+
+(** Collect statistics for a table directly from a database, running ANALYZE
+    when the catalog has none. *)
+let collect ?histograms (db : Database.t) ~(qualifier : string)
+    (table : string) : Rel_stats.t =
+  let ts =
+    match Database.stats_of db table with
+    | Some ts when histograms = None -> ts
+    | _ -> Database.analyze db ?histograms table
+  in
+  of_table_stats ~qualifier ts

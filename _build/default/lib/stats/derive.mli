@@ -1,0 +1,36 @@
+(** Derivation of statistics for intermediate relations (paper Section 3):
+    given base-relation statistics, estimate cardinality and column
+    statistics for every operator's output. *)
+
+open Tango_sql
+open Tango_algebra
+
+type env = {
+  base : qualifier:string -> string -> Rel_stats.t;
+      (** statistics for a base table under a qualifier *)
+  mode : Selectivity.mode;
+}
+
+val env :
+  ?mode:Selectivity.mode -> (qualifier:string -> string -> Rel_stats.t) -> env
+
+val strip_indexes : Rel_stats.t -> Rel_stats.t
+(** Clear index-availability flags — applied whenever an operator hides the
+    base table behind a derived/temp table. *)
+
+val apply_selection : Rel_stats.t -> Ast.expr -> float -> Rel_stats.t
+(** Scale cardinality/distincts by a selectivity and tighten min/max for
+    explicitly bounded attributes. *)
+
+val equi_pairs : Ast.expr -> (string * string) list
+val join_cardinality : Rel_stats.t -> Rel_stats.t -> Ast.expr -> float
+
+val temporal_overlap_factor : Rel_stats.t -> Rel_stats.t -> float
+(** Expected fraction of key-matched tuple pairs whose periods overlap,
+    estimated from the period attributes' ranges. *)
+
+val taggr_cardinality : Rel_stats.t -> string list -> float * float * float
+(** Temporal-aggregation bounds (paper §3.4): (minimum, maximum, estimate),
+    the estimate using the paper's 60 %-of-maximum rule. *)
+
+val derive : env -> Op.t -> Rel_stats.t

@@ -1,0 +1,71 @@
+(** Estimated statistics for a (possibly intermediate) relation.
+
+    Base-relation statistics come from the DBMS catalog via the Statistics
+    Collector; {!Derive} propagates them through algebra operators.  All
+    numeric values are floats, since estimates are fractional.  Column
+    values are viewed numerically (dates as chronons); string columns keep
+    only distinct counts. *)
+
+open Tango_rel
+
+type col = {
+  distinct : float;
+  min_v : float option;  (** numeric view of the minimum *)
+  max_v : float option;
+  histogram : Histogram.t option;
+  avg_width : float;  (** average bytes this column contributes per tuple *)
+  indexed : bool;
+      (** a usable DBMS index exists on this column (only meaningful for
+          base tables and selections directly over them, where the
+          generated SQL keeps the base table visible to the DBMS) *)
+}
+
+type t = {
+  card : float;  (** estimated cardinality *)
+  cols : (string * col) list;  (** per output-schema attribute *)
+}
+
+let default_width = function
+  | Value.TBool -> 1.0
+  | Value.TInt | Value.TFloat | Value.TDate -> 8.0
+  | Value.TStr -> 16.0
+
+let col_default ?(width = 8.0) card =
+  { distinct = card; min_v = None; max_v = None; histogram = None;
+    avg_width = width; indexed = false }
+
+let find (s : t) name =
+  match List.assoc_opt name s.cols with
+  | Some c -> Some c
+  | None ->
+      (* fall back to base-name matching, mirroring Schema.index *)
+      let base = Schema.base_name name in
+      let matches =
+        List.filter (fun (n, _) -> String.equal (Schema.base_name n) base) s.cols
+      in
+      (match matches with [ (_, c) ] -> Some c | _ -> None)
+
+let avg_tuple_size (s : t) =
+  List.fold_left (fun acc (_, c) -> acc +. c.avg_width) 0.0 s.cols
+
+(** [size s] — the [size(r)] input of the cost formulas: cardinality times
+    average tuple size, in bytes. *)
+let size (s : t) = s.card *. avg_tuple_size s
+
+(** Is there a usable index on attribute [name]? *)
+let indexed_on (s : t) name =
+  match find s name with Some c -> c.indexed | None -> false
+
+let distinct_of (s : t) name =
+  match find s name with
+  | Some c -> Float.max 1.0 (Float.min c.distinct s.card)
+  | None -> Float.max 1.0 s.card
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "card=%.1f avg_size=%.1f [%a]" s.card (avg_tuple_size s)
+    (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (n, c) ->
+         Fmt.pf ppf "%s: d=%.0f%s" n c.distinct
+           (match (c.min_v, c.max_v) with
+           | Some a, Some b -> Printf.sprintf " [%g..%g]" a b
+           | _ -> "")))
+    s.cols

@@ -1,0 +1,1 @@
+lib/storage/heap_file.mli: Buffer_pool Io_stats Page Relation Schema Seq Tango_rel Tuple

@@ -1,0 +1,1 @@
+lib/storage/ordered_index.ml: Array Heap_file Io_stats List Page Schema Tango_rel Value

@@ -1,0 +1,1 @@
+lib/storage/ordered_index.mli: Heap_file Io_stats Tango_rel Value

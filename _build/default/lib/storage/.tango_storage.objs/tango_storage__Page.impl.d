@@ -1,0 +1,1 @@
+lib/storage/page.ml: Array Buffer Bytes Seq String Tango_rel Tuple

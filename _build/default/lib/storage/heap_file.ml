@@ -1,0 +1,129 @@
+(** Heap files: unordered collections of pages holding one table's tuples.
+
+    Every page access goes through the file's {!Io_stats.t} so experiments
+    can observe block-level work.  Record ids ([rid]) are (page, slot)
+    pairs; indexes store them. *)
+
+open Tango_rel
+
+type rid = { page : int; slot : int }
+
+type t = {
+  id : int;  (** distinguishes files in a shared buffer pool *)
+  schema : Schema.t;
+  page_capacity : int;
+  mutable pages : Page.t array;
+  mutable page_count : int;
+  mutable tuple_count : int;
+  mutable byte_count : int;
+  stats : Io_stats.t;
+  pool : Buffer_pool.t option;
+}
+
+let next_file_id = ref 0
+
+let create ?(page_capacity = Page.default_size) ?pool ~stats schema =
+  incr next_file_id;
+  {
+    id = !next_file_id;
+    schema;
+    page_capacity;
+    pages = [||];
+    page_count = 0;
+    tuple_count = 0;
+    byte_count = 0;
+    stats;
+    pool;
+  }
+
+let schema f = f.schema
+let block_count f = f.page_count
+let tuple_count f = f.tuple_count
+let byte_count f = f.byte_count
+
+let avg_tuple_size f =
+  if f.tuple_count = 0 then 0.0
+  else float_of_int f.byte_count /. float_of_int f.tuple_count
+
+let grow f =
+  let cap = max 4 (2 * Array.length f.pages) in
+  if f.page_count >= Array.length f.pages then begin
+    let pages = Array.make cap (Page.create ~capacity:0 ()) in
+    Array.blit f.pages 0 pages 0 f.page_count;
+    f.pages <- pages
+  end
+
+let add_page f =
+  grow f;
+  let p = Page.create ~capacity:f.page_capacity () in
+  f.pages.(f.page_count) <- p;
+  f.page_count <- f.page_count + 1;
+  f.stats.page_writes <- f.stats.page_writes + 1;
+  p
+
+(** Append a tuple, allocating a fresh page when the last one is full. *)
+let append f (t : Tuple.t) : rid =
+  let page =
+    if f.page_count = 0 then add_page f else f.pages.(f.page_count - 1)
+  in
+  let page = if Page.append page t then page
+    else begin
+      let p = add_page f in
+      if not (Page.append p t) then
+        invalid_arg "Heap_file.append: tuple larger than page";
+      p
+    end
+  in
+  f.tuple_count <- f.tuple_count + 1;
+  f.byte_count <- f.byte_count + Tuple.byte_size t;
+  f.stats.tuples_written <- f.stats.tuples_written + 1;
+  { page = f.page_count - 1; slot = Page.tuple_count page - 1 }
+
+let file_id f = f.id
+
+let read_page f i =
+  if i < 0 || i >= f.page_count then invalid_arg "Heap_file.read_page";
+  (* With a buffer pool, only misses pay a page read; a resident page costs
+     nothing at the I/O level (its tuples are still deserialized). *)
+  (match f.pool with
+  | Some pool ->
+      if not (Buffer_pool.touch pool { Buffer_pool.file_id = f.id; page_no = i })
+      then f.stats.page_reads <- f.stats.page_reads + 1
+  | None -> f.stats.page_reads <- f.stats.page_reads + 1);
+  f.pages.(i)
+
+(** Fetch a single tuple by rid (pays one page read). *)
+let fetch f (r : rid) =
+  let p = read_page f r.page in
+  f.stats.tuples_read <- f.stats.tuples_read + 1;
+  Page.get p r.slot
+
+(** Full scan as a sequence; each page is charged once, each tuple is
+    deserialized. *)
+let scan f : Tuple.t Seq.t =
+  let rec pages i () =
+    if i >= f.page_count then Seq.Nil
+    else begin
+      let p = read_page f i in
+      f.stats.tuples_read <- f.stats.tuples_read + Page.tuple_count p;
+      Seq.append (Page.to_seq p) (pages (i + 1)) ()
+    end
+  in
+  pages 0
+
+let iter fn f = Seq.iter fn (scan f)
+
+(** Drop this file's pages from the shared buffer pool (table drop). *)
+let invalidate f =
+  match f.pool with
+  | Some pool -> Buffer_pool.invalidate_file pool f.id
+  | None -> ()
+
+(** Load all tuples of a relation; returns the file. *)
+let of_relation ?page_capacity ?pool ~stats (r : Relation.t) =
+  let f = create ?page_capacity ?pool ~stats (Relation.schema r) in
+  Relation.iter (fun t -> ignore (append f t)) r;
+  f
+
+let to_relation f =
+  Relation.of_list f.schema (List.of_seq (scan f))

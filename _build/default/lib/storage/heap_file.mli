@@ -1,0 +1,43 @@
+(** Heap files: unordered collections of pages holding one table's tuples.
+
+    Page accesses go through the file's {!Io_stats.t} (and optionally a
+    shared {!Buffer_pool.t}: only misses pay a page read).  Record ids are
+    (page, slot) pairs; indexes store them. *)
+
+open Tango_rel
+
+type rid = { page : int; slot : int }
+
+type t
+
+val create :
+  ?page_capacity:int -> ?pool:Buffer_pool.t -> stats:Io_stats.t -> Schema.t -> t
+
+val schema : t -> Schema.t
+val file_id : t -> int
+val block_count : t -> int
+val tuple_count : t -> int
+val byte_count : t -> int
+val avg_tuple_size : t -> float
+
+val append : t -> Tuple.t -> rid
+(** Append, allocating a fresh page when the last one is full. *)
+
+val read_page : t -> int -> Page.t
+(** Charges one page read (unless resident in the pool). *)
+
+val fetch : t -> rid -> Tuple.t
+(** Fetch a single tuple (one page read). *)
+
+val scan : t -> Tuple.t Seq.t
+(** Full scan; each page charged once, each tuple deserialized. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val invalidate : t -> unit
+(** Drop this file's pages from the shared buffer pool (table drop). *)
+
+val of_relation :
+  ?page_capacity:int -> ?pool:Buffer_pool.t -> stats:Io_stats.t -> Relation.t -> t
+
+val to_relation : t -> Relation.t

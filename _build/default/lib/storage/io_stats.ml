@@ -1,0 +1,53 @@
+(** I/O accounting for the simulated storage layer.
+
+    Every component that touches pages increments these counters; experiments
+    and the cost calibrator read them to reason about work performed (the
+    substitute for Oracle's block-read statistics). *)
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable tuples_read : int;
+  mutable tuples_written : int;
+  mutable index_lookups : int;
+}
+
+let create () =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    tuples_read = 0;
+    tuples_written = 0;
+    index_lookups = 0;
+  }
+
+let reset s =
+  s.page_reads <- 0;
+  s.page_writes <- 0;
+  s.tuples_read <- 0;
+  s.tuples_written <- 0;
+  s.index_lookups <- 0
+
+let copy s =
+  {
+    page_reads = s.page_reads;
+    page_writes = s.page_writes;
+    tuples_read = s.tuples_read;
+    tuples_written = s.tuples_written;
+    index_lookups = s.index_lookups;
+  }
+
+(** [diff later earlier]: counter deltas between two snapshots. *)
+let diff a b =
+  {
+    page_reads = a.page_reads - b.page_reads;
+    page_writes = a.page_writes - b.page_writes;
+    tuples_read = a.tuples_read - b.tuples_read;
+    tuples_written = a.tuples_written - b.tuples_written;
+    index_lookups = a.index_lookups - b.index_lookups;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "reads=%d writes=%d tuples_read=%d tuples_written=%d index_lookups=%d"
+    s.page_reads s.page_writes s.tuples_read s.tuples_written s.index_lookups

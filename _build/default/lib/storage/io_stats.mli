@@ -1,0 +1,20 @@
+(** I/O accounting for the simulated storage layer — the substitute for
+    Oracle's block-read statistics.  Every component that touches pages
+    increments these counters. *)
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable tuples_read : int;
+  mutable tuples_written : int;
+  mutable index_lookups : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff later earlier]: counter deltas between two snapshots. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+(** Ordered secondary indexes over a heap-file attribute.
+
+    Implemented as a sorted (key, rid) array with binary search — the
+    behavioural stand-in for a B-tree: point and range lookups cost
+    O(log n) plus one page read per fetched tuple (or none, for index-only
+    range counting).  An index may be {e clustered}, meaning the heap file
+    is stored in index order; the DBMS planner uses this for sort
+    avoidance, as Oracle would (the paper's catalog records "clusterings
+    for indexes"). *)
+
+open Tango_rel
+
+type entry = { key : Value.t; rid : Heap_file.rid }
+
+type t = {
+  attr : string;
+  attr_index : int;
+  clustered : bool;
+  entries : entry array;
+  stats : Io_stats.t;
+}
+
+(** Build an index on [attr] by scanning the file. *)
+let build ?(clustered = false) ~stats file attr =
+  let schema = Heap_file.schema file in
+  let attr_index = Schema.index schema attr in
+  let entries = ref [] in
+  let n = ref 0 in
+  for page = 0 to Heap_file.block_count file - 1 do
+    let p = Heap_file.read_page file page in
+    for slot = 0 to Page.tuple_count p - 1 do
+      let t = Page.get p slot in
+      entries := { key = t.(attr_index); rid = { Heap_file.page; slot } } :: !entries;
+      incr n
+    done
+  done;
+  let entries = Array.of_list !entries in
+  Array.sort (fun a b -> Value.compare a.key b.key) entries;
+  { attr; attr_index; clustered; entries; stats }
+
+let attr i = i.attr
+let clustered i = i.clustered
+let entry_count i = Array.length i.entries
+
+(* First position with key >= v (lower bound). *)
+let lower_bound i v =
+  let lo = ref 0 and hi = ref (Array.length i.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare i.entries.(mid).key v < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* First position with key > v (upper bound). *)
+let upper_bound i v =
+  let lo = ref 0 and hi = ref (Array.length i.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare i.entries.(mid).key v <= 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(** Rids with key = [v]. *)
+let lookup i v =
+  i.stats.index_lookups <- i.stats.index_lookups + 1;
+  let lo = lower_bound i v and hi = upper_bound i v in
+  Array.to_list (Array.sub i.entries lo (hi - lo))
+  |> List.map (fun e -> e.rid)
+
+(** Rids with [lo <= key <= hi]; [None] bounds are open. *)
+let range i ?lo ?hi () =
+  i.stats.index_lookups <- i.stats.index_lookups + 1;
+  let start = match lo with None -> 0 | Some v -> lower_bound i v in
+  let stop =
+    match hi with None -> Array.length i.entries | Some v -> upper_bound i v
+  in
+  Array.to_list (Array.sub i.entries start (max 0 (stop - start)))
+  |> List.map (fun e -> e.rid)
+
+(** Count of keys in the closed range without fetching tuples (index-only). *)
+let range_count i ?lo ?hi () =
+  i.stats.index_lookups <- i.stats.index_lookups + 1;
+  let start = match lo with None -> 0 | Some v -> lower_bound i v in
+  let stop =
+    match hi with None -> Array.length i.entries | Some v -> upper_bound i v
+  in
+  max 0 (stop - start)

@@ -1,0 +1,68 @@
+(** Fixed-size storage pages holding serialized tuples.
+
+    Tuples are appended as length-prefixed byte strings.  Deserialization on
+    read makes page access cost real CPU work, standing in for the I/O the
+    paper's DBMS would perform. *)
+
+open Tango_rel
+
+(** Default page size, bytes. *)
+let default_size = 8192
+
+type t = {
+  capacity : int;
+  mutable data : Bytes.t;
+  mutable used : int;  (** bytes written *)
+  mutable slots : int array;  (** byte offset of each tuple *)
+  mutable count : int;  (** number of tuples stored *)
+}
+
+let create ?(capacity = default_size) () =
+  { capacity; data = Bytes.create capacity; used = 0; slots = Array.make 16 0; count = 0 }
+
+let tuple_count p = p.count
+let bytes_used p = p.used
+let capacity p = p.capacity
+
+let ensure_slots p =
+  if p.count >= Array.length p.slots then begin
+    let slots = Array.make (2 * Array.length p.slots) 0 in
+    Array.blit p.slots 0 slots 0 p.count;
+    p.slots <- slots
+  end
+
+(** [append p t]: store tuple [t]; returns [false] when the page is full.  A
+    tuple larger than an entire page is rejected with [Invalid_argument]. *)
+let append p (t : Tuple.t) =
+  let buf = Buffer.create 64 in
+  Tuple.serialize buf t;
+  let s = Buffer.contents buf in
+  let len = String.length s in
+  if len > p.capacity then
+    invalid_arg "Page.append: tuple larger than page";
+  if p.used + len > p.capacity then false
+  else begin
+    Bytes.blit_string s 0 p.data p.used len;
+    ensure_slots p;
+    p.slots.(p.count) <- p.used;
+    p.used <- p.used + len;
+    p.count <- p.count + 1;
+    true
+  end
+
+(** [get p i]: deserialize the [i]-th tuple. *)
+let get p i =
+  if i < 0 || i >= p.count then invalid_arg "Page.get: slot out of range";
+  let s = Bytes.unsafe_to_string p.data in
+  fst (Tuple.deserialize s p.slots.(i))
+
+(** Iterate tuples in slot order. *)
+let iter f p =
+  let s = Bytes.unsafe_to_string p.data in
+  for i = 0 to p.count - 1 do
+    f (fst (Tuple.deserialize s p.slots.(i)))
+  done
+
+let to_seq p =
+  let s = Bytes.unsafe_to_string p.data in
+  Seq.init p.count (fun i -> fst (Tuple.deserialize s p.slots.(i)))

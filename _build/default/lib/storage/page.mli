@@ -1,0 +1,27 @@
+(** Fixed-size storage pages holding serialized tuples.
+
+    Tuples are appended as length-prefixed byte strings; deserialization on
+    read makes page access cost real CPU work, standing in for the I/O the
+    paper's DBMS would perform. *)
+
+open Tango_rel
+
+val default_size : int
+(** 8192 bytes. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val tuple_count : t -> int
+val bytes_used : t -> int
+val capacity : t -> int
+
+val append : t -> Tuple.t -> bool
+(** [false] when the page is full.  Raises [Invalid_argument] for a tuple
+    larger than an entire page. *)
+
+val get : t -> int -> Tuple.t
+(** Deserialize one slot; raises [Invalid_argument] when out of range. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_seq : t -> Tuple.t Seq.t

@@ -1,0 +1,1 @@
+lib/temporal/chronon.ml: Fmt Int Printf String Tango_rel

@@ -1,0 +1,1 @@
+lib/temporal/chronon.mli: Format Tango_rel

@@ -1,0 +1,1 @@
+lib/temporal/period.ml: Chronon Fmt List Printf

@@ -1,0 +1,1 @@
+lib/temporal/period.mli: Chronon Format

@@ -1,0 +1,1 @@
+lib/tsql/compile.ml: Ast Format List Op Option Order Parser Scalar Schema String Tango_algebra Tango_rel Tango_sql Value

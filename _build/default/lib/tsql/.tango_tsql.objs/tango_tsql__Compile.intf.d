@@ -1,0 +1,1 @@
+lib/tsql/compile.mli: Op Order Schema Tango_algebra Tango_rel

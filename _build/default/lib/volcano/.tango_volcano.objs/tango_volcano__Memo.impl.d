@@ -1,0 +1,1 @@
+lib/volcano/memo.ml: Array Ast Fun Hashtbl Int List Op Order Schema Tango_algebra Tango_rel Tango_sql

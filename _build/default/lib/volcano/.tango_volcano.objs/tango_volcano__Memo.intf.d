@@ -1,0 +1,1 @@
+lib/volcano/memo.mli: Op Order Schema Tango_algebra Tango_rel Tango_sql

@@ -1,0 +1,1 @@
+lib/volcano/physical.ml: Derive Factors Float Fmt Formulas Hashtbl List Memo Op Option Order Rel_stats Rules Schema String Tango_algebra Tango_cost Tango_rel Tango_sql Tango_stats

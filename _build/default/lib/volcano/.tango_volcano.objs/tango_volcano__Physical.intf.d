@@ -1,0 +1,1 @@
+lib/volcano/physical.mli: Format Hashtbl Memo Op Order Tango_algebra Tango_cost Tango_rel Tango_stats

@@ -1,0 +1,1 @@
+lib/volcano/rules.ml: Ast List Memo Op Option Order Scalar Schema String Tango_algebra Tango_rel Tango_sql

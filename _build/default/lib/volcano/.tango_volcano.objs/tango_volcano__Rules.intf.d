@@ -1,0 +1,1 @@
+lib/volcano/rules.mli: Ast Memo Order Schema Tango_rel Tango_sql

@@ -1,0 +1,1 @@
+lib/volcano/search.ml: Derive Factors Memo Op Order Physical Rules Tango_algebra Tango_cost Tango_rel Tango_stats Unix

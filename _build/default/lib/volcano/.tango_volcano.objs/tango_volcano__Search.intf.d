@@ -1,0 +1,1 @@
+lib/volcano/search.mli: Op Order Physical Rules Tango_algebra Tango_cost Tango_rel Tango_stats

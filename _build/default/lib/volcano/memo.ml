@@ -1,0 +1,275 @@
+(** The Volcano optimizer's memo: equivalence classes of query
+    subexpressions (paper Section 5.2).
+
+    Each class stores a list of {e elements}; an element is an operator
+    whose arguments are (ids of) other classes.  Transformation rules add
+    elements to existing classes or merge two classes that are proved
+    equivalent (e.g. rule T7, [T^M(T^D(r)) → r]).  Merging uses union-find;
+    class ids must be resolved through {!find} before use.
+
+    The class/element counts the paper reports per query (e.g. "12
+    equivalence classes with 29 class elements" for Query 1) are exposed by
+    {!class_count} and {!element_count}. *)
+
+open Tango_rel
+open Tango_sql
+open Tango_algebra
+
+(** An operator with child classes — the memo's element shape.  Mirrors
+    {!Op.t}. *)
+type node =
+  | N_scan of { table : string; alias : string option; schema : Schema.t }
+  | N_select of { pred : Ast.expr; arg : int }
+  | N_project of { items : (Ast.expr * string) list; arg : int }
+  | N_sort of { order : Order.t; arg : int }
+  | N_product of { left : int; right : int }
+  | N_join of { pred : Ast.expr; left : int; right : int }
+  | N_tjoin of { pred : Ast.expr; left : int; right : int }
+  | N_taggr of { group_by : string list; aggs : Op.agg list; arg : int }
+  | N_dupelim of int
+  | N_coalesce of int
+  | N_difference of { left : int; right : int }
+  | N_tm of int
+  | N_td of int
+
+type t = {
+  mutable parent : int array;  (** union-find *)
+  mutable elements : node list array;  (** per class, newest first *)
+  node_class : (node, int) Hashtbl.t;  (** dedup: node -> class *)
+  mutable class_cnt : int;
+  mutable element_cnt : int;
+  mutable capacity : int;
+}
+
+let create () =
+  {
+    parent = Array.init 64 Fun.id;
+    elements = Array.make 64 [];
+    node_class = Hashtbl.create 256;
+    class_cnt = 0;
+    element_cnt = 0;
+    capacity = 64;
+  }
+
+let rec find m i =
+  let p = m.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find m p in
+    m.parent.(i) <- root;
+    root
+  end
+
+(* Canonicalize a node's child class ids. *)
+let canon m (n : node) : node =
+  match n with
+  | N_scan _ -> n
+  | N_select s -> N_select { s with arg = find m s.arg }
+  | N_project p -> N_project { p with arg = find m p.arg }
+  | N_sort s -> N_sort { s with arg = find m s.arg }
+  | N_product { left; right } ->
+      N_product { left = find m left; right = find m right }
+  | N_join j -> N_join { j with left = find m j.left; right = find m j.right }
+  | N_tjoin j ->
+      N_tjoin { j with left = find m j.left; right = find m j.right }
+  | N_taggr a -> N_taggr { a with arg = find m a.arg }
+  | N_dupelim c -> N_dupelim (find m c)
+  | N_coalesce c -> N_coalesce (find m c)
+  | N_difference { left; right } ->
+      N_difference { left = find m left; right = find m right }
+  | N_tm c -> N_tm (find m c)
+  | N_td c -> N_td (find m c)
+
+let grow m =
+  if m.class_cnt >= m.capacity then begin
+    let cap = 2 * m.capacity in
+    let parent = Array.init cap (fun i -> if i < m.capacity then m.parent.(i) else i) in
+    let elements = Array.make cap [] in
+    Array.blit m.elements 0 elements 0 m.capacity;
+    m.parent <- parent;
+    m.elements <- elements;
+    m.capacity <- cap
+  end
+
+let new_class m =
+  grow m;
+  let id = m.class_cnt in
+  m.class_cnt <- m.class_cnt + 1;
+  id
+
+(** Elements of a class (canonicalized child ids). *)
+let elements m i = List.map (canon m) m.elements.(find m i)
+
+let class_count m =
+  (* live root classes *)
+  let n = ref 0 in
+  for i = 0 to m.class_cnt - 1 do
+    if find m i = i then incr n
+  done;
+  !n
+
+let element_count m = m.element_cnt
+
+(** All live class ids. *)
+let classes m =
+  List.filter (fun i -> find m i = i) (List.init m.class_cnt Fun.id)
+
+(** Merge two classes proved equivalent; returns the surviving root. *)
+let rec union m a b =
+  let ra = find m a and rb = find m b in
+  if ra = rb then ra
+  else begin
+    (* keep the smaller id as root for stable reporting *)
+    let root, other = if ra < rb then (ra, rb) else (rb, ra) in
+    m.parent.(other) <- root;
+    m.elements.(root) <- m.elements.(other) @ m.elements.(root);
+    m.elements.(other) <- [];
+    (* Re-canonicalize the dedup table lazily: entries pointing at [other]
+       now resolve to [root] through find. Merging may make two previously
+       distinct nodes equal; fix up collisions. *)
+    rehash m;
+    root
+  end
+
+(* After a union, canonical forms change; rebuild the dedup table and merge
+   classes that now contain identical nodes. *)
+and rehash m =
+  Hashtbl.reset m.node_class;
+  let pending = ref [] in
+  for i = 0 to m.class_cnt - 1 do
+    if find m i = i then
+      List.iter
+        (fun n ->
+          let cn = canon m n in
+          match Hashtbl.find_opt m.node_class cn with
+          | Some j when find m j <> i -> pending := (i, j) :: !pending
+          | Some _ -> ()
+          | None -> Hashtbl.replace m.node_class cn i)
+        m.elements.(i)
+  done;
+  match !pending with
+  | [] -> ()
+  | (a, b) :: _ -> ignore (union m a b)
+
+(** [insert m node]: return the class holding [node], creating one if new. *)
+let insert m (n : node) : int =
+  let n = canon m n in
+  match Hashtbl.find_opt m.node_class n with
+  | Some c -> find m c
+  | None ->
+      let c = new_class m in
+      m.elements.(c) <- [ n ];
+      m.element_cnt <- m.element_cnt + 1;
+      Hashtbl.replace m.node_class n c;
+      c
+
+(** [add_to_class m c node]: record that [node] is equivalent to class [c].
+    If [node] already lives in another class, the classes merge.  Returns
+    true when the memo changed. *)
+let add_to_class m c (n : node) : bool =
+  let c = find m c in
+  let n = canon m n in
+  match Hashtbl.find_opt m.node_class n with
+  | Some c' when find m c' = c -> false
+  | Some c' ->
+      ignore (union m c c');
+      true
+  | None ->
+      m.elements.(c) <- n :: m.elements.(c);
+      m.element_cnt <- m.element_cnt + 1;
+      Hashtbl.replace m.node_class n c;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Conversion from/to operator trees                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Insert a whole operator tree; returns the root class. *)
+let rec insert_op m (op : Op.t) : int =
+  match op with
+  | Op.Scan { table; alias; schema } -> insert m (N_scan { table; alias; schema })
+  | Op.Select { pred; arg } -> insert m (N_select { pred; arg = insert_op m arg })
+  | Op.Project { items; arg } ->
+      insert m (N_project { items; arg = insert_op m arg })
+  | Op.Sort { order; arg } -> insert m (N_sort { order; arg = insert_op m arg })
+  | Op.Product { left; right } ->
+      insert m (N_product { left = insert_op m left; right = insert_op m right })
+  | Op.Join { pred; left; right } ->
+      insert m (N_join { pred; left = insert_op m left; right = insert_op m right })
+  | Op.Temporal_join { pred; left; right } ->
+      insert m (N_tjoin { pred; left = insert_op m left; right = insert_op m right })
+  | Op.Temporal_aggregate { group_by; aggs; arg } ->
+      insert m (N_taggr { group_by; aggs; arg = insert_op m arg })
+  | Op.Dup_elim arg -> insert m (N_dupelim (insert_op m arg))
+  | Op.Coalesce arg -> insert m (N_coalesce (insert_op m arg))
+  | Op.Difference { left; right } ->
+      insert m
+        (N_difference { left = insert_op m left; right = insert_op m right })
+  | Op.To_mw arg -> insert m (N_tm (insert_op m arg))
+  | Op.To_db arg -> insert m (N_td (insert_op m arg))
+
+exception Cyclic
+
+(** Extract one representative operator tree from a class (the first
+    element acyclically reachable; transfers are deprioritized so the
+    representative is the "plain" logical expression when one exists).
+    Used for schema and statistics derivation — all elements are
+    equivalent, so any representative works. *)
+let rec extract m ?(visiting = []) (c : int) : Op.t =
+  let c = find m c in
+  if List.mem c visiting then raise Cyclic;
+  let visiting = c :: visiting in
+  let els = elements m c in
+  let rank = function N_tm _ | N_td _ -> 1 | _ -> 0 in
+  let els = List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) els in
+  let rec try_els = function
+    | [] -> raise Cyclic
+    | n :: rest -> (
+        try extract_node m ~visiting n with Cyclic -> try_els rest)
+  in
+  try_els els
+
+and extract_node m ~visiting (n : node) : Op.t =
+  let sub c = extract m ~visiting c in
+  match n with
+  | N_scan { table; alias; schema } -> Op.Scan { table; alias; schema }
+  | N_select { pred; arg } -> Op.Select { pred; arg = sub arg }
+  | N_project { items; arg } -> Op.Project { items; arg = sub arg }
+  | N_sort { order; arg } -> Op.Sort { order; arg = sub arg }
+  | N_product { left; right } -> Op.Product { left = sub left; right = sub right }
+  | N_join { pred; left; right } ->
+      Op.Join { pred; left = sub left; right = sub right }
+  | N_tjoin { pred; left; right } ->
+      Op.Temporal_join { pred; left = sub left; right = sub right }
+  | N_taggr { group_by; aggs; arg } ->
+      Op.Temporal_aggregate { group_by; aggs; arg = sub arg }
+  | N_dupelim c -> Op.Dup_elim (sub c)
+  | N_coalesce c -> Op.Coalesce (sub c)
+  | N_difference { left; right } ->
+      Op.Difference { left = sub left; right = sub right }
+  | N_tm c -> Op.To_mw (sub c)
+  | N_td c -> Op.To_db (sub c)
+
+(** Output schema of a class (derived from a representative). *)
+let schema_of m c = Op.schema (extract m c)
+
+(** Result location of a class.  Invariant: all elements of a class share a
+    location (rules never mix them). *)
+let rec location m ?(visiting = []) (c : int) : Op.location =
+  let c = find m c in
+  if List.mem c visiting then raise Cyclic;
+  let visiting = c :: visiting in
+  let rec of_node = function
+    | [] -> raise Cyclic
+    | n :: rest -> (
+        match n with
+        | N_scan _ | N_td _ -> Op.Db
+        | N_tm _ -> Op.Mw
+        | N_select { arg; _ } | N_project { arg; _ } | N_sort { arg; _ }
+        | N_taggr { arg; _ } | N_dupelim arg | N_coalesce arg -> (
+            try location m ~visiting arg with Cyclic -> of_node rest)
+        | N_product { left; _ } | N_join { left; _ } | N_tjoin { left; _ }
+        | N_difference { left; _ } -> (
+            try location m ~visiting left with Cyclic -> of_node rest))
+  in
+  of_node (elements m c)

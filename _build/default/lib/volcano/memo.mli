@@ -1,0 +1,66 @@
+(** The Volcano optimizer's memo: equivalence classes of query
+    subexpressions.
+
+    Each class stores {e elements} — operators whose arguments are (ids of)
+    other classes.  Rules add elements to classes or merge classes proved
+    equivalent (union-find; resolve ids through {!find}).  The per-query
+    class/element counts the paper reports are {!class_count} and
+    {!element_count}. *)
+
+open Tango_rel
+open Tango_algebra
+
+(** An operator with child classes, mirroring {!Op.t}. *)
+type node =
+  | N_scan of { table : string; alias : string option; schema : Schema.t }
+  | N_select of { pred : Tango_sql.Ast.expr; arg : int }
+  | N_project of { items : (Tango_sql.Ast.expr * string) list; arg : int }
+  | N_sort of { order : Order.t; arg : int }
+  | N_product of { left : int; right : int }
+  | N_join of { pred : Tango_sql.Ast.expr; left : int; right : int }
+  | N_tjoin of { pred : Tango_sql.Ast.expr; left : int; right : int }
+  | N_taggr of { group_by : string list; aggs : Op.agg list; arg : int }
+  | N_dupelim of int
+  | N_coalesce of int
+  | N_difference of { left : int; right : int }
+  | N_tm of int
+  | N_td of int
+
+type t
+
+val create : unit -> t
+
+val find : t -> int -> int
+(** Canonical class id (union-find root). *)
+
+val canon : t -> node -> node
+(** Canonicalize a node's child class ids. *)
+
+val elements : t -> int -> node list
+(** Elements of a class, canonicalized. *)
+
+val class_count : t -> int
+val element_count : t -> int
+val classes : t -> int list
+
+val union : t -> int -> int -> int
+(** Merge two classes proved equivalent; returns the surviving root. *)
+
+val insert : t -> node -> int
+(** Class holding the node, creating one if new (structural dedup). *)
+
+val add_to_class : t -> int -> node -> bool
+(** Record a node as equivalent to a class; merges classes when the node
+    already lives elsewhere.  True when the memo changed. *)
+
+val insert_op : t -> Op.t -> int
+(** Insert a whole operator tree; returns the root class. *)
+
+exception Cyclic
+
+val extract : t -> ?visiting:int list -> int -> Op.t
+(** One representative operator tree of a class (transfers deprioritized);
+    raises {!Cyclic} only if every element is cyclically self-referential. *)
+
+val schema_of : t -> int -> Schema.t
+val location : t -> ?visiting:int list -> int -> Op.location

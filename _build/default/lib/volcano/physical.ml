@@ -1,0 +1,510 @@
+(** Physical plan search (the optimizer's second phase, paper Section 2.1).
+
+    For every memo class we find the cheapest physical plan satisfying a
+    {e required property}: where the result must reside (DBMS or
+    middleware) and which order it must have.  Each logical element admits
+    one or more algorithms; an algorithm determines its own cost (via the
+    cost formulas and the derived statistics), its output order, and the
+    properties it requires of its inputs — e.g. `TAGGR^M` demands its
+    argument middleware-resident and sorted on (grouping attributes, T1).
+
+    Order bookkeeping implements the paper's rules T10/T11 physically: a
+    sort whose input already has the needed order costs nothing
+    ([Sort_passthrough]), and plans that sort where no order is required
+    simply lose on cost. *)
+
+open Tango_rel
+open Tango_algebra
+open Tango_stats
+open Tango_cost
+
+type algorithm =
+  | Table_scan_d
+  | Filter_d
+  | Filter_m
+  | Project_d
+  | Project_m
+  | Sort_d
+  | Sort_m
+  | Sort_passthrough  (** input already ordered — the physical T10/T11 *)
+  | Join_d
+  | Merge_join_m
+  | Tjoin_d
+  | Tjoin_m
+  | Product_d
+  | Taggr_d
+  | Taggr_m
+  | Dupelim_d
+  | Dupelim_m
+  | Coalesce_m
+  | Difference_m
+  | Transfer_m_algo
+  | Transfer_d_algo
+
+let algorithm_name = function
+  | Table_scan_d -> "SCAN^D"
+  | Filter_d -> "FILTER^D"
+  | Filter_m -> "FILTER^M"
+  | Project_d -> "PROJECT^D"
+  | Project_m -> "PROJECT^M"
+  | Sort_d -> "SORT^D"
+  | Sort_m -> "SORT^M"
+  | Sort_passthrough -> "SORT(noop)"
+  | Join_d -> "JOIN^D"
+  | Merge_join_m -> "MERGEJOIN^M"
+  | Tjoin_d -> "TJOIN^D"
+  | Tjoin_m -> "TJOIN^M"
+  | Product_d -> "PRODUCT^D"
+  | Taggr_d -> "TAGGR^D"
+  | Taggr_m -> "TAGGR^M"
+  | Dupelim_d -> "DUPELIM^D"
+  | Dupelim_m -> "DUPELIM^M"
+  | Coalesce_m -> "COALESCE^M"
+  | Difference_m -> "DIFFERENCE^M"
+  | Transfer_m_algo -> "TRANSFER^M"
+  | Transfer_d_algo -> "TRANSFER^D"
+
+type plan = {
+  algorithm : algorithm;
+  op : Op.t;  (** logical operator with the chosen children substituted *)
+  children : plan list;
+  own_cost : float;  (** microseconds, this algorithm only *)
+  total_cost : float;  (** microseconds, including children *)
+  out_order : Order.t;
+  location : Op.location;
+}
+
+(** Required physical properties. *)
+type req = { loc : Op.location; order : Order.t }
+
+type t = {
+  memo : Memo.t;
+  factors : Factors.t;
+  stats_env : Derive.env;
+  cache : (int * req, plan option) Hashtbl.t;
+  in_progress : (int * req, unit) Hashtbl.t;
+  stats_cache : (int, Rel_stats.t option) Hashtbl.t;
+  mutable considered : int;  (** algorithm instantiations examined *)
+}
+
+let create ~memo ~factors ~stats_env =
+  {
+    memo;
+    factors;
+    stats_env;
+    cache = Hashtbl.create 256;
+    in_progress = Hashtbl.create 64;
+    stats_cache = Hashtbl.create 64;
+    considered = 0;
+  }
+
+let class_stats (p : t) (c : int) : Rel_stats.t option =
+  let c = Memo.find p.memo c in
+  match Hashtbl.find_opt p.stats_cache c with
+  | Some s -> s
+  | None ->
+      let s =
+        try Some (Derive.derive p.stats_env (Memo.extract p.memo c))
+        with _ -> None
+      in
+      Hashtbl.replace p.stats_cache c s;
+      s
+
+let class_size p c =
+  match class_stats p c with Some s -> Rel_stats.size s | None -> 1.0
+
+let satisfies out_order required =
+  Order.satisfies ~actual:out_order ~required
+
+let better a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some pa, Some pb -> Some (if pa.total_cost <= pb.total_cost then pa else pb)
+
+(* Map a required order through projection items onto input attribute
+   names; None when some key is computed (not a plain column). *)
+let map_order_through_items items (order : Order.t) : Order.t option =
+  let mapped =
+    List.map
+      (fun k ->
+        match
+          Rules.find_item_by (fun (_, out) -> Some out) items k.Order.attr
+        with
+        | Some (Tango_sql.Ast.Col (q, c), _) ->
+            let name = match q with None -> c | Some q -> q ^ "." ^ c in
+            Some { k with Order.attr = name }
+        | _ -> None)
+      order
+  in
+  if List.for_all Option.is_some mapped then Some (List.map Option.get mapped)
+  else None
+
+let rec best (p : t) (c : int) (r : req) : plan option =
+  let c = Memo.find p.memo c in
+  let key = (c, r) in
+  match Hashtbl.find_opt p.cache key with
+  | Some res -> res
+  | None ->
+      if Hashtbl.mem p.in_progress key then None
+        (* cyclic through transfer-cancelled classes: no finite plan here *)
+      else begin
+        Hashtbl.replace p.in_progress key ();
+        let result =
+          List.fold_left
+            (fun acc el -> better acc (plan_element p c r el))
+            None (Memo.elements p.memo c)
+        in
+        Hashtbl.remove p.in_progress key;
+        Hashtbl.replace p.cache key result;
+        result
+      end
+
+and mk_plan p algorithm op children own out_order location =
+  p.considered <- p.considered + 1;
+  {
+    algorithm;
+    op;
+    children;
+    own_cost = own;
+    total_cost = own +. List.fold_left (fun a ch -> a +. ch.total_cost) 0.0 children;
+    out_order;
+    location;
+  }
+
+and plan_element (p : t) (c : int) (r : req) (el : Memo.node) : plan option =
+  let f = p.factors in
+  let out_size () = class_size p c in
+  match el with
+  | Memo.N_scan { table; alias; schema } ->
+      if r.loc <> Op.Db || r.order <> [] then None
+      else
+        Some
+          (mk_plan p Table_scan_d
+             (Op.Scan { table; alias; schema })
+             []
+             (Formulas.scan_d f ~size:(out_size ()))
+             [] Op.Db)
+  | Memo.N_tm arg ->
+      if r.loc <> Op.Mw then None
+      else
+        Option.map
+          (fun child ->
+            mk_plan p Transfer_m_algo (Op.To_mw child.op) [ child ]
+              (Formulas.transfer_m f ~size:(class_size p arg))
+              child.out_order Op.Mw)
+          (best p arg { loc = Op.Db; order = r.order })
+  | Memo.N_td arg ->
+      if r.loc <> Op.Db || r.order <> [] then None
+      else
+        Option.map
+          (fun child ->
+            mk_plan p Transfer_d_algo (Op.To_db child.op) [ child ]
+              (Formulas.transfer_d f ~size:(class_size p arg))
+              [] Op.Db)
+          (best p arg { loc = Op.Mw; order = [] })
+  | Memo.N_select { pred; arg } -> (
+      match r.loc with
+      | Op.Db ->
+          if r.order <> [] then None
+          else
+            Option.map
+              (fun child ->
+                mk_plan p Filter_d
+                  (Op.Select { pred; arg = child.op })
+                  [ child ]
+                  (Formulas.select_d ~size:(class_size p arg))
+                  [] Op.Db)
+              (best p arg { loc = Op.Db; order = [] })
+      | Op.Mw ->
+          Option.map
+            (fun child ->
+              mk_plan p Filter_m
+                (Op.Select { pred; arg = child.op })
+                [ child ]
+                (Formulas.filter_m f ~pred ~size:(class_size p arg))
+                child.out_order Op.Mw)
+            (best p arg { loc = Op.Mw; order = r.order }))
+  | Memo.N_project { items; arg } -> (
+      match r.loc with
+      | Op.Db ->
+          if r.order <> [] then None
+          else
+            Option.map
+              (fun child ->
+                mk_plan p Project_d
+                  (Op.Project { items; arg = child.op })
+                  [ child ]
+                  (Formulas.project_d ~size:(class_size p arg))
+                  [] Op.Db)
+              (best p arg { loc = Op.Db; order = [] })
+      | Op.Mw -> (
+          match map_order_through_items items r.order with
+          | None -> None
+          | Some child_order ->
+              Option.map
+                (fun child ->
+                  mk_plan p Project_m
+                    (Op.Project { items; arg = child.op })
+                    [ child ]
+                    (Formulas.project_m f ~size:(class_size p arg))
+                    r.order Op.Mw)
+                (best p arg { loc = Op.Mw; order = child_order })))
+  | Memo.N_sort { order; arg } ->
+      if not (satisfies order r.order) then None
+      else begin
+        let loc = r.loc in
+        (* option A: input already ordered -> free *)
+        let passthrough =
+          Option.map
+            (fun child ->
+              mk_plan p Sort_passthrough
+                (Op.Sort { order; arg = child.op })
+                [ child ] 0.0 order loc)
+            (best p arg { loc; order })
+        in
+        (* option B: sort here *)
+        let sorted =
+          Option.map
+            (fun child ->
+              let size = class_size p arg in
+              let own =
+                match loc with
+                | Op.Db -> Formulas.sort_d f ~size
+                | Op.Mw -> Formulas.sort_m f ~size
+              in
+              mk_plan p
+                (match loc with Op.Db -> Sort_d | Op.Mw -> Sort_m)
+                (Op.Sort { order; arg = child.op })
+                [ child ] own order loc)
+            (best p arg { loc; order = [] })
+        in
+        better passthrough sorted
+      end
+  | Memo.N_product { left; right } ->
+      if r.loc <> Op.Db || r.order <> [] then None
+      else
+        let pl = best p left { loc = Op.Db; order = [] } in
+        let pr = best p right { loc = Op.Db; order = [] } in
+        (match (pl, pr) with
+        | Some cl, Some cr ->
+            Some
+              (mk_plan p Product_d
+                 (Op.Product { left = cl.op; right = cr.op })
+                 [ cl; cr ]
+                 (Formulas.product_d f ~out_size:(out_size ()))
+                 [] Op.Db)
+        | _ -> None)
+  | Memo.N_join { pred; left; right } -> (
+      match r.loc with
+      | Op.Db ->
+          if r.order <> [] then None
+          else
+            let pl = best p left { loc = Op.Db; order = [] } in
+            let pr = best p right { loc = Op.Db; order = [] } in
+            (match (pl, pr) with
+            | Some cl, Some cr ->
+                Some
+                  (mk_plan p Join_d
+                     (Op.Join { pred; left = cl.op; right = cr.op })
+                     [ cl; cr ]
+                     (db_join_cost p ~pred ~left ~right ~out_size:(out_size ()))
+                     [] Op.Db)
+            | _ -> None)
+      | Op.Mw -> plan_mw_merge_join p c r ~temporal:false pred left right)
+  | Memo.N_tjoin { pred; left; right } -> (
+      match r.loc with
+      | Op.Db ->
+          if r.order <> [] then None
+          else
+            let pl = best p left { loc = Op.Db; order = [] } in
+            let pr = best p right { loc = Op.Db; order = [] } in
+            (match (pl, pr) with
+            | Some cl, Some cr ->
+                Some
+                  (mk_plan p Tjoin_d
+                     (Op.Temporal_join { pred; left = cl.op; right = cr.op })
+                     [ cl; cr ]
+                     (db_join_cost p ~pred ~left ~right ~out_size:(out_size ()))
+                     [] Op.Db)
+            | _ -> None)
+      | Op.Mw -> plan_mw_merge_join p c r ~temporal:true pred left right)
+  | Memo.N_taggr { group_by; aggs; arg } -> (
+      let out_order =
+        List.map Order.asc (group_by @ [ "T1" ])
+      in
+      if not (satisfies out_order r.order) then None
+      else
+        match r.loc with
+        | Op.Db ->
+            Option.map
+              (fun child ->
+                mk_plan p Taggr_d
+                  (Op.Temporal_aggregate { group_by; aggs; arg = child.op })
+                  [ child ]
+                  (Formulas.taggr_d f ~in_size:(class_size p arg)
+                     ~out_size:(out_size ()))
+                  out_order Op.Db)
+              (best p arg { loc = Op.Db; order = [] })
+        | Op.Mw -> (
+            match Memo.schema_of p.memo arg with
+            | exception _ -> None
+            | arg_schema ->
+                let needed = Rules.taggr_order arg_schema group_by in
+                Option.map
+                  (fun child ->
+                    mk_plan p Taggr_m
+                      (Op.Temporal_aggregate { group_by; aggs; arg = child.op })
+                      [ child ]
+                      (Formulas.taggr_m f ~in_size:(class_size p arg)
+                         ~out_size:(out_size ()))
+                      out_order Op.Mw)
+                  (best p arg { loc = Op.Mw; order = needed })))
+  | Memo.N_dupelim arg -> (
+      match r.loc with
+      | Op.Db ->
+          if r.order <> [] then None
+          else
+            Option.map
+              (fun child ->
+                mk_plan p Dupelim_d (Op.Dup_elim child.op) [ child ]
+                  (Formulas.sort_d f ~size:(class_size p arg))
+                  [] Op.Db)
+              (best p arg { loc = Op.Db; order = [] })
+      | Op.Mw -> (
+          match Memo.schema_of p.memo arg with
+          | exception _ -> None
+          | s ->
+              let order = List.map Order.asc (Schema.names s) in
+              if not (satisfies order r.order) then None
+              else
+                Option.map
+                  (fun child ->
+                    mk_plan p Dupelim_m (Op.Dup_elim child.op) [ child ]
+                      (Formulas.dup_elim_m f ~size:(class_size p arg))
+                      order Op.Mw)
+                  (best p arg { loc = Op.Mw; order })))
+  | Memo.N_coalesce arg -> (
+      if r.loc <> Op.Mw then None
+      else
+        match Memo.schema_of p.memo arg with
+        | exception _ -> None
+        | s ->
+            let nonperiod =
+              List.map (fun (a : Schema.attribute) -> a.Schema.name) (Op.non_period_attrs s)
+            in
+            let order = List.map Order.asc (nonperiod @ [ "T1" ]) in
+            if not (satisfies order r.order) then None
+            else
+              Option.map
+                (fun child ->
+                  mk_plan p Coalesce_m (Op.Coalesce child.op) [ child ]
+                    (Formulas.coalesce_m f ~size:(class_size p arg))
+                    order Op.Mw)
+                (best p arg { loc = Op.Mw; order }))
+  | Memo.N_difference { left; right } ->
+      if r.loc <> Op.Mw then None
+      else
+        let pl = best p left { loc = Op.Mw; order = r.order } in
+        let pr = best p right { loc = Op.Mw; order = [] } in
+        (match (pl, pr) with
+        | Some cl, Some cr ->
+            Some
+              (mk_plan p Difference_m
+                 (Op.Difference { left = cl.op; right = cr.op })
+                 [ cl; cr ]
+                 (Formulas.difference_m f
+                    ~left_size:(class_size p left)
+                    ~right_size:(class_size p right))
+                 cl.out_order Op.Mw)
+        | _ -> None)
+
+(* Generic DBMS join cost; when one side exposes an index on its join
+   attribute (per the catalog statistics), the cheaper index-nested-loop
+   formula applies — the DBMS will pick that access path. *)
+and db_join_cost p ~pred ~left ~right ~out_size =
+  let f = p.factors in
+  let left_size = class_size p left and right_size = class_size p right in
+  let generic = Formulas.join_d f ~left_size ~right_size ~out_size in
+  match
+    (Memo.schema_of p.memo left, Memo.schema_of p.memo right,
+     class_stats p left, class_stats p right)
+  with
+  | exception _ -> generic
+  | sl, sr, Some stl, Some str -> (
+      match Rules.equi_pair sl sr pred with
+      | None -> generic
+      | Some (ja1, ja2) ->
+          let candidates =
+            (if Tango_stats.Rel_stats.indexed_on str ja2 then
+               [ Formulas.index_join_d f ~outer_size:left_size ~out_size ]
+             else [])
+            @
+            if Tango_stats.Rel_stats.indexed_on stl ja1 then
+              [ Formulas.index_join_d f ~outer_size:right_size ~out_size ]
+            else []
+          in
+          List.fold_left Float.min generic candidates)
+  | _ -> generic
+
+and plan_mw_merge_join p c r ~temporal pred left right =
+  match (Memo.schema_of p.memo left, Memo.schema_of p.memo right) with
+  | exception _ -> None
+  | sl, sr -> (
+      match Rules.equi_pair sl sr pred with
+      | None -> None
+      | Some (ja1, ja2) ->
+          let out_order =
+            (* ordered by the left join attribute, if it survives *)
+            match Memo.schema_of p.memo c with
+            | exception _ -> []
+            | out_s -> if Schema.mem out_s ja1 then [ Order.asc ja1 ] else []
+          in
+          if not (satisfies out_order r.order) then None
+          else
+            let pl = best p left { loc = Op.Mw; order = [ Order.asc ja1 ] } in
+            let pr = best p right { loc = Op.Mw; order = [ Order.asc ja2 ] } in
+            (match (pl, pr) with
+            | Some cl, Some cr ->
+                let left_size = class_size p left
+                and right_size = class_size p right
+                and out_size = class_size p c in
+                let own, algo, op =
+                  if temporal then
+                    ( Formulas.temporal_join_m p.factors ~left_size ~right_size
+                        ~out_size,
+                      Tjoin_m,
+                      Op.Temporal_join { pred; left = cl.op; right = cr.op } )
+                  else
+                    ( Formulas.merge_join_m p.factors ~left_size ~right_size
+                        ~out_size,
+                      Merge_join_m,
+                      Op.Join { pred; left = cl.op; right = cr.op } )
+                in
+                Some (mk_plan p algo op [ cl; cr ] own out_order Op.Mw)
+            | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp ?(indent = 0) ppf (plan : plan) =
+  Fmt.pf ppf "%s%s  [%s, cost %.0fus%s]@."
+    (String.make indent ' ')
+    (algorithm_name plan.algorithm)
+    (match plan.location with Op.Db -> "DB" | Op.Mw -> "MW")
+    plan.total_cost
+    (if plan.out_order = [] then ""
+     else " order " ^ Order.to_string plan.out_order);
+  List.iter (pp ~indent:(indent + 2) ppf) plan.children
+
+let to_string plan = Fmt.str "%a" (pp ~indent:0) plan
+
+(** One-line summary of where the plan's algorithms run. *)
+let rec signature (plan : plan) : string =
+  match plan.children with
+  | [] -> algorithm_name plan.algorithm
+  | cs ->
+      algorithm_name plan.algorithm
+      ^ "("
+      ^ String.concat ", " (List.map signature cs)
+      ^ ")"

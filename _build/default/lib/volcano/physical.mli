@@ -1,0 +1,76 @@
+(** Physical plan search (the optimizer's second phase, paper §2.1).
+
+    For every memo class, find the cheapest physical plan satisfying a
+    {e required property}: result location (DBMS or middleware) and output
+    order.  Order bookkeeping implements rules T10/T11 physically: a sort
+    whose input already has the needed order costs nothing. *)
+
+open Tango_rel
+open Tango_algebra
+
+type algorithm =
+  | Table_scan_d
+  | Filter_d
+  | Filter_m
+  | Project_d
+  | Project_m
+  | Sort_d
+  | Sort_m
+  | Sort_passthrough  (** input already ordered — the physical T10/T11 *)
+  | Join_d
+  | Merge_join_m
+  | Tjoin_d
+  | Tjoin_m
+  | Product_d
+  | Taggr_d
+  | Taggr_m
+  | Dupelim_d
+  | Dupelim_m
+  | Coalesce_m
+  | Difference_m
+  | Transfer_m_algo
+  | Transfer_d_algo
+
+val algorithm_name : algorithm -> string
+
+type plan = {
+  algorithm : algorithm;
+  op : Op.t;  (** logical operator with the chosen children substituted *)
+  children : plan list;
+  own_cost : float;  (** microseconds, this algorithm only *)
+  total_cost : float;  (** microseconds, including children *)
+  out_order : Order.t;
+  location : Op.location;
+}
+
+(** Required physical properties. *)
+type req = { loc : Op.location; order : Order.t }
+
+type t = {
+  memo : Memo.t;
+  factors : Tango_cost.Factors.t;
+  stats_env : Tango_stats.Derive.env;
+  cache : (int * req, plan option) Hashtbl.t;
+  in_progress : (int * req, unit) Hashtbl.t;
+  stats_cache : (int, Tango_stats.Rel_stats.t option) Hashtbl.t;
+  mutable considered : int;  (** algorithm instantiations examined *)
+}
+
+val create :
+  memo:Memo.t ->
+  factors:Tango_cost.Factors.t ->
+  stats_env:Tango_stats.Derive.env ->
+  t
+
+val class_stats : t -> int -> Tango_stats.Rel_stats.t option
+val class_size : t -> int -> float
+
+val best : t -> int -> req -> plan option
+(** Cheapest plan for the class under the requirement ([None] when
+    infeasible).  Memoized; cyclic memo paths are treated as infeasible. *)
+
+val pp : ?indent:int -> Format.formatter -> plan -> unit
+val to_string : plan -> string
+
+val signature : plan -> string
+(** One-line summary of the plan's algorithms. *)

@@ -1,0 +1,41 @@
+(** Transformation rules and heuristics (paper Section 4).
+
+    Implemented rules:
+    - {b Group 1}: T1 (temporal aggregation to middleware), T2/T3
+      ((temporal) join to middleware), T1b/T1c/T1d (duplicate elimination,
+      coalescing and difference — the §3.1 "additional algorithms"), T4–T6
+      (σ/π/sort above [T^M]).
+    - {b Group 2}: T7/T8 (transfer pairs cancel — class merges), T9
+      (identity projection), T12 (subsumed sorts); T10/T11 are realized
+      during physical planning.
+    - {b Equivalences}: E1 (σ/π), E2 (join commutativity modulo a
+      column-reordering projection), E3 (product associativity), E4/E5
+      (sort/σ and sort/π, middleware side).
+    - {b Group 3} (combine, from [20]): C1 merges adjacent selections, C2
+      composes adjacent projections.
+    - {b Group 4} (reduce expensive-operator arguments, from [20]): R1
+      pushes side-resolvable conjuncts below joins/products, R2 pushes
+      group-attribute conjuncts below ξᵀ, R3 seeds temporal-join arguments
+      with the enclosing selection's time window. *)
+
+open Tango_rel
+open Tango_sql
+
+val equi_pair :
+  Schema.t -> Schema.t -> Ast.expr -> (string * string) option
+(** Equi-join attribute pair resolvable on the given sides. *)
+
+val taggr_order : Schema.t -> string list -> Order.t
+(** The (G₁..Gₙ, T1) order `TAGGR^M` requires of its argument. *)
+
+val find_item_by :
+  ('a -> string option) -> 'a list -> string -> 'a option
+(** Exact-then-unique-base-name item lookup, mirroring {!Schema.index}. *)
+
+type rule = { name : string; apply : Memo.t -> int -> Memo.node -> bool }
+(** [apply memo class element] returns whether the memo changed. *)
+
+val all : rule list
+
+val saturate : ?rules:rule list -> ?max_elements:int -> Memo.t -> unit
+(** Apply rules to fixpoint, bounded by [max_elements] (default 5000). *)

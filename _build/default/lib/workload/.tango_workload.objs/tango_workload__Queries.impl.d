@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Ast Chronon Op Order Printf Tango_algebra Tango_rel Tango_sql Tango_temporal Uis Value

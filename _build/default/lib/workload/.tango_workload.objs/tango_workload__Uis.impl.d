@@ -1,0 +1,1 @@
+lib/workload/uis.ml: Chronon List Printf Relation Schema String Tango_dbms Tango_rel Tango_temporal Tuple Value

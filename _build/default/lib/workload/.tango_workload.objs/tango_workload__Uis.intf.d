@@ -1,0 +1,1 @@
+lib/workload/uis.mli: Relation Schema Tango_dbms Tango_rel

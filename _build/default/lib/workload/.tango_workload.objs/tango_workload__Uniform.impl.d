@@ -1,0 +1,1 @@
+lib/workload/uniform.ml: Chronon List Printf Relation Schema Tango_rel Tango_temporal Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/uniform.mli: Chronon Relation Schema Tango_rel Tango_temporal

@@ -1,0 +1,261 @@
+(** The paper's four experiment queries (Section 5.2), both as temporal SQL
+    for the full middleware pipeline and as hand-built plan trees matching
+    the plan alternatives each figure compares.
+
+    Plan trees are middleware-rooted operator trees accepted by
+    {!Tango_core.Middleware.run_fixed}; the experiments time them over
+    varying data, exactly as the paper varies relation sizes and selection
+    periods. *)
+
+open Tango_rel
+open Tango_sql
+open Tango_algebra
+open Tango_temporal
+
+let col ?q c = Ast.Col (q, c)
+let date s = Ast.Lit (Value.Date (Chronon.of_string s))
+let ( &&& ) a b = Ast.Binop (Ast.And, a, b)
+let lt a b = Ast.Binop (Ast.Lt, a, b)
+let gt a b = Ast.Binop (Ast.Gt, a, b)
+let eq a b = Ast.Binop (Ast.Eq, a, b)
+
+let scan ?alias table = Op.scan ?alias table Uis.position_schema
+let scan_emp ?alias table = Op.scan ?alias table Uis.employee_schema
+
+(* ------------------------------------------------------------------ *)
+(* Query 1: temporal aggregation (Figures 7 and 8)                       *)
+(* ------------------------------------------------------------------ *)
+
+let q1_sql =
+  "VALIDTIME SELECT PosID, COUNT(*) AS CNT FROM POSITION GROUP BY PosID \
+   ORDER BY PosID"
+
+let q1_order = [ Order.asc "PosID" ]
+
+let q1_taggr arg =
+  Op.temporal_aggregate [ "POSITION.PosID" ] [ Op.count_star "CNT" ] arg
+
+let q1_sort_order = [ Order.asc "POSITION.PosID"; Order.asc "POSITION.T1" ]
+
+(** Plan 1: sort in the DBMS, temporal aggregation in the middleware. *)
+let q1_plan1 ~position () =
+  q1_taggr (Op.to_mw (Op.sort q1_sort_order (scan position)))
+
+(** Plan 2: transfer, then sort and aggregate in the middleware. *)
+let q1_plan2 ~position () =
+  q1_taggr (Op.sort q1_sort_order (Op.to_mw (scan position)))
+
+(** Plan 3: everything in the DBMS (temporal aggregation as SQL). *)
+let q1_plan3 ~position () = Op.to_mw (q1_taggr (scan position))
+
+let q1_plans ~position () =
+  [ ("plan1 sortD+taggrM", q1_plan1 ~position ());
+    ("plan2 sortM+taggrM", q1_plan2 ~position ());
+    ("plan3 all-DBMS", q1_plan3 ~position ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Query 2: aggregation + temporal join with selections (Figs 9, 10)     *)
+(* ------------------------------------------------------------------ *)
+
+let q2_sql ~period_end =
+  Printf.sprintf
+    "VALIDTIME SELECT A.PosID AS PosID, B.EmpName AS EmpName, A.CNT AS CNT \
+     FROM (VALIDTIME SELECT PosID, COUNT(*) AS CNT FROM POSITION GROUP BY \
+     PosID) A, POSITION B WHERE A.PosID = B.PosID AND B.PayRate > 10 AND \
+     B.T1 < DATE '%s' AND B.T2 > DATE '1983-01-01' ORDER BY PosID"
+    period_end
+
+let q2_order = [ Order.asc "PosID" ]
+
+(* Window + pay-rate selection on the displayed POSITION tuples (side B). *)
+let q2_sel_b ~period_end =
+  gt (col "PayRate") (Ast.Lit (Value.Float 10.0))
+  &&& lt (col "T1") (date period_end)
+  &&& gt (col "T2") (date "1983-01-01")
+
+(* Window-only selection used to reduce the aggregation argument (side A);
+   not needed for correctness, but it shrinks the argument (paper's
+   Plan 1 vs Plan 5 discussion). *)
+let q2_sel_a ~period_end =
+  lt (col "T1") (date period_end) &&& gt (col "T2") (date "1983-01-01")
+
+let q2_taggr arg =
+  Op.temporal_aggregate [ "A.PosID" ] [ Op.count_star "CNT" ] arg
+
+let q2_tjoin_pred = eq (col ~q:"A" "PosID") (col ~q:"B" "PosID")
+
+(* Finalize: the query "considers the time period" [1983-01-01, period_end),
+   so result periods are clipped to that window (and empty clips dropped).
+   This is also what makes reducing the aggregation argument (Plan 1 vs
+   Plan 5) sound: tuples outside the window can neither bound nor cover any
+   constant interval that survives the clip. *)
+let q2_finalize ~period_end tjoin =
+  let w_start = date "1983-01-01" and w_end = date period_end in
+  Op.project
+    [ (col ~q:"A" "PosID", "PosID"); (col ~q:"B" "EmpName", "EmpName");
+      (col "CNT", "CNT");
+      (Ast.Greatest [ col "T1"; w_start ], "T1");
+      (Ast.Least [ col "T2"; w_end ], "T2") ]
+    (Op.select (lt (col "T1") w_end &&& gt (col "T2") w_start) tjoin)
+
+(* Aggregation in the middleware over a (possibly reduced) argument. *)
+let q2_agg_mw ~position ~reduce ~period_end =
+  let a = scan ~alias:"A" position in
+  let a = if reduce then Op.select (q2_sel_a ~period_end) a else a in
+  q2_taggr
+    (Op.to_mw (Op.sort [ Order.asc "A.PosID"; Order.asc "A.T1" ] a))
+
+let q2_b_db ~position ~period_end =
+  Op.sort [ Order.asc "B.PosID" ]
+    (Op.select (q2_sel_b ~period_end) (scan ~alias:"B" position))
+
+(** Plan 1: TAGGR in MW (with reduced argument), temporal join, projection
+    and sort back in the DBMS. *)
+let q2_plan1 ~position ~period_end () =
+  Op.to_mw
+    (Op.sort [ Order.asc "PosID" ]
+       (q2_finalize ~period_end
+          (Op.temporal_join q2_tjoin_pred
+             (Op.to_db (q2_agg_mw ~position ~reduce:true ~period_end))
+             (Op.select (q2_sel_b ~period_end) (scan ~alias:"B" position)))))
+
+(** Plan 2: TAGGR and temporal join in MW; B sorted and filtered in the
+    DBMS. *)
+let q2_plan2 ~position ~period_end () =
+  q2_finalize ~period_end
+    (Op.temporal_join q2_tjoin_pred
+       (q2_agg_mw ~position ~reduce:true ~period_end)
+       (Op.to_mw (q2_b_db ~position ~period_end)))
+
+(** Plan 3: also sorting of B in MW. *)
+let q2_plan3 ~position ~period_end () =
+  q2_finalize ~period_end
+    (Op.temporal_join q2_tjoin_pred
+       (q2_agg_mw ~position ~reduce:true ~period_end)
+       (Op.sort [ Order.asc "B.PosID" ]
+          (Op.to_mw (Op.select (q2_sel_b ~period_end) (scan ~alias:"B" position)))))
+
+(** Plan 4: selection of B also in MW (the whole base relation is
+    transferred). *)
+let q2_plan4 ~position ~period_end () =
+  q2_finalize ~period_end
+    (Op.temporal_join q2_tjoin_pred
+       (q2_agg_mw ~position ~reduce:true ~period_end)
+       (Op.sort [ Order.asc "B.PosID" ]
+          (Op.select (q2_sel_b ~period_end) (Op.to_mw (scan ~alias:"B" position)))))
+
+(** Plan 5: like Plan 1 but without reducing the aggregation argument. *)
+let q2_plan5 ~position ~period_end () =
+  Op.to_mw
+    (Op.sort [ Order.asc "PosID" ]
+       (q2_finalize ~period_end
+          (Op.temporal_join q2_tjoin_pred
+             (Op.to_db (q2_agg_mw ~position ~reduce:false ~period_end))
+             (Op.select (q2_sel_b ~period_end) (scan ~alias:"B" position)))))
+
+(** Plan 6: everything in the DBMS (temporal aggregation as SQL). *)
+let q2_plan6 ~position ~period_end () =
+  Op.to_mw
+    (Op.sort [ Order.asc "PosID" ]
+       (q2_finalize ~period_end
+          (Op.temporal_join q2_tjoin_pred
+             (q2_taggr (Op.select (q2_sel_a ~period_end) (scan ~alias:"A" position)))
+             (Op.select (q2_sel_b ~period_end) (scan ~alias:"B" position)))))
+
+let q2_plans ~position ~period_end () =
+  [ ("plan1 taggrM", q2_plan1 ~position ~period_end ());
+    ("plan2 +tjoinM", q2_plan2 ~position ~period_end ());
+    ("plan3 +sortM", q2_plan3 ~position ~period_end ());
+    ("plan4 +filterM", q2_plan4 ~position ~period_end ());
+    ("plan5 no-reduce", q2_plan5 ~position ~period_end ());
+    ("plan6 all-DBMS", q2_plan6 ~position ~period_end ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Query 3: temporal self-join (Figure 11a)                              *)
+(* ------------------------------------------------------------------ *)
+
+let q3_sql ~start_bound =
+  Printf.sprintf
+    "VALIDTIME SELECT A.PosID AS PosID, A.EmpName AS E1, B.EmpName AS E2 \
+     FROM POSITION A, POSITION B WHERE A.PosID = B.PosID AND A.EmpID < \
+     B.EmpID AND A.T1 < DATE '%s' AND B.T1 < DATE '%s' ORDER BY PosID"
+    start_bound start_bound
+
+let q3_order = [ Order.asc "PosID" ]
+
+let q3_pred =
+  eq (col ~q:"A" "PosID") (col ~q:"B" "PosID")
+  &&& lt (col ~q:"A" "EmpID") (col ~q:"B" "EmpID")
+
+let q3_project tjoin =
+  Op.project
+    [ (col ~q:"A" "PosID", "PosID"); (col ~q:"A" "EmpName", "E1");
+      (col ~q:"B" "EmpName", "E2"); (col "T1", "T1"); (col "T2", "T2") ]
+    tjoin
+
+let q3_sel alias ~position ~start_bound =
+  Op.select (lt (col "T1") (date start_bound)) (scan ~alias position)
+
+(** Plan 1: everything in the DBMS. *)
+let q3_plan1 ~position ~start_bound () =
+  Op.to_mw
+    (Op.sort [ Order.asc "PosID" ]
+       (q3_project
+          (Op.temporal_join q3_pred
+             (q3_sel "A" ~position ~start_bound)
+             (q3_sel "B" ~position ~start_bound))))
+
+(** Plan 2: temporal join in the middleware. *)
+let q3_plan2 ~position ~start_bound () =
+  q3_project
+    (Op.temporal_join q3_pred
+       (Op.to_mw (Op.sort [ Order.asc "A.PosID" ] (q3_sel "A" ~position ~start_bound)))
+       (Op.to_mw (Op.sort [ Order.asc "B.PosID" ] (q3_sel "B" ~position ~start_bound))))
+
+let q3_plans ~position ~start_bound () =
+  [ ("plan1 all-DBMS", q3_plan1 ~position ~start_bound ());
+    ("plan2 tjoinM", q3_plan2 ~position ~start_bound ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Query 4: regular join with EMPLOYEE (Figure 11b)                      *)
+(* ------------------------------------------------------------------ *)
+
+let q4_sql =
+  "SELECT P.PosID AS PosID, E.Name AS Name, E.Address AS Address FROM \
+   POSITION P, EMPLOYEE E WHERE P.EmpID = E.EmpID ORDER BY PosID"
+
+let q4_order = [ Order.asc "PosID" ]
+
+let q4_pred = eq (col ~q:"P" "EmpID") (col ~q:"E" "EmpID")
+
+let q4_project join =
+  Op.project
+    [ (col ~q:"P" "PosID", "PosID"); (col ~q:"E" "Name", "Name");
+      (col ~q:"E" "Address", "Address") ]
+    join
+
+(* Reduce EMPLOYEE to the needed columns before moving it anywhere. *)
+let q4_emp_slim ~employee =
+  Op.project
+    [ (col ~q:"E" "EmpID", "E.EmpID"); (col ~q:"E" "Name", "E.Name");
+      (col ~q:"E" "Address", "E.Address") ]
+    (scan_emp ~alias:"E" employee)
+
+(** Plan 1: sort and merge join in the middleware. *)
+let q4_plan1 ~position ~employee () =
+  Op.sort [ Order.asc "PosID" ]
+    (q4_project
+       (Op.join q4_pred
+          (Op.to_mw (Op.sort [ Order.asc "P.EmpID" ] (scan ~alias:"P" position)))
+          (Op.to_mw (Op.sort [ Order.asc "E.EmpID" ] (q4_emp_slim ~employee)))))
+
+(** Plans 2/3: join in the DBMS (nested loop vs sort-merge is forced via
+    {!Tango_dbms.Database.set_join_method}, the Oracle-hint stand-in).
+    The join is over the base tables so the DBMS can use its EmpID index
+    for the nested-loop plan, as Oracle would. *)
+let q4_plan_dbms ~position ~employee () =
+  Op.to_mw
+    (Op.sort [ Order.asc "PosID" ]
+       (q4_project
+          (Op.join q4_pred (scan ~alias:"P" position)
+             (scan_emp ~alias:"E" employee))))

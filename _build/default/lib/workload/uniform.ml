@@ -1,0 +1,45 @@
+(** The uniform temporal relation of the paper's Section 3.3 worked example:
+    [n] tuples (100,000 in the paper) whose periods last [duration] days
+    (7) and start uniformly between 1995-01-01 and 1999-12-25, so that
+    periods fall inside the five years 1995–2000. *)
+
+open Tango_rel
+open Tango_temporal
+
+let schema =
+  Schema.make
+    [ ("ID", Value.TInt); ("Payload", Value.TStr);
+      ("T1", Value.TDate); ("T2", Value.TDate) ]
+
+let generate ?(n = 100_000) ?(duration = 7) () : Relation.t =
+  let lo = Chronon.of_string "1995-01-01" in
+  let hi = Chronon.of_string "2000-01-01" in
+  let span = hi - lo - duration in
+  let state = ref 42 in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!state lsr 13) mod bound
+  in
+  let tuples =
+    List.init n (fun i ->
+        let t1 = lo + next span in
+        Tuple.of_list
+          [
+            Value.Int (i + 1);
+            Value.Str (Printf.sprintf "p%06d" (next 1000000));
+            Value.Date t1;
+            Value.Date (t1 + duration);
+          ])
+  in
+  Relation.of_list schema tuples
+
+(** Exact number of tuples overlapping [\[a, b)] — ground truth for the
+    selectivity experiment. *)
+let actual_overlaps (r : Relation.t) ~(a : Chronon.t) ~(b : Chronon.t) : int =
+  let s = Relation.schema r in
+  Relation.fold
+    (fun acc t ->
+      let t1 = Chronon.of_value (Tuple.field s t "T1") in
+      let t2 = Chronon.of_value (Tuple.field s t "T2") in
+      if t1 < b && t2 > a then acc + 1 else acc)
+    0 r

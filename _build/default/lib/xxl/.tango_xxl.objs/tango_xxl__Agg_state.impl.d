@@ -1,0 +1,1 @@
+lib/xxl/agg_state.ml: Ast Map Tango_rel Tango_sql Value

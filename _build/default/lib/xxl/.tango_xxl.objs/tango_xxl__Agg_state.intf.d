@@ -1,0 +1,1 @@
+lib/xxl/agg_state.mli: Ast Tango_rel Tango_sql Value

@@ -1,0 +1,1 @@
+lib/xxl/basic_ops.ml: Array Ast Cursor List Scalar Schema Tango_algebra Tango_rel Tango_sql

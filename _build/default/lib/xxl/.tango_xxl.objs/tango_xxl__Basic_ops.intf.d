@@ -1,0 +1,1 @@
+lib/xxl/basic_ops.mli: Ast Cursor Tango_sql

@@ -1,0 +1,1 @@
+lib/xxl/cursor.ml: Array List Relation Schema Tango_rel Tuple

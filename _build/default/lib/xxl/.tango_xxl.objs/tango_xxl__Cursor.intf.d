@@ -1,0 +1,1 @@
+lib/xxl/cursor.mli: Relation Schema Tango_rel Tuple

@@ -1,0 +1,1 @@
+lib/xxl/dup_elim.ml: Array Cursor Hashtbl List Op Option Schema Tango_algebra Tango_rel Tuple Value

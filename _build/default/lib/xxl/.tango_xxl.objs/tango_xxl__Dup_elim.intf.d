@@ -1,0 +1,1 @@
+lib/xxl/dup_elim.mli: Cursor

@@ -1,0 +1,1 @@
+lib/xxl/joins.ml: Array Ast Chronon Cursor List Op Relation Scalar Schema Tango_algebra Tango_rel Tango_sql Tango_temporal Tuple

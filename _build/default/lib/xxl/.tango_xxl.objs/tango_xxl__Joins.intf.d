@@ -1,0 +1,1 @@
+lib/xxl/joins.mli: Ast Cursor Tango_sql

@@ -1,0 +1,1 @@
+lib/xxl/sort.ml: Array Cursor Int List Order Tango_rel Tuple

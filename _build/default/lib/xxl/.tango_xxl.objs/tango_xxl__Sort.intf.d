@@ -1,0 +1,1 @@
+lib/xxl/sort.mli: Cursor Order Tango_rel

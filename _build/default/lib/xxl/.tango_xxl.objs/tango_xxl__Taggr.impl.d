@@ -1,0 +1,1 @@
+lib/xxl/taggr.ml: Agg_state Array Cursor List Op Option Schema Tango_algebra Tango_rel Tuple Value

@@ -1,0 +1,1 @@
+lib/xxl/taggr.mli: Cursor Op Tango_algebra

@@ -1,0 +1,1 @@
+lib/xxl/transfer.ml: Ast Client Cursor Database Schema Seq Tango_dbms Tango_rel Tango_sql

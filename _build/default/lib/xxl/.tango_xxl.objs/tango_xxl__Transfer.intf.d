@@ -1,0 +1,1 @@
+lib/xxl/transfer.mli: Ast Client Cursor Schema Tango_dbms Tango_rel Tango_sql

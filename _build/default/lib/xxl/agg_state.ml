@@ -1,0 +1,93 @@
+(** Incremental aggregate state for `TAGGR^M`.
+
+    The temporal aggregation sweep adds a tuple's contribution when its
+    period starts and removes it when its period ends; between events the
+    state yields the aggregate value for the current constant interval.
+    MIN/MAX need a multiset of live values (a count-map) so removals are
+    exact. *)
+
+open Tango_rel
+open Tango_sql
+
+module VMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type t = {
+  fn : Ast.aggfun;
+  int_result : bool;  (** SUM over an INT column yields INT *)
+  mutable members : int;  (** live tuples (for COUNT(STAR)) *)
+  mutable non_null : int;  (** live non-null argument values *)
+  mutable isum : int;
+  mutable fsum : float;
+  mutable bag : int VMap.t;  (** live values, for MIN/MAX *)
+}
+
+let create (fn : Ast.aggfun) ~(arg_dtype : Value.dtype option) : t =
+  {
+    fn;
+    int_result = arg_dtype = Some Value.TInt;
+    members = 0;
+    non_null = 0;
+    isum = 0;
+    fsum = 0.0;
+    bag = VMap.empty;
+  }
+
+let add (s : t) (v : Value.t) =
+  s.members <- s.members + 1;
+  if not (Value.is_null v) then begin
+    s.non_null <- s.non_null + 1;
+    (match s.fn with
+    | Ast.Sum | Ast.Avg ->
+        if s.int_result then s.isum <- s.isum + Value.to_int v
+        else s.fsum <- s.fsum +. Value.to_float v
+    | Ast.Min | Ast.Max ->
+        s.bag <-
+          VMap.update v
+            (function None -> Some 1 | Some n -> Some (n + 1))
+            s.bag
+    | Ast.Count | Ast.Count_star -> ())
+  end
+
+let remove (s : t) (v : Value.t) =
+  s.members <- s.members - 1;
+  if not (Value.is_null v) then begin
+    s.non_null <- s.non_null - 1;
+    (match s.fn with
+    | Ast.Sum | Ast.Avg ->
+        if s.int_result then s.isum <- s.isum - Value.to_int v
+        else s.fsum <- s.fsum -. Value.to_float v
+    | Ast.Min | Ast.Max ->
+        s.bag <-
+          VMap.update v
+            (function
+              | None | Some 1 -> None
+              | Some n -> Some (n - 1))
+            s.bag
+    | Ast.Count | Ast.Count_star -> ())
+  end
+
+(** Current aggregate value for the live set. *)
+let value (s : t) : Value.t =
+  match s.fn with
+  | Ast.Count_star -> Value.Int s.members
+  | Ast.Count -> Value.Int s.non_null
+  | Ast.Sum ->
+      if s.non_null = 0 then Value.Null
+      else if s.int_result then Value.Int s.isum
+      else Value.Float s.fsum
+  | Ast.Avg ->
+      if s.non_null = 0 then Value.Null
+      else
+        let total = if s.int_result then float_of_int s.isum else s.fsum in
+        Value.Float (total /. float_of_int s.non_null)
+  | Ast.Min -> ( match VMap.min_binding_opt s.bag with
+      | Some (v, _) -> v
+      | None -> Value.Null)
+  | Ast.Max -> (
+      match VMap.max_binding_opt s.bag with
+      | Some (v, _) -> v
+      | None -> Value.Null)

@@ -1,0 +1,19 @@
+(** Incremental aggregate state for `TAGGR^M`: a tuple's contribution is
+    added when its period starts and removed when it ends; between events
+    the state yields the aggregate value for the current constant interval.
+    MIN/MAX track a multiset of live values so removals are exact. *)
+
+open Tango_rel
+open Tango_sql
+
+type t
+
+val create : Ast.aggfun -> arg_dtype:Value.dtype option -> t
+(** [arg_dtype] decides whether SUM yields INT or FLOAT. *)
+
+val add : t -> Value.t -> unit
+val remove : t -> Value.t -> unit
+
+val value : t -> Value.t
+(** Aggregate over the live set; [Null] when the function has no non-null
+    inputs (except COUNT, which yields 0). *)

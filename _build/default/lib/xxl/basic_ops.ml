@@ -1,0 +1,43 @@
+(** Tuple-at-a-time middleware algorithms: `FILTER^M` and `PROJECT^M`.
+
+    Both are order-preserving, as the paper requires of middleware
+    algorithms (Section 4). *)
+
+open Tango_rel
+open Tango_sql
+open Tango_algebra
+
+(** `FILTER^M`: selection in the middleware (paper Section 3.3). *)
+let filter (pred : Ast.expr) (arg : Cursor.t) : Cursor.t =
+  let schema = Cursor.schema arg in
+  let p = Scalar.compile_pred schema pred in
+  Cursor.make ~schema
+    ~init:(fun () -> Cursor.init arg)
+    ~next:(fun () ->
+      let rec go () =
+        match Cursor.next arg with
+        | None -> None
+        | Some t -> if p t then Some t else go ()
+      in
+      go ())
+
+(** `PROJECT^M`: generalized projection (expressions with output names). *)
+let project (items : (Ast.expr * string) list) (arg : Cursor.t) : Cursor.t =
+  let in_schema = Cursor.schema arg in
+  let out_schema =
+    Schema.make
+      (List.map (fun (e, n) -> (n, Scalar.dtype in_schema e)) items)
+  in
+  let fns = List.map (fun (e, _) -> Scalar.compile in_schema e) items in
+  Cursor.make ~schema:out_schema
+    ~init:(fun () -> Cursor.init arg)
+    ~next:(fun () ->
+      match Cursor.next arg with
+      | None -> None
+      | Some t -> Some (Array.of_list (List.map (fun f -> f t) fns)))
+
+(** Projection onto named attributes. *)
+let project_attrs names (arg : Cursor.t) : Cursor.t =
+  project
+    (List.map (fun n -> (Ast.Col (None, n), Schema.base_name n)) names)
+    arg

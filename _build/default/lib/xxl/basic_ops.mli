@@ -1,0 +1,13 @@
+(** Tuple-at-a-time middleware algorithms: `FILTER^M` and `PROJECT^M`,
+    both order-preserving as the paper requires of middleware algorithms. *)
+
+open Tango_sql
+
+val filter : Ast.expr -> Cursor.t -> Cursor.t
+(** `FILTER^M` (paper §3.3). *)
+
+val project : (Ast.expr * string) list -> Cursor.t -> Cursor.t
+(** `PROJECT^M`: generalized projection (expressions with output names). *)
+
+val project_attrs : string list -> Cursor.t -> Cursor.t
+(** Projection onto named attributes (outputs carry base names). *)

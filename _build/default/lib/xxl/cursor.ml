@@ -1,0 +1,88 @@
+(** The iterator (cursor) framework of the middleware execution engine.
+
+    Modeled on the XXL library the paper builds on: every algorithm is a
+    result set with [init]/[next] methods, enabling pipelined execution
+    (paper Figure 2).  [init] prepares inner structures — and for some
+    algorithms does real work up front (sorting materializes runs; the
+    `TRANSFER^D` algorithm copies its whole input into the DBMS). *)
+
+open Tango_rel
+
+type t = {
+  schema : Schema.t;
+  init : unit -> unit;
+  next : unit -> Tuple.t option;
+}
+
+let make ~schema ~init ~next = { schema; init; next }
+
+let schema c = c.schema
+let init c = c.init ()
+let next c = c.next ()
+
+(** Cursor over a materialized relation. *)
+let of_relation (r : Relation.t) : t =
+  let pos = ref 0 in
+  {
+    schema = Relation.schema r;
+    init = (fun () -> pos := 0);
+    next =
+      (fun () ->
+        let ts = Relation.tuples r in
+        if !pos >= Array.length ts then None
+        else begin
+          let t = ts.(!pos) in
+          incr pos;
+          Some t
+        end);
+  }
+
+(** Cursor over a thunked relation, materialized at [init] time. *)
+let of_relation_lazy schema (produce : unit -> Relation.t) : t =
+  let state = ref None in
+  let pos = ref 0 in
+  {
+    schema;
+    init =
+      (fun () ->
+        state := Some (produce ());
+        pos := 0);
+    next =
+      (fun () ->
+        match !state with
+        | None -> invalid_arg "Cursor: next before init"
+        | Some r ->
+            let ts = Relation.tuples r in
+            if !pos >= Array.length ts then None
+            else begin
+              let t = ts.(!pos) in
+              incr pos;
+              Some t
+            end);
+  }
+
+(** [init] then drain into a relation. *)
+let to_relation (c : t) : Relation.t =
+  c.init ();
+  let rec go acc =
+    match c.next () with None -> List.rev acc | Some t -> go (t :: acc)
+  in
+  Relation.of_list c.schema (go [])
+
+(** Drain without init (when the caller already initialized). *)
+let drain (c : t) : Tuple.t list =
+  let rec go acc =
+    match c.next () with None -> List.rev acc | Some t -> go (t :: acc)
+  in
+  go []
+
+let iter f (c : t) =
+  c.init ();
+  let rec go () =
+    match c.next () with
+    | None -> ()
+    | Some t ->
+        f t;
+        go ()
+  in
+  go ()

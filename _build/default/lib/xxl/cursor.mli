@@ -1,0 +1,33 @@
+(** The iterator (cursor) framework of the middleware execution engine,
+    modeled on the XXL library the paper builds on: every algorithm is a
+    result set with [init]/[next] methods, enabling pipelined execution
+    (paper Figure 2). *)
+
+open Tango_rel
+
+type t
+
+val make :
+  schema:Schema.t -> init:(unit -> unit) -> next:(unit -> Tuple.t option) -> t
+
+val schema : t -> Schema.t
+
+val init : t -> unit
+(** Prepare inner structures.  Some algorithms do real work here: sorting
+    materializes runs; `TRANSFER^D` copies its whole input into the DBMS. *)
+
+val next : t -> Tuple.t option
+
+val of_relation : Relation.t -> t
+(** Cursor over a materialized relation; [init] rewinds. *)
+
+val of_relation_lazy : Schema.t -> (unit -> Relation.t) -> t
+(** Materializes the thunk at [init] time. *)
+
+val to_relation : t -> Relation.t
+(** [init] then drain. *)
+
+val drain : t -> Tuple.t list
+(** Drain without [init] (the caller already initialized). *)
+
+val iter : (Tuple.t -> unit) -> t -> unit

@@ -1,0 +1,14 @@
+(** `DUPELIM^M`, `DIFFERENCE^M` and `COALESCE^M` — the additional
+    middleware algorithms the paper lists as future additions (§3.1).
+    One-pass, order-preserving algorithms over sorted input (difference
+    materializes its right side at [init]). *)
+
+val dup_elim : Cursor.t -> Cursor.t
+(** Drop adjacent duplicates; input must be sorted on all attributes. *)
+
+val difference : Cursor.t -> Cursor.t -> Cursor.t
+(** Multiset difference preserving the left input's order. *)
+
+val coalesce : Cursor.t -> Cursor.t
+(** Merge periods of value-equivalent adjacent tuples; input must be
+    sorted on (non-period attributes, T1). *)

@@ -1,0 +1,35 @@
+(** Middleware join algorithms: `MERGEJOIN^M` and `TJOIN^M`, both
+    sort-merge over inputs sorted on the join attributes (paper rules
+    T2/T3), plus nested-loop fallbacks for joins without an equi-key.
+
+    The temporal join concatenates the non-period attributes of both inputs
+    and appends the period intersection as unqualified [T1]/[T2], matching
+    {!Tango_algebra.Op.Temporal_join}'s schema. *)
+
+open Tango_sql
+
+val merge_join :
+  ?pred:Ast.expr ->
+  left_keys:string list ->
+  right_keys:string list ->
+  Cursor.t ->
+  Cursor.t ->
+  Cursor.t
+(** Equi-join of inputs sorted on the key attributes; [pred] is a residual
+    predicate over the concatenated schema.  Output follows the left
+    input's key order. *)
+
+val temporal_merge_join :
+  ?pred:Ast.expr ->
+  left_keys:string list ->
+  right_keys:string list ->
+  Cursor.t ->
+  Cursor.t ->
+  Cursor.t
+(** Temporal equi-join (period overlap implicit) of sorted inputs. *)
+
+val nested_loop_join : ?pred:Ast.expr -> Cursor.t -> Cursor.t -> Cursor.t
+(** No order requirement; the right input is materialized at [init]. *)
+
+val temporal_nested_loop_join :
+  ?pred:Ast.expr -> Cursor.t -> Cursor.t -> Cursor.t

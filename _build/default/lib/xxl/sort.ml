@@ -1,0 +1,126 @@
+(** `SORT^M`: external merge sort in the middleware.
+
+    The input is consumed at [init] into sorted runs of at most [run_size]
+    tuples; [next] merges the runs through a binary heap.  With the default
+    run size, small and medium inputs sort in one in-memory run; large
+    inputs exercise the multi-run merge path (the "very large relations"
+    enhancement the paper lists as future work).  The sort is stable, which
+    the list-equivalence reasoning of the rule set relies on. *)
+
+open Tango_rel
+
+let default_run_size = 65_536
+
+type run = { tuples : Tuple.t array; mutable pos : int }
+
+let sort ?(run_size = default_run_size) (order : Order.t) (arg : Cursor.t) :
+    Cursor.t =
+  let schema = Cursor.schema arg in
+  let cmp = Order.comparator order schema in
+  let runs : run list ref = ref [] in
+  (* Heap of runs keyed by their current head tuple; ties broken by run
+     index to keep the merge stable. *)
+  let heap : (Tuple.t * int * run) array ref = ref [||] in
+  let heap_len = ref 0 in
+  let heap_cmp (t1, i1, _) (t2, i2, _) =
+    match cmp t1 t2 with 0 -> Int.compare i1 i2 | c -> c
+  in
+  let heap_swap i j =
+    let tmp = !heap.(i) in
+    !heap.(i) <- !heap.(j);
+    !heap.(j) <- tmp
+  in
+  let rec sift_up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if heap_cmp !heap.(i) !heap.(parent) < 0 then begin
+        heap_swap i parent;
+        sift_up parent
+      end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < !heap_len && heap_cmp !heap.(l) !heap.(!smallest) < 0 then
+      smallest := l;
+    if r < !heap_len && heap_cmp !heap.(r) !heap.(!smallest) < 0 then
+      smallest := r;
+    if !smallest <> i then begin
+      heap_swap i !smallest;
+      sift_down !smallest
+    end
+  in
+  let heap_push entry =
+    if !heap_len >= Array.length !heap then begin
+      let bigger =
+        Array.make (max 4 (2 * Array.length !heap)) entry
+      in
+      Array.blit !heap 0 bigger 0 !heap_len;
+      heap := bigger
+    end;
+    !heap.(!heap_len) <- entry;
+    incr heap_len;
+    sift_up (!heap_len - 1)
+  in
+  let heap_pop () =
+    if !heap_len = 0 then None
+    else begin
+      let top = !heap.(0) in
+      decr heap_len;
+      if !heap_len > 0 then begin
+        !heap.(0) <- !heap.(!heap_len);
+        sift_down 0
+      end;
+      Some top
+    end
+  in
+  let build_runs () =
+    runs := [];
+    let buf = ref [] in
+    let buf_len = ref 0 in
+    let flush () =
+      if !buf_len > 0 then begin
+        let arr = Array.of_list (List.rev !buf) in
+        Array.stable_sort cmp arr;
+        runs := { tuples = arr; pos = 0 } :: !runs;
+        buf := [];
+        buf_len := 0
+      end
+    in
+    let rec consume () =
+      match Cursor.next arg with
+      | None -> flush ()
+      | Some t ->
+          buf := t :: !buf;
+          incr buf_len;
+          if !buf_len >= run_size then flush ();
+          consume ()
+    in
+    consume ();
+    (* Earlier runs get smaller indexes so ties resolve in input order
+       (stability across runs). *)
+    runs := List.rev !runs;
+    heap := [||];
+    heap_len := 0;
+    List.iteri
+      (fun i r ->
+        if Array.length r.tuples > 0 then begin
+          r.pos <- 1;
+          heap_push (r.tuples.(0), i, r)
+        end)
+      !runs
+  in
+  Cursor.make ~schema
+    ~init:(fun () ->
+      Cursor.init arg;
+      build_runs ())
+    ~next:(fun () ->
+      match heap_pop () with
+      | None -> None
+      | Some (t, i, r) ->
+          if r.pos < Array.length r.tuples then begin
+            heap_push (r.tuples.(r.pos), i, r);
+            r.pos <- r.pos + 1
+          end;
+          Some t)

@@ -1,0 +1,140 @@
+(** `TAGGR^M`: the middleware temporal-aggregation algorithm.
+
+    Requires its argument sorted on the grouping attributes and [T1] (paper
+    Section 3.4).  A second copy of each group is sorted internally on [T2];
+    the two orderings are then swept like a sort-merge, adding a tuple's
+    contribution when its period starts and removing it when it ends, so
+    each constant interval is produced in one pass with O(log n) work per
+    event.  The output is ordered on (grouping attributes, T1) — the
+    algorithm "preserves order on the grouping attributes" (paper Query 1),
+    which lets the optimizer drop a final sort. *)
+
+open Tango_rel
+open Tango_algebra
+
+let taggr ~(group_by : string list) ~(aggs : Op.agg list) (arg : Cursor.t) :
+    Cursor.t =
+  let s = Cursor.schema arg in
+  let t1_name, t2_name =
+    match Op.period_attrs s with
+    | Some p -> p
+    | None -> Op.ill_formed "TAGGR argument must be temporal"
+  in
+  let t1_idx = Schema.index s t1_name and t2_idx = Schema.index s t2_name in
+  let group_idxs = List.map (Schema.index s) group_by in
+  let agg_arg_idx (a : Op.agg) =
+    Option.map (Schema.index s) a.Op.arg
+  in
+  let agg_specs =
+    List.map
+      (fun (a : Op.agg) ->
+        let idx = agg_arg_idx a in
+        let arg_dtype = Option.map (Schema.dtype_at s) idx in
+        (a, idx, arg_dtype))
+      aggs
+  in
+  let out_schema =
+    Schema.make
+      (List.map (fun g -> (g, Schema.dtype_of s g)) group_by
+      @ [ ("T1", Value.TDate); ("T2", Value.TDate) ]
+      @ List.map
+          (fun (a : Op.agg) -> (a.Op.out, Op.agg_out_dtype s a))
+          aggs)
+  in
+  let look = ref None in
+  let queue : Tuple.t list ref = ref [] in
+  let group_key t = List.map (fun i -> t.(i)) group_idxs in
+  let key_eq k1 k2 = List.for_all2 Value.equal k1 k2 in
+  (* Read all tuples of the next group (argument is sorted on G). *)
+  let read_group () =
+    match !look with
+    | None -> None
+    | Some first ->
+        let k = group_key first in
+        let members = ref [ first ] in
+        look := Cursor.next arg;
+        let rec go () =
+          match !look with
+          | Some t when key_eq (group_key t) k ->
+              members := t :: !members;
+              look := Cursor.next arg;
+              go ()
+          | _ -> ()
+        in
+        go ();
+        Some (k, Array.of_list (List.rev !members))
+  in
+  (* Sweep one group: produce its output tuples in (T1) order. *)
+  let process_group key (members : Tuple.t array) : Tuple.t list =
+    let n = Array.length members in
+    (* First copy: already sorted on T1 (argument order).  Second copy:
+       sorted internally on T2 — the algorithm's "second sorting". *)
+    let ends = Array.copy members in
+    Array.sort (fun a b -> Value.compare a.(t2_idx) b.(t2_idx)) ends;
+    let states =
+      List.map
+        (fun (a, idx, arg_dtype) ->
+          (Agg_state.create a.Op.fn ~arg_dtype, idx))
+        agg_specs
+    in
+    let value_of t = function Some i -> t.(i) | None -> Value.Null in
+    let active = ref 0 in
+    let out = ref [] in
+    let i = ref 0 (* next start event *) and j = ref 0 (* next end event *) in
+    let prev = ref 0 in
+    let started = ref false in
+    while !j < n do
+      let next_point =
+        if !i < n then
+          min (Value.to_int members.(!i).(t1_idx)) (Value.to_int ends.(!j).(t2_idx))
+        else Value.to_int ends.(!j).(t2_idx)
+      in
+      if !started && !active > 0 && !prev < next_point then begin
+        let tuple =
+          Array.of_list
+            (key
+            @ [ Value.Date !prev; Value.Date next_point ]
+            @ List.map (fun (st, _) -> Agg_state.value st) states)
+        in
+        out := tuple :: !out
+      end;
+      (* Add tuples starting at this point... *)
+      while !i < n && Value.to_int members.(!i).(t1_idx) = next_point do
+        List.iter
+          (fun (st, idx) -> Agg_state.add st (value_of members.(!i) idx))
+          states;
+        incr active;
+        incr i
+      done;
+      (* ...and retire tuples ending here. *)
+      while !j < n && Value.to_int ends.(!j).(t2_idx) = next_point do
+        List.iter
+          (fun (st, idx) -> Agg_state.remove st (value_of ends.(!j) idx))
+          states;
+        decr active;
+        incr j
+      done;
+      prev := next_point;
+      started := true
+    done;
+    List.rev !out
+  in
+  Cursor.make ~schema:out_schema
+    ~init:(fun () ->
+      Cursor.init arg;
+      look := Cursor.next arg;
+      queue := [])
+    ~next:(fun () ->
+      let rec go () =
+        match !queue with
+        | t :: rest ->
+            queue := rest;
+            Some t
+        | [] -> (
+            match read_group () with
+            | None -> None
+            | Some (key, members) ->
+                queue := process_group key members;
+                go ())
+      in
+      go ())

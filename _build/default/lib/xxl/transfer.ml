@@ -1,0 +1,51 @@
+(** The transfer algorithms, `TRANSFER^M` and `TRANSFER^D` (paper
+    Section 3.2).
+
+    `TRANSFER^M` issues a SELECT to the DBMS through the client boundary and
+    streams the result tuples into the middleware (paying marshalling and
+    round-trip costs per {!Tango_dbms.Client}).
+
+    `TRANSFER^D` creates a uniquely-named table and bulk-loads its whole
+    argument into the DBMS at [init] time — the direct-path-load analogue.
+    Its cursor yields nothing; the data is consumed on the DBMS side by SQL
+    referencing the created table, so the execution engine runs `TRANSFER^D`
+    nodes before the `TRANSFER^M` that depends on them (the dashed
+    "sequence" edges of paper Figure 5). *)
+
+open Tango_rel
+open Tango_sql
+open Tango_dbms
+
+(** `TRANSFER^M`.  [schema] is the expected output schema (from the algebra);
+    the SQL's column order must match. *)
+let transfer_m (client : Client.t) ~(schema : Schema.t) (sql : Ast.query) :
+    Cursor.t =
+  let cur = ref None in
+  Cursor.make ~schema
+    ~init:(fun () -> cur := Some (Client.execute_query_ast client sql))
+    ~next:(fun () ->
+      match !cur with
+      | None -> invalid_arg "TRANSFER^M: next before init"
+      | Some c -> Client.fetch c)
+
+(** `TRANSFER^D`: loads [arg] into table [table]; the cursor itself is
+    empty. *)
+let transfer_d (client : Client.t) ~(table : string) (arg : Cursor.t) :
+    Cursor.t =
+  let schema = Cursor.schema arg in
+  Cursor.make ~schema
+    ~init:(fun () ->
+      Cursor.init arg;
+      let rec seq () =
+        match Cursor.next arg with
+        | None -> Seq.Nil
+        | Some t -> Seq.Cons (t, seq)
+      in
+      ignore (Client.bulk_load client ~table schema seq))
+    ~next:(fun () -> None)
+
+(** Drop the temporary tables a query created ("the table must be dropped at
+    the end of the query"). *)
+let drop_temp_table (client : Client.t) (table : string) =
+  if Database.table_exists (Client.database client) table then
+    Database.drop_table (Client.database client) table

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Array Ast List Op Order QCheck QCheck_alcotest Reference Relation Schema Tango_algebra Tango_rel Tango_sql Tuple Value

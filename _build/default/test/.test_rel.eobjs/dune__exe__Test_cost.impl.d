@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Ast Calibrate Factors Formulas Lazy List Tango_cost Tango_dbms Tango_rel Tango_sql Value

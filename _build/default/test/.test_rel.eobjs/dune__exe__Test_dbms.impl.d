@@ -1,0 +1,1 @@
+test/test_dbms.ml: Alcotest Array Catalog Client Database Executor List Option Printf QCheck QCheck_alcotest Relation Schema Stat Tango_dbms Tango_rel Tango_storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Array Buffer Csv Filename Fun Histogram List Option Order QCheck QCheck_alcotest Relation Schema Sys Tango_rel Tuple Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Lexer List Parser Printer QCheck QCheck_alcotest Tango_rel Tango_sql Tango_temporal Value

@@ -1,0 +1,1 @@
+test/test_sqlgen.ml: Alcotest Ast Database List Op Order Printer QCheck QCheck_alcotest Reference Relation Schema Tango_algebra Tango_dbms Tango_rel Tango_sql Tango_sqlgen Tuple Value

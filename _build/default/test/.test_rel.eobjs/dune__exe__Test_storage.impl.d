@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Heap_file Io_stats List Ordered_index Page QCheck QCheck_alcotest Schema Seq String Tango_rel Tango_storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Chronon Filename Fun List Period Printf QCheck QCheck_alcotest Sys Tango_rel Tango_temporal

@@ -1,0 +1,1 @@
+test/test_tsql.ml: Alcotest Array List Op Order Reference Relation Schema Tango_algebra Tango_rel Tango_tsql Tuple Value

@@ -1,0 +1,1 @@
+test/test_volcano.ml: Alcotest Ast Derive Factors List Memo Op Order Physical Rel_stats Rules Schema Search Tango_algebra Tango_cost Tango_rel Tango_sql Tango_stats Tango_volcano Tango_workload Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Op Option Printf Queries Relation Schema Tango_algebra Tango_dbms Tango_rel Tango_temporal Tango_tsql Tango_workload Tuple Uis Uniform Value

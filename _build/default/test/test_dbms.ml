@@ -1,0 +1,480 @@
+(* Tests for the simulated DBMS: DDL/DML, the SQL executor (selection,
+   projection, joins, grouping, subqueries, unions), ANALYZE statistics,
+   and the client transfer boundary. *)
+
+open Tango_rel
+open Tango_dbms
+
+let pos_schema =
+  Schema.make
+    [ ("PosID", Value.TInt); ("EmpName", Value.TStr);
+      ("T1", Value.TDate); ("T2", Value.TDate) ]
+
+(* The paper's Figure 3(a) POSITION relation. *)
+let position_rows =
+  [ (1, "Tom", 2, 20); (1, "Jane", 5, 25); (2, "Tom", 5, 10) ]
+
+let make_db () =
+  let db = Database.create () in
+  Database.load_relation db "POSITION"
+    (Relation.of_list pos_schema
+       (List.map
+          (fun (p, n, a, b) ->
+            Tuple.of_list [ Value.Int p; Value.Str n; Value.Date a; Value.Date b ])
+          position_rows));
+  db
+
+let ints r name = Array.to_list (Array.map Value.to_int (Relation.column r name))
+
+let test_ddl_dml () =
+  let db = Database.create () in
+  (match Database.execute db "CREATE TABLE T (A INT, B VARCHAR)" with
+  | Database.Ok_count 0 -> ()
+  | _ -> Alcotest.fail "create failed");
+  (match Database.execute db "INSERT INTO T VALUES (1, 'x'), (2, 'y')" with
+  | Database.Ok_count 2 -> ()
+  | _ -> Alcotest.fail "insert failed");
+  let r = Database.query db "SELECT A FROM T" in
+  Alcotest.(check (list int)) "rows" [ 1; 2 ] (ints r "A");
+  ignore (Database.execute db "DROP TABLE T");
+  Alcotest.(check bool) "dropped" false (Database.table_exists db "T");
+  Alcotest.check_raises "duplicate table" (Catalog.Table_exists "Z") (fun () ->
+      ignore (Database.execute db "CREATE TABLE Z (A INT)");
+      ignore (Database.execute db "CREATE TABLE Z (A INT)"))
+
+let test_select_where () =
+  let db = make_db () in
+  let r = Database.query db "SELECT EmpName FROM POSITION WHERE PosID = 1" in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality r);
+  let r = Database.query db "SELECT * FROM POSITION WHERE T1 >= DATE '1970-01-06'" in
+  Alcotest.(check int) "two start at chronon 5" 2 (Relation.cardinality r);
+  let r = Database.query db "SELECT * FROM POSITION WHERE T1 >= DATE '1970-02-01'" in
+  Alcotest.(check int) "none start that late" 0 (Relation.cardinality r)
+
+let test_projection_expressions () =
+  let db = make_db () in
+  let r =
+    Database.query db "SELECT PosID * 10 AS X, T2 - T1 AS Dur FROM POSITION"
+  in
+  Alcotest.(check (list int)) "computed" [ 10; 10; 20 ] (ints r "X");
+  Alcotest.(check (list int)) "duration" [ 18; 20; 5 ] (ints r "Dur")
+
+let test_order_by () =
+  let db = make_db () in
+  let r = Database.query db "SELECT PosID, T1 FROM POSITION ORDER BY PosID DESC, T1" in
+  Alcotest.(check (list int)) "desc order" [ 2; 1; 1 ] (ints r "PosID")
+
+let test_distinct () =
+  let db = make_db () in
+  let r = Database.query db "SELECT DISTINCT PosID FROM POSITION" in
+  Alcotest.(check int) "two distinct" 2 (Relation.cardinality r)
+
+let test_group_by () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT PosID, COUNT(*) AS C, MIN(T1) AS MinT FROM POSITION GROUP BY \
+       PosID ORDER BY PosID"
+  in
+  Alcotest.(check (list int)) "counts" [ 2; 1 ] (ints r "C");
+  Alcotest.(check (list int)) "mins" [ 2; 5 ] (ints r "MinT")
+
+let test_group_having () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT PosID FROM POSITION GROUP BY PosID HAVING COUNT(*) > 1"
+  in
+  Alcotest.(check (list int)) "only pos 1" [ 1 ] (ints r "PosID")
+
+let test_global_aggregate () =
+  let db = make_db () in
+  let r = Database.query db "SELECT COUNT(*) AS N, MAX(T2) AS M FROM POSITION" in
+  Alcotest.(check (list int)) "count" [ 3 ] (ints r "N");
+  Alcotest.(check (list int)) "max" [ 25 ] (ints r "M");
+  (* Aggregates over empty input yield one row; COUNT = 0. *)
+  let r = Database.query db "SELECT COUNT(*) AS N FROM POSITION WHERE PosID = 99" in
+  Alcotest.(check (list int)) "empty count" [ 0 ] (ints r "N")
+
+let test_join_product () =
+  let db = make_db () in
+  let r = Database.query db "SELECT A.PosID FROM POSITION A, POSITION B" in
+  Alcotest.(check int) "product" 9 (Relation.cardinality r)
+
+let test_equi_join () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT A.EmpName, B.EmpName FROM POSITION A, POSITION B WHERE \
+       A.PosID = B.PosID AND A.T1 < B.T1"
+  in
+  (* Pairs within same position where A starts strictly earlier: only
+     (Tom pos1 t1=2, Jane pos1 t1=5). *)
+  Alcotest.(check int) "one pair" 1 (Relation.cardinality r)
+
+let test_join_methods_agree () =
+  let db = make_db () in
+  let sql =
+    "SELECT A.PosID, A.EmpName, B.EmpName FROM POSITION A, POSITION B WHERE \
+     A.PosID = B.PosID ORDER BY A.PosID"
+  in
+  Database.set_join_method db Executor.Force_nested_loop;
+  let nl = Database.query db sql in
+  Database.set_join_method db Executor.Force_sort_merge;
+  let sm = Database.query db sql in
+  Database.set_join_method db Executor.Auto;
+  Alcotest.(check bool) "same multiset" true (Relation.equal_multiset nl sm);
+  Alcotest.(check int) "5 matches" 5 (Relation.cardinality nl)
+
+let test_temporal_join_sql () =
+  (* The Figure 5 temporal-join SQL shape: intersection via GREATEST/LEAST
+     plus an overlap predicate. *)
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT A.PosID AS PosID, A.EmpName AS E1, B.EmpName AS E2, \
+       GREATEST(A.T1, B.T1) AS T1, LEAST(A.T2, B.T2) AS T2 FROM POSITION A, \
+       POSITION B WHERE A.PosID = B.PosID AND A.T1 < B.T2 AND A.T2 > B.T1 \
+       AND A.EmpName < B.EmpName ORDER BY PosID"
+  in
+  Alcotest.(check int) "one overlapping pair" 1 (Relation.cardinality r);
+  let t = (Relation.tuples r).(0) in
+  Alcotest.(check int) "t1 = 5" 5 (Value.to_int (Tuple.field (Relation.schema r) t "T1"));
+  Alcotest.(check int) "t2 = 20" 20 (Value.to_int (Tuple.field (Relation.schema r) t "T2"))
+
+let test_scalar_subquery_correlated () =
+  let db = make_db () in
+  (* For each tuple, the next larger start time within the same position. *)
+  let r =
+    Database.query db
+      "SELECT EmpName, (SELECT MIN(B.T1) FROM POSITION B WHERE B.PosID = \
+       A.PosID AND B.T1 > A.T1) AS NextT1 FROM POSITION A ORDER BY EmpName"
+  in
+  let vals = Array.to_list (Relation.column r "NextT1") in
+  (* Jane: none after 5 in pos 1 -> NULL; Tom(pos1,T1=2) -> 5; Tom(pos2) -> NULL *)
+  Alcotest.(check bool) "jane null" true (Value.is_null (List.nth vals 0));
+  Alcotest.(check int) "tom next" 5 (Value.to_int (List.nth vals 1));
+  Alcotest.(check bool) "tom pos2 null" true (Value.is_null (List.nth vals 2))
+
+let test_exists_in () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT EmpName FROM POSITION A WHERE EXISTS (SELECT * FROM POSITION \
+       B WHERE B.PosID = A.PosID AND B.EmpName <> A.EmpName)"
+  in
+  Alcotest.(check int) "shared positions" 2 (Relation.cardinality r);
+  let r =
+    Database.query db
+      "SELECT DISTINCT PosID FROM POSITION WHERE PosID IN (SELECT PosID \
+       FROM POSITION WHERE EmpName = 'Jane')"
+  in
+  Alcotest.(check (list int)) "in subquery" [ 1 ] (ints r "PosID")
+
+let test_union () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT PosID, T1 AS T FROM POSITION UNION SELECT PosID, T2 AS T FROM \
+       POSITION"
+  in
+  (* Endpoint pairs: (1,2) (1,5) (1,20) (1,25) (2,5) (2,10) = 6 distinct. *)
+  Alcotest.(check int) "distinct endpoints" 6 (Relation.cardinality r);
+  let r_all =
+    Database.query db
+      "SELECT PosID, T1 AS T FROM POSITION UNION ALL SELECT PosID, T2 AS T \
+       FROM POSITION"
+  in
+  Alcotest.(check int) "union all keeps dups" 6 (Relation.cardinality r_all)
+
+let test_derived_table () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT g.PosID, g.C FROM (SELECT PosID, COUNT(*) AS C FROM POSITION \
+       GROUP BY PosID) g WHERE g.C > 1"
+  in
+  Alcotest.(check (list int)) "derived" [ 1 ] (ints r "PosID")
+
+(* The temporal-aggregation-in-SQL shape (paper Section 3.4): constant
+   intervals via endpoint UNION + correlated MIN, then overlap join and
+   GROUP BY.  Expected result is Figure 3(c). *)
+let taggr_sql =
+  "SELECT g.PosID AS PosID, g.TS AS T1, g.TE AS T2, COUNT(*) AS CNT \
+   FROM (SELECT p1.PosID AS PosID, p1.T AS TS, \
+           (SELECT MIN(p2.T) FROM (SELECT PosID, T1 AS T FROM POSITION \
+            UNION SELECT PosID, T2 AS T FROM POSITION) p2 \
+            WHERE p2.PosID = p1.PosID AND p2.T > p1.T) AS TE \
+         FROM (SELECT PosID, T1 AS T FROM POSITION \
+               UNION SELECT PosID, T2 AS T FROM POSITION) p1) g, \
+        POSITION r \
+   WHERE g.TE IS NOT NULL AND r.PosID = g.PosID AND r.T1 <= g.TS \
+     AND r.T2 >= g.TE \
+   GROUP BY g.PosID, g.TS, g.TE ORDER BY PosID, T1"
+
+let test_temporal_aggregation_sql () =
+  let db = make_db () in
+  let r = Database.query db taggr_sql in
+  let expect = [ (1, 2, 5, 1); (1, 5, 20, 2); (1, 20, 25, 1); (2, 5, 10, 1) ] in
+  Alcotest.(check int) "four intervals" (List.length expect) (Relation.cardinality r);
+  List.iteri
+    (fun i (p, a, b, c) ->
+      let t = (Relation.tuples r).(i) in
+      let get n = Value.to_int (Tuple.field (Relation.schema r) t n) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "row %d" i)
+        [ p; a; b; c ]
+        [ get "PosID"; get "T1"; get "T2"; get "CNT" ])
+    expect
+
+let test_index_scan_agrees_with_full_scan () =
+  let db = Database.create () in
+  let schema = Schema.make [ ("K", Value.TInt); ("V", Value.TStr) ] in
+  let rows =
+    List.init 500 (fun i ->
+        Tuple.of_list [ Value.Int (i mod 50); Value.Str ("v" ^ string_of_int i) ])
+  in
+  Database.load_relation db "T" (Relation.of_list schema rows);
+  let sql = "SELECT V FROM T WHERE K = 7" in
+  let without_index = Database.query db sql in
+  Database.create_index db "T" "K";
+  let with_index = Database.query db sql in
+  Alcotest.(check bool) "same result" true
+    (Relation.equal_multiset without_index with_index);
+  (* And a range predicate. *)
+  let sql = "SELECT V FROM T WHERE K < 5" in
+  let with_index_range = Database.query db sql in
+  Alcotest.(check int) "range via index" 50 (Relation.cardinality with_index_range)
+
+let test_null_semantics () =
+  let db = Database.create () in
+  ignore (Database.execute db "CREATE TABLE N (A INT, B INT)");
+  ignore (Database.execute db "INSERT INTO N VALUES (1, 10), (2, NULL), (NULL, 30)");
+  (* comparisons with NULL are false *)
+  let r = Database.query db "SELECT A FROM N WHERE B > 5" in
+  Alcotest.(check (list int)) "null comparison false" [ 1; 3 ]
+    (Array.to_list
+       (Array.map
+          (fun t -> try Value.to_int t.(0) with _ -> 3)
+          (Relation.tuples r)));
+  (* IS NULL / IS NOT NULL *)
+  let r = Database.query db "SELECT B FROM N WHERE A IS NULL" in
+  Alcotest.(check int) "is null" 1 (Relation.cardinality r);
+  let r = Database.query db "SELECT A FROM N WHERE B IS NOT NULL" in
+  Alcotest.(check int) "is not null" 2 (Relation.cardinality r);
+  (* aggregates skip NULL arguments; COUNT(col) counts non-null *)
+  let r =
+    Database.query db "SELECT COUNT(*) AS N, COUNT(B) AS NB, SUM(B) AS S FROM N"
+  in
+  let t = (Relation.tuples r).(0) in
+  Alcotest.(check int) "count star" 3 (Value.to_int t.(0));
+  Alcotest.(check int) "count col" 2 (Value.to_int t.(1));
+  Alcotest.(check int) "sum skips null" 40 (Value.to_int t.(2));
+  (* NULL join keys never match *)
+  let r =
+    Database.query db "SELECT X.A FROM N X, N Y WHERE X.A = Y.B"
+  in
+  Alcotest.(check int) "no null matches" 0 (Relation.cardinality r)
+
+let test_arithmetic_in_where () =
+  let db = make_db () in
+  let r =
+    Database.query db
+      "SELECT EmpName FROM POSITION WHERE T2 - T1 > 15 ORDER BY EmpName"
+  in
+  (* durations: Tom 18, Jane 20, Tom 5 *)
+  Alcotest.(check int) "two long assignments" 2 (Relation.cardinality r);
+  let r = Database.query db "SELECT PosID FROM POSITION WHERE PosID * 2 = 4" in
+  Alcotest.(check int) "computed equality" 1 (Relation.cardinality r)
+
+let test_between_and_nested_derived () =
+  let db = make_db () in
+  let r = Database.query db "SELECT PosID FROM POSITION WHERE T1 BETWEEN 3 AND 6" in
+  Alcotest.(check int) "between" 2 (Relation.cardinality r);
+  (* two levels of derived tables *)
+  let r =
+    Database.query db
+      "SELECT z.C FROM (SELECT y.PosID AS P, COUNT(*) AS C FROM (SELECT        PosID FROM POSITION WHERE PosID = 1) y GROUP BY y.PosID) z"
+  in
+  Alcotest.(check int) "nested derived" 1 (Relation.cardinality r);
+  Alcotest.(check int) "count through layers" 2
+    (Value.to_int (Relation.tuples r).(0).(0))
+
+let test_index_nested_loop_join () =
+  (* With an index on the inner join attribute, the executor probes instead
+     of scanning; results must match the other join methods. *)
+  let db = Database.create () in
+  let dim_schema = Schema.make [ ("K", Value.TInt); ("Label", Value.TStr) ] in
+  let fact_schema = Schema.make [ ("FK", Value.TInt); ("V", Value.TInt) ] in
+  Database.load_relation db "DIM"
+    (Relation.of_list dim_schema
+       (List.init 50 (fun i ->
+            Tuple.of_list [ Value.Int i; Value.Str ("L" ^ string_of_int i) ])));
+  Database.load_relation db "FACT"
+    (Relation.of_list fact_schema
+       (List.init 300 (fun i ->
+            Tuple.of_list [ Value.Int (i mod 60); Value.Int i ])));
+  let sql = "SELECT F.V, D.Label FROM FACT F, DIM D WHERE F.FK = D.K" in
+  Database.set_join_method db Executor.Force_sort_merge;
+  let merge = Database.query db sql in
+  Database.create_index db "DIM" "K";
+  Database.set_join_method db Executor.Auto;
+  let before = (Database.io_stats db).Tango_storage.Io_stats.index_lookups in
+  let inl = Database.query db sql in
+  let after = (Database.io_stats db).Tango_storage.Io_stats.index_lookups in
+  Alcotest.(check bool) "probed the index" true (after - before >= 300);
+  Alcotest.(check bool) "same result" true (Relation.equal_multiset merge inl);
+  (* keys 50..59 have no DIM match and must be dropped *)
+  Alcotest.(check int) "only matched keys" 250 (Relation.cardinality inl);
+  (* forced NL also uses the probe *)
+  Database.set_join_method db Executor.Force_nested_loop;
+  let nl = Database.query db sql in
+  Alcotest.(check bool) "forced NL agrees" true (Relation.equal_multiset merge nl)
+
+let test_inl_with_residual_filter () =
+  (* residual single-table predicates are re-applied after the probe *)
+  let db = Database.create () in
+  let dim_schema = Schema.make [ ("K", Value.TInt); ("Flag", Value.TInt) ] in
+  Database.load_relation db "DIM"
+    (Relation.of_list dim_schema
+       (List.init 40 (fun i -> Tuple.of_list [ Value.Int i; Value.Int (i mod 2) ])));
+  Database.load_relation db "FACT"
+    (Relation.of_list (Schema.make [ ("FK", Value.TInt) ])
+       (List.init 40 (fun i -> Tuple.of_list [ Value.Int i ])));
+  Database.create_index db "DIM" "K";
+  let r =
+    Database.query db
+      "SELECT F.FK FROM FACT F, DIM D WHERE F.FK = D.K AND D.Flag = 1"
+  in
+  Alcotest.(check int) "half survive" 20 (Relation.cardinality r)
+
+let test_analyze_stats () =
+  let db = make_db () in
+  let st = Database.analyze db "POSITION" in
+  Alcotest.(check int) "cardinality" 3 st.Stat.cardinality;
+  Alcotest.(check bool) "blocks > 0" true (st.Stat.blocks > 0);
+  Alcotest.(check bool) "avg size > 0" true (st.Stat.avg_tuple_size > 0.0);
+  let c = Option.get (Stat.column_stats st "PosID") in
+  Alcotest.(check int) "distinct" 2 c.Stat.distinct;
+  Alcotest.(check bool) "min" true (Value.equal (Option.get c.Stat.min_value) (Value.Int 1));
+  Alcotest.(check bool) "max" true (Value.equal (Option.get c.Stat.max_value) (Value.Int 2));
+  Alcotest.(check bool) "histogram built" true (c.Stat.histogram <> None);
+  (* Histograms can be disabled — the Query 2 experiment depends on this. *)
+  let st = Database.analyze db ~histograms:`None "POSITION" in
+  let c = Option.get (Stat.column_stats st "T1") in
+  Alcotest.(check bool) "no histogram" true (c.Stat.histogram = None)
+
+let test_client_transfer () =
+  let db = make_db () in
+  let client = Client.connect ~row_prefetch:2 ~roundtrip_spin:0 db in
+  let cur = Client.execute_query client "SELECT PosID, EmpName FROM POSITION ORDER BY PosID" in
+  let r = Client.fetch_all cur in
+  Alcotest.(check int) "all rows" 3 (Relation.cardinality r);
+  Alcotest.(check int) "tuples shipped" 3 (Client.tuples_shipped client);
+  (* 3 rows at prefetch 2 -> 2 round trips *)
+  Alcotest.(check int) "round trips" 2 (Client.roundtrips client)
+
+let test_client_bulk_load () =
+  let db = make_db () in
+  let client = Client.connect ~roundtrip_spin:0 db in
+  let schema = Schema.make [ ("A", Value.TInt) ] in
+  let tuples = List.to_seq (List.init 25 (fun i -> Tuple.of_list [ Value.Int i ])) in
+  let name = Client.bulk_load client ~table:"LOADED" schema tuples in
+  Alcotest.(check string) "table name" "LOADED" name;
+  Alcotest.(check int) "loaded rows" 25 (Database.table_cardinality db "LOADED");
+  let r = Database.query db "SELECT A FROM LOADED WHERE A < 3" in
+  Alcotest.(check int) "queryable" 3 (Relation.cardinality r)
+
+let test_sql_errors () =
+  let db = make_db () in
+  let fails sql =
+    match Database.query db sql with
+    | exception Executor.Sql_error _ -> true
+    | exception Catalog.No_such_table _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown table" true (fails "SELECT * FROM NOPE");
+  Alcotest.(check bool) "unknown column" true (fails "SELECT Nope FROM POSITION");
+  Alcotest.(check bool) "union arity" true
+    (fails "SELECT PosID FROM POSITION UNION SELECT PosID, T1 FROM POSITION")
+
+(* Property: executor selection agrees with a reference filter over a random
+   relation, for random range predicates. *)
+let prop_selection_agrees =
+  QCheck.Test.make ~name:"SQL selection = reference filter" ~count:50
+    QCheck.(pair (list (pair (int_bound 100) (int_bound 100))) (int_bound 100))
+    (fun (rows, bound) ->
+      let db = Database.create () in
+      let schema = Schema.make [ ("A", Value.TInt); ("B", Value.TInt) ] in
+      Database.load_relation db "R"
+        (Relation.of_list schema
+           (List.map (fun (a, b) -> Tuple.of_list [ Value.Int a; Value.Int b ]) rows));
+      let r =
+        Database.query db (Printf.sprintf "SELECT A, B FROM R WHERE A < %d" bound)
+      in
+      let expected = List.length (List.filter (fun (a, _) -> a < bound) rows) in
+      Relation.cardinality r = expected)
+
+(* Property: sort-merge and nested-loop joins agree on random equi-joins. *)
+let prop_join_methods_agree =
+  QCheck.Test.make ~name:"join methods agree" ~count:30
+    QCheck.(pair (list (int_bound 10)) (list (int_bound 10)))
+    (fun (ks1, ks2) ->
+      let db = Database.create () in
+      let schema = Schema.make [ ("K", Value.TInt) ] in
+      let rel ks = Relation.of_list schema (List.map (fun k -> Tuple.of_list [ Value.Int k ]) ks) in
+      Database.load_relation db "R1" (rel ks1);
+      Database.load_relation db "R2" (rel ks2);
+      let sql = "SELECT A.K FROM R1 A, R2 B WHERE A.K = B.K" in
+      Database.set_join_method db Executor.Force_nested_loop;
+      let nl = Database.query db sql in
+      Database.set_join_method db Executor.Force_sort_merge;
+      let sm = Database.query db sql in
+      Relation.equal_multiset nl sm)
+
+let () =
+  Alcotest.run "tango_dbms"
+    [
+      ( "ddl",
+        [
+          Alcotest.test_case "create/insert/drop" `Quick test_ddl_dml;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "select/where" `Quick test_select_where;
+          Alcotest.test_case "projection exprs" `Quick test_projection_expressions;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "having" `Quick test_group_having;
+          Alcotest.test_case "global aggregate" `Quick test_global_aggregate;
+          Alcotest.test_case "cartesian product" `Quick test_join_product;
+          Alcotest.test_case "equi join" `Quick test_equi_join;
+          Alcotest.test_case "join methods agree" `Quick test_join_methods_agree;
+          Alcotest.test_case "temporal join SQL" `Quick test_temporal_join_sql;
+          Alcotest.test_case "correlated scalar subquery" `Quick test_scalar_subquery_correlated;
+          Alcotest.test_case "exists / in" `Quick test_exists_in;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "derived table" `Quick test_derived_table;
+          Alcotest.test_case "temporal aggregation SQL" `Quick test_temporal_aggregation_sql;
+          Alcotest.test_case "index scan correctness" `Quick test_index_scan_agrees_with_full_scan;
+          Alcotest.test_case "index nested-loop join" `Quick test_index_nested_loop_join;
+          Alcotest.test_case "INL residual filter" `Quick test_inl_with_residual_filter;
+          Alcotest.test_case "null semantics" `Quick test_null_semantics;
+          Alcotest.test_case "arithmetic in WHERE" `Quick test_arithmetic_in_where;
+          Alcotest.test_case "between & nested derived" `Quick test_between_and_nested_derived;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+        ] );
+      ( "catalog",
+        [ Alcotest.test_case "analyze" `Quick test_analyze_stats ] );
+      ( "client",
+        [
+          Alcotest.test_case "cursor transfer" `Quick test_client_transfer;
+          Alcotest.test_case "bulk load" `Quick test_client_bulk_load;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_selection_agrees;
+          QCheck_alcotest.to_alcotest prop_join_methods_agree;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the workload generators: published shapes (cardinalities,
+   tuple sizes, time skew), determinism, and the integrity of the paper's
+   query/plan definitions. *)
+
+open Tango_rel
+open Tango_algebra
+open Tango_workload
+
+let position = Uis.position ~n:2_000 ()
+let employee = Uis.employee ~n:500 ()
+
+let test_position_shape () =
+  Alcotest.(check int) "cardinality" 2_000 (Relation.cardinality position);
+  Alcotest.(check int) "8 attributes" 8 (Schema.arity (Relation.schema position));
+  (* tuple size close to the published ~80 bytes *)
+  let avg = Relation.avg_tuple_size position in
+  Alcotest.(check bool) (Printf.sprintf "avg size %.1f in 60..100" avg) true
+    (avg > 60.0 && avg < 100.0)
+
+let test_employee_shape () =
+  Alcotest.(check int) "cardinality" 500 (Relation.cardinality employee);
+  Alcotest.(check int) "31 attributes" 31 (Schema.arity (Relation.schema employee));
+  let avg = Relation.avg_tuple_size employee in
+  (* published: ~276 bytes *)
+  Alcotest.(check bool) (Printf.sprintf "avg size %.1f in 220..340" avg) true
+    (avg > 220.0 && avg < 340.0)
+
+let test_time_skew () =
+  (* ~65% of periods start in 1995 or later (paper Section 5.2, Query 3) *)
+  let cutoff = Tango_temporal.Chronon.of_string "1995-01-01" in
+  let s = Relation.schema position in
+  let late =
+    Relation.fold
+      (fun acc t ->
+        if Value.to_int (Tuple.field s t "T1") >= cutoff then acc + 1 else acc)
+      0 position
+  in
+  let frac = float_of_int late /. 2000.0 in
+  Alcotest.(check bool) (Printf.sprintf "late fraction %.2f ~ 0.65" frac) true
+    (frac > 0.58 && frac < 0.72)
+
+let test_periods_valid () =
+  let s = Relation.schema position in
+  Relation.iter
+    (fun t ->
+      let t1 = Value.to_int (Tuple.field s t "T1") in
+      let t2 = Value.to_int (Tuple.field s t "T2") in
+      if t1 >= t2 then Alcotest.fail "empty period generated")
+    position
+
+let test_determinism () =
+  let a = Uis.position ~n:300 () and b = Uis.position ~n:300 () in
+  Alcotest.(check bool) "same data every time" true (Relation.equal_list a b)
+
+let test_uniform_relation () =
+  let r = Uniform.generate ~n:5_000 ~duration:7 () in
+  let s = Relation.schema r in
+  let lo = Tango_temporal.Chronon.of_string "1995-01-01" in
+  let hi = Tango_temporal.Chronon.of_string "2000-01-01" in
+  Relation.iter
+    (fun t ->
+      let t1 = Value.to_int (Tuple.field s t "T1") in
+      let t2 = Value.to_int (Tuple.field s t "T2") in
+      if t2 - t1 <> 7 then Alcotest.fail "duration must be 7";
+      if t1 < lo || t2 > hi then Alcotest.fail "period out of range")
+    r;
+  (* actual_overlaps agrees with a manual count *)
+  let a = Tango_temporal.Chronon.of_string "1997-01-01" in
+  let b = Tango_temporal.Chronon.of_string "1997-02-01" in
+  let manual =
+    Relation.fold
+      (fun acc t ->
+        let t1 = Value.to_int (Tuple.field s t "T1") in
+        let t2 = Value.to_int (Tuple.field s t "T2") in
+        if t1 < b && t2 > a then acc + 1 else acc)
+      0 r
+  in
+  Alcotest.(check int) "actual_overlaps" manual (Uniform.actual_overlaps r ~a ~b)
+
+let test_load_creates_tables () =
+  let db = Tango_dbms.Database.create () in
+  Uis.load ~scale:0.002 db;
+  Alcotest.(check bool) "POSITION exists" true
+    (Tango_dbms.Database.table_exists db "POSITION");
+  Alcotest.(check bool) "EMPLOYEE exists" true
+    (Tango_dbms.Database.table_exists db "EMPLOYEE");
+  (* statistics were collected, with the EmpID index flagged *)
+  match Tango_dbms.Database.stats_of db "EMPLOYEE" with
+  | Some st ->
+      let c = Option.get (Tango_dbms.Stat.column_stats st "EmpID") in
+      Alcotest.(check bool) "EmpID indexed" true c.Tango_dbms.Stat.indexed;
+      Alcotest.(check bool) "clustered" true c.Tango_dbms.Stat.clustered
+  | None -> Alcotest.fail "EMPLOYEE not analyzed"
+
+(* every published plan tree must be well-formed *)
+let test_plan_trees_validate () =
+  let all =
+    List.map snd (Queries.q1_plans ~position:"POSITION" ())
+    @ List.map snd (Queries.q2_plans ~position:"POSITION" ~period_end:"1995-06-01" ())
+    @ List.map snd (Queries.q3_plans ~position:"POSITION" ~start_bound:"1995-06-01" ())
+    @ [
+        Queries.q4_plan1 ~position:"POSITION" ~employee:"EMPLOYEE" ();
+        Queries.q4_plan_dbms ~position:"POSITION" ~employee:"EMPLOYEE" ();
+      ]
+  in
+  List.iter Op.validate all;
+  Alcotest.(check int) "all trees validated" 13 (List.length all)
+
+(* the temporal SQL forms parse and compile *)
+let test_query_sql_compiles () =
+  let lookup = function
+    | "POSITION" -> Uis.position_schema
+    | "EMPLOYEE" -> Uis.employee_schema
+    | t -> failwith t
+  in
+  List.iter
+    (fun sql -> Op.validate (Tango_tsql.Compile.initial_plan ~lookup sql))
+    [
+      Queries.q1_sql;
+      Queries.q2_sql ~period_end:"1990-01-01";
+      Queries.q3_sql ~start_bound:"1990-01-01";
+      Queries.q4_sql;
+    ]
+
+let () =
+  Alcotest.run "tango_workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "POSITION shape" `Quick test_position_shape;
+          Alcotest.test_case "EMPLOYEE shape" `Quick test_employee_shape;
+          Alcotest.test_case "time skew" `Quick test_time_skew;
+          Alcotest.test_case "periods valid" `Quick test_periods_valid;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "uniform relation" `Quick test_uniform_relation;
+          Alcotest.test_case "load + index + stats" `Quick test_load_creates_tables;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "plan trees validate" `Quick test_plan_trees_validate;
+          Alcotest.test_case "SQL compiles" `Quick test_query_sql_compiles;
+        ] );
+    ]

@@ -1,0 +1,434 @@
+(* Tests for the middleware execution engine: every XXL algorithm is checked
+   against the reference semantics of the algebra. *)
+
+open Tango_rel
+open Tango_sql
+open Tango_algebra
+open Tango_xxl
+
+let col ?q c = Ast.Col (q, c)
+
+let schema_kab =
+  Schema.make [ ("K", Value.TInt); ("V", Value.TFloat);
+                ("T1", Value.TDate); ("T2", Value.TDate) ]
+
+let rel_of rows =
+  Relation.of_list schema_kab
+    (List.map
+       (fun (k, v, a, b) ->
+         Tuple.of_list [ Value.Int k; Value.Float v; Value.Date a; Value.Date b ])
+       rows)
+
+let sample =
+  rel_of
+    [ (1, 10.0, 2, 20); (1, 20.0, 5, 25); (2, 5.0, 5, 10); (2, 7.5, 1, 6);
+      (3, 1.0, 4, 8) ]
+
+let test_cursor_of_relation () =
+  let c = Cursor.of_relation sample in
+  let r = Cursor.to_relation c in
+  Alcotest.(check bool) "roundtrip" true (Relation.equal_list sample r);
+  (* init resets *)
+  let r2 = Cursor.to_relation c in
+  Alcotest.(check bool) "re-init" true (Relation.equal_list sample r2)
+
+let test_filter () =
+  let pred = Ast.Binop (Ast.Eq, col "K", Ast.Lit (Value.Int 1)) in
+  let out = Cursor.to_relation (Basic_ops.filter pred (Cursor.of_relation sample)) in
+  Alcotest.(check int) "two" 2 (Relation.cardinality out)
+
+let test_project () =
+  let out =
+    Cursor.to_relation
+      (Basic_ops.project
+         [ (col "K", "K"); (Ast.Binop (Ast.Mul, col "V", Ast.Lit (Value.Int 2)), "V2") ]
+         (Cursor.of_relation sample))
+  in
+  Alcotest.(check (list string)) "schema" [ "K"; "V2" ]
+    (Schema.names (Relation.schema out));
+  Alcotest.(check (float 0.001)) "computed" 20.0
+    (Value.to_float (Relation.tuples out).(0).(1))
+
+let test_sort_matches_relation_sort () =
+  let order = [ Order.asc "K"; Order.desc "T1" ] in
+  let out = Cursor.to_relation (Sort.sort order (Cursor.of_relation sample)) in
+  let expected = Relation.sort order sample in
+  Alcotest.(check bool) "sorted equal" true (Relation.equal_list expected out)
+
+let test_sort_multi_run () =
+  (* Force many tiny runs to exercise the external merge. *)
+  let rows = List.init 1000 (fun i -> ((i * 37) mod 1000, 0.0, 1, 2)) in
+  let r = rel_of rows in
+  let out =
+    Cursor.to_relation (Sort.sort ~run_size:16 [ Order.asc "K" ] (Cursor.of_relation r))
+  in
+  let expected = Relation.sort [ Order.asc "K" ] r in
+  Alcotest.(check bool) "external sort correct" true
+    (Relation.equal_list expected out)
+
+let test_sort_stability () =
+  let schema = Schema.make [ ("K", Value.TInt); ("I", Value.TInt) ] in
+  let r =
+    Relation.of_list schema
+      (List.init 100 (fun i -> Tuple.of_list [ Value.Int (i mod 3); Value.Int i ]))
+  in
+  let out = Cursor.to_relation (Sort.sort ~run_size:8 [ Order.asc "K" ] (Cursor.of_relation r)) in
+  (* within each key, I must stay increasing *)
+  let last = Hashtbl.create 3 in
+  let ok = ref true in
+  Relation.iter
+    (fun t ->
+      let k = Value.to_int t.(0) and i = Value.to_int t.(1) in
+      (match Hashtbl.find_opt last k with
+      | Some prev when prev > i -> ok := false
+      | _ -> ());
+      Hashtbl.replace last k i)
+    out;
+  Alcotest.(check bool) "stable across runs" true !ok
+
+(* ---- joins ---- *)
+
+let lookup_of pairs name =
+  match List.assoc_opt name pairs with
+  | Some r -> r
+  | None -> failwith ("unknown " ^ name)
+
+let sorted_cursor keys r = Sort.sort (Order.of_attrs keys) (Cursor.of_relation r)
+
+let test_merge_join_vs_reference () =
+  let l = rel_of [ (1, 1.0, 1, 2); (2, 2.0, 1, 2); (2, 3.0, 1, 2); (4, 1.0, 1, 2) ] in
+  let r = rel_of [ (2, 9.0, 1, 2); (2, 8.0, 1, 2); (3, 7.0, 1, 2); (4, 1.0, 1, 2) ] in
+  let pred = Ast.Binop (Ast.Eq, col ~q:"A" "K", col ~q:"B" "K") in
+  let ref_out =
+    Reference.eval
+      (lookup_of [ ("L", l); ("R", r) ])
+      (Op.join pred
+         (Op.scan ~alias:"A" "L" schema_kab)
+         (Op.scan ~alias:"B" "R" schema_kab))
+  in
+  let qual alias rel =
+    Relation.make (Schema.qualify alias schema_kab) (Relation.tuples rel)
+  in
+  let out =
+    Cursor.to_relation
+      (Joins.merge_join ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+         (sorted_cursor [ "A.K" ] (qual "A" l))
+         (sorted_cursor [ "B.K" ] (qual "B" r)))
+  in
+  Alcotest.(check int) "5 matches" 5 (Relation.cardinality out);
+  Alcotest.(check bool) "matches reference" true (Relation.equal_multiset ref_out out)
+
+let test_merge_join_residual_pred () =
+  let l = rel_of [ (1, 1.0, 1, 2); (1, 5.0, 1, 2) ] in
+  let r = rel_of [ (1, 2.0, 1, 2) ] in
+  let pred =
+    Ast.Binop
+      (Ast.And,
+       Ast.Binop (Ast.Eq, col ~q:"A" "K", col ~q:"B" "K"),
+       Ast.Binop (Ast.Lt, col ~q:"A" "V", col ~q:"B" "V"))
+  in
+  let qual alias rel = Relation.make (Schema.qualify alias schema_kab) (Relation.tuples rel) in
+  let out =
+    Cursor.to_relation
+      (Joins.merge_join ~pred ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+         (sorted_cursor [ "A.K" ] (qual "A" l))
+         (sorted_cursor [ "B.K" ] (qual "B" r)))
+  in
+  Alcotest.(check int) "only V<2" 1 (Relation.cardinality out)
+
+let test_tjoin_vs_reference () =
+  let pred = Ast.Binop (Ast.Eq, col ~q:"A" "K", col ~q:"B" "K") in
+  let ref_out =
+    Reference.eval
+      (lookup_of [ ("L", sample); ("R", sample) ])
+      (Op.temporal_join pred
+         (Op.scan ~alias:"A" "L" schema_kab)
+         (Op.scan ~alias:"B" "R" schema_kab))
+  in
+  let qual alias = Relation.make (Schema.qualify alias schema_kab) (Relation.tuples sample) in
+  let out =
+    Cursor.to_relation
+      (Joins.temporal_merge_join ~pred:(Ast.Lit (Value.Bool true))
+         ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+         (sorted_cursor [ "A.K" ] (qual "A"))
+         (sorted_cursor [ "B.K" ] (qual "B")))
+  in
+  Alcotest.(check bool) "tjoin matches reference" true
+    (Relation.equal_multiset ref_out out)
+
+let test_nested_loop_variants () =
+  let pred = Ast.Binop (Ast.Eq, col ~q:"A" "K", col ~q:"B" "K") in
+  let qual alias = Relation.make (Schema.qualify alias schema_kab) (Relation.tuples sample) in
+  let merge =
+    Cursor.to_relation
+      (Joins.temporal_merge_join ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+         ~pred:(Ast.Lit (Value.Bool true))
+         (sorted_cursor [ "A.K" ] (qual "A"))
+         (sorted_cursor [ "B.K" ] (qual "B")))
+  in
+  let nl =
+    Cursor.to_relation
+      (Joins.temporal_nested_loop_join ~pred
+         (Cursor.of_relation (qual "A"))
+         (Cursor.of_relation (qual "B")))
+  in
+  Alcotest.(check bool) "nl tjoin = merge tjoin" true (Relation.equal_multiset merge nl);
+  let j_m =
+    Cursor.to_relation
+      (Joins.merge_join ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+         (sorted_cursor [ "A.K" ] (qual "A"))
+         (sorted_cursor [ "B.K" ] (qual "B")))
+  in
+  let j_nl =
+    Cursor.to_relation
+      (Joins.nested_loop_join ~pred (Cursor.of_relation (qual "A")) (Cursor.of_relation (qual "B")))
+  in
+  Alcotest.(check bool) "nl join = merge join" true (Relation.equal_multiset j_m j_nl)
+
+(* ---- temporal aggregation ---- *)
+
+let taggr_via_xxl ~group_by ~aggs r =
+  let sorted = Sort.sort (Order.of_attrs (group_by @ [ "T1" ])) (Cursor.of_relation r) in
+  Cursor.to_relation (Taggr.taggr ~group_by ~aggs sorted)
+
+let taggr_via_reference ~group_by ~aggs r =
+  Reference.eval
+    (lookup_of [ ("R", r) ])
+    (Op.temporal_aggregate group_by aggs
+       (Op.scan "R" (Schema.unqualify (Relation.schema r))))
+
+let test_taggr_figure3c () =
+  let pos_schema =
+    Schema.make
+      [ ("PosID", Value.TInt); ("EmpName", Value.TStr);
+        ("T1", Value.TDate); ("T2", Value.TDate) ]
+  in
+  let position =
+    Relation.of_list pos_schema
+      (List.map
+         (fun (p, n, a, b) ->
+           Tuple.of_list [ Value.Int p; Value.Str n; Value.Date a; Value.Date b ])
+         [ (1, "Tom", 2, 20); (1, "Jane", 5, 25); (2, "Tom", 5, 10) ])
+  in
+  let out =
+    taggr_via_xxl ~group_by:[ "PosID" ] ~aggs:[ Op.count_star "CNT" ] position
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun t -> List.map Value.to_int [ t.(0); t.(1); t.(2); t.(3) ])
+         (Relation.tuples out))
+  in
+  Alcotest.(check (list (list int))) "figure 3(c)"
+    [ [ 1; 2; 5; 1 ]; [ 1; 5; 20; 2 ]; [ 1; 20; 25; 1 ]; [ 2; 5; 10; 1 ] ]
+    rows
+
+let test_taggr_all_aggregates () =
+  let aggs =
+    [ Op.count_star "CNT"; Op.agg Ast.Sum "V" "S"; Op.agg Ast.Avg "V" "A";
+      Op.agg Ast.Min "V" "MN"; Op.agg Ast.Max "V" "MX" ]
+  in
+  let xxl = taggr_via_xxl ~group_by:[ "K" ] ~aggs sample in
+  let ref_ = taggr_via_reference ~group_by:[ "K" ] ~aggs sample in
+  Alcotest.(check bool) "all aggregates match reference" true
+    (Relation.equal_list ref_ xxl)
+
+let test_taggr_no_grouping () =
+  let xxl = taggr_via_xxl ~group_by:[] ~aggs:[ Op.count_star "CNT" ] sample in
+  let ref_ = taggr_via_reference ~group_by:[] ~aggs:[ Op.count_star "CNT" ] sample in
+  Alcotest.(check bool) "global taggr" true (Relation.equal_list ref_ xxl)
+
+let test_taggr_output_order () =
+  let out = taggr_via_xxl ~group_by:[ "K" ] ~aggs:[ Op.count_star "C" ] sample in
+  let s = Relation.schema out in
+  let cmp = Order.comparator [ Order.asc "K"; Order.asc "T1" ] s in
+  let sorted = ref true in
+  let ts = Relation.tuples out in
+  for i = 1 to Array.length ts - 1 do
+    if cmp ts.(i - 1) ts.(i) > 0 then sorted := false
+  done;
+  Alcotest.(check bool) "ordered by (K, T1)" true !sorted
+
+(* property: TAGGR^M = reference on random data, all aggregate functions *)
+let row_gen =
+  QCheck.Gen.(
+    map
+      (fun (k, v, t1, d) -> (k, float_of_int v, t1, t1 + 1 + d))
+      (quad (int_range 1 4) (int_range 0 20) (int_range 0 40) (int_range 0 15)))
+
+let prop_taggr_matches_reference =
+  QCheck.Test.make ~name:"TAGGR^M = reference semantics" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 25) (QCheck.make row_gen))
+    (fun rows ->
+      let r = rel_of rows in
+      let aggs =
+        [ Op.count_star "CNT"; Op.agg Ast.Sum "V" "S";
+          Op.agg Ast.Min "V" "MN"; Op.agg Ast.Max "V" "MX" ]
+      in
+      let xxl = taggr_via_xxl ~group_by:[ "K" ] ~aggs r in
+      let ref_ = taggr_via_reference ~group_by:[ "K" ] ~aggs r in
+      Relation.equal_list ref_ xxl)
+
+let prop_merge_join_matches_reference =
+  QCheck.Test.make ~name:"MERGEJOIN^M = reference join" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 15) (QCheck.make row_gen))
+        (list_of_size (QCheck.Gen.int_bound 15) (QCheck.make row_gen)))
+    (fun (lrows, rrows) ->
+      let l = rel_of lrows and r = rel_of rrows in
+      let pred = Ast.Binop (Ast.Eq, col ~q:"A" "K", col ~q:"B" "K") in
+      let ref_out =
+        Reference.eval
+          (lookup_of [ ("L", l); ("R", r) ])
+          (Op.join pred
+             (Op.scan ~alias:"A" "L" schema_kab)
+             (Op.scan ~alias:"B" "R" schema_kab))
+      in
+      let qual alias rel = Relation.make (Schema.qualify alias schema_kab) (Relation.tuples rel) in
+      let out =
+        Cursor.to_relation
+          (Joins.merge_join ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+             (sorted_cursor [ "A.K" ] (qual "A" l))
+             (sorted_cursor [ "B.K" ] (qual "B" r)))
+      in
+      Relation.equal_multiset ref_out out)
+
+let prop_tjoin_matches_reference =
+  QCheck.Test.make ~name:"TJOIN^M = reference temporal join" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 12) (QCheck.make row_gen))
+        (list_of_size (QCheck.Gen.int_bound 12) (QCheck.make row_gen)))
+    (fun (lrows, rrows) ->
+      let l = rel_of lrows and r = rel_of rrows in
+      let pred = Ast.Binop (Ast.Eq, col ~q:"A" "K", col ~q:"B" "K") in
+      let ref_out =
+        Reference.eval
+          (lookup_of [ ("L", l); ("R", r) ])
+          (Op.temporal_join pred
+             (Op.scan ~alias:"A" "L" schema_kab)
+             (Op.scan ~alias:"B" "R" schema_kab))
+      in
+      let qual alias rel = Relation.make (Schema.qualify alias schema_kab) (Relation.tuples rel) in
+      let out =
+        Cursor.to_relation
+          (Joins.temporal_merge_join ~pred:(Ast.Lit (Value.Bool true))
+             ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+             (sorted_cursor [ "A.K" ] (qual "A" l))
+             (sorted_cursor [ "B.K" ] (qual "B" r)))
+      in
+      Relation.equal_multiset ref_out out)
+
+(* ---- dup elim / coalesce / difference ---- *)
+
+let test_dup_elim () =
+  let r = rel_of [ (1, 1.0, 1, 2); (1, 1.0, 1, 2); (2, 1.0, 1, 2) ] in
+  let out =
+    Cursor.to_relation
+      (Dup_elim.dup_elim
+         (Sort.sort (Order.of_attrs [ "K"; "V"; "T1"; "T2" ]) (Cursor.of_relation r)))
+  in
+  Alcotest.(check int) "two distinct" 2 (Relation.cardinality out)
+
+let test_difference () =
+  let l = rel_of [ (1, 1.0, 1, 2); (1, 1.0, 1, 2); (2, 1.0, 1, 2) ] in
+  let r = rel_of [ (1, 1.0, 1, 2) ] in
+  let out =
+    Cursor.to_relation (Dup_elim.difference (Cursor.of_relation l) (Cursor.of_relation r))
+  in
+  (* multiset semantics: one occurrence removed *)
+  Alcotest.(check int) "one removed" 2 (Relation.cardinality out)
+
+let test_coalesce_vs_reference () =
+  let r =
+    rel_of [ (1, 1.0, 1, 5); (1, 1.0, 5, 9); (1, 1.0, 20, 25); (2, 1.0, 3, 6) ]
+  in
+  let ref_out =
+    Reference.eval
+      (lookup_of [ ("R", r) ])
+      (Op.Coalesce (Op.scan "R" (Schema.unqualify (Relation.schema r))))
+  in
+  let out =
+    Cursor.to_relation
+      (Dup_elim.coalesce
+         (Sort.sort (Order.of_attrs [ "K"; "V"; "T1" ]) (Cursor.of_relation r)))
+  in
+  Alcotest.(check bool) "coalesce matches" true
+    (Relation.equal_multiset ref_out out)
+
+(* ---- transfers ---- *)
+
+let test_transfer_m () =
+  let db = Tango_dbms.Database.create () in
+  Tango_dbms.Database.load_relation db "R" sample;
+  let client = Tango_dbms.Client.connect ~roundtrip_spin:0 db in
+  let sql = Parser.query "SELECT K, V, T1, T2 FROM R ORDER BY K" in
+  let out =
+    Cursor.to_relation (Transfer.transfer_m client ~schema:schema_kab sql)
+  in
+  Alcotest.(check int) "all rows" 5 (Relation.cardinality out);
+  Alcotest.(check int) "shipped" 5 (Tango_dbms.Client.tuples_shipped client)
+
+let test_transfer_d_roundtrip () =
+  let db = Tango_dbms.Database.create () in
+  let client = Tango_dbms.Client.connect ~roundtrip_spin:0 db in
+  let td = Transfer.transfer_d client ~table:"TMP1" (Cursor.of_relation sample) in
+  Cursor.init td;
+  Alcotest.(check bool) "empty cursor" true (Cursor.next td = None);
+  Alcotest.(check int) "loaded" 5 (Tango_dbms.Database.table_cardinality db "TMP1");
+  (* Round trip back out. *)
+  let sql = Parser.query "SELECT K, V, T1, T2 FROM TMP1" in
+  let back = Cursor.to_relation (Transfer.transfer_m client ~schema:schema_kab sql) in
+  Alcotest.(check bool) "round trip" true (Relation.equal_multiset sample back);
+  Transfer.drop_temp_table client "TMP1";
+  Alcotest.(check bool) "dropped" false (Tango_dbms.Database.table_exists db "TMP1")
+
+let () =
+  Alcotest.run "tango_xxl"
+    [
+      ( "cursor",
+        [ Alcotest.test_case "of_relation" `Quick test_cursor_of_relation ] );
+      ( "basic",
+        [
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "project" `Quick test_project;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "matches Relation.sort" `Quick test_sort_matches_relation_sort;
+          Alcotest.test_case "multi-run external" `Quick test_sort_multi_run;
+          Alcotest.test_case "stability" `Quick test_sort_stability;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "merge join vs reference" `Quick test_merge_join_vs_reference;
+          Alcotest.test_case "residual predicate" `Quick test_merge_join_residual_pred;
+          Alcotest.test_case "tjoin vs reference" `Quick test_tjoin_vs_reference;
+          Alcotest.test_case "nested loop variants" `Quick test_nested_loop_variants;
+        ] );
+      ( "taggr",
+        [
+          Alcotest.test_case "figure 3(c)" `Quick test_taggr_figure3c;
+          Alcotest.test_case "all aggregates" `Quick test_taggr_all_aggregates;
+          Alcotest.test_case "no grouping" `Quick test_taggr_no_grouping;
+          Alcotest.test_case "output order" `Quick test_taggr_output_order;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "dup elim" `Quick test_dup_elim;
+          Alcotest.test_case "difference" `Quick test_difference;
+          Alcotest.test_case "coalesce" `Quick test_coalesce_vs_reference;
+        ] );
+      ( "transfers",
+        [
+          Alcotest.test_case "transfer^M" `Quick test_transfer_m;
+          Alcotest.test_case "transfer^D roundtrip" `Quick test_transfer_d_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_taggr_matches_reference;
+          QCheck_alcotest.to_alcotest prop_merge_join_matches_reference;
+          QCheck_alcotest.to_alcotest prop_tjoin_matches_reference;
+        ] );
+    ]
