@@ -14,6 +14,7 @@
      prefetch  row-prefetch sweep for TRANSFER^M (Section 3.2 remark)
      calib     cost-model quality: default vs calibrated factors
      feedback  cost-factor adaptation across repeated queries
+     obs       per-query traces + global metrics, exported as JSON
      micro     Bechamel micro-benchmarks of the core algorithms
 
    Sizes are scaled down from the paper's 83,857-tuple POSITION by --scale
@@ -516,6 +517,53 @@ let sharing ctx =
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
+(* obs: tracing & metrics export (Tango_obs)                            *)
+(* ------------------------------------------------------------------ *)
+
+let obs ctx =
+  Fmt.pr "== Observability: per-query traces and middleware metrics (JSON) ==@.";
+  Fmt.pr "(the same span tree `tango run --trace` renders, plus the global@.";
+  Fmt.pr " metric registry after the workload — both machine-readable)@.";
+  let _db, mw =
+    session ctx [ ("POSITION", ctx.full_position); ("EMPLOYEE", ctx.full_employee) ]
+  in
+  Middleware.set_config mw
+    (Middleware.Config.with_tracing true (Middleware.config mw));
+  Tango_obs.Registry.reset ();
+  let traces =
+    List.map
+      (fun (name, sql) ->
+        let r = Middleware.query mw sql in
+        let trace =
+          match r.Middleware.trace with
+          | Some span -> Tango_obs.Trace.to_json span
+          | None -> Tango_obs.Json.Null
+        in
+        Tango_obs.Json.Obj
+          [
+            ("query", Tango_obs.Json.String name);
+            ("rows", Tango_obs.Json.Int (Relation.cardinality r.Middleware.result));
+            ("optimize_us", Tango_obs.Json.Float r.Middleware.optimize_us);
+            ("execute_us", Tango_obs.Json.Float r.Middleware.execute_us);
+            ("trace", trace);
+          ])
+      [
+        ("query1", Queries.q1_sql);
+        ("query2", Queries.q2_sql ~period_end:"1996-01-01");
+        ("query3", Queries.q3_sql ~start_bound:"1996-01-01");
+        ("query4", Queries.q4_sql);
+      ]
+  in
+  let doc =
+    Tango_obs.Json.Obj
+      [
+        ("traces", Tango_obs.Json.List traces);
+        ("metrics", Tango_obs.Registry.to_json (Tango_obs.Registry.snapshot ()));
+      ]
+  in
+  Fmt.pr "%s@.@." (Tango_obs.Json.to_string doc)
+
+(* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -612,7 +660,7 @@ let experiments =
   [ ("fig8", fig8); ("fig10", fig10); ("fig11a", fig11a); ("fig11b", fig11b);
     ("sel", sel); ("choice", choice); ("memo", memo); ("overhead", overhead);
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
-    ("sharing", sharing); ("micro", micro) ]
+    ("sharing", sharing); ("obs", obs); ("micro", micro) ]
 
 let () =
   let scale = ref 0.02 in

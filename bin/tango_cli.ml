@@ -71,12 +71,20 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   if verbose then Logs.Src.set_level Middleware.log_src (Some Logs.Debug)
 
-let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate =
+let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace =
   let db = Tango_dbms.Database.create () in
   if scale > 0.0 then Tango_workload.Uis.load ~scale db;
   List.iter (load_csv db) csvs;
-  let mw = Middleware.connect ?row_prefetch:prefetch db in
-  if no_histograms then Middleware.set_histograms mw false;
+  let config =
+    Middleware.Config.default
+    |> Middleware.Config.with_histograms (not no_histograms)
+    |> Middleware.Config.with_tracing trace
+    |> fun c ->
+    match prefetch with
+    | None -> c
+    | Some n -> Middleware.Config.with_row_prefetch n c
+  in
+  let mw = Middleware.connect ~config db in
   if calibrate then begin
     Fmt.epr "calibrating cost factors...@.";
     Middleware.calibrate mw
@@ -125,7 +133,10 @@ let run_query mw ~explain_only ~verbose sql =
         report.Middleware.classes report.Middleware.elements
     end;
     print_result report.Middleware.result;
-    Fmt.pr "executed in %.1f ms@." (report.Middleware.execute_us /. 1000.0)
+    Fmt.pr "executed in %.1f ms@." (report.Middleware.execute_us /. 1000.0);
+    match report.Middleware.trace with
+    | Some span -> Fmt.pr "@.%s@?" (Tango_obs.Trace.to_string span)
+    | None -> ()
   end
 
 let catch_errors f =
@@ -168,26 +179,36 @@ let calibrate_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print the chosen plan.")
 
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Collect and print an EXPLAIN-ANALYZE-style trace of the \
+                 pipeline: parse/optimize/translate/execute phases with the \
+                 measured operator tree (wall time, tuples, page reads, \
+                 round trips per operator).")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
-let run_cmd =
-  let doc = "Run a temporal SQL query through the middleware." in
-  let f scale csvs prefetch no_histograms calibrate verbose sql =
+let run_term =
+  let f scale csvs prefetch no_histograms calibrate verbose trace sql =
     catch_errors (fun () ->
         setup_logs verbose;
-        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate in
+        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace in
         run_query mw ~explain_only:false ~verbose sql)
   in
-  Cmd.v (Cmd.info "run" ~doc)
-    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ verbose_arg $ sql_arg)
+  Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
+        $ calibrate_arg $ verbose_arg $ trace_arg $ sql_arg)
+
+let run_cmd =
+  let doc = "Run a temporal SQL query through the middleware." in
+  Cmd.v (Cmd.info "run" ~doc) run_term
 
 let explain_cmd =
   let doc = "Optimize a query and print the chosen plan without executing it." in
   let f scale csvs prefetch no_histograms calibrate sql =
     catch_errors (fun () ->
-        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate in
+        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:false in
         run_query mw ~explain_only:true ~verbose:false sql)
   in
   Cmd.v (Cmd.info "explain" ~doc)
@@ -196,8 +217,8 @@ let explain_cmd =
 
 let repl_cmd =
   let doc = "Interactive session: one query per line; 'quit' exits." in
-  let f scale csvs prefetch no_histograms calibrate verbose =
-    let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate in
+  let f scale csvs prefetch no_histograms calibrate verbose trace =
+    let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace in
     Fmt.pr "tango> @?";
     (try
        let rec loop () =
@@ -217,13 +238,16 @@ let repl_cmd =
   in
   Cmd.v (Cmd.info "repl" ~doc)
     Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ verbose_arg)
+          $ calibrate_arg $ verbose_arg $ trace_arg)
 
 let tables_cmd =
   let doc = "List the tables of the generated/loaded database with statistics." in
   let f scale csvs =
     catch_errors (fun () ->
-        let mw = setup ~scale ~csvs ~prefetch:None ~no_histograms:false ~calibrate:false in
+        let mw =
+          setup ~scale ~csvs ~prefetch:None ~no_histograms:false
+            ~calibrate:false ~trace:false
+        in
         let db = Middleware.database mw in
         List.iter
           (fun name ->
@@ -236,7 +260,9 @@ let tables_cmd =
 
 let main =
   let doc = "TANGO: adaptable temporal query middleware on a conventional DBMS" in
-  Cmd.group (Cmd.info "tango" ~version:"1.0.0" ~doc)
+  (* [run] is the default subcommand: `tango --trace "SQL"` works. *)
+  Cmd.group ~default:run_term
+    (Cmd.info "tango" ~version:"1.0.0" ~doc)
     [ run_cmd; explain_cmd; repl_cmd; tables_cmd ]
 
 let () = exit (Cmd.eval' main)

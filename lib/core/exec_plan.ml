@@ -23,6 +23,8 @@ type node = {
   mutable elapsed_us : float;  (** measured during the last execution *)
   mutable out_bytes : float;
   mutable out_tuples : int;
+  mutable page_reads : int;  (** inclusive: DBMS pages read while running *)
+  mutable roundtrips : int;  (** inclusive: client round trips while running *)
 }
 
 and kind =
@@ -75,7 +77,15 @@ let temp_name_of ctx (op : Op.t) : string =
       n
 
 let mk kind schema =
-  { kind; schema; elapsed_us = 0.0; out_bytes = 0.0; out_tuples = 0 }
+  {
+    kind;
+    schema;
+    elapsed_us = 0.0;
+    out_bytes = 0.0;
+    out_tuples = 0;
+    page_reads = 0;
+    roundtrips = 0;
+  }
 
 (* Collect the TRANSFER^D plan nodes inside a DBMS-resident physical
    subtree (stopping at them — anything below belongs to the middleware
@@ -263,19 +273,36 @@ type run_ctx = {
 let run_ctx ?(share_transfers = true) client =
   { client; share_transfers; fetched = Hashtbl.create 4 }
 
+(* Global counters snapshotted around each node's init/next to attribute
+   inclusive page reads and client round trips to operators (same
+   inclusive convention as [elapsed_us]).  These are the storage and
+   client layers' own counters, shared by name. *)
+let c_page_reads = Tango_obs.Counter.make "storage.page_reads"
+let c_roundtrips = Tango_obs.Counter.make "client.roundtrips"
+
 (* Wrap a cursor with per-node instrumentation. *)
 let instrument (n : node) (c : Cursor.t) : Cursor.t =
   n.elapsed_us <- 0.0;
   n.out_bytes <- 0.0;
   n.out_tuples <- 0;
+  n.page_reads <- 0;
+  n.roundtrips <- 0;
   Cursor.make ~schema:(Cursor.schema c)
     ~init:(fun () ->
       let t0 = now_us () in
+      let pr0 = Tango_obs.Counter.value c_page_reads in
+      let rt0 = Tango_obs.Counter.value c_roundtrips in
       Cursor.init c;
+      n.page_reads <- n.page_reads + Tango_obs.Counter.value c_page_reads - pr0;
+      n.roundtrips <- n.roundtrips + Tango_obs.Counter.value c_roundtrips - rt0;
       n.elapsed_us <- n.elapsed_us +. (now_us () -. t0))
     ~next:(fun () ->
       let t0 = now_us () in
+      let pr0 = Tango_obs.Counter.value c_page_reads in
+      let rt0 = Tango_obs.Counter.value c_roundtrips in
       let r = Cursor.next c in
+      n.page_reads <- n.page_reads + Tango_obs.Counter.value c_page_reads - pr0;
+      n.roundtrips <- n.roundtrips + Tango_obs.Counter.value c_roundtrips - rt0;
       n.elapsed_us <- n.elapsed_us +. (now_us () -. t0);
       (match r with
       | Some t ->
@@ -392,6 +419,21 @@ let children (n : node) : node list =
 let rec iter f (n : node) =
   f n;
   List.iter (iter f) (children n)
+
+(** Convert an executed (measured) plan into a {!Tango_obs.Trace} span
+    subtree — one span per operator, carrying the measured wall time,
+    tuples and bytes produced, and inclusive page reads / round trips. *)
+let rec to_trace (n : node) : Tango_obs.Trace.span =
+  let open Tango_obs.Trace in
+  make (kind_name n) ~elapsed_us:n.elapsed_us
+    ~attrs:
+      [
+        ("tuples", Int n.out_tuples);
+        ("bytes", Int (int_of_float n.out_bytes));
+        ("page_reads", Int n.page_reads);
+        ("roundtrips", Int n.roundtrips);
+      ]
+    ~children:(List.map to_trace (children n))
 
 let rec pp ?(indent = 0) ppf (n : node) =
   (match n.kind with

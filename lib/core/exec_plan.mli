@@ -19,6 +19,8 @@ type node = {
   mutable elapsed_us : float;  (** measured during the last execution *)
   mutable out_bytes : float;
   mutable out_tuples : int;
+  mutable page_reads : int;  (** inclusive: DBMS pages read while running *)
+  mutable roundtrips : int;  (** inclusive: client round trips while running *)
 }
 
 and kind =
@@ -72,6 +74,11 @@ val build_cursor : run_ctx -> node -> Tango_xxl.Cursor.t
 
 val to_cursor : Tango_dbms.Client.t -> node -> Tango_xxl.Cursor.t
 (** [build_cursor] with a fresh context (sharing on). *)
+
+val to_trace : node -> Tango_obs.Trace.span
+(** Convert an executed (measured) plan into a span subtree — one span per
+    operator with wall time, tuples/bytes produced, and inclusive page
+    reads / client round trips — ready to graft into a query trace. *)
 
 val kind_name : node -> string
 val children : node -> node list

@@ -21,42 +21,109 @@ open Tango_cost
 open Tango_volcano
 open Tango_dbms
 
+(* ------------------------------------------------------------------ *)
+(* Session configuration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type t = {
+    row_prefetch : int;
+    roundtrip_spin : int;
+    selectivity_mode : Selectivity.mode;
+    histograms : bool;
+    feedback : bool;
+    feedback_alpha : float;
+    max_memo_elements : int;
+    share_transfers : bool;
+    tracing : bool;
+  }
+
+  let default =
+    {
+      row_prefetch = Client.default_row_prefetch;
+      roundtrip_spin = Client.default_roundtrip_spin;
+      selectivity_mode = Selectivity.Temporal;
+      histograms = true;
+      feedback = false;
+      feedback_alpha = 0.3;
+      max_memo_elements = 5_000;
+      share_transfers = true;
+      tracing = false;
+    }
+
+  let with_row_prefetch n c = { c with row_prefetch = n }
+  let with_roundtrip_spin n c = { c with roundtrip_spin = n }
+  let with_selectivity_mode m c = { c with selectivity_mode = m }
+  let with_histograms b c = { c with histograms = b }
+  let with_feedback ?alpha b c =
+    {
+      c with
+      feedback = b;
+      feedback_alpha = Option.value ~default:c.feedback_alpha alpha;
+    }
+  let with_max_memo_elements n c = { c with max_memo_elements = n }
+  let with_transfer_sharing b c = { c with share_transfers = b }
+  let with_tracing b c = { c with tracing = b }
+end
+
 type t = {
   client : Client.t;
   factors : Factors.t;
-  mutable selectivity_mode : Selectivity.mode;
-  mutable histograms : bool;  (** collect histograms during ANALYZE *)
-  mutable feedback : bool;  (** adapt cost factors from executions *)
-  mutable feedback_alpha : float;
-  mutable max_memo_elements : int;
-  mutable share_transfers : bool;
+  mutable config : Config.t;
+  mutable last_trace : Tango_obs.Trace.span option;
   stats_cache : (string * string, Rel_stats.t) Hashtbl.t;
 }
 
-let connect ?row_prefetch ?roundtrip_spin (db : Database.t) : t =
+let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
+    (db : Database.t) : t =
+  let config =
+    {
+      config with
+      Config.row_prefetch =
+        Option.value ~default:config.Config.row_prefetch row_prefetch;
+      roundtrip_spin =
+        Option.value ~default:config.Config.roundtrip_spin roundtrip_spin;
+    }
+  in
   {
-    client = Client.connect ?row_prefetch ?roundtrip_spin db;
+    client =
+      Client.connect ~row_prefetch:config.Config.row_prefetch
+        ~roundtrip_spin:config.Config.roundtrip_spin db;
     factors = Factors.default ();
-    selectivity_mode = Selectivity.Temporal;
-    histograms = true;
-    feedback = false;
-    feedback_alpha = 0.3;
-    max_memo_elements = 5_000;
-    share_transfers = true;
+    config;
+    last_trace = None;
     stats_cache = Hashtbl.create 16;
   }
 
 let client t = t.client
 let database t = Client.database t.client
 let factors t = t.factors
+let config t = t.config
+let last_trace t = t.last_trace
 
-let set_selectivity_mode t m = t.selectivity_mode <- m
-let set_feedback t b = t.feedback <- b
-let set_transfer_sharing t b = t.share_transfers <- b
+let set_config t (c : Config.t) =
+  if c.Config.histograms <> t.config.Config.histograms then
+    Hashtbl.reset t.stats_cache;
+  (* row_prefetch / roundtrip_spin do apply to the live client *)
+  Client.set_row_prefetch t.client c.Config.row_prefetch;
+  Client.set_roundtrip_spin t.client c.Config.roundtrip_spin;
+  t.config <- c
+
+(* Deprecated setter shims over [set_config]; prefer building a
+   {!Config.t} and passing it to {!connect} (or {!set_config}). *)
+let set_selectivity_mode t m =
+  set_config t (Config.with_selectivity_mode m t.config)
+
+let set_feedback t b = set_config t (Config.with_feedback b t.config)
+let set_transfer_sharing t b =
+  set_config t (Config.with_transfer_sharing b t.config)
 
 let set_histograms t b =
-  t.histograms <- b;
+  set_config t (Config.with_histograms b t.config);
+  (* legacy behavior: always invalidate, even when the flag is unchanged *)
   Hashtbl.reset t.stats_cache
+
+let set_tracing t b = set_config t (Config.with_tracing b t.config)
 
 (** Run cost-factor calibration against the connected DBMS and adopt the
     measured factors. *)
@@ -76,13 +143,13 @@ let base_stats t ~qualifier table : Rel_stats.t =
   match Hashtbl.find_opt t.stats_cache (qualifier, table) with
   | Some s -> s
   | None ->
-      let histograms = if t.histograms then `All else `None in
+      let histograms = if t.config.Config.histograms then `All else `None in
       let s = Collector.collect ~histograms (database t) ~qualifier table in
       Hashtbl.replace t.stats_cache (qualifier, table) s;
       s
 
 let stats_env t : Derive.env =
-  Derive.env ~mode:t.selectivity_mode (fun ~qualifier table ->
+  Derive.env ~mode:t.config.Config.selectivity_mode (fun ~qualifier table ->
       base_stats t ~qualifier table)
 
 let schema_lookup t name = Database.table_schema (database t) name
@@ -96,7 +163,7 @@ let schema_lookup t name = Database.table_schema (database t) name
 let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
     Search.result =
   Search.optimize ~factors:t.factors ~stats_env:(stats_env t) ~required_order
-    ~max_elements:t.max_memo_elements initial
+    ~max_elements:t.config.Config.max_memo_elements initial
 
 (** Cost a fixed plan without exploring alternatives. *)
 let cost_plan t ?(required_order : Order.t = []) (plan : Op.t) :
@@ -117,6 +184,7 @@ type report = {
   classes : int;
   elements : int;
   estimated_cost_us : float;
+  trace : Tango_obs.Trace.span option;
 }
 
 let now_us () = Unix.gettimeofday () *. 1_000_000.0
@@ -128,6 +196,27 @@ exception No_plan of string
 let log_src = Logs.Src.create "tango.middleware" ~doc:"TANGO middleware pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Run a top-level pipeline entry under a fresh trace when the session asks
+   for tracing.  Nested entries (e.g. [query] calling [run_plan]) see an
+   already-active trace and only contribute a span. *)
+let with_query_trace t name (f : unit -> report) : report =
+  if not t.config.Config.tracing then begin
+    t.last_trace <- None;
+    f ()
+  end
+  else if Tango_obs.Trace.active () then Tango_obs.Trace.span name f
+  else begin
+    Tango_obs.Trace.start ();
+    match Tango_obs.Trace.span name f with
+    | r ->
+        let tr = Tango_obs.Trace.finish () in
+        t.last_trace <- tr;
+        { r with trace = tr }
+    | exception e ->
+        ignore (Tango_obs.Trace.finish ());
+        raise e
+  end
 
 (* Feedback: turn measured per-node times into factor observations and
    blend them in.  Dividing TRANSFER^M time between the transfer and the
@@ -168,29 +257,49 @@ let apply_feedback t (root : Exec_plan.node) =
       | Exec_plan.Difference _ ->
           ())
     root;
-  Factors.blend ~alpha:t.feedback_alpha t.factors observed;
+  Factors.blend ~alpha:t.config.Config.feedback_alpha t.factors observed;
   Log.debug (fun m -> m "feedback: %a" Factors.pp t.factors)
 
 (** Execute a chosen physical plan; returns the result and measured times.
     Temp tables created by `TRANSFER^D` steps are dropped afterwards. *)
 let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node * float =
-  let exec, temp_tables = Exec_plan.of_physical (database t) physical in
+  let exec, temp_tables =
+    Tango_obs.Trace.span "translate" (fun () ->
+        Exec_plan.of_physical (database t) physical)
+  in
   let t0 = now_us () in
   let result =
-    Fun.protect
-      ~finally:(fun () ->
-        List.iter (Tango_xxl.Transfer.drop_temp_table t.client) temp_tables)
-      (fun () ->
-        let ctx = Exec_plan.run_ctx ~share_transfers:t.share_transfers t.client in
-        Tango_xxl.Cursor.to_relation (Exec_plan.build_cursor ctx exec))
+    Tango_obs.Trace.span "execute" (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (Tango_xxl.Transfer.drop_temp_table t.client) temp_tables)
+          (fun () ->
+            let ctx =
+              Exec_plan.run_ctx
+                ~share_transfers:t.config.Config.share_transfers t.client
+            in
+            let r =
+              Tango_xxl.Cursor.to_relation (Exec_plan.build_cursor ctx exec)
+            in
+            Tango_obs.Trace.attr "tuples"
+              (Tango_obs.Trace.Int (Relation.cardinality r));
+            (* graft the measured operator tree under the execute span *)
+            Tango_obs.Trace.graft (Exec_plan.to_trace exec);
+            r))
   in
   let elapsed = now_us () -. t0 in
-  if t.feedback then apply_feedback t exec;
+  if t.config.Config.feedback then apply_feedback t exec;
   (result, exec, elapsed)
 
-(** Optimize and execute an initial algebra plan. *)
-let run_plan t ?(required_order : Order.t = []) (initial : Op.t) : report =
-  let r = optimize t ~required_order initial in
+(* The shared optimize-then-execute body; the caller owns the trace. *)
+let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
+  let r =
+    Tango_obs.Trace.span "optimize" (fun () ->
+        let r = optimize t ~required_order initial in
+        Tango_obs.Trace.attr "classes" (Tango_obs.Trace.Int r.Search.classes);
+        Tango_obs.Trace.attr "elements" (Tango_obs.Trace.Int r.Search.elements);
+        r)
+  in
   match r.Search.plan with
   | None -> raise (No_plan "optimizer found no feasible plan")
   | Some physical ->
@@ -213,29 +322,41 @@ let run_plan t ?(required_order : Order.t = []) (initial : Op.t) : report =
         classes = r.Search.classes;
         elements = r.Search.elements;
         estimated_cost_us = physical.Physical.total_cost;
+        trace = None;
       }
+
+(** Optimize and execute an initial algebra plan. *)
+let run_plan t ?required_order (initial : Op.t) : report =
+  with_query_trace t "middleware.run_plan" (fun () ->
+      run_plan_body t ?required_order initial)
 
 (** The full pipeline: temporal SQL in, relation out. *)
 let query t (sql : string) : report =
   Log.debug (fun m -> m "query: %s" sql);
-  let initial = Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql in
-  let required_order = Tango_tsql.Compile.required_order sql in
-  run_plan t ~required_order initial
+  with_query_trace t "middleware.query" (fun () ->
+      let initial, required_order =
+        Tango_obs.Trace.span "parse" (fun () ->
+            ( Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql,
+              Tango_tsql.Compile.required_order sql ))
+      in
+      run_plan_body t ~required_order initial)
 
 (** Execute a {e fixed} plan tree (used by the experiments to time the
     paper's hand-enumerated plan alternatives). *)
 let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
-  match cost_plan t ~required_order plan_tree with
-  | None -> raise (No_plan "plan tree is not executable as written")
-  | Some physical ->
-      let result, exec, execute_us = execute_physical t physical in
-      {
-        result;
-        physical;
-        exec;
-        optimize_us = 0.0;
-        execute_us;
-        classes = 0;
-        elements = 0;
-        estimated_cost_us = physical.Physical.total_cost;
-      }
+  with_query_trace t "middleware.run_fixed" (fun () ->
+      match cost_plan t ~required_order plan_tree with
+      | None -> raise (No_plan "plan tree is not executable as written")
+      | Some physical ->
+          let result, exec, execute_us = execute_physical t physical in
+          {
+            result;
+            physical;
+            exec;
+            optimize_us = 0.0;
+            execute_us;
+            classes = 0;
+            elements = 0;
+            estimated_cost_us = physical.Physical.total_cost;
+            trace = None;
+          })

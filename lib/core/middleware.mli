@@ -10,15 +10,64 @@
 open Tango_rel
 open Tango_algebra
 
+(** Immutable session configuration.  Build one from {!Config.default} with
+    the [with_*] combinators and pass it to {!connect}:
+
+    {[
+      let config =
+        Middleware.Config.(
+          default |> with_roundtrip_spin 0 |> with_tracing true)
+      in
+      let mw = Middleware.connect ~config db in
+      ...
+    ]} *)
+module Config : sig
+  type t = {
+    row_prefetch : int;  (** client rows fetched per round trip *)
+    roundtrip_spin : int;  (** simulated per-round-trip latency spin *)
+    selectivity_mode : Tango_stats.Selectivity.mode;
+        (** [Temporal] (default) or [Naive] — the §3.3 comparison toggle *)
+    histograms : bool;  (** collect histograms during ANALYZE *)
+    feedback : bool;  (** adapt cost factors from measured times *)
+    feedback_alpha : float;  (** blending weight for feedback *)
+    max_memo_elements : int;  (** optimizer memo growth bound *)
+    share_transfers : bool;
+        (** fetch alpha-equivalent `TRANSFER^M` statements once per query
+            (the paper's §7 "issue only one T^M" refinement) *)
+    tracing : bool;
+        (** collect a {!Tango_obs.Trace} for each pipeline run *)
+  }
+
+  val default : t
+
+  val with_row_prefetch : int -> t -> t
+  val with_roundtrip_spin : int -> t -> t
+  val with_selectivity_mode : Tango_stats.Selectivity.mode -> t -> t
+  val with_histograms : bool -> t -> t
+
+  val with_feedback : ?alpha:float -> bool -> t -> t
+  (** [alpha] additionally overrides the blending weight. *)
+
+  val with_max_memo_elements : int -> t -> t
+  val with_transfer_sharing : bool -> t -> t
+  val with_tracing : bool -> t -> t
+end
+
 type t
 
 val log_src : Logs.src
 (** The middleware's log source ([tango.middleware]); set its level to see
     chosen plans, execution times and feedback updates. *)
 
-val connect : ?row_prefetch:int -> ?roundtrip_spin:int -> Tango_dbms.Database.t -> t
-(** Open a session over a DBMS.  [row_prefetch] and [roundtrip_spin]
-    configure the client boundary (see {!Tango_dbms.Client}). *)
+val connect :
+  ?config:Config.t ->
+  ?row_prefetch:int ->
+  ?roundtrip_spin:int ->
+  Tango_dbms.Database.t ->
+  t
+(** Open a session over a DBMS with the given configuration
+    ({!Config.default} if omitted).  [row_prefetch] and [roundtrip_spin]
+    override the corresponding [config] fields (legacy convenience). *)
 
 val client : t -> Tango_dbms.Client.t
 val database : t -> Tango_dbms.Database.t
@@ -26,20 +75,38 @@ val database : t -> Tango_dbms.Database.t
 val factors : t -> Tango_cost.Factors.t
 (** The session's (mutable) cost factors. *)
 
+val config : t -> Config.t
+(** The session's current configuration. *)
+
+val set_config : t -> Config.t -> unit
+(** Replace the session configuration; applies [row_prefetch] and
+    [roundtrip_spin] to the live client and invalidates cached statistics
+    when the [histograms] flag changes. *)
+
+val last_trace : t -> Tango_obs.Trace.span option
+(** The trace of the most recent {!query} / {!run_plan} / {!run_fixed}
+    call; [None] unless the configuration has [tracing] set. *)
+
+(** {2 Deprecated setters}
+
+    Thin shims over {!set_config}, kept so existing call sites compile;
+    prefer building a {!Config.t} and passing it to {!connect}. *)
+
 val set_selectivity_mode : t -> Tango_stats.Selectivity.mode -> unit
-(** [Temporal] (default) or [Naive] — the §3.3 comparison toggle. *)
+(** @deprecated Use {!Config.with_selectivity_mode} with {!set_config}. *)
 
 val set_feedback : t -> bool -> unit
-(** Enable adaptation of cost factors from measured per-algorithm times
-    after each execution (off by default). *)
+(** @deprecated Use {!Config.with_feedback} with {!set_config}. *)
 
 val set_transfer_sharing : t -> bool -> unit
-(** Fetch alpha-equivalent `TRANSFER^M` statements only once per query
-    (on by default) — the paper's §7 "issue only one T^M" refinement. *)
+(** @deprecated Use {!Config.with_transfer_sharing} with {!set_config}. *)
 
 val set_histograms : t -> bool -> unit
-(** Collect histograms during ANALYZE (on by default); invalidates cached
-    statistics. *)
+(** @deprecated Use {!Config.with_histograms} with {!set_config}.  Also
+    invalidates cached statistics, as before. *)
+
+val set_tracing : t -> bool -> unit
+(** Convenience shim over {!Config.with_tracing} + {!set_config}. *)
 
 val calibrate : ?sizes:Tango_cost.Calibrate.probe_sizes -> t -> unit
 (** Run cost-factor calibration against the connected DBMS and adopt the
@@ -78,6 +145,10 @@ type report = {
   classes : int;  (** memo equivalence classes explored *)
   elements : int;  (** memo class elements explored *)
   estimated_cost_us : float;
+  trace : Tango_obs.Trace.span option;
+      (** the collected trace when the configuration has [tracing] set:
+          parse / optimize / translate / execute phases, with the measured
+          operator tree grafted under the execute span *)
 }
 
 exception No_plan of string

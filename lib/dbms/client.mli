@@ -27,13 +27,21 @@ val reset_counters : t -> unit
 val roundtrips : t -> int
 val tuples_shipped : t -> int
 
+val bytes_shipped : t -> int
+(** Wire bytes marshalled across the boundary since the last reset. *)
+
 (** A server-side cursor being drained by the middleware; rows stream to
-    the client in prefetch-sized batches as the cursor advances. *)
+    the client in prefetch-sized batches as the cursor advances.  Each
+    cursor accounts the round trips, tuples and wire bytes shipped on its
+    behalf. *)
 type cursor
 
 val execute_query : t -> string -> cursor
 val execute_query_ast : t -> Ast.query -> cursor
 val cursor_schema : cursor -> Schema.t
+val cursor_roundtrips : cursor -> int
+val cursor_tuples : cursor -> int
+val cursor_bytes : cursor -> int
 val fetch : cursor -> Tuple.t option
 val fetch_all : cursor -> Relation.t
 

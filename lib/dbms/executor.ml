@@ -908,8 +908,16 @@ and compile_grouped ctx outer (s : Ast.select) combined_schema items
       Relation.make out_schema ts
     end
 
+let c_queries = Tango_obs.Counter.make "dbms.queries"
+let c_rows = Tango_obs.Counter.make "dbms.rows_returned"
+
 (** Execute a query AST against a catalog. *)
 let run_query ?settings catalog (q : Ast.query) : Relation.t =
-  let ctx = make_ctx ?settings catalog in
-  let _, f = compile_query ctx [] q in
-  f []
+  Tango_obs.Counter.incr c_queries;
+  Tango_obs.Trace.span "dbms.query" (fun () ->
+      let ctx = make_ctx ?settings catalog in
+      let _, f = compile_query ctx [] q in
+      let out = f [] in
+      Tango_obs.Counter.add c_rows (Relation.cardinality out);
+      Tango_obs.Trace.attr "rows" (Tango_obs.Trace.Int (Relation.cardinality out));
+      out)

@@ -1,0 +1,403 @@
+(** TANGO observability: spans, counters and histograms for the whole
+    middleware stack.
+
+    The paper's thesis is deciding {e where} work runs — middleware or
+    DBMS — from cost estimates and measured feedback; this module makes
+    those decisions observable.  Three primitives:
+
+    - {b counters} ({!Counter}): monotonic event counts (page reads,
+      round trips, tuples shipped, rules fired).  Always live — an
+      increment is a single integer store — and registered by name in a
+      process-wide registry.
+    - {b histograms} ({!Histogram}): labeled value distributions
+      (per-operator drain times, tuples per cursor open).  Same registry.
+    - {b spans} ({!Trace}): a hierarchical timed trace of one query
+      (parse/optimize/translate/execute phases, with the executed operator
+      tree grafted underneath).  Collection is {e off by default}: when no
+      trace is active, [Trace.span] is a single branch and closure call,
+      so instrumented code pays near-zero overhead.
+
+    Everything is exported three ways: a rendered span tree
+    ([Trace.render], the EXPLAIN-ANALYZE-style output of
+    [tango --trace]), machine-readable JSON ([Trace.to_json],
+    [Registry.to_json], consumed by [bench/main.ml]), and the
+    programmatic {!Registry.snapshot} API. *)
+
+let now_us () = Unix.gettimeofday () *. 1_000_000.0
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec emit b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then
+          (* shortest representation that round-trips *)
+          Buffer.add_string b (Printf.sprintf "%.17g" f)
+        else Buffer.add_string b "null"
+    | String s ->
+        Buffer.add_char b '"';
+        escape b s;
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            escape b k;
+            Buffer.add_string b "\":";
+            emit b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    emit b j;
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  (* process-wide registry; [make] is find-or-create so independent
+     modules referring to the same name share one counter *)
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; value = 0 } in
+        Hashtbl.replace registry name c;
+        c
+
+  let name c = c.name
+  let incr c = c.value <- c.value + 1
+  let add c n = c.value <- c.value + n
+  let value c = c.value
+  let reset c = c.value <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h = { name; count = 0; sum = 0.0; min = infinity; max = neg_infinity } in
+        Hashtbl.replace registry name h;
+        h
+
+  let name h = h.name
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v
+
+  let count h = h.count
+  let sum h = h.sum
+  let min_value h = if h.count = 0 then 0.0 else h.min
+  let max_value h = if h.count = 0 then 0.0 else h.max
+  let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+  let reset h =
+    h.count <- 0;
+    h.sum <- 0.0;
+    h.min <- infinity;
+    h.max <- neg_infinity
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry snapshots                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = struct
+  type histogram_stats = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+  }
+
+  type snapshot = {
+    counters : (string * int) list;  (** sorted by name *)
+    histograms : (string * histogram_stats) list;  (** sorted by name *)
+  }
+
+  let snapshot () : snapshot =
+    let counters =
+      Hashtbl.fold
+        (fun name c acc -> (name, Counter.value c) :: acc)
+        Counter.registry []
+      |> List.sort compare
+    in
+    let histograms =
+      Hashtbl.fold
+        (fun name h acc ->
+          ( name,
+            {
+              count = Histogram.count h;
+              sum = Histogram.sum h;
+              min = Histogram.min_value h;
+              max = Histogram.max_value h;
+              mean = Histogram.mean h;
+            } )
+          :: acc)
+        Histogram.registry []
+      |> List.sort compare
+    in
+    { counters; histograms }
+
+  let counter_value (s : snapshot) name =
+    match List.assoc_opt name s.counters with Some v -> v | None -> 0
+
+  (** [diff later earlier]: per-counter deltas (histograms are dropped —
+      they do not subtract meaningfully). *)
+  let diff (later : snapshot) (earlier : snapshot) : snapshot =
+    {
+      counters =
+        List.map
+          (fun (name, v) -> (name, v - counter_value earlier name))
+          later.counters;
+      histograms = [];
+    }
+
+  let reset () =
+    Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry;
+    Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry
+
+  let to_json (s : snapshot) : Json.t =
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters) );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (n, (h : histogram_stats)) ->
+                 ( n,
+                   Json.Obj
+                     [
+                       ("count", Json.Int h.count);
+                       ("sum", Json.Float h.sum);
+                       ("min", Json.Float h.min);
+                       ("max", Json.Float h.max);
+                       ("mean", Json.Float h.mean);
+                     ] ))
+               s.histograms) );
+      ]
+
+  let pp ppf (s : snapshot) =
+    List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %12d@." n v) s.counters;
+    List.iter
+      (fun (n, (h : histogram_stats)) ->
+        Fmt.pf ppf "%-40s count=%d mean=%.1f min=%.1f max=%.1f@." n h.count
+          h.mean h.min h.max)
+      s.histograms
+end
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type value = Int of int | Float of float | Str of string
+
+  type span = {
+    name : string;
+    mutable elapsed_us : float;
+    mutable attrs : (string * value) list;  (** in insertion order *)
+    mutable children : span list;  (** in execution order *)
+  }
+
+  let make ?(elapsed_us = 0.0) ?(attrs = []) ?(children = []) name : span =
+    { name; elapsed_us; attrs; children }
+
+  (* Collection state: a stack of open spans (innermost first) plus the
+     root of the finished trace.  [collecting = false] is the fast path:
+     every instrumentation point checks this single flag first. *)
+  let collecting = ref false
+  let stack : span list ref = ref []
+  let finished : span option ref = ref None
+
+  let active () = !collecting
+
+  let start () =
+    collecting := true;
+    stack := [];
+    finished := None
+
+  let attr name v =
+    match !stack with
+    | [] -> ()
+    | s :: _ -> s.attrs <- s.attrs @ [ (name, v) ]
+
+  (* Attach a finished span (or a whole pre-built subtree, e.g. the
+     executed operator tree) under the innermost open span. *)
+  let graft (child : span) =
+    if !collecting then
+      match !stack with
+      | [] -> ()
+      | s :: _ -> s.children <- s.children @ [ child ]
+
+  let close_span s t0 =
+    s.elapsed_us <- now_us () -. t0;
+    (match !stack with
+    | top :: rest when top == s -> stack := rest
+    | _ -> () (* unbalanced exit; drop silently rather than corrupt *));
+    match !stack with
+    | parent :: _ -> parent.children <- parent.children @ [ s ]
+    | [] -> finished := Some s
+
+  let span name f =
+    if not !collecting then f ()
+    else begin
+      let s = make name in
+      stack := s :: !stack;
+      let t0 = now_us () in
+      Fun.protect ~finally:(fun () -> close_span s t0) f
+    end
+
+  let finish () =
+    (* close any spans left open (e.g. an exception unwound past them) *)
+    List.iter
+      (fun s ->
+        match !stack with
+        | top :: _ when top == s -> close_span s (now_us ())
+        | _ -> ())
+      !stack;
+    collecting := false;
+    stack := [];
+    let r = !finished in
+    finished := None;
+    r
+
+  let pp_value ppf = function
+    | Int i -> Fmt.pf ppf "%d" i
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.0f" f
+        else Fmt.pf ppf "%.1f" f
+    | Str s -> Fmt.pf ppf "%s" s
+
+  let pp_attrs ppf = function
+    | [] -> ()
+    | attrs ->
+        Fmt.pf ppf "  [%s]"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Fmt.str "%s=%a" k pp_value v)
+                attrs))
+
+  (** EXPLAIN-ANALYZE-style rendering: one line per span with wall time
+      and attributes, children indented under box-drawing guides. *)
+  let render ppf (root : span) =
+    let rec go prefix is_last s =
+      let branch, extend =
+        if prefix = "" then ("", "")
+        else if is_last then ("└─ ", "   ")
+        else ("├─ ", "│  ")
+      in
+      Fmt.pf ppf "%s%s%-24s %9.2f ms%a@." prefix branch s.name
+        (s.elapsed_us /. 1000.0) pp_attrs s.attrs;
+      let n = List.length s.children in
+      List.iteri
+        (fun i c ->
+          go
+            (if prefix = "" then "  " else prefix ^ extend)
+            (i = n - 1) c)
+        s.children
+    in
+    go "" true root
+
+  let to_string root = Fmt.str "%a" render root
+
+  let json_value = function
+    | Int i -> Json.Int i
+    | Float f -> Json.Float f
+    | Str s -> Json.String s
+
+  let rec to_json (s : span) : Json.t =
+    Json.Obj
+      ([
+         ("name", Json.String s.name);
+         ("elapsed_us", Json.Float s.elapsed_us);
+       ]
+      @ (match s.attrs with
+        | [] -> []
+        | attrs ->
+            [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, json_value v)) attrs)) ])
+      @
+      match s.children with
+      | [] -> []
+      | cs -> [ ("children", Json.List (List.map to_json cs)) ])
+
+  (* tree search helpers, used by tests and the CLI *)
+  let rec find name (s : span) : span option =
+    if String.equal s.name name then Some s
+    else List.find_map (find name) s.children
+
+  let rec fold f acc (s : span) =
+    List.fold_left (fold f) (f acc s) s.children
+
+  let attr_int (s : span) name : int option =
+    match List.assoc_opt name s.attrs with
+    | Some (Int i) -> Some i
+    | Some (Float f) -> Some (int_of_float f)
+    | _ -> None
+end

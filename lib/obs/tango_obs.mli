@@ -1,0 +1,144 @@
+(** TANGO observability: spans, counters and histograms for the whole
+    middleware stack.
+
+    - {!Counter}: monotonic event counts, registered by name in a
+      process-wide registry; an increment is a single integer store.
+    - {!Histogram}: labeled value distributions (count/sum/min/max/mean).
+    - {!Trace}: a hierarchical timed trace of one query.  Collection is
+      off by default; with no active trace, {!Trace.span} costs one
+      branch, so instrumented code pays near-zero overhead when
+      observability is disabled.
+    - {!Registry}: programmatic snapshots of every counter and histogram,
+      with JSON export (the machine-readable feed for [bench/main.ml]).
+
+    Counter and histogram creation is {e find-or-create} by name, so
+    independent modules naming the same metric share one instance. *)
+
+val now_us : unit -> float
+(** Wall time in microseconds (the clock every span uses). *)
+
+(** Minimal JSON document model and serializer (no external deps). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact serialization; non-finite floats become [null]. *)
+end
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Find-or-create the counter registered under this name. *)
+
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Find-or-create the histogram registered under this name. *)
+
+  val name : t -> string
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+  val mean : t -> float
+  val reset : t -> unit
+end
+
+module Registry : sig
+  type histogram_stats = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+  }
+
+  type snapshot = {
+    counters : (string * int) list;  (** sorted by name *)
+    histograms : (string * histogram_stats) list;  (** sorted by name *)
+  }
+
+  val snapshot : unit -> snapshot
+  (** Point-in-time copy of every registered counter and histogram. *)
+
+  val counter_value : snapshot -> string -> int
+  (** 0 when the name is not present. *)
+
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff later earlier]: per-counter deltas; histograms are dropped. *)
+
+  val reset : unit -> unit
+  (** Zero every registered counter and histogram. *)
+
+  val to_json : snapshot -> Json.t
+  val pp : Format.formatter -> snapshot -> unit
+end
+
+module Trace : sig
+  type value = Int of int | Float of float | Str of string
+
+  type span = {
+    name : string;
+    mutable elapsed_us : float;
+    mutable attrs : (string * value) list;  (** in insertion order *)
+    mutable children : span list;  (** in execution order *)
+  }
+
+  val make :
+    ?elapsed_us:float -> ?attrs:(string * value) list -> ?children:span list ->
+    string -> span
+  (** Build a finished span by hand (used to graft pre-measured trees,
+      e.g. the executed operator tree). *)
+
+  val active : unit -> bool
+  (** Whether a trace is being collected right now. *)
+
+  val start : unit -> unit
+  (** Begin collecting a new trace (discards any previous state). *)
+
+  val span : string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a timed span nested under the innermost open
+      span.  When no trace is active this is just the thunk call.
+      Exception-safe: the span closes even if the thunk raises. *)
+
+  val attr : string -> value -> unit
+  (** Attach an attribute to the innermost open span (no-op otherwise). *)
+
+  val graft : span -> unit
+  (** Attach a finished span subtree under the innermost open span. *)
+
+  val finish : unit -> span option
+  (** Stop collecting and return the root span; [None] if no complete
+      span was recorded.  Spans left open (by an escaping exception) are
+      closed on the way out. *)
+
+  val render : Format.formatter -> span -> unit
+  (** EXPLAIN-ANALYZE-style tree: one line per span with wall time and
+      attributes. *)
+
+  val to_string : span -> string
+  val to_json : span -> Json.t
+
+  val find : string -> span -> span option
+  (** First span with this name, depth-first. *)
+
+  val fold : ('a -> span -> 'a) -> 'a -> span -> 'a
+  val attr_int : span -> string -> int option
+end

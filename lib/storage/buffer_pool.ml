@@ -15,6 +15,10 @@ type node = {
   mutable next : node option;
 }
 
+let c_hits = Tango_obs.Counter.make "storage.pool_hits"
+let c_misses = Tango_obs.Counter.make "storage.pool_misses"
+let c_evictions = Tango_obs.Counter.make "storage.pool_evictions"
+
 type t = {
   capacity : int;
   table : (key, node) Hashtbl.t;
@@ -75,7 +79,8 @@ let evict_lru p =
       unlink p lru;
       Hashtbl.remove p.table lru.key;
       p.resident <- p.resident - 1;
-      p.evictions <- p.evictions + 1
+      p.evictions <- p.evictions + 1;
+      Tango_obs.Counter.incr c_evictions
 
 (** [touch p key]: record an access.  Returns [true] on a hit (page was
     resident), [false] on a miss (page is now resident, after evicting the
@@ -84,11 +89,13 @@ let touch p key =
   match Hashtbl.find_opt p.table key with
   | Some n ->
       p.hits <- p.hits + 1;
+      Tango_obs.Counter.incr c_hits;
       unlink p n;
       push_front p n;
       true
   | None ->
       p.misses <- p.misses + 1;
+      Tango_obs.Counter.incr c_misses;
       if p.resident >= p.capacity then evict_lru p;
       let n = { key; prev = None; next = None } in
       Hashtbl.replace p.table key n;

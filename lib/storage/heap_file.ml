@@ -58,7 +58,7 @@ let add_page f =
   let p = Page.create ~capacity:f.page_capacity () in
   f.pages.(f.page_count) <- p;
   f.page_count <- f.page_count + 1;
-  f.stats.page_writes <- f.stats.page_writes + 1;
+  Io_stats.record_page_write f.stats;
   p
 
 (** Append a tuple, allocating a fresh page when the last one is full. *)
@@ -76,7 +76,7 @@ let append f (t : Tuple.t) : rid =
   in
   f.tuple_count <- f.tuple_count + 1;
   f.byte_count <- f.byte_count + Tuple.byte_size t;
-  f.stats.tuples_written <- f.stats.tuples_written + 1;
+  Io_stats.record_tuple_written f.stats;
   { page = f.page_count - 1; slot = Page.tuple_count page - 1 }
 
 let file_id f = f.id
@@ -88,14 +88,14 @@ let read_page f i =
   (match f.pool with
   | Some pool ->
       if not (Buffer_pool.touch pool { Buffer_pool.file_id = f.id; page_no = i })
-      then f.stats.page_reads <- f.stats.page_reads + 1
-  | None -> f.stats.page_reads <- f.stats.page_reads + 1);
+      then Io_stats.record_page_read f.stats
+  | None -> Io_stats.record_page_read f.stats);
   f.pages.(i)
 
 (** Fetch a single tuple by rid (pays one page read). *)
 let fetch f (r : rid) =
   let p = read_page f r.page in
-  f.stats.tuples_read <- f.stats.tuples_read + 1;
+  Io_stats.record_tuples_read f.stats 1;
   Page.get p r.slot
 
 (** Full scan as a sequence; each page is charged once, each tuple is
@@ -105,7 +105,7 @@ let scan f : Tuple.t Seq.t =
     if i >= f.page_count then Seq.Nil
     else begin
       let p = read_page f i in
-      f.stats.tuples_read <- f.stats.tuples_read + Page.tuple_count p;
+      Io_stats.record_tuples_read f.stats (Page.tuple_count p);
       Seq.append (Page.to_seq p) (pages (i + 1)) ()
     end
   in

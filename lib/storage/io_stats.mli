@@ -1,6 +1,8 @@
 (** I/O accounting for the simulated storage layer — the substitute for
     Oracle's block-read statistics.  Every component that touches pages
-    increments these counters. *)
+    increments these counters via the [record_*] functions, which also
+    mirror the event into the process-wide {!Tango_obs} registry under
+    [storage.*] names. *)
 
 type t = {
   mutable page_reads : int;
@@ -11,6 +13,12 @@ type t = {
 }
 
 val create : unit -> t
+
+val record_page_read : t -> unit
+val record_page_write : t -> unit
+val record_tuples_read : t -> int -> unit
+val record_tuple_written : t -> unit
+val record_index_lookup : t -> unit
 val reset : t -> unit
 val copy : t -> t
 

@@ -64,14 +64,14 @@ let upper_bound i v =
 
 (** Rids with key = [v]. *)
 let lookup i v =
-  i.stats.index_lookups <- i.stats.index_lookups + 1;
+  Io_stats.record_index_lookup i.stats;
   let lo = lower_bound i v and hi = upper_bound i v in
   Array.to_list (Array.sub i.entries lo (hi - lo))
   |> List.map (fun e -> e.rid)
 
 (** Rids with [lo <= key <= hi]; [None] bounds are open. *)
 let range i ?lo ?hi () =
-  i.stats.index_lookups <- i.stats.index_lookups + 1;
+  Io_stats.record_index_lookup i.stats;
   let start = match lo with None -> 0 | Some v -> lower_bound i v in
   let stop =
     match hi with None -> Array.length i.entries | Some v -> upper_bound i v
@@ -81,7 +81,7 @@ let range i ?lo ?hi () =
 
 (** Count of keys in the closed range without fetching tuples (index-only). *)
 let range_count i ?lo ?hi () =
-  i.stats.index_lookups <- i.stats.index_lookups + 1;
+  Io_stats.record_index_lookup i.stats;
   let start = match lo with None -> 0 | Some v -> lower_bound i v in
   let stop =
     match hi with None -> Array.length i.entries | Some v -> upper_bound i v

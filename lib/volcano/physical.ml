@@ -87,6 +87,11 @@ type t = {
   mutable considered : int;  (** algorithm instantiations examined *)
 }
 
+let c_considered = Tango_obs.Counter.make "volcano.plans_considered"
+
+let c_infeasible = Tango_obs.Counter.make "volcano.plans_infeasible"
+(** class elements rejected (location/order requirement unmet, or cyclic). *)
+
 let create ~memo ~factors ~stats_env =
   {
     memo;
@@ -151,7 +156,12 @@ let rec best (p : t) (c : int) (r : req) : plan option =
         Hashtbl.replace p.in_progress key ();
         let result =
           List.fold_left
-            (fun acc el -> better acc (plan_element p c r el))
+            (fun acc el ->
+              let pl = plan_element p c r el in
+              (match pl with
+              | None -> Tango_obs.Counter.incr c_infeasible
+              | Some _ -> ());
+              better acc pl)
             None (Memo.elements p.memo c)
         in
         Hashtbl.remove p.in_progress key;
@@ -161,6 +171,7 @@ let rec best (p : t) (c : int) (r : req) : plan option =
 
 and mk_plan p algorithm op children own out_order location =
   p.considered <- p.considered + 1;
+  Tango_obs.Counter.incr c_considered;
   {
     algorithm;
     op;

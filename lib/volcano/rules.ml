@@ -796,11 +796,15 @@ let all : rule list =
   [ t1; t2; t3; t_dupelim; t_coalesce; t_difference; t4; t5; t6; t7; t8; t9;
     t12; e1; e2; e3; e4; e5; c1; c2; r1; r2; r3; r4 ]
 
+let c_rules_fired = Tango_obs.Counter.make "volcano.rules_fired"
+let c_passes = Tango_obs.Counter.make "volcano.saturate_passes"
+
 (** Apply rules to fixpoint (bounded by [max_elements]). *)
 let saturate ?(rules = all) ?(max_elements = 5_000) (m : Memo.t) : unit =
   let changed = ref true in
   while !changed && Memo.element_count m < max_elements do
     changed := false;
+    Tango_obs.Counter.incr c_passes;
     List.iter
       (fun c ->
         let c = Memo.find m c in
@@ -808,7 +812,11 @@ let saturate ?(rules = all) ?(max_elements = 5_000) (m : Memo.t) : unit =
           (fun el ->
             if Memo.element_count m < max_elements then
               List.iter
-                (fun r -> if r.apply m c el then changed := true)
+                (fun r ->
+                  if r.apply m c el then begin
+                    Tango_obs.Counter.incr c_rules_fired;
+                    changed := true
+                  end)
                 rules)
           (Memo.elements m c))
       (Memo.classes m)

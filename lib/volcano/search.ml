@@ -34,11 +34,22 @@ let optimize ~(factors : Factors.t) ~(stats_env : Derive.env)
   Op.validate initial;
   let memo = Memo.create () in
   let root = Memo.insert_op memo initial in
-  Rules.saturate ?max_elements ?rules memo;
+  Tango_obs.Trace.span "optimize.saturate" (fun () ->
+      Rules.saturate ?max_elements ?rules memo;
+      Tango_obs.Trace.attr "classes"
+        (Tango_obs.Trace.Int (Memo.class_count memo));
+      Tango_obs.Trace.attr "elements"
+        (Tango_obs.Trace.Int (Memo.element_count memo)));
   let planner = Physical.create ~memo ~factors ~stats_env in
   let plan =
-    Physical.best planner (Memo.find memo root)
-      { Physical.loc = Op.Mw; order = required_order }
+    Tango_obs.Trace.span "optimize.plan" (fun () ->
+        let p =
+          Physical.best planner (Memo.find memo root)
+            { Physical.loc = Op.Mw; order = required_order }
+        in
+        Tango_obs.Trace.attr "considered"
+          (Tango_obs.Trace.Int planner.Physical.considered);
+        p)
   in
   {
     plan;

@@ -11,15 +11,16 @@ open Tango_algebra
 let filter (pred : Ast.expr) (arg : Cursor.t) : Cursor.t =
   let schema = Cursor.schema arg in
   let p = Scalar.compile_pred schema pred in
-  Cursor.make ~schema
-    ~init:(fun () -> Cursor.init arg)
-    ~next:(fun () ->
-      let rec go () =
-        match Cursor.next arg with
-        | None -> None
-        | Some t -> if p t then Some t else go ()
-      in
-      go ())
+  Cursor.observed "filter"
+    (Cursor.make ~schema
+       ~init:(fun () -> Cursor.init arg)
+       ~next:(fun () ->
+         let rec go () =
+           match Cursor.next arg with
+           | None -> None
+           | Some t -> if p t then Some t else go ()
+         in
+         go ()))
 
 (** `PROJECT^M`: generalized projection (expressions with output names). *)
 let project (items : (Ast.expr * string) list) (arg : Cursor.t) : Cursor.t =
@@ -29,12 +30,13 @@ let project (items : (Ast.expr * string) list) (arg : Cursor.t) : Cursor.t =
       (List.map (fun (e, n) -> (n, Scalar.dtype in_schema e)) items)
   in
   let fns = List.map (fun (e, _) -> Scalar.compile in_schema e) items in
-  Cursor.make ~schema:out_schema
-    ~init:(fun () -> Cursor.init arg)
-    ~next:(fun () ->
-      match Cursor.next arg with
-      | None -> None
-      | Some t -> Some (Array.of_list (List.map (fun f -> f t) fns)))
+  Cursor.observed "project"
+    (Cursor.make ~schema:out_schema
+       ~init:(fun () -> Cursor.init arg)
+       ~next:(fun () ->
+         match Cursor.next arg with
+         | None -> None
+         | Some t -> Some (Array.of_list (List.map (fun f -> f t) fns))))
 
 (** Projection onto named attributes. *)
 let project_attrs names (arg : Cursor.t) : Cursor.t =

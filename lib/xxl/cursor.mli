@@ -31,3 +31,10 @@ val drain : t -> Tuple.t list
 (** Drain without [init] (the caller already initialized). *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
+
+val observed : string -> t -> t
+(** [observed name c] wraps [c] with per-algorithm observability under
+    the [xxl.<name>.*] metric names: opens/tuples/closes counters are
+    always live; init/drain timing histograms are recorded only while a
+    {!Tango_obs.Trace} is being collected.  Every middleware algorithm
+    constructor applies this to its result. *)

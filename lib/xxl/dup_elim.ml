@@ -17,22 +17,23 @@ open Tango_algebra
 let dup_elim (arg : Cursor.t) : Cursor.t =
   let schema = Cursor.schema arg in
   let last = ref None in
-  Cursor.make ~schema
-    ~init:(fun () ->
-      Cursor.init arg;
-      last := None)
-    ~next:(fun () ->
-      let rec go () =
-        match Cursor.next arg with
-        | None -> None
-        | Some t -> (
-            match !last with
-            | Some prev when Tuple.equal prev t -> go ()
-            | _ ->
-                last := Some t;
-                Some t)
-      in
-      go ())
+  Cursor.observed "dupelim"
+    (Cursor.make ~schema
+       ~init:(fun () ->
+         Cursor.init arg;
+         last := None)
+       ~next:(fun () ->
+         let rec go () =
+           match Cursor.next arg with
+           | None -> None
+           | Some t -> (
+               match !last with
+               | Some prev when Tuple.equal prev t -> go ()
+               | _ ->
+                   last := Some t;
+                   Some t)
+         in
+         go ()))
 
 (** Multiset difference: left minus right, one occurrence removed per right
     tuple; order of the left input is preserved.  The right side is
@@ -40,29 +41,30 @@ let dup_elim (arg : Cursor.t) : Cursor.t =
 let difference (left : Cursor.t) (right : Cursor.t) : Cursor.t =
   let schema = Cursor.schema left in
   let budget : (Value.t list, int) Hashtbl.t = Hashtbl.create 64 in
-  Cursor.make ~schema
-    ~init:(fun () ->
-      Cursor.init left;
-      Hashtbl.reset budget;
-      Cursor.iter
-        (fun t ->
-          let k = Array.to_list t in
-          Hashtbl.replace budget k
-            (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
-        right)
-    ~next:(fun () ->
-      let rec go () =
-        match Cursor.next left with
-        | None -> None
-        | Some t -> (
-            let k = Array.to_list t in
-            match Hashtbl.find_opt budget k with
-            | Some n when n > 0 ->
-                Hashtbl.replace budget k (n - 1);
-                go ()
-            | _ -> Some t)
-      in
-      go ())
+  Cursor.observed "difference"
+    (Cursor.make ~schema
+       ~init:(fun () ->
+         Cursor.init left;
+         Hashtbl.reset budget;
+         Cursor.iter
+           (fun t ->
+             let k = Array.to_list t in
+             Hashtbl.replace budget k
+               (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
+           right)
+       ~next:(fun () ->
+         let rec go () =
+           match Cursor.next left with
+           | None -> None
+           | Some t -> (
+               let k = Array.to_list t in
+               match Hashtbl.find_opt budget k with
+               | Some n when n > 0 ->
+                   Hashtbl.replace budget k (n - 1);
+                   go ()
+               | _ -> Some t)
+         in
+         go ()))
 
 (** Coalesce value-equivalent tuples; input must be sorted on the non-period
     attributes, then [T1]. *)
@@ -85,33 +87,34 @@ let coalesce (arg : Cursor.t) : Cursor.t =
   in
   (* pending: the open coalesced tuple being extended *)
   let pending = ref None in
-  Cursor.make ~schema
-    ~init:(fun () ->
-      Cursor.init arg;
-      pending := None)
-    ~next:(fun () ->
-      let rec go () =
-        match (Cursor.next arg, !pending) with
-        | None, None -> None
-        | None, Some p ->
-            pending := None;
-            Some p
-        | Some t, None ->
-            pending := Some (Array.copy t);
-            go ()
-        | Some t, Some p ->
-            if
-              same_value p t
-              && Value.to_int t.(t1_idx) <= Value.to_int p.(t2_idx)
-            then begin
-              (* extend the open period *)
-              if Value.compare t.(t2_idx) p.(t2_idx) > 0 then
-                p.(t2_idx) <- t.(t2_idx);
-              go ()
-            end
-            else begin
-              pending := Some (Array.copy t);
-              Some p
-            end
-      in
-      go ())
+  Cursor.observed "coalesce"
+    (Cursor.make ~schema
+       ~init:(fun () ->
+         Cursor.init arg;
+         pending := None)
+       ~next:(fun () ->
+         let rec go () =
+           match (Cursor.next arg, !pending) with
+           | None, None -> None
+           | None, Some p ->
+               pending := None;
+               Some p
+           | Some t, None ->
+               pending := Some (Array.copy t);
+               go ()
+           | Some t, Some p ->
+               if
+                 same_value p t
+                 && Value.to_int t.(t1_idx) <= Value.to_int p.(t2_idx)
+               then begin
+                 (* extend the open period *)
+                 if Value.compare t.(t2_idx) p.(t2_idx) > 0 then
+                   p.(t2_idx) <- t.(t2_idx);
+                 go ()
+               end
+               else begin
+                 pending := Some (Array.copy t);
+                 Some p
+               end
+         in
+         go ()))

@@ -117,10 +117,11 @@ let merge_join ?(pred = Ast.Lit (Tango_rel.Value.Bool true)) ~left_keys
     ~right_keys left right : Cursor.t =
   let out_schema = Schema.concat (Cursor.schema left) (Cursor.schema right) in
   let p = Scalar.compile_pred out_schema pred in
-  merge_skeleton ~schema:out_schema ~left ~right ~left_keys ~right_keys
-    ~emit:(fun lt rt ->
-      let t = Tuple.concat lt rt in
-      if p t then Some t else None)
+  Cursor.observed "merge_join"
+    (merge_skeleton ~schema:out_schema ~left ~right ~left_keys ~right_keys
+       ~emit:(fun lt rt ->
+         let t = Tuple.concat lt rt in
+         if p t then Some t else None))
 
 (* Build the temporal-join output machinery shared by both variants. *)
 let tjoin_emit ~sl ~sr ~pred =
@@ -172,7 +173,9 @@ let temporal_merge_join ?(pred = Ast.Lit (Tango_rel.Value.Bool true))
     ~left_keys ~right_keys left right : Cursor.t =
   let sl = Cursor.schema left and sr = Cursor.schema right in
   let out_schema, emit = tjoin_emit ~sl ~sr ~pred in
-  merge_skeleton ~schema:out_schema ~left ~right ~left_keys ~right_keys ~emit
+  Cursor.observed "tjoin"
+    (merge_skeleton ~schema:out_schema ~left ~right ~left_keys ~right_keys
+       ~emit)
 
 (** Nested-loop join (no order requirement); for completeness and testing. *)
 let nested_loop_join ?(pred = Ast.Lit (Tango_rel.Value.Bool true)) left right :
@@ -182,30 +185,31 @@ let nested_loop_join ?(pred = Ast.Lit (Tango_rel.Value.Bool true)) left right :
   let right_rel = ref [||] in
   let li = ref None in
   let ri = ref 0 in
-  Cursor.make ~schema:out_schema
-    ~init:(fun () ->
-      Cursor.init left;
-      right_rel := Relation.tuples (Cursor.to_relation right);
-      li := Cursor.next left;
-      ri := 0)
-    ~next:(fun () ->
-      let rec go () =
-        match !li with
-        | None -> None
-        | Some lt ->
-            if !ri >= Array.length !right_rel then begin
-              li := Cursor.next left;
-              ri := 0;
-              go ()
-            end
-            else begin
-              let rt = !right_rel.(!ri) in
-              incr ri;
-              let t = Tuple.concat lt rt in
-              if p t then Some t else go ()
-            end
-      in
-      go ())
+  Cursor.observed "nl_join"
+    (Cursor.make ~schema:out_schema
+       ~init:(fun () ->
+         Cursor.init left;
+         right_rel := Relation.tuples (Cursor.to_relation right);
+         li := Cursor.next left;
+         ri := 0)
+       ~next:(fun () ->
+         let rec go () =
+           match !li with
+           | None -> None
+           | Some lt ->
+               if !ri >= Array.length !right_rel then begin
+                 li := Cursor.next left;
+                 ri := 0;
+                 go ()
+               end
+               else begin
+                 let rt = !right_rel.(!ri) in
+                 incr ri;
+                 let t = Tuple.concat lt rt in
+                 if p t then Some t else go ()
+               end
+         in
+         go ()))
 
 (** Nested-loop temporal join (no order requirement). *)
 let temporal_nested_loop_join ?(pred = Ast.Lit (Tango_rel.Value.Bool true))
@@ -215,26 +219,27 @@ let temporal_nested_loop_join ?(pred = Ast.Lit (Tango_rel.Value.Bool true))
   let right_rel = ref [||] in
   let li = ref None in
   let ri = ref 0 in
-  Cursor.make ~schema:out_schema
-    ~init:(fun () ->
-      Cursor.init left;
-      right_rel := Relation.tuples (Cursor.to_relation right);
-      li := Cursor.next left;
-      ri := 0)
-    ~next:(fun () ->
-      let rec go () =
-        match !li with
-        | None -> None
-        | Some lt ->
-            if !ri >= Array.length !right_rel then begin
-              li := Cursor.next left;
-              ri := 0;
-              go ()
-            end
-            else begin
-              let rt = !right_rel.(!ri) in
-              incr ri;
-              match emit lt rt with Some t -> Some t | None -> go ()
-            end
-      in
-      go ())
+  Cursor.observed "tnl_join"
+    (Cursor.make ~schema:out_schema
+       ~init:(fun () ->
+         Cursor.init left;
+         right_rel := Relation.tuples (Cursor.to_relation right);
+         li := Cursor.next left;
+         ri := 0)
+       ~next:(fun () ->
+         let rec go () =
+           match !li with
+           | None -> None
+           | Some lt ->
+               if !ri >= Array.length !right_rel then begin
+                 li := Cursor.next left;
+                 ri := 0;
+                 go ()
+               end
+               else begin
+                 let rt = !right_rel.(!ri) in
+                 incr ri;
+                 match emit lt rt with Some t -> Some t | None -> go ()
+               end
+         in
+         go ()))

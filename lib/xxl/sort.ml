@@ -111,16 +111,17 @@ let sort ?(run_size = default_run_size) (order : Order.t) (arg : Cursor.t) :
         end)
       !runs
   in
-  Cursor.make ~schema
-    ~init:(fun () ->
-      Cursor.init arg;
-      build_runs ())
-    ~next:(fun () ->
-      match heap_pop () with
-      | None -> None
-      | Some (t, i, r) ->
-          if r.pos < Array.length r.tuples then begin
-            heap_push (r.tuples.(r.pos), i, r);
-            r.pos <- r.pos + 1
-          end;
-          Some t)
+  Cursor.observed "sort"
+    (Cursor.make ~schema
+       ~init:(fun () ->
+         Cursor.init arg;
+         build_runs ())
+       ~next:(fun () ->
+         match heap_pop () with
+         | None -> None
+         | Some (t, i, r) ->
+             if r.pos < Array.length r.tuples then begin
+               heap_push (r.tuples.(r.pos), i, r);
+               r.pos <- r.pos + 1
+             end;
+             Some t))

@@ -119,22 +119,23 @@ let taggr ~(group_by : string list) ~(aggs : Op.agg list) (arg : Cursor.t) :
     done;
     List.rev !out
   in
-  Cursor.make ~schema:out_schema
-    ~init:(fun () ->
-      Cursor.init arg;
-      look := Cursor.next arg;
-      queue := [])
-    ~next:(fun () ->
-      let rec go () =
-        match !queue with
-        | t :: rest ->
-            queue := rest;
-            Some t
-        | [] -> (
-            match read_group () with
-            | None -> None
-            | Some (key, members) ->
-                queue := process_group key members;
-                go ())
-      in
-      go ())
+  Cursor.observed "taggr"
+    (Cursor.make ~schema:out_schema
+       ~init:(fun () ->
+         Cursor.init arg;
+         look := Cursor.next arg;
+         queue := [])
+       ~next:(fun () ->
+         let rec go () =
+           match !queue with
+           | t :: rest ->
+               queue := rest;
+               Some t
+           | [] -> (
+               match read_group () with
+               | None -> None
+               | Some (key, members) ->
+                   queue := process_group key members;
+                   go ())
+         in
+         go ()))

@@ -21,28 +21,30 @@ open Tango_dbms
 let transfer_m (client : Client.t) ~(schema : Schema.t) (sql : Ast.query) :
     Cursor.t =
   let cur = ref None in
-  Cursor.make ~schema
-    ~init:(fun () -> cur := Some (Client.execute_query_ast client sql))
-    ~next:(fun () ->
-      match !cur with
-      | None -> invalid_arg "TRANSFER^M: next before init"
-      | Some c -> Client.fetch c)
+  Cursor.observed "transfer_m"
+    (Cursor.make ~schema
+       ~init:(fun () -> cur := Some (Client.execute_query_ast client sql))
+       ~next:(fun () ->
+         match !cur with
+         | None -> invalid_arg "TRANSFER^M: next before init"
+         | Some c -> Client.fetch c))
 
 (** `TRANSFER^D`: loads [arg] into table [table]; the cursor itself is
     empty. *)
 let transfer_d (client : Client.t) ~(table : string) (arg : Cursor.t) :
     Cursor.t =
   let schema = Cursor.schema arg in
-  Cursor.make ~schema
-    ~init:(fun () ->
-      Cursor.init arg;
-      let rec seq () =
-        match Cursor.next arg with
-        | None -> Seq.Nil
-        | Some t -> Seq.Cons (t, seq)
-      in
-      ignore (Client.bulk_load client ~table schema seq))
-    ~next:(fun () -> None)
+  Cursor.observed "transfer_d"
+    (Cursor.make ~schema
+       ~init:(fun () ->
+         Cursor.init arg;
+         let rec seq () =
+           match Cursor.next arg with
+           | None -> Seq.Nil
+           | Some t -> Seq.Cons (t, seq)
+         in
+         ignore (Client.bulk_load client ~table schema seq))
+       ~next:(fun () -> None))
 
 (** Drop the temporary tables a query created ("the table must be dropped at
     the end of the query"). *)

@@ -171,6 +171,41 @@ let test_calibration_produces_sane_factors () =
   Alcotest.(check bool) "taggr asymmetry" true
     (f.Tango_cost.Factors.p_taggd1 > f.Tango_cost.Factors.p_taggm1)
 
+let test_config_round_trip () =
+  let db = Tango_dbms.Database.create () in
+  Uis.load ~scale:0.005 db;
+  let config =
+    Middleware.Config.(
+      default
+      |> with_row_prefetch 25
+      |> with_roundtrip_spin 0
+      |> with_selectivity_mode Tango_stats.Selectivity.Naive
+      |> with_histograms false
+      |> with_feedback ~alpha:0.5 true
+      |> with_max_memo_elements 1_000
+      |> with_transfer_sharing false
+      |> with_tracing true)
+  in
+  let mw = Middleware.connect ~config db in
+  (* the config rides through connect unchanged... *)
+  Alcotest.(check bool) "config round-trips" true (Middleware.config mw = config);
+  (* ...and the client boundary picked up the connection fields *)
+  Alcotest.(check int) "row prefetch applied" 25
+    (Tango_dbms.Client.row_prefetch (Middleware.client mw));
+  (* explicit connect args override config fields *)
+  let mw2 = Middleware.connect ~config ~row_prefetch:7 db in
+  Alcotest.(check int) "explicit arg wins" 7
+    (Middleware.config mw2).Middleware.Config.row_prefetch;
+  (* deprecated setters are shims over the immutable config *)
+  Middleware.set_feedback mw false;
+  Alcotest.(check bool) "setter updates config" false
+    (Middleware.config mw).Middleware.Config.feedback;
+  Alcotest.(check (float 1e-9)) "other fields untouched" 0.5
+    (Middleware.config mw).Middleware.Config.feedback_alpha;
+  (* a traced query works under this config and reports a trace *)
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "trace collected" true (r.Middleware.trace <> None)
+
 let test_histogram_toggle () =
   let _db, mw = setup () in
   Middleware.set_histograms mw false;
@@ -507,6 +542,7 @@ let () =
           Alcotest.test_case "temp tables dropped" `Quick test_temp_tables_dropped;
           Alcotest.test_case "feedback adapts factors" `Quick test_feedback_adapts;
           Alcotest.test_case "calibration sane" `Quick test_calibration_produces_sane_factors;
+          Alcotest.test_case "config round trip" `Quick test_config_round_trip;
           Alcotest.test_case "histogram toggle" `Quick test_histogram_toggle;
           Alcotest.test_case "instrumentation" `Quick test_exec_plan_instrumentation;
         ] );
