@@ -14,6 +14,7 @@
      prefetch  row-prefetch sweep for TRANSFER^M (Section 3.2 remark)
      calib     cost-model quality: default vs calibrated factors
      feedback  cost-factor adaptation across repeated queries
+     adapt     est-vs-actual profiling + adaptive recalibration (JSON trajectory)
      obs       per-query traces + global metrics, exported as JSON
      micro     Bechamel micro-benchmarks of the core algorithms
 
@@ -517,6 +518,105 @@ let sharing ctx =
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
+(* adapt: estimated-vs-actual profiling + adaptive recalibration (A5)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Perturb the substrate under a calibrated session (a much slower
+   simulated network round trip), watch the cost q-error blow up, and
+   verify the adaptive recalibration loop shrinks it again.  Emits the
+   per-round trajectory as JSON (the CI artifact). *)
+let adapt ctx =
+  Fmt.pr "== Adaptation: estimated-vs-actual profiling feedback loop ==@.";
+  Fmt.pr "(calibrated factors; after round 2 the per-round-trip latency is@.";
+  Fmt.pr " perturbed 16x — misestimation triggers a cost-factor refit and@.";
+  Fmt.pr " the mean cost q-error of subsequent plans shrinks back)@.";
+  header [ "round"; "phase"; "mean_q_cost"; "mean_q_rows"; "p_tm"; "refits" ];
+  let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
+  Middleware.set_config mw
+    (Middleware.Config.with_adaptive_costs true (Middleware.config mw));
+  let perturb_round = 3 in
+  let rounds = if ctx.quick then 8 else 10 in
+  let refits0 = Tango_obs.Counter.value Tango_profile.Adapt.refits in
+  let trajectory = ref [] in
+  let phase_sums = Hashtbl.create 4 in
+  for round = 1 to rounds do
+    if round = perturb_round then begin
+      let c = Middleware.config mw in
+      Middleware.set_config mw
+        (Middleware.Config.with_roundtrip_spin
+           (16 * c.Middleware.Config.roundtrip_spin)
+           c)
+    end;
+    let refits_before = Tango_obs.Counter.value Tango_profile.Adapt.refits in
+    let r = Middleware.query mw Queries.q1_sql in
+    let refits_after = Tango_obs.Counter.value Tango_profile.Adapt.refits in
+    let phase =
+      if round < perturb_round then "baseline"
+      else if refits_before > refits0 then "adapted"
+      else "perturbed"
+    in
+    match r.Middleware.analysis with
+    | None -> Fmt.pr "%5d  %-9s (no analysis)@." round phase
+    | Some a ->
+        let p_tm = (Middleware.factors mw).Tango_cost.Factors.p_tm in
+        let q_cost = a.Tango_profile.Analyze.mean_q_cost in
+        let q_rows = a.Tango_profile.Analyze.mean_q_rows in
+        Fmt.pr "%5d  %-9s  %11.2f  %11.2f  %8.4f  %6d@." round phase q_cost
+          q_rows p_tm (refits_after - refits0);
+        let sum, n =
+          Option.value ~default:(0.0, 0) (Hashtbl.find_opt phase_sums phase)
+        in
+        Hashtbl.replace phase_sums phase (sum +. q_cost, n + 1);
+        trajectory :=
+          Tango_obs.Json.Obj
+            [
+              ("round", Tango_obs.Json.Int round);
+              ("phase", Tango_obs.Json.String phase);
+              ("mean_q_cost", Tango_obs.Json.Float q_cost);
+              ("mean_q_rows", Tango_obs.Json.Float q_rows);
+              ("max_q_cost", Tango_obs.Json.Float a.Tango_profile.Analyze.max_q_cost);
+              ("p_tm", Tango_obs.Json.Float p_tm);
+              ("execute_us", Tango_obs.Json.Float r.Middleware.execute_us);
+              ("refits", Tango_obs.Json.Int (refits_after - refits0));
+            ]
+          :: !trajectory
+  done;
+  let phase_mean name =
+    match Hashtbl.find_opt phase_sums name with
+    | Some (sum, n) when n > 0 -> Some (sum /. float_of_int n)
+    | _ -> None
+  in
+  let jfloat = function
+    | Some v -> Tango_obs.Json.Float v
+    | None -> Tango_obs.Json.Null
+  in
+  let perturbed = phase_mean "perturbed" and adapted = phase_mean "adapted" in
+  let improved =
+    match (perturbed, adapted) with Some p, Some a -> a < p | _ -> false
+  in
+  let doc =
+    Tango_obs.Json.Obj
+      [
+        ("experiment", Tango_obs.Json.String "adapt");
+        ("perturb_round", Tango_obs.Json.Int perturb_round);
+        ("rounds", Tango_obs.Json.List (List.rev !trajectory));
+        ("mean_q_cost_baseline", jfloat (phase_mean "baseline"));
+        ("mean_q_cost_perturbed", jfloat perturbed);
+        ("mean_q_cost_adapted", jfloat adapted);
+        ("adapted_improves", Tango_obs.Json.Bool improved);
+        ( "slow_queries",
+          Tango_obs.Json.Int
+            (Tango_obs.Counter.value Tango_profile.Sentinel.slow_queries) );
+        ( "plan_regressions",
+          Tango_obs.Json.Int
+            (Tango_obs.Counter.value Tango_profile.Sentinel.plan_regressions) );
+      ]
+  in
+  Fmt.pr "%s@." (Tango_obs.Json.to_string doc);
+  Fmt.pr "# adapted mean q-error %s perturbed mean q-error@.@."
+    (if improved then "<" else ">= (ADAPTATION DID NOT IMPROVE)")
+
+(* ------------------------------------------------------------------ *)
 (* obs: tracing & metrics export (Tango_obs)                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -660,7 +760,7 @@ let experiments =
   [ ("fig8", fig8); ("fig10", fig10); ("fig11a", fig11a); ("fig11b", fig11b);
     ("sel", sel); ("choice", choice); ("memo", memo); ("overhead", overhead);
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
-    ("sharing", sharing); ("obs", obs); ("micro", micro) ]
+    ("sharing", sharing); ("adapt", adapt); ("obs", obs); ("micro", micro) ]
 
 let () =
   let scale = ref 0.02 in

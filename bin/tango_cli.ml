@@ -71,7 +71,8 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   if verbose then Logs.Src.set_level Middleware.log_src (Some Logs.Debug)
 
-let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace =
+let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
+    ?(profiling = false) () =
   let db = Tango_dbms.Database.create () in
   if scale > 0.0 then Tango_workload.Uis.load ~scale db;
   List.iter (load_csv db) csvs;
@@ -79,6 +80,7 @@ let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace =
     Middleware.Config.default
     |> Middleware.Config.with_histograms (not no_histograms)
     |> Middleware.Config.with_tracing trace
+    |> Middleware.Config.with_profiling profiling
     |> fun c ->
     match prefetch with
     | None -> c
@@ -104,24 +106,42 @@ let print_result ?(limit = 40) (r : Relation.t) =
   if n > limit then Fmt.pr "... (%d rows total)@." n
   else Fmt.pr "(%d rows)@." n
 
-let run_query mw ~explain_only ~verbose sql =
+let print_analysis (report : Middleware.report) =
+  match report.Middleware.analysis with
+  | Some a ->
+      Fmt.pr "@.estimated vs actual:@.%s@?" (Tango_profile.Analyze.to_string a)
+  | None -> ()
+
+let run_query mw ~explain_only ~analyze ~verbose sql =
   if explain_only then begin
-    let initial =
-      Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) sql
-    in
-    let order = Tango_tsql.Compile.required_order sql in
-    let res = Middleware.optimize mw ~required_order:order initial in
-    match res.Tango_volcano.Search.plan with
-    | None -> Fmt.pr "no feasible plan@."
-    | Some plan ->
-        Fmt.pr "physical plan (estimated %.0f us):@.%s@."
-          plan.Tango_volcano.Physical.total_cost
-          (Tango_volcano.Physical.to_string plan);
-        let exec, _ = Exec_plan.of_physical (Middleware.database mw) plan in
-        Fmt.pr "execution-ready plan:@.%s@." (Exec_plan.to_string exec);
-        Fmt.pr "%d classes, %d elements, optimized in %.1f ms@."
-          res.Tango_volcano.Search.classes res.Tango_volcano.Search.elements
-          (res.Tango_volcano.Search.time_us /. 1000.0)
+    if analyze then begin
+      (* EXPLAIN ANALYZE: execute the query (profiling is on) and print
+         the annotated plan instead of the result rows *)
+      let report = Middleware.query mw sql in
+      Fmt.pr "physical plan (estimated %.0f us, actual %.0f us):@.%s@."
+        report.Middleware.estimated_cost_us report.Middleware.execute_us
+        (Tango_volcano.Physical.to_string report.Middleware.physical);
+      print_analysis report
+    end
+    else begin
+      let initial =
+        Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw)
+          sql
+      in
+      let order = Tango_tsql.Compile.required_order sql in
+      let res = Middleware.optimize mw ~required_order:order initial in
+      match res.Tango_volcano.Search.plan with
+      | None -> Fmt.pr "no feasible plan@."
+      | Some plan ->
+          Fmt.pr "physical plan (estimated %.0f us):@.%s@."
+            plan.Tango_volcano.Physical.total_cost
+            (Tango_volcano.Physical.to_string plan);
+          let exec, _ = Exec_plan.of_physical (Middleware.database mw) plan in
+          Fmt.pr "execution-ready plan:@.%s@." (Exec_plan.to_string exec);
+          Fmt.pr "%d classes, %d elements, optimized in %.1f ms@."
+            res.Tango_volcano.Search.classes res.Tango_volcano.Search.elements
+            (res.Tango_volcano.Search.time_us /. 1000.0)
+    end
   end
   else begin
     let report = Middleware.query mw sql in
@@ -134,6 +154,7 @@ let run_query mw ~explain_only ~verbose sql =
     end;
     print_result report.Middleware.result;
     Fmt.pr "executed in %.1f ms@." (report.Middleware.execute_us /. 1000.0);
+    if analyze then print_analysis report;
     match report.Middleware.trace with
     | Some span -> Fmt.pr "@.%s@?" (Tango_obs.Trace.to_string span)
     | None -> ()
@@ -190,35 +211,52 @@ let trace_arg =
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
+let analyze_arg =
+  Arg.(value & flag
+       & info [ "analyze" ]
+           ~doc:"Profile the execution and print the annotated plan: \
+                 per-operator estimated vs actual rows, time, page reads \
+                 and round trips, with q-errors.")
+
 let run_term =
-  let f scale csvs prefetch no_histograms calibrate verbose trace sql =
+  let f scale csvs prefetch no_histograms calibrate verbose trace analyze sql =
     catch_errors (fun () ->
         setup_logs verbose;
-        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace in
-        run_query mw ~explain_only:false ~verbose sql)
+        let mw =
+          setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
+            ~profiling:analyze ()
+        in
+        run_query mw ~explain_only:false ~analyze ~verbose sql)
   in
   Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-        $ calibrate_arg $ verbose_arg $ trace_arg $ sql_arg)
+        $ calibrate_arg $ verbose_arg $ trace_arg $ analyze_arg $ sql_arg)
 
 let run_cmd =
   let doc = "Run a temporal SQL query through the middleware." in
   Cmd.v (Cmd.info "run" ~doc) run_term
 
 let explain_cmd =
-  let doc = "Optimize a query and print the chosen plan without executing it." in
-  let f scale csvs prefetch no_histograms calibrate sql =
+  let doc =
+    "Optimize a query and print the chosen plan.  With $(b,--analyze), also \
+     execute it and annotate every operator with estimated vs actual \
+     cardinality, time and q-error."
+  in
+  let f scale csvs prefetch no_histograms calibrate analyze sql =
     catch_errors (fun () ->
-        let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:false in
-        run_query mw ~explain_only:true ~verbose:false sql)
+        let mw =
+          setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:false
+            ~profiling:analyze ()
+        in
+        run_query mw ~explain_only:true ~analyze ~verbose:false sql)
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ sql_arg)
+          $ calibrate_arg $ analyze_arg $ sql_arg)
 
 let repl_cmd =
   let doc = "Interactive session: one query per line; 'quit' exits." in
   let f scale csvs prefetch no_histograms calibrate verbose trace =
-    let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace in
+    let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace () in
     Fmt.pr "tango> @?";
     (try
        let rec loop () =
@@ -228,7 +266,9 @@ let repl_cmd =
              Fmt.pr "tango> @?";
              loop ()
          | sql ->
-             ignore (catch_errors (fun () -> run_query mw ~explain_only:false ~verbose sql));
+             ignore
+               (catch_errors (fun () ->
+                    run_query mw ~explain_only:false ~analyze:false ~verbose sql));
              Fmt.pr "tango> @?";
              loop ()
        in
@@ -246,7 +286,7 @@ let tables_cmd =
     catch_errors (fun () ->
         let mw =
           setup ~scale ~csvs ~prefetch:None ~no_histograms:false
-            ~calibrate:false ~trace:false
+            ~calibrate:false ~trace:false ()
         in
         let db = Middleware.database mw in
         List.iter

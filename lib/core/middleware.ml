@@ -36,6 +36,9 @@ module Config = struct
     max_memo_elements : int;
     share_transfers : bool;
     tracing : bool;
+    profiling : bool;
+    adaptive_costs : bool;
+    slow_query_threshold_us : float;
   }
 
   let default =
@@ -49,6 +52,9 @@ module Config = struct
       max_memo_elements = 5_000;
       share_transfers = true;
       tracing = false;
+      profiling = false;
+      adaptive_costs = false;
+      slow_query_threshold_us = 0.0;
     }
 
   let with_row_prefetch n c = { c with row_prefetch = n }
@@ -64,6 +70,15 @@ module Config = struct
   let with_max_memo_elements n c = { c with max_memo_elements = n }
   let with_transfer_sharing b c = { c with share_transfers = b }
   let with_tracing b c = { c with tracing = b }
+
+  let with_profiling b c = { c with profiling = b }
+
+  let with_adaptive_costs b c =
+    (* adaptation consumes profiling records, so it implies them *)
+    { c with adaptive_costs = b; profiling = b || c.profiling }
+
+  let with_slow_query_threshold us c =
+    { c with slow_query_threshold_us = us; profiling = (us > 0.0) || c.profiling }
 end
 
 type t = {
@@ -71,6 +86,9 @@ type t = {
   factors : Factors.t;
   mutable config : Config.t;
   mutable last_trace : Tango_obs.Trace.span option;
+  mutable last_analysis : Tango_profile.Analyze.report option;
+  profile : Tango_profile.Feedback.t;
+  sentinel : Tango_profile.Sentinel.t;
   stats_cache : (string * string, Rel_stats.t) Hashtbl.t;
 }
 
@@ -92,6 +110,9 @@ let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
     factors = Factors.default ();
     config;
     last_trace = None;
+    last_analysis = None;
+    profile = Tango_profile.Feedback.create ();
+    sentinel = Tango_profile.Sentinel.create ();
     stats_cache = Hashtbl.create 16;
   }
 
@@ -100,6 +121,9 @@ let database t = Client.database t.client
 let factors t = t.factors
 let config t = t.config
 let last_trace t = t.last_trace
+let last_analysis t = t.last_analysis
+let profile_store t = t.profile
+let sentinel t = t.sentinel
 
 let set_config t (c : Config.t) =
   if c.Config.histograms <> t.config.Config.histograms then
@@ -185,6 +209,7 @@ type report = {
   elements : int;
   estimated_cost_us : float;
   trace : Tango_obs.Trace.span option;
+  analysis : Tango_profile.Analyze.report option;
 }
 
 let now_us () = Unix.gettimeofday () *. 1_000_000.0
@@ -291,6 +316,42 @@ let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node 
   if t.config.Config.feedback then apply_feedback t exec;
   (result, exec, elapsed)
 
+(* The profiling hook (after execution): pair the chosen physical plan
+   with the measured operator trace, fold the per-operator est-vs-actual
+   records into the feedback store, maybe refit cost factors, and pass
+   the execution by the plan-regression sentinel.  [initial] identifies
+   the {e query} (pre-optimization), so the sentinel can compare plan
+   choices across executions of the same query. *)
+let profile_execution t ~(initial : Op.t) (physical : Physical.plan)
+    (exec : Exec_plan.node) ~execute_us :
+    Tango_profile.Analyze.report option =
+  if not t.config.Config.profiling then begin
+    t.last_analysis <- None;
+    None
+  end
+  else begin
+    let analysis =
+      Tango_profile.Analyze.analyze ~stats_env:(stats_env t)
+        ~factors:t.factors ~row_prefetch:t.config.Config.row_prefetch physical
+        (Exec_plan.to_trace exec)
+    in
+    Tango_profile.Feedback.record t.profile analysis;
+    if t.config.Config.adaptive_costs then
+      (match Tango_profile.Adapt.maybe_refit t.profile ~factors:t.factors with
+      | Some refitted ->
+          Log.info (fun m ->
+              m "adaptive costs: refitted %s" (String.concat ", " refitted))
+      | None -> ());
+    ignore
+      (Tango_profile.Sentinel.observe t.sentinel
+         ~fingerprint:(Physical.op_fingerprint initial)
+         ~signature:(Physical.signature physical)
+         ~slow_threshold_us:t.config.Config.slow_query_threshold_us
+         ~elapsed_us:execute_us ());
+    t.last_analysis <- Some analysis;
+    Some analysis
+  end
+
 (* The shared optimize-then-execute body; the caller owns the trace. *)
 let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
   let r =
@@ -313,6 +374,7 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
             (Physical.algorithm_name physical.Physical.algorithm)
             (Relation.cardinality result) (execute_us /. 1000.0)
             (physical.Physical.total_cost /. 1000.0));
+      let analysis = profile_execution t ~initial physical exec ~execute_us in
       {
         result;
         physical;
@@ -323,6 +385,7 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
         elements = r.Search.elements;
         estimated_cost_us = physical.Physical.total_cost;
         trace = None;
+        analysis;
       }
 
 (** Optimize and execute an initial algebra plan. *)
@@ -349,6 +412,9 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
       | None -> raise (No_plan "plan tree is not executable as written")
       | Some physical ->
           let result, exec, execute_us = execute_physical t physical in
+          let analysis =
+            profile_execution t ~initial:plan_tree physical exec ~execute_us
+          in
           {
             result;
             physical;
@@ -359,4 +425,5 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
             elements = 0;
             estimated_cost_us = physical.Physical.total_cost;
             trace = None;
+            analysis;
           })

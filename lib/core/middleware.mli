@@ -36,6 +36,16 @@ module Config : sig
             (the paper's §7 "issue only one T^M" refinement) *)
     tracing : bool;
         (** collect a {!Tango_obs.Trace} for each pipeline run *)
+    profiling : bool;
+        (** EXPLAIN-ANALYZE every execution: per-operator estimated vs
+            actual records ({!report.analysis}) folded into the session's
+            feedback store *)
+    adaptive_costs : bool;
+        (** close the loop: refit cost factors when the feedback store
+            shows sustained misestimation (implies [profiling]) *)
+    slow_query_threshold_us : float;
+        (** log executions at least this slow (0 = disabled; implies
+            [profiling] when positive) *)
   }
 
   val default : t
@@ -51,6 +61,14 @@ module Config : sig
   val with_max_memo_elements : int -> t -> t
   val with_transfer_sharing : bool -> t -> t
   val with_tracing : bool -> t -> t
+  val with_profiling : bool -> t -> t
+
+  val with_adaptive_costs : bool -> t -> t
+  (** Enabling adaptation also enables [profiling]. *)
+
+  val with_slow_query_threshold : float -> t -> t
+  (** Threshold in microseconds; a positive value also enables
+      [profiling]. *)
 end
 
 type t
@@ -86,6 +104,17 @@ val set_config : t -> Config.t -> unit
 val last_trace : t -> Tango_obs.Trace.span option
 (** The trace of the most recent {!query} / {!run_plan} / {!run_fixed}
     call; [None] unless the configuration has [tracing] set. *)
+
+val last_analysis : t -> Tango_profile.Analyze.report option
+(** The EXPLAIN-ANALYZE report of the most recent execution; [None]
+    unless the configuration has [profiling] set. *)
+
+val profile_store : t -> Tango_profile.Feedback.t
+(** The session's feedback store: per-fragment misestimation statistics
+    accumulated across profiled executions. *)
+
+val sentinel : t -> Tango_profile.Sentinel.t
+(** The session's plan-regression sentinel and slow-query log. *)
 
 (** {2 Deprecated setters}
 
@@ -149,6 +178,9 @@ type report = {
       (** the collected trace when the configuration has [tracing] set:
           parse / optimize / translate / execute phases, with the measured
           operator tree grafted under the execute span *)
+  analysis : Tango_profile.Analyze.report option;
+      (** per-operator estimated-vs-actual records with q-errors, when the
+          configuration has [profiling] set *)
 }
 
 exception No_plan of string

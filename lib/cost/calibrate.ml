@@ -59,6 +59,66 @@ type probe_sizes = { small : int; large : int }
 
 let default_sizes = { small = 1_000; large = 4_000 }
 
+(* ------------------------------------------------------------------ *)
+(* Refitting from observed executions                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** One observed execution attributed to a cost factor: the formula's size
+    term [x] (bytes, possibly scaled by merge levels or predicate terms —
+    the caller evaluates the formula structure) and the measured time.
+    The profiling layer produces these from EXPLAIN ANALYZE records. *)
+type observation = { factor : string; x : float; elapsed_us : float }
+
+(** Least-squares slope through the origin for [t = p * x] — the same
+    single-coefficient model the probe fits use, but over arbitrarily many
+    observations instead of two designed sizes.  [None] when the
+    observations carry no usable signal. *)
+let fit_slope (obs : (float * float) list) : float option =
+  let sxx, sxt =
+    List.fold_left
+      (fun (sxx, sxt) (x, t) ->
+        if x > 0.0 && Float.is_finite t && t >= 0.0 then
+          (sxx +. (x *. x), sxt +. (x *. t))
+        else (sxx, sxt))
+      (0.0, 0.0) obs
+  in
+  if sxx <= 0.0 then None else Some (Float.max 1e-6 (sxt /. sxx))
+
+(** Refit factors from observed executions: every factor name with at
+    least [min_samples] observations gets its coefficient re-estimated by
+    {!fit_slope}; all others keep their value from [base].  Returns the
+    fresh factors plus the names actually refitted — [base] itself is not
+    modified, mirroring {!run}. *)
+let refit ?(min_samples = 3) ~(base : Factors.t) (obs : observation list) :
+    Factors.t * string list =
+  let f = Factors.copy base in
+  let by_factor : (string, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun o ->
+      let cell =
+        match Hashtbl.find_opt by_factor o.factor with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.replace by_factor o.factor c;
+            c
+      in
+      cell := (o.x, o.elapsed_us) :: !cell)
+    obs;
+  let refitted =
+    Hashtbl.fold
+      (fun name cell acc ->
+        if List.length !cell < min_samples then acc
+        else
+          match fit_slope !cell with
+          | Some p when Factors.set_by_name f name p -> name :: acc
+          | _ -> acc)
+      by_factor []
+  in
+  (f, List.sort compare refitted)
+
 (** Run calibration against [client]'s database.  Returns fresh factors;
     does not modify any existing ones. *)
 let run ?(sizes = default_sizes) (client : Client.t) : Factors.t =

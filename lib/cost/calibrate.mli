@@ -16,3 +16,27 @@ val default_sizes : probe_sizes
 val run : ?sizes:probe_sizes -> Client.t -> Factors.t
 (** Calibrate against the client's database; returns fresh factors and
     leaves no tables behind. *)
+
+(** {2 Refitting from observed executions}
+
+    The adaptive half of the paper's calibrate-then-adapt story: instead
+    of designed probes, fit coefficients to what real queries measurably
+    cost (fed by [Tango_profile]'s EXPLAIN ANALYZE records). *)
+
+type observation = {
+  factor : string;  (** a {!Factors.t} field name, e.g. ["p_tm"] *)
+  x : float;
+      (** the formula's size term for this execution (bytes, possibly
+          scaled by merge levels / predicate terms) *)
+  elapsed_us : float;  (** measured time attributed to this factor *)
+}
+
+val fit_slope : (float * float) list -> float option
+(** Least-squares slope through the origin for [(x, t)] pairs; [None]
+    without usable signal. *)
+
+val refit :
+  ?min_samples:int -> base:Factors.t -> observation list -> Factors.t * string list
+(** Re-estimate every factor with at least [min_samples] (default 3)
+    observations; others keep their [base] value.  Returns fresh factors
+    (base unmodified) and the names refitted. *)

@@ -63,6 +63,54 @@ let default () =
 
 let copy (f : t) = { f with p_tm = f.p_tm }
 
+(** All factors by field name — the stable keys used by the refit and
+    profiling machinery ({!Calibrate.refit}, [Tango_profile]) and by JSON
+    exports. *)
+let to_assoc (f : t) : (string * float) list =
+  [
+    ("p_tm", f.p_tm); ("p_td", f.p_td); ("p_sem", f.p_sem); ("p_pm", f.p_pm);
+    ("p_sortm", f.p_sortm); ("p_mjm1", f.p_mjm1); ("p_mjm2", f.p_mjm2);
+    ("p_tjm1", f.p_tjm1); ("p_tjm2", f.p_tjm2); ("p_taggm1", f.p_taggm1);
+    ("p_taggm2", f.p_taggm2); ("p_dupm", f.p_dupm); ("p_coalm", f.p_coalm);
+    ("p_diffm", f.p_diffm); ("p_scan", f.p_scan); ("p_isc", f.p_isc);
+    ("p_sortd", f.p_sortd); ("p_joind1", f.p_joind1); ("p_joind2", f.p_joind2);
+    ("p_cartd", f.p_cartd); ("p_taggd1", f.p_taggd1); ("p_taggd2", f.p_taggd2);
+  ]
+
+let get_by_name (f : t) name : float option =
+  List.assoc_opt name (to_assoc f)
+
+(** Set a factor by field name; [false] when the name is unknown. *)
+let set_by_name (f : t) name v : bool =
+  match name with
+  | "p_tm" -> f.p_tm <- v; true
+  | "p_td" -> f.p_td <- v; true
+  | "p_sem" -> f.p_sem <- v; true
+  | "p_pm" -> f.p_pm <- v; true
+  | "p_sortm" -> f.p_sortm <- v; true
+  | "p_mjm1" -> f.p_mjm1 <- v; true
+  | "p_mjm2" -> f.p_mjm2 <- v; true
+  | "p_tjm1" -> f.p_tjm1 <- v; true
+  | "p_tjm2" -> f.p_tjm2 <- v; true
+  | "p_taggm1" -> f.p_taggm1 <- v; true
+  | "p_taggm2" -> f.p_taggm2 <- v; true
+  | "p_dupm" -> f.p_dupm <- v; true
+  | "p_coalm" -> f.p_coalm <- v; true
+  | "p_diffm" -> f.p_diffm <- v; true
+  | "p_scan" -> f.p_scan <- v; true
+  | "p_isc" -> f.p_isc <- v; true
+  | "p_sortd" -> f.p_sortd <- v; true
+  | "p_joind1" -> f.p_joind1 <- v; true
+  | "p_joind2" -> f.p_joind2 <- v; true
+  | "p_cartd" -> f.p_cartd <- v; true
+  | "p_taggd1" -> f.p_taggd1 <- v; true
+  | "p_taggd2" -> f.p_taggd2 <- v; true
+  | _ -> false
+
+let to_json (f : t) : Tango_obs.Json.t =
+  Tango_obs.Json.Obj
+    (List.map (fun (n, v) -> (n, Tango_obs.Json.Float v)) (to_assoc f))
+
 (** Blend measured factors into the current ones — used by the feedback
     loop ([alpha] = weight of the new observation). *)
 let blend ~(alpha : float) (current : t) (observed : t) =

@@ -123,31 +123,67 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Histogram = struct
+  (* Quantiles come from a fixed-size uniform sample maintained with
+     reservoir sampling (Vitter's algorithm R).  The replacement stream is
+     a private LCG seeded from the histogram name, so quantiles are
+     deterministic across runs — important for tests and for diffing
+     metric exports. *)
+  let reservoir_capacity = 512
+
   type t = {
     name : string;
     mutable count : int;
     mutable sum : float;
     mutable min : float;
     mutable max : float;
+    reservoir : float array;  (** first [filled] cells are the sample *)
+    mutable filled : int;
+    mutable rng : int;  (** LCG state for reservoir replacement *)
   }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let seed_of name = (Hashtbl.hash name lor 1) land 0x3FFFFFFF
 
   let make name =
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
-        let h = { name; count = 0; sum = 0.0; min = infinity; max = neg_infinity } in
+        let h =
+          {
+            name;
+            count = 0;
+            sum = 0.0;
+            min = infinity;
+            max = neg_infinity;
+            reservoir = Array.make reservoir_capacity 0.0;
+            filled = 0;
+            rng = seed_of name;
+          }
+        in
         Hashtbl.replace registry name h;
         h
 
   let name h = h.name
 
+  let rand h bound =
+    h.rng <- ((h.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    (h.rng lsr 7) mod bound
+
   let observe h v =
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v < h.min then h.min <- v;
-    if v > h.max then h.max <- v
+    if v > h.max then h.max <- v;
+    if h.filled < reservoir_capacity then begin
+      h.reservoir.(h.filled) <- v;
+      h.filled <- h.filled + 1
+    end
+    else
+      (* keep each of the [count] observations in the sample with equal
+         probability capacity/count *)
+      let j = rand h h.count in
+      if j < reservoir_capacity then h.reservoir.(j) <- v
 
   let count h = h.count
   let sum h = h.sum
@@ -155,11 +191,25 @@ module Histogram = struct
   let max_value h = if h.count = 0 then 0.0 else h.max
   let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
+  let quantile h q =
+    if h.filled = 0 then 0.0
+    else begin
+      let sample = Array.sub h.reservoir 0 h.filled in
+      Array.sort compare sample;
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let idx =
+        int_of_float ((q *. float_of_int (h.filled - 1)) +. 0.5)
+      in
+      sample.(idx)
+    end
+
   let reset h =
     h.count <- 0;
     h.sum <- 0.0;
     h.min <- infinity;
-    h.max <- neg_infinity
+    h.max <- neg_infinity;
+    h.filled <- 0;
+    h.rng <- seed_of h.name
 end
 
 (* ------------------------------------------------------------------ *)
@@ -173,6 +223,9 @@ module Registry = struct
     min : float;
     max : float;
     mean : float;
+    p50 : float;  (** reservoir-estimated quantiles *)
+    p95 : float;
+    p99 : float;
   }
 
   type snapshot = {
@@ -197,6 +250,9 @@ module Registry = struct
               min = Histogram.min_value h;
               max = Histogram.max_value h;
               mean = Histogram.mean h;
+              p50 = Histogram.quantile h 0.50;
+              p95 = Histogram.quantile h 0.95;
+              p99 = Histogram.quantile h 0.99;
             } )
           :: acc)
         Histogram.registry []
@@ -239,6 +295,9 @@ module Registry = struct
                        ("min", Json.Float h.min);
                        ("max", Json.Float h.max);
                        ("mean", Json.Float h.mean);
+                       ("p50", Json.Float h.p50);
+                       ("p95", Json.Float h.p95);
+                       ("p99", Json.Float h.p99);
                      ] ))
                s.histograms) );
       ]
@@ -247,8 +306,10 @@ module Registry = struct
     List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %12d@." n v) s.counters;
     List.iter
       (fun (n, (h : histogram_stats)) ->
-        Fmt.pf ppf "%-40s count=%d mean=%.1f min=%.1f max=%.1f@." n h.count
-          h.mean h.min h.max)
+        Fmt.pf ppf
+          "%-40s count=%d mean=%.1f min=%.1f max=%.1f p50=%.1f p95=%.1f \
+           p99=%.1f@."
+          n h.count h.mean h.min h.max h.p50 h.p95 h.p99)
       s.histograms
 end
 

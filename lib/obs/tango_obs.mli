@@ -58,6 +58,14 @@ module Histogram : sig
   val min_value : t -> float
   val max_value : t -> float
   val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [0, 1]: estimated from a fixed-size
+      reservoir sample (512 values, Vitter's algorithm R with a
+      deterministic per-histogram replacement stream), so it is exact
+      until the reservoir overflows and an unbiased estimate afterwards.
+      0 when empty. *)
+
   val reset : t -> unit
 end
 
@@ -68,6 +76,9 @@ module Registry : sig
     min : float;
     max : float;
     mean : float;
+    p50 : float;  (** reservoir-estimated quantiles (see {!Histogram.quantile}) *)
+    p95 : float;
+    p99 : float;
   }
 
   type snapshot = {

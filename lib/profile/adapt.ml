@@ -1,0 +1,54 @@
+(** Adaptive recalibration: threshold check over the feedback store's
+    per-factor q-error aggregates, refit via {!Tango_cost.Calibrate.refit},
+    in-place install into the session factors. *)
+
+open Tango_cost
+
+type params = { q_threshold : float; min_samples : int }
+
+let default_params = { q_threshold = 1.5; min_samples = 3 }
+
+let refits = Tango_obs.Counter.make "profile.cost_refits"
+
+let log_src = Logs.Src.create "tango.profile" ~doc:"TANGO profiling & adaptation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let maybe_refit ?(params = default_params) (store : Feedback.t)
+    ~(factors : Factors.t) : string list option =
+  let triggered =
+    List.filter_map
+      (fun (factor, (samples, mean_q)) ->
+        if samples >= params.min_samples && mean_q >= params.q_threshold then
+          Some factor
+        else None)
+      (Feedback.factor_q store)
+  in
+  if triggered = [] then None
+  else begin
+    let obs =
+      List.filter
+        (fun (o : Calibrate.observation) ->
+          List.mem o.Calibrate.factor triggered)
+        (Feedback.observations store)
+    in
+    let fitted, refitted =
+      Calibrate.refit ~min_samples:params.min_samples ~base:factors obs
+    in
+    if refitted = [] then None
+    else begin
+      List.iter
+        (fun name ->
+          match Factors.get_by_name fitted name with
+          | Some v -> ignore (Factors.set_by_name factors name v)
+          | None -> ())
+        refitted;
+      Feedback.clear_window store;
+      Tango_obs.Counter.incr refits;
+      Log.info (fun m ->
+          m "adaptive recalibration: refitted %s; factors now %a"
+            (String.concat ", " refitted)
+            Factors.pp factors);
+      Some refitted
+    end
+  end

@@ -1,0 +1,29 @@
+(** Adaptive recalibration — the paper's "adaptable" claim, closed-loop.
+
+    When the feedback store shows that the operators priced by some cost
+    factor are misestimated past a q-error threshold, the affected
+    coefficients are refitted from the observed executions
+    ({!Tango_cost.Calibrate.refit}) and installed into the session's
+    factors, so subsequent optimizer runs plan with corrected costs. *)
+
+open Tango_cost
+
+type params = {
+  q_threshold : float;
+      (** refit a factor once its operators' mean cost q-error crosses
+          this (>= 1; default 1.5) *)
+  min_samples : int;  (** observations required before refitting (default 3) *)
+}
+
+val default_params : params
+
+val refits : Tango_obs.Counter.t
+(** ["profile.cost_refits"]: recalibrations performed. *)
+
+val maybe_refit :
+  ?params:params -> Feedback.t -> factors:Factors.t -> string list option
+(** Check the store's per-factor q-error aggregates; when any factor
+    crosses the threshold with enough samples, refit every such factor
+    from the store's observation window, install the new coefficients
+    into [factors] (in place), clear the window, and return the refitted
+    names.  [None] when no adaptation was warranted. *)

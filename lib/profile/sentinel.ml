@@ -1,0 +1,143 @@
+(** Plan-regression sentinel: best-plan table per query fingerprint,
+    ratio-triggered regression flags, absolute-threshold slow-query log. *)
+
+module Json = Tango_obs.Json
+
+type event =
+  | Slow of { elapsed_us : float; threshold_us : float }
+  | Regression of {
+      elapsed_us : float;
+      best_us : float;
+      best_signature : string;
+      chosen_signature : string;
+    }
+
+type entry = {
+  query_fingerprint : string;
+  signature : string;
+  elapsed_us : float;
+  event : event;
+  seq : int;
+}
+
+type t = {
+  best : (string, string * float) Hashtbl.t;
+      (* query fingerprint -> (plan signature, best latency us) *)
+  mutable entries : entry list; (* newest first *)
+  mutable n_entries : int;
+  mutable seq : int;
+  regression_ratio : float;
+  max_log : int;
+}
+
+let create ?(regression_ratio = 1.5) ?(max_log = 64) () : t =
+  {
+    best = Hashtbl.create 32;
+    entries = [];
+    n_entries = 0;
+    seq = 0;
+    regression_ratio;
+    max_log;
+  }
+
+let slow_queries = Tango_obs.Counter.make "profile.slow_queries"
+let plan_regressions = Tango_obs.Counter.make "profile.plan_regressions"
+
+let log_src = Logs.Src.create "tango.sentinel" ~doc:"TANGO plan sentinel"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let push (t : t) (e : entry) =
+  t.entries <- e :: t.entries;
+  t.n_entries <- t.n_entries + 1;
+  if t.n_entries > t.max_log then begin
+    t.entries <- List.filteri (fun i _ -> i < t.max_log) t.entries;
+    t.n_entries <- t.max_log
+  end
+
+let observe (t : t) ~fingerprint ~signature ?(slow_threshold_us = 0.0)
+    ~elapsed_us () : event list =
+  t.seq <- t.seq + 1;
+  let events = ref [] in
+  let fire counter ev log_fn =
+    Tango_obs.Counter.incr counter;
+    push t
+      { query_fingerprint = fingerprint; signature; elapsed_us; event = ev;
+        seq = t.seq };
+    log_fn ();
+    events := ev :: !events
+  in
+  if slow_threshold_us > 0.0 && elapsed_us >= slow_threshold_us then
+    fire slow_queries
+      (Slow { elapsed_us; threshold_us = slow_threshold_us })
+      (fun () ->
+        Log.warn (fun m ->
+            m "slow query %s: %.1f ms (threshold %.1f ms) plan %s" fingerprint
+              (elapsed_us /. 1000.0)
+              (slow_threshold_us /. 1000.0)
+              signature));
+  (match Hashtbl.find_opt t.best fingerprint with
+  | Some (best_sig, best_us)
+    when best_sig <> signature && elapsed_us > t.regression_ratio *. best_us ->
+      fire plan_regressions
+        (Regression
+           { elapsed_us; best_us; best_signature = best_sig;
+             chosen_signature = signature })
+        (fun () ->
+          Log.warn (fun m ->
+              m "plan regression for %s: %.1f ms vs best %.1f ms; chose %s \
+                 over %s"
+                fingerprint (elapsed_us /. 1000.0) (best_us /. 1000.0)
+                signature best_sig))
+  | _ -> ());
+  (match Hashtbl.find_opt t.best fingerprint with
+  | Some (_, best_us) when elapsed_us >= best_us -> ()
+  | _ -> Hashtbl.replace t.best fingerprint (signature, elapsed_us));
+  List.rev !events
+
+let best (t : t) fp = Hashtbl.find_opt t.best fp
+let log (t : t) = t.entries
+
+let event_to_json = function
+  | Slow { elapsed_us; threshold_us } ->
+      Json.Obj
+        [
+          ("kind", Json.String "slow_query");
+          ("elapsed_us", Json.Float elapsed_us);
+          ("threshold_us", Json.Float threshold_us);
+        ]
+  | Regression { elapsed_us; best_us; best_signature; chosen_signature } ->
+      Json.Obj
+        [
+          ("kind", Json.String "plan_regression");
+          ("elapsed_us", Json.Float elapsed_us);
+          ("best_us", Json.Float best_us);
+          ("best_signature", Json.String best_signature);
+          ("chosen_signature", Json.String chosen_signature);
+        ]
+
+let entry_to_json (e : entry) : Json.t =
+  Json.Obj
+    [
+      ("query", Json.String e.query_fingerprint);
+      ("signature", Json.String e.signature);
+      ("elapsed_us", Json.Float e.elapsed_us);
+      ("seq", Json.Int e.seq);
+      ("event", event_to_json e.event);
+    ]
+
+let to_json (t : t) : Json.t =
+  Json.Obj
+    [
+      ( "best_plans",
+        Json.Obj
+          (Hashtbl.fold
+             (fun fp (sg, us) acc ->
+               ( fp,
+                 Json.Obj
+                   [ ("signature", Json.String sg); ("best_us", Json.Float us) ]
+               )
+               :: acc)
+             t.best []) );
+      ("log", Json.List (List.map entry_to_json t.entries));
+    ]

@@ -1,0 +1,61 @@
+(** Plan-regression sentinel and slow-query log.
+
+    Remembers the best observed plan (signature + latency) per query
+    fingerprint.  When a later execution of the same query picks a
+    {e different} plan and runs slower than the best by more than a
+    configurable ratio, that is flagged as a plan regression — e.g. an
+    adaptive recalibration that made things worse.  Executions past an
+    absolute latency threshold are logged as slow queries. *)
+
+type event =
+  | Slow of { elapsed_us : float; threshold_us : float }
+  | Regression of {
+      elapsed_us : float;
+      best_us : float;
+      best_signature : string;
+      chosen_signature : string;
+    }
+
+type entry = {
+  query_fingerprint : string;
+  signature : string;  (** one-line summary of the executed plan *)
+  elapsed_us : float;
+  event : event;
+  seq : int;  (** execution ordinal at which the event fired *)
+}
+
+type t
+
+val create : ?regression_ratio:float -> ?max_log:int -> unit -> t
+(** [regression_ratio] (default 1.5): a changed plan slower than
+    [ratio *. best] is a regression.  [max_log] (default 64) bounds the
+    event log, newest kept. *)
+
+val slow_queries : Tango_obs.Counter.t
+(** ["profile.slow_queries"] *)
+
+val plan_regressions : Tango_obs.Counter.t
+(** ["profile.plan_regressions"] *)
+
+val observe :
+  t ->
+  fingerprint:string ->
+  signature:string ->
+  ?slow_threshold_us:float ->
+  elapsed_us:float ->
+  unit ->
+  event list
+(** Record one execution of the query identified by [fingerprint], whose
+    chosen plan renders as [signature].  Fires [Slow] when
+    [slow_threshold_us > 0.] and the execution is at least that slow;
+    fires [Regression] per the ratio rule.  Also advances the best-plan
+    table.  Returned events are already counted and logged. *)
+
+val best : t -> string -> (string * float) option
+(** Best observed (plan signature, latency in us) for a query
+    fingerprint. *)
+
+val log : t -> entry list
+(** Flagged events, newest first. *)
+
+val to_json : t -> Tango_obs.Json.t

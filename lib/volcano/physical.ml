@@ -510,6 +510,117 @@ let rec pp ?(indent = 0) ppf (plan : plan) =
 
 let to_string plan = Fmt.str "%a" (pp ~indent:0) plan
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical plan identity for the profiling feedback store and the
+   regression sentinel.  Two normalizations make the fingerprint stable
+   under plan-irrelevant differences:
+
+   - {e alias insensitivity}: table aliases, their qualified column
+     references ("A.K") and the alias-derived output names the SQL
+     generator produces ("A__K") are reduced to the column's base name, so
+     re-aliasing a scan does not change the fingerprint;
+   - {e literal stripping}: constants in predicates become a "?"
+     placeholder (pg_stat_statements-style), so the same query shape over
+     different windows accumulates statistics under one key. *)
+
+module Ast = Tango_sql.Ast
+
+let base_name (name : string) : string =
+  let after_dot =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  (* alias-derived output names embed the alias as "A__K" *)
+  let rec strip s =
+    match String.index_opt s '_' with
+    | Some i when i + 1 < String.length s && s.[i + 1] = '_' ->
+        strip (String.sub s (i + 2) (String.length s - i - 2))
+    | _ -> s
+  in
+  strip after_dot
+
+let rec canon_expr (e : Ast.expr) : string =
+  match e with
+  | Ast.Lit _ -> "?"
+  | Ast.Col (_, c) -> base_name c
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (canon_expr a)
+        (Tango_sql.Printer.binop_name op)
+        (canon_expr b)
+  | Ast.Not a -> Printf.sprintf "not(%s)" (canon_expr a)
+  | Ast.Is_null a -> Printf.sprintf "isnull(%s)" (canon_expr a)
+  | Ast.Is_not_null a -> Printf.sprintf "notnull(%s)" (canon_expr a)
+  | Ast.Between (a, b, c) ->
+      Printf.sprintf "between(%s,%s,%s)" (canon_expr a) (canon_expr b)
+        (canon_expr c)
+  | Ast.Greatest es ->
+      Printf.sprintf "greatest(%s)" (String.concat "," (List.map canon_expr es))
+  | Ast.Least es ->
+      Printf.sprintf "least(%s)" (String.concat "," (List.map canon_expr es))
+  | Ast.Agg (fn, a) ->
+      Printf.sprintf "%s(%s)" (Ast.aggfun_name fn)
+        (match a with Some a -> canon_expr a | None -> "*")
+  | Ast.Scalar_subquery _ | Ast.In_subquery _ | Ast.Exists _ -> "<subquery>"
+
+let canon_order (o : Order.t) : string =
+  String.concat ","
+    (List.map
+       (fun (k : Order.key) ->
+         base_name k.Order.attr
+         ^ match k.Order.dir with Order.Asc -> "+" | Order.Desc -> "-")
+       o)
+
+let rec canon_op (op : Op.t) : string =
+  let kids op = String.concat "," (List.map canon_op (Op.children op)) in
+  match op with
+  | Op.Scan { table; _ } -> Printf.sprintf "scan:%s" table
+  | Op.Select { pred; _ } ->
+      Printf.sprintf "select[%s](%s)" (canon_expr pred) (kids op)
+  | Op.Project { items; _ } ->
+      Printf.sprintf "project[%s](%s)"
+        (String.concat "," (List.map (fun (e, _) -> canon_expr e) items))
+        (kids op)
+  | Op.Sort { order; _ } ->
+      Printf.sprintf "sort[%s](%s)" (canon_order order) (kids op)
+  | Op.Product _ -> Printf.sprintf "product(%s)" (kids op)
+  | Op.Join { pred; _ } ->
+      Printf.sprintf "join[%s](%s)" (canon_expr pred) (kids op)
+  | Op.Temporal_join { pred; _ } ->
+      Printf.sprintf "tjoin[%s](%s)" (canon_expr pred) (kids op)
+  | Op.Temporal_aggregate { group_by; aggs; _ } ->
+      Printf.sprintf "taggr[%s;%s](%s)"
+        (String.concat "," (List.map base_name group_by))
+        (String.concat ","
+           (List.map
+              (fun (a : Op.agg) ->
+                Ast.aggfun_name a.Op.fn
+                ^ "("
+                ^ (match a.Op.arg with Some c -> base_name c | None -> "*")
+                ^ ")")
+              aggs))
+        (kids op)
+  | Op.Dup_elim _ -> Printf.sprintf "dupelim(%s)" (kids op)
+  | Op.Coalesce _ -> Printf.sprintf "coalesce(%s)" (kids op)
+  | Op.Difference _ -> Printf.sprintf "difference(%s)" (kids op)
+  | Op.To_mw _ -> Printf.sprintf "to_mw(%s)" (kids op)
+  | Op.To_db _ -> Printf.sprintf "to_db(%s)" (kids op)
+
+(* FNV-1a over the canonical string, rendered as 16 hex digits. *)
+let digest (s : string) : string =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let op_fingerprint (op : Op.t) : string = digest (canon_op op)
+
 (** One-line summary of where the plan's algorithms run. *)
 let rec signature (plan : plan) : string =
   match plan.children with
@@ -519,3 +630,6 @@ let rec signature (plan : plan) : string =
       ^ "("
       ^ String.concat ", " (List.map signature cs)
       ^ ")"
+
+let fingerprint (plan : plan) : string =
+  digest (signature plan ^ "|" ^ canon_op plan.op)

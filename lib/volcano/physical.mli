@@ -74,3 +74,20 @@ val to_string : plan -> string
 
 val signature : plan -> string
 (** One-line summary of the plan's algorithms. *)
+
+(** {2 Fingerprints}
+
+    Canonical identities for the profiling feedback store and the plan
+    regression sentinel.  Fingerprints are stable under plan-irrelevant
+    differences: table aliases (and the alias-derived column names they
+    induce) are reduced to base names, and predicate literals are stripped
+    to a placeholder, so the same query shape over different constants
+    accumulates statistics under one key. *)
+
+val op_fingerprint : Op.t -> string
+(** 16-hex-digit digest of a logical operator tree. *)
+
+val fingerprint : plan -> string
+(** Digest of a physical plan: the algorithm tree plus the canonicalized
+    logical tree, so the same logical fragment under a different algorithm
+    choice keys separately. *)
