@@ -397,12 +397,7 @@ let overhead ctx =
       let o = r.Middleware.optimize_us /. 1000.0 in
       let e = Stdlib.max 0.001 (ms r) in
       Fmt.pr "%-8s %11.1f %11.1f %9.1f@." name o e (100.0 *. o /. (o +. e)))
-    [
-      ("query1", Queries.q1_sql);
-      ("query2", Queries.q2_sql ~period_end:"1996-01-01");
-      ("query3", Queries.q3_sql ~start_bound:"1996-01-01");
-      ("query4", Queries.q4_sql);
-    ];
+    Queries.workload;
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)

@@ -280,6 +280,147 @@ let repl_cmd =
     Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
           $ calibrate_arg $ verbose_arg $ trace_arg)
 
+(* ---------------- check (plan verification) ---------------- *)
+
+module Diag = Tango_verify.Diag
+
+(* Lint one query: the initial logical plan, then (via the session's
+   verify_plans mode) every rule application and the chosen physical plan.
+   Never raises — failures become diagnostics so --all keeps going. *)
+let check_one mw sql : Diag.t list =
+  match
+    ( Tango_tsql.Compile.initial_plan ~lookup:(Middleware.schema_lookup mw) sql,
+      Tango_tsql.Compile.required_order sql )
+  with
+  | exception Tango_sql.Parser.Parse_error m ->
+      [ Diag.v Diag.Error "schema" ~path:"<query>" ("does not parse: " ^ m) ]
+  | exception Tango_sql.Lexer.Lex_error m ->
+      [ Diag.v Diag.Error "schema" ~path:"<query>" ("does not lex: " ^ m) ]
+  | exception Tango_tsql.Compile.Unsupported m ->
+      [ Diag.v Diag.Error "schema" ~path:"<query>" ("unsupported: " ^ m) ]
+  | exception Tango_dbms.Catalog.No_such_table t ->
+      [ Diag.v Diag.Error "schema" ~path:"<query>" ("no such table: " ^ t) ]
+  | initial, required_order -> (
+      let logical =
+        Tango_verify.Check.check_logical
+          ~stats_env:(Middleware.stats_env mw)
+          ~expect_root:Tango_algebra.Op.Mw initial
+      in
+      match Middleware.optimize mw ~required_order initial with
+      | exception Tango_algebra.Op.Ill_formed m ->
+          logical
+          @ [ Diag.v Diag.Error "schema" ~path:"<query>" ("ill-formed: " ^ m) ]
+      | res ->
+          logical
+          @ Middleware.last_diagnostics mw
+          @
+          (match res.Tango_volcano.Search.plan with
+          | Some _ -> []
+          | None ->
+              [
+                Diag.v Diag.Error "boundary" ~path:"<query>"
+                  ~hint:"no physical plan satisfies the root requirement"
+                  "optimizer found no feasible plan";
+              ]))
+
+let all_arg =
+  Arg.(value & flag
+       & info [ "all" ]
+           ~doc:"Check the whole built-in UIS workload instead of one query.")
+
+let per_rule_arg =
+  Arg.(value & flag
+       & info [ "per-rule" ]
+           ~doc:"Additionally verify the memo after every transformation-rule \
+                 application and attribute findings to the offending rule \
+                 (verify_plans=per-rule).")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the diagnostics as JSON to $(docv).")
+
+let check_sql_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let check_cmd =
+  let doc =
+    "Statically verify query plans: schema/type well-formedness, transfer \
+     boundaries and SQL translatability, ordering-property propagation, and \
+     estimate sanity.  Exits nonzero when any error-severity diagnostic is \
+     found."
+  in
+  let f scale csvs all per_rule json sql =
+    setup_logs false;
+    let queries =
+      match (all, sql) with
+      | true, _ -> Tango_workload.Queries.workload
+      | false, Some sql -> [ ("query", sql) ]
+      | false, None ->
+          Fmt.epr "tango check: give a SQL argument or --all@.";
+          exit 2
+    in
+    let mw =
+      setup ~scale ~csvs ~prefetch:None ~no_histograms:false ~calibrate:false
+        ~trace:false ()
+    in
+    Middleware.set_config mw
+      (Middleware.Config.with_verify_plans
+         (if per_rule then Middleware.Config.Verify_per_rule
+          else Middleware.Config.Verify_final)
+         (Middleware.config mw));
+    let results = List.map (fun (name, sql) -> (name, check_one mw sql)) queries in
+    let total_errors = ref 0 and total_warnings = ref 0 in
+    List.iter
+      (fun (name, diags) ->
+        let errors = Diag.count_errors diags in
+        let warnings =
+          List.length
+            (List.filter (fun d -> d.Diag.severity = Diag.Warning) diags)
+        in
+        total_errors := !total_errors + errors;
+        total_warnings := !total_warnings + warnings;
+        if errors > 0 then
+          Fmt.pr "%s: FAILED (%d error%s, %d warning%s)@." name errors
+            (if errors = 1 then "" else "s")
+            warnings
+            (if warnings = 1 then "" else "s")
+        else Fmt.pr "%s: ok (%d warning%s)@." name warnings
+            (if warnings = 1 then "" else "s");
+        List.iter (fun d -> Fmt.pr "  %s@." (Diag.to_string d)) diags)
+      results;
+    Fmt.pr "%d quer%s checked: %d error%s, %d warning%s@."
+      (List.length results)
+      (if List.length results = 1 then "y" else "ies")
+      !total_errors
+      (if !total_errors = 1 then "" else "s")
+      !total_warnings
+      (if !total_warnings = 1 then "" else "s");
+    (match json with
+    | None -> ()
+    | Some path ->
+        let body =
+          "["
+          ^ String.concat ","
+              (List.map
+                 (fun (name, diags) ->
+                   Printf.sprintf
+                     "{\"query\":\"%s\",\"errors\":%d,\"diagnostics\":%s}" name
+                     (Diag.count_errors diags)
+                     (Diag.list_to_json diags))
+                 results)
+          ^ "]"
+        in
+        let oc = open_out path in
+        output_string oc body;
+        output_char oc '\n';
+        close_out oc);
+    if !total_errors > 0 then 1 else 0
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const f $ scale_arg $ csv_arg $ all_arg $ per_rule_arg $ json_arg
+          $ check_sql_arg)
+
 let tables_cmd =
   let doc = "List the tables of the generated/loaded database with statistics." in
   let f scale csvs =
@@ -303,6 +444,6 @@ let main =
   (* [run] is the default subcommand: `tango --trace "SQL"` works. *)
   Cmd.group ~default:run_term
     (Cmd.info "tango" ~version:"1.0.0" ~doc)
-    [ run_cmd; explain_cmd; repl_cmd; tables_cmd ]
+    [ run_cmd; explain_cmd; repl_cmd; tables_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main)

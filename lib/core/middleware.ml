@@ -26,6 +26,8 @@ open Tango_dbms
 (* ------------------------------------------------------------------ *)
 
 module Config = struct
+  type verify_mode = Verify_off | Verify_final | Verify_per_rule
+
   type t = {
     row_prefetch : int;
     roundtrip_spin : int;
@@ -39,6 +41,7 @@ module Config = struct
     profiling : bool;
     adaptive_costs : bool;
     slow_query_threshold_us : float;
+    verify_plans : verify_mode;
   }
 
   let default =
@@ -55,6 +58,7 @@ module Config = struct
       profiling = false;
       adaptive_costs = false;
       slow_query_threshold_us = 0.0;
+      verify_plans = Verify_off;
     }
 
   let with_row_prefetch n c = { c with row_prefetch = n }
@@ -79,6 +83,8 @@ module Config = struct
 
   let with_slow_query_threshold us c =
     { c with slow_query_threshold_us = us; profiling = (us > 0.0) || c.profiling }
+
+  let with_verify_plans m c = { c with verify_plans = m }
 end
 
 type t = {
@@ -87,6 +93,7 @@ type t = {
   mutable config : Config.t;
   mutable last_trace : Tango_obs.Trace.span option;
   mutable last_analysis : Tango_profile.Analyze.report option;
+  mutable last_diagnostics : Tango_verify.Diag.t list;
   profile : Tango_profile.Feedback.t;
   sentinel : Tango_profile.Sentinel.t;
   stats_cache : (string * string, Rel_stats.t) Hashtbl.t;
@@ -111,6 +118,7 @@ let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
     config;
     last_trace = None;
     last_analysis = None;
+    last_diagnostics = [];
     profile = Tango_profile.Feedback.create ();
     sentinel = Tango_profile.Sentinel.create ();
     stats_cache = Hashtbl.create 16;
@@ -122,6 +130,7 @@ let factors t = t.factors
 let config t = t.config
 let last_trace t = t.last_trace
 let last_analysis t = t.last_analysis
+let last_diagnostics t = t.last_diagnostics
 let profile_store t = t.profile
 let sentinel t = t.sentinel
 
@@ -178,16 +187,64 @@ let stats_env t : Derive.env =
 
 let schema_lookup t name = Database.table_schema (database t) name
 
+(* Log source for the middleware pipeline; enable with
+   [Logs.Src.set_level Middleware.log_src (Some Logs.Debug)]. *)
+let log_src = Logs.Src.create "tango.middleware" ~doc:"TANGO middleware pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 (* ------------------------------------------------------------------ *)
 (* Optimization                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Verify a chosen plan against the query's required root properties,
+   per the session's [verify_plans] mode. *)
+let verify_final t ~(required_order : Order.t) (physical : Physical.plan) :
+    Tango_verify.Diag.t list =
+  match t.config.Config.verify_plans with
+  | Config.Verify_off -> []
+  | Config.Verify_final | Config.Verify_per_rule ->
+      Tango_verify.Check.check_physical ~stats_env:(stats_env t)
+        ~required:{ Physical.loc = Op.Mw; order = required_order }
+        physical
+
+let log_diagnostics diags =
+  List.iter
+    (fun d ->
+      if Tango_verify.Diag.is_error d then
+        Log.warn (fun m -> m "verify: %s" (Tango_verify.Diag.to_string d)))
+    diags
+
 (** Optimize an initial algebra plan (which must already carry its top
-    [T^M]). *)
+    [T^M]).  When the session's [verify_plans] mode is on, the final plan
+    (and, per-rule, every saturation step) is verified; findings land in
+    {!last_diagnostics}. *)
 let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
     Search.result =
-  Search.optimize ~factors:t.factors ~stats_env:(stats_env t) ~required_order
-    ~max_elements:t.config.Config.max_memo_elements initial
+  let gate =
+    match t.config.Config.verify_plans with
+    | Config.Verify_per_rule -> Some (Tango_verify.Gate.create ())
+    | Config.Verify_off | Config.Verify_final -> None
+  in
+  let rule_observer =
+    Option.map
+      (fun g ~rule m c -> Tango_verify.Gate.observer g ~rule m c)
+      gate
+  in
+  let r =
+    Search.optimize ~factors:t.factors ~stats_env:(stats_env t) ~required_order
+      ~max_elements:t.config.Config.max_memo_elements ?rule_observer initial
+  in
+  let diags =
+    (match gate with Some g -> Tango_verify.Gate.diagnostics g | None -> [])
+    @
+    match r.Search.plan with
+    | Some physical -> verify_final t ~required_order physical
+    | None -> []
+  in
+  log_diagnostics diags;
+  t.last_diagnostics <- diags;
+  r
 
 (** Cost a fixed plan without exploring alternatives. *)
 let cost_plan t ?(required_order : Order.t = []) (plan : Op.t) :
@@ -210,17 +267,12 @@ type report = {
   estimated_cost_us : float;
   trace : Tango_obs.Trace.span option;
   analysis : Tango_profile.Analyze.report option;
+  diagnostics : Tango_verify.Diag.t list;
 }
 
 let now_us () = Unix.gettimeofday () *. 1_000_000.0
 
 exception No_plan of string
-
-(* Log source for the middleware pipeline; enable with
-   [Logs.Src.set_level Middleware.log_src (Some Logs.Debug)]. *)
-let log_src = Logs.Src.create "tango.middleware" ~doc:"TANGO middleware pipeline"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
 
 (* Run a top-level pipeline entry under a fresh trace when the session asks
    for tracing.  Nested entries (e.g. [query] calling [run_plan]) see an
@@ -386,6 +438,7 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
         estimated_cost_us = physical.Physical.total_cost;
         trace = None;
         analysis;
+        diagnostics = t.last_diagnostics;
       }
 
 (** Optimize and execute an initial algebra plan. *)
@@ -411,6 +464,9 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
       match cost_plan t ~required_order plan_tree with
       | None -> raise (No_plan "plan tree is not executable as written")
       | Some physical ->
+          let diags = verify_final t ~required_order physical in
+          log_diagnostics diags;
+          t.last_diagnostics <- diags;
           let result, exec, execute_us = execute_physical t physical in
           let analysis =
             profile_execution t ~initial:plan_tree physical exec ~execute_us
@@ -426,4 +482,5 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
             estimated_cost_us = physical.Physical.total_cost;
             trace = None;
             analysis;
+            diagnostics = t.last_diagnostics;
           })

@@ -22,6 +22,14 @@ open Tango_algebra
       ...
     ]} *)
 module Config : sig
+  (** How much plan verification ({!Tango_verify}) to run per query. *)
+  type verify_mode =
+    | Verify_off  (** no verification (the default) *)
+    | Verify_final  (** verify the chosen physical plan *)
+    | Verify_per_rule
+        (** additionally gate every transformation-rule application
+            ({!Tango_verify.Gate}) — a debug mode *)
+
   type t = {
     row_prefetch : int;  (** client rows fetched per round trip *)
     roundtrip_spin : int;  (** simulated per-round-trip latency spin *)
@@ -46,6 +54,9 @@ module Config : sig
     slow_query_threshold_us : float;
         (** log executions at least this slow (0 = disabled; implies
             [profiling] when positive) *)
+    verify_plans : verify_mode;
+        (** statically verify plans; findings surface in
+            {!report.diagnostics} / {!last_diagnostics} *)
   }
 
   val default : t
@@ -69,6 +80,8 @@ module Config : sig
   val with_slow_query_threshold : float -> t -> t
   (** Threshold in microseconds; a positive value also enables
       [profiling]. *)
+
+  val with_verify_plans : verify_mode -> t -> t
 end
 
 type t
@@ -108,6 +121,10 @@ val last_trace : t -> Tango_obs.Trace.span option
 val last_analysis : t -> Tango_profile.Analyze.report option
 (** The EXPLAIN-ANALYZE report of the most recent execution; [None]
     unless the configuration has [profiling] set. *)
+
+val last_diagnostics : t -> Tango_verify.Diag.t list
+(** Findings of the most recent plan verification ({!optimize} or
+    {!run_fixed}); [[]] unless the configuration has [verify_plans] on. *)
 
 val profile_store : t -> Tango_profile.Feedback.t
 (** The session's feedback store: per-fragment misestimation statistics
@@ -157,7 +174,10 @@ val schema_lookup : t -> string -> Schema.t
 (** {1 Optimization} *)
 
 val optimize : t -> ?required_order:Order.t -> Op.t -> Tango_volcano.Search.result
-(** Optimize an initial algebra plan (which must carry its top [T^M]). *)
+(** Optimize an initial algebra plan (which must carry its top [T^M]).
+    When [verify_plans] is on, the chosen plan — and with
+    [Verify_per_rule], every rule application — is verified; findings are
+    in {!last_diagnostics}. *)
 
 val cost_plan :
   t -> ?required_order:Order.t -> Op.t -> Tango_volcano.Physical.plan option
@@ -181,6 +201,10 @@ type report = {
   analysis : Tango_profile.Analyze.report option;
       (** per-operator estimated-vs-actual records with q-errors, when the
           configuration has [profiling] set *)
+  diagnostics : Tango_verify.Diag.t list;
+      (** plan-verification findings, when the configuration has
+          [verify_plans] on: the per-rule gate's (in [Verify_per_rule]
+          mode) plus the final plan's *)
 }
 
 exception No_plan of string

@@ -1,0 +1,659 @@
+(* The static plan verifier: schema/type well-formedness, transfer-boundary
+   placement, ordering-property propagation, and estimate sanity, over both
+   logical (Op.t) and physical (Physical.plan) trees.  Findings are
+   collected as Diag.t values — nothing raises. *)
+
+open Tango_rel
+open Tango_sql
+open Tango_algebra
+module Physical = Tango_volcano.Physical
+module Ordering = Tango_xxl.Ordering
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic accumulation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type acc = Diag.t list ref
+
+let add (acc : acc) d = acc := d :: !acc
+
+let error acc ?hint family ~path fmt =
+  Fmt.kstr (fun m -> add acc (Diag.v ?hint Diag.Error family ~path m)) fmt
+
+let warning acc ?hint family ~path fmt =
+  Fmt.kstr (fun m -> add acc (Diag.v ?hint Diag.Warning family ~path m)) fmt
+
+(* Short operator tags for diagnostic paths. *)
+let tag = function
+  | Op.Scan { table; _ } -> "SCAN(" ^ table ^ ")"
+  | Op.Select _ -> "SELECT"
+  | Op.Project _ -> "PROJECT"
+  | Op.Sort _ -> "SORT"
+  | Op.Product _ -> "PRODUCT"
+  | Op.Join _ -> "JOIN"
+  | Op.Temporal_join _ -> "TJOIN"
+  | Op.Temporal_aggregate _ -> "TAGGR"
+  | Op.Dup_elim _ -> "DUPELIM"
+  | Op.Coalesce _ -> "COALESCE"
+  | Op.Difference _ -> "DIFFERENCE"
+  | Op.To_mw _ -> "T^M"
+  | Op.To_db _ -> "T^D"
+
+let path_of rev = String.concat "/" (List.rev rev)
+let down rev op = tag op :: rev
+
+(* ------------------------------------------------------------------ *)
+(* Family 1: schema / type well-formedness                              *)
+(* ------------------------------------------------------------------ *)
+
+let dtype_name = Value.dtype_name
+
+(* Comparisons mix freely within the numeric/chronon family; strings and
+   booleans only compare with themselves. *)
+let comparable a b =
+  match (a, b) with
+  | (Value.TInt | Value.TFloat | Value.TDate),
+    (Value.TInt | Value.TFloat | Value.TDate) ->
+      true
+  | Value.TStr, Value.TStr | Value.TBool, Value.TBool -> true
+  | _ -> false
+
+let is_comparison = function
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true
+  | _ -> false
+
+(* Static type of an expression, or None when it cannot be computed (the
+   reason is reported separately). *)
+let dtype_opt s e = try Some (Scalar.dtype s e) with _ -> None
+
+(* Report every unresolved column reference of [e] against schema [s]. *)
+let check_refs acc ~path ~what s e =
+  List.iter
+    (fun a ->
+      if not (Schema.mem s a) then
+        error acc "schema" ~path
+          ~hint:(Fmt.str "available attributes: %s" (Schema.to_string s))
+          "%s references %s, which does not resolve in the input schema" what
+          a)
+    (Scalar.attrs e)
+
+(* Type-check the interior of an expression: comparison/arithmetic operand
+   compatibility, and aggregates/subqueries in scalar position. *)
+let rec check_expr_types acc ~path ~what s e =
+  let recur x = check_expr_types acc ~path ~what s x in
+  match e with
+  | Ast.Lit _ | Ast.Col _ -> ()
+  | Ast.Binop (op, a, b) ->
+      recur a;
+      recur b;
+      (match (dtype_opt s a, dtype_opt s b) with
+      | Some da, Some db when is_comparison op && not (comparable da db) ->
+          warning acc "schema" ~path
+            "%s compares %s with %s" what (dtype_name da) (dtype_name db)
+      | _ -> ())
+  | Ast.Not a | Ast.Is_null a | Ast.Is_not_null a -> recur a
+  | Ast.Between (a, lo, hi) ->
+      recur a;
+      recur lo;
+      recur hi
+  | Ast.Greatest es | Ast.Least es -> List.iter recur es
+  | Ast.Agg _ ->
+      error acc "schema" ~path
+        ~hint:"aggregates belong in Temporal_aggregate, not in predicates"
+        "%s contains an aggregate in scalar position" what
+  | Ast.Scalar_subquery _ | Ast.In_subquery _ | Ast.Exists _ ->
+      error acc "schema" ~path
+        ~hint:"middleware expressions cannot evaluate subqueries"
+        "%s contains a subquery in scalar position" what
+
+(* Full expression check; returns its static type when computable. *)
+let check_expr acc ~path ~what s e =
+  check_refs acc ~path ~what s e;
+  check_expr_types acc ~path ~what s e;
+  dtype_opt s e
+
+let check_pred acc ~path ~what s pred =
+  match check_expr acc ~path ~what s pred with
+  | Some dt when dt <> Value.TBool ->
+      warning acc "schema" ~path
+        "%s has type %s, not BOOL (SQL truthiness applies)" what
+        (dtype_name dt)
+  | _ -> ()
+
+let rec dups_of = function
+  | [] -> []
+  | x :: rest -> if List.mem x rest then x :: dups_of rest else dups_of rest
+
+(* Per-node output schema from already-computed child schemas, with
+   diagnostics for everything Op.schema would reject (and a few things it
+   would not).  Returns None when the output schema cannot be derived. *)
+let node_schema acc ~path (op : Op.t) (children : Schema.t option list) :
+    Schema.t option =
+  match (op, children) with
+  | Op.Scan { table; alias; schema }, [] ->
+      if Schema.arity schema = 0 then
+        warning acc "schema" ~path "scan of %s has an empty schema" table;
+      Some (Schema.qualify (Option.value alias ~default:table) schema)
+  | Op.Select { pred; _ }, [ s ] ->
+      Option.iter
+        (fun s -> check_pred acc ~path ~what:"selection predicate" s pred)
+        s;
+      s
+  | Op.Project { items; _ }, [ s ] -> (
+      match s with
+      | None -> None
+      | Some s ->
+          (match dups_of (List.map snd items) with
+          | [] -> ()
+          | d ->
+              error acc "schema" ~path
+                ~hint:"rename the colliding projection items"
+                "projection emits duplicate output attribute(s) %s"
+                (String.concat ", " d));
+          let out =
+            List.map
+              (fun (e, name) ->
+                ( name,
+                  check_expr acc ~path
+                    ~what:(Fmt.str "projection item %s" (Scalar.to_string e))
+                    s e ))
+              items
+          in
+          if List.for_all (fun (_, dt) -> dt <> None) out then
+            Some
+              (Schema.make
+                 (List.map (fun (n, dt) -> (n, Option.get dt)) out))
+          else None)
+  | Op.Sort { order; _ }, [ s ] ->
+      Option.iter
+        (fun s ->
+          List.iter
+            (fun (k : Order.key) ->
+              if not (Schema.mem s k.Order.attr) then
+                error acc "schema" ~path
+                  ~hint:(Fmt.str "available attributes: %s" (Schema.to_string s))
+                  "sort key %s does not resolve in the input schema"
+                  k.Order.attr)
+            order)
+        s;
+      s
+  | (Op.Product _ | Op.Join _), [ sl; sr ] -> (
+      match (sl, sr) with
+      | Some sl, Some sr ->
+          let out = Schema.concat sl sr in
+          (match dups_of (Schema.names out) with
+          | [] -> ()
+          | d ->
+              warning acc "schema" ~path
+                ~hint:"alias one side so attribute names stay distinct"
+                "both sides expose attribute(s) %s; references are ambiguous"
+                (String.concat ", " d));
+          (match op with
+          | Op.Join { pred; _ } ->
+              check_pred acc ~path ~what:"join predicate" out pred
+          | _ -> ());
+          Some out
+      | _ -> None)
+  | Op.Temporal_join { pred; _ }, [ sl; sr ] -> (
+      match (sl, sr) with
+      | Some sl, Some sr ->
+          let temporal side name =
+            if Op.period_attrs side = None then
+              error acc "schema" ~path
+                ~hint:"temporal operators need period attributes T1/T2"
+                "temporal join %s argument is not temporal (schema %s)" name
+                (Schema.to_string side)
+          in
+          temporal sl "left";
+          temporal sr "right";
+          check_pred acc ~path ~what:"temporal-join predicate"
+            (Schema.concat sl sr) pred;
+          if Op.period_attrs sl = None || Op.period_attrs sr = None then None
+          else
+            let keep side =
+              List.map
+                (fun (a : Schema.attribute) -> (a.Schema.name, a.Schema.dtype))
+                (Op.non_period_attrs side)
+            in
+            Some
+              (Schema.make
+                 (keep sl @ keep sr
+                 @ [ ("T1", Value.TDate); ("T2", Value.TDate) ]))
+      | _ -> None)
+  | Op.Temporal_aggregate { group_by; aggs; _ }, [ s ] -> (
+      match s with
+      | None -> None
+      | Some s ->
+          if Op.period_attrs s = None then
+            error acc "schema" ~path
+              ~hint:"temporal operators need period attributes T1/T2"
+              "temporal aggregation argument is not temporal (schema %s)"
+              (Schema.to_string s);
+          let groups_ok =
+            List.for_all
+              (fun g ->
+                if Schema.mem s g then true
+                else begin
+                  error acc "schema" ~path
+                    ~hint:(Fmt.str "available attributes: %s" (Schema.to_string s))
+                    "grouping attribute %s does not resolve" g;
+                  false
+                end)
+              group_by
+          in
+          let aggs_ok =
+            List.for_all
+              (fun (a : Op.agg) ->
+                try
+                  ignore (Op.agg_out_dtype s a);
+                  true
+                with Op.Ill_formed m ->
+                  error acc "schema" ~path "aggregate %s is ill-formed: %s"
+                    a.Op.out m;
+                  false)
+              aggs
+          in
+          if groups_ok && aggs_ok && Op.period_attrs s <> None then
+            Some
+              (Schema.make
+                 (List.map (fun g -> (g, Schema.dtype_of s g)) group_by
+                 @ [ ("T1", Value.TDate); ("T2", Value.TDate) ]
+                 @ List.map
+                     (fun (a : Op.agg) -> (a.Op.out, Op.agg_out_dtype s a))
+                     aggs))
+          else None)
+  | Op.Dup_elim _, [ s ] -> s
+  | Op.Coalesce _, [ s ] ->
+      Option.iter
+        (fun s ->
+          if Op.period_attrs s = None then
+            error acc "schema" ~path
+              ~hint:"temporal operators need period attributes T1/T2"
+              "coalescing argument is not temporal (schema %s)"
+              (Schema.to_string s))
+        s;
+      s
+  | Op.Difference _, [ sl; sr ] ->
+      (match (sl, sr) with
+      | Some sl, Some sr when not (Schema.union_compatible sl sr) ->
+          error acc "schema" ~path
+            "difference arguments are not union-compatible (%s vs %s)"
+            (Schema.to_string sl) (Schema.to_string sr)
+      | _ -> ());
+      sl
+  | (Op.To_mw _ | Op.To_db _), [ s ] -> s
+  | _ ->
+      error acc "schema" ~path "operator has unexpected arity";
+      None
+
+let rec schema_walk acc rev_path (op : Op.t) : Schema.t option =
+  let rev_path = down rev_path op in
+  let children = List.map (schema_walk acc rev_path) (Op.children op) in
+  node_schema acc ~path:(path_of rev_path) op children
+
+(* ------------------------------------------------------------------ *)
+(* Family 2: transfer-boundary placement                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A subtree is translation-clean when its schema resolves; only then is a
+   translatability failure a boundary problem rather than a schema one. *)
+let schema_clean op = match Op.schema op with _ -> true | exception _ -> false
+
+let check_translatable acc ~path (arg : Op.t) =
+  if schema_clean arg then
+    match Tango_sqlgen.Translate.translate arg with
+    | (_ : Ast.query) -> ()
+    | exception Tango_sqlgen.Translate.Untranslatable msg ->
+        error acc "boundary" ~path
+          ~hint:
+            "move the operator to the middleware (rules T1-T3) or restructure \
+             the transfer boundary"
+          "DBMS subtree under T^M is not translatable to SQL: %s" msg
+    | exception _ -> ()
+
+let rec boundary_walk acc ?(translatable = true) rev_path (op : Op.t) :
+    Op.location option =
+  let rev_path = down rev_path op in
+  let path = path_of rev_path in
+  let locs =
+    List.map (boundary_walk acc ~translatable rev_path) (Op.children op)
+  in
+  match (op, locs) with
+  | Op.Scan _, [] -> Some Op.Db
+  | Op.To_mw arg, [ l ] ->
+      if l = Some Op.Mw then
+        error acc "boundary" ~path
+          ~hint:"T^M transfers DBMS results up; drop it or pair it with T^D"
+          "T^M applied to a middleware-resident argument";
+      if l = Some Op.Db && translatable then check_translatable acc ~path arg;
+      Some Op.Mw
+  | Op.To_db _, [ l ] ->
+      if l = Some Op.Db then
+        error acc "boundary" ~path
+          ~hint:"T^D materializes middleware results as a temp table; drop it"
+          "T^D applied to a DBMS-resident argument";
+      Some Op.Db
+  | _, [ l ] -> l
+  | _, [ ll; lr ] ->
+      (match (ll, lr) with
+      | Some a, Some b when a <> b ->
+          error acc "boundary" ~path
+            ~hint:"insert transfers so both arguments reside at one location"
+            "binary operator mixes a DBMS-resident and a middleware-resident \
+             argument"
+      | _ -> ());
+      if ll <> None then ll else lr
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Family 4 (logical part): cardinality-estimate sanity                 *)
+(* ------------------------------------------------------------------ *)
+
+let card_of env op =
+  match Tango_stats.Derive.derive env op with
+  | (s : Tango_stats.Rel_stats.t) -> Some s.Tango_stats.Rel_stats.card
+  | exception _ -> None
+
+let rec estimate_walk acc env rev_path (op : Op.t) : unit =
+  let rev_path = down rev_path op in
+  let path = path_of rev_path in
+  (match card_of env op with
+  | None -> ()
+  | Some card ->
+      if Float.is_nan card then
+        error acc "estimates" ~path "cardinality estimate is NaN"
+      else if card < 0.0 then
+        error acc "estimates" ~path "cardinality estimate is negative (%g)"
+          card
+      else begin
+        match op with
+        | Op.Join { left; right; _ }
+        | Op.Temporal_join { left; right; _ }
+        | Op.Product { left; right } -> (
+            match (card_of env left, card_of env right) with
+            | Some l, Some r
+              when (not (Float.is_nan l)) && not (Float.is_nan r) ->
+                if card > (l *. r *. 1.000001) +. 1e-6 then
+                  error acc "estimates" ~path
+                    ~hint:"join selectivity must not exceed 1"
+                    "join cardinality estimate %g exceeds the product of its \
+                     inputs (%g x %g)"
+                    card l r
+            | _ -> ())
+        | _ -> ()
+      end);
+  List.iter (estimate_walk acc env rev_path) (Op.children op)
+
+(* ------------------------------------------------------------------ *)
+(* Logical entry point                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_logical ?stats_env ?expect_root ?(translatable = true) (op : Op.t) :
+    Diag.t list =
+  let acc : acc = ref [] in
+  ignore (schema_walk acc [] op);
+  let root_loc = boundary_walk acc ~translatable [] op in
+  (match (expect_root, root_loc) with
+  | Some want, Some got when want <> got ->
+      error acc "boundary" ~path:(tag op)
+        ~hint:"the query result must reach the middleware: wrap the plan in \
+               T^M"
+        "plan root resides at the %s, expected the %s"
+        (match got with Op.Db -> "DBMS" | Op.Mw -> "middleware")
+        (match want with Op.Db -> "DBMS" | Op.Mw -> "middleware")
+  | _ -> ());
+  (match stats_env with
+  | Some env -> estimate_walk acc env [] op
+  | None -> ());
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Physical plans                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let algo_name = Physical.algorithm_name
+
+(* Expected (operator constructor, node location) for each algorithm; child
+   locations follow from the node location except at transfers. *)
+let algo_shape (p : Physical.plan) =
+  let open Physical in
+  match p.algorithm with
+  | Table_scan_d ->
+      ((function Op.Scan _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Filter_d -> ((function Op.Select _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Filter_m -> ((function Op.Select _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Project_d -> ((function Op.Project _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Project_m -> ((function Op.Project _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Sort_d -> ((function Op.Sort _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Sort_m -> ((function Op.Sort _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Sort_passthrough -> ((function Op.Sort _ -> true | _ -> false), None, None)
+  | Join_d -> ((function Op.Join _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Merge_join_m -> ((function Op.Join _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Tjoin_d ->
+      ((function Op.Temporal_join _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Tjoin_m ->
+      ((function Op.Temporal_join _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Product_d -> ((function Op.Product _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Taggr_d ->
+      ((function Op.Temporal_aggregate _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Taggr_m ->
+      ((function Op.Temporal_aggregate _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Dupelim_d -> ((function Op.Dup_elim _ -> true | _ -> false), Some Op.Db, Some Op.Db)
+  | Dupelim_m -> ((function Op.Dup_elim _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Coalesce_m -> ((function Op.Coalesce _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Difference_m ->
+      ((function Op.Difference _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
+  | Transfer_m_algo -> ((function Op.To_mw _ -> true | _ -> false), Some Op.Mw, Some Op.Db)
+  | Transfer_d_algo -> ((function Op.To_db _ -> true | _ -> false), Some Op.Db, Some Op.Mw)
+
+let schema_of_op op = try Some (Op.schema op) with _ -> None
+
+(* Map an input order forward through projection items: the longest prefix
+   whose keys are emitted as plain column items survives, renamed to the
+   item's output name.  Item lookup mirrors the planner's
+   [map_order_through_items] (exact match, then unique base name). *)
+let project_order items (order : Order.t) : Order.t =
+  let col_name = function
+    | Ast.Col (None, c) -> Some c
+    | Ast.Col (Some q, c) -> Some (q ^ "." ^ c)
+    | _ -> None
+  in
+  let rec fwd = function
+    | [] -> []
+    | (k : Order.key) :: rest -> (
+        match
+          Tango_volcano.Rules.find_item_by
+            (fun (e, _) -> col_name e)
+            items k.Order.attr
+        with
+        | Some (_, out) -> { k with Order.attr = out } :: fwd rest
+        | None -> [])
+  in
+  fwd order
+
+(* The input order each middleware algorithm requires, per child (None =
+   no requirement), straight from Tango_xxl.Ordering. *)
+let input_requirements (p : Physical.plan) : Order.t option list =
+  let open Physical in
+  match (p.algorithm, p.op) with
+  | Sort_passthrough, Op.Sort { order; _ } -> [ Some order ]
+  | (Merge_join_m | Tjoin_m), (Op.Join { pred; left; right; _ } | Op.Temporal_join { pred; left; right; _ }) -> (
+      match (schema_of_op left, schema_of_op right) with
+      | Some sl, Some sr -> (
+          match Tango_volcano.Rules.equi_pair sl sr pred with
+          | Some (ja1, ja2) ->
+              [ Some (Ordering.merge_join_input ja1);
+                Some (Ordering.merge_join_input ja2) ]
+          | None -> [ None; None ])
+      | _ -> [ None; None ])
+  | Taggr_m, Op.Temporal_aggregate { group_by; arg; _ } ->
+      [ Option.map (fun s -> Ordering.taggr_input s ~group_by) (schema_of_op arg) ]
+  | Dupelim_m, Op.Dup_elim arg ->
+      [ Option.map Ordering.dup_elim_input (schema_of_op arg) ]
+  | Coalesce_m, Op.Coalesce arg ->
+      [ Option.map Ordering.coalesce_input (schema_of_op arg) ]
+  | _ -> List.map (fun _ -> None) p.children
+
+(* The order an algorithm's output provably has, given the orders its
+   children provably have. *)
+let produced_order (p : Physical.plan) (children : Order.t list) : Order.t =
+  let open Physical in
+  let child n = try List.nth children n with _ -> [] in
+  match (p.algorithm, p.op) with
+  | (Sort_d | Sort_m | Sort_passthrough), Op.Sort { order; _ } -> order
+  | (Filter_m | Transfer_m_algo), _ -> child 0
+  | Project_m, Op.Project { items; _ } -> project_order items (child 0)
+  | (Taggr_d | Taggr_m), Op.Temporal_aggregate { group_by; _ } ->
+      Ordering.taggr_output ~group_by
+  | (Merge_join_m | Tjoin_m),
+    (Op.Join { pred; left; right; _ } | Op.Temporal_join { pred; left; right; _ })
+    -> (
+      let temporal = p.algorithm = Tjoin_m in
+      match (schema_of_op left, schema_of_op right, schema_of_op p.op) with
+      | Some sl, Some sr, Some out -> (
+          match Tango_volcano.Rules.equi_pair sl sr pred with
+          | Some (ja1, _) ->
+              Ordering.merge_join_output ~temporal out ~left_key:ja1
+          | None -> [])
+      | _ -> [])
+  | Dupelim_m, Op.Dup_elim arg -> (
+      match schema_of_op arg with
+      | Some s -> Ordering.dup_elim_input s
+      | None -> [])
+  | Coalesce_m, Op.Coalesce arg -> (
+      match schema_of_op arg with
+      | Some s -> Ordering.coalesce_input s
+      | None -> [])
+  | Difference_m, _ -> child 0
+  | _ ->
+      (* DBMS-side operators (other than sort/taggr) make no order promise:
+         SQL results are multisets. *)
+      []
+
+let check_costs acc ~path (p : Physical.plan) =
+  let bad name v =
+    if Float.is_nan v then
+      error acc "estimates" ~path "%s is NaN" name
+    else if v < 0.0 then error acc "estimates" ~path "%s is negative (%g)" name v
+  in
+  bad "own_cost" p.Physical.own_cost;
+  bad "total_cost" p.Physical.total_cost;
+  let sum =
+    List.fold_left
+      (fun a (c : Physical.plan) -> a +. c.Physical.total_cost)
+      p.Physical.own_cost p.Physical.children
+  in
+  if
+    (not (Float.is_nan sum))
+    && Float.abs (p.Physical.total_cost -. sum)
+       > 1e-6 *. Float.max 1.0 (Float.abs sum)
+  then
+    warning acc "estimates" ~path
+      "total_cost %g is not own_cost plus children (%g)" p.Physical.total_cost
+      sum
+
+let rec physical_walk acc rev_path (p : Physical.plan) : Order.t =
+  let open Physical in
+  let rev_path = algo_name p.algorithm :: rev_path in
+  let path = path_of rev_path in
+  let child_orders = List.map (physical_walk acc rev_path) p.children in
+  (* structural consistency: the logical op must carry exactly the chosen
+     children's logical subtrees *)
+  if Op.children p.op <> List.map (fun (c : plan) -> c.op) p.children then
+    error acc "schema" ~path
+      "plan node's logical operator does not embed its children's subtrees";
+  (* algorithm / operator / location agreement *)
+  let matches, want_loc, want_child_loc = algo_shape p in
+  if not (matches p.op) then
+    error acc "schema" ~path "algorithm %s implements a different operator \
+                              than %s"
+      (algo_name p.algorithm) (Op.op_name p.op);
+  (match want_loc with
+  | Some l when l <> p.location ->
+      error acc "boundary" ~path
+        "%s produces a %s-resident result but the plan records %s"
+        (algo_name p.algorithm)
+        (match l with Op.Db -> "DBMS" | Op.Mw -> "middleware")
+        (match p.location with Op.Db -> "DBMS" | Op.Mw -> "middleware")
+  | _ -> ());
+  (match want_child_loc with
+  | Some l ->
+      List.iter
+        (fun (c : plan) ->
+          if c.location <> l then
+            error acc "boundary" ~path
+              "%s needs %s-resident input but child %s is %s-resident"
+              (algo_name p.algorithm)
+              (match l with Op.Db -> "DBMS" | Op.Mw -> "middleware")
+              (algo_name c.algorithm)
+              (match c.location with Op.Db -> "DBMS" | Op.Mw -> "middleware"))
+        p.children
+  | None ->
+      (* sort passthrough: location is inherited *)
+      List.iter
+        (fun (c : plan) ->
+          if c.location <> p.location then
+            error acc "boundary" ~path
+              "sort passthrough changes location from %s to %s"
+              (match c.location with Op.Db -> "DBMS" | Op.Mw -> "middleware")
+              (match p.location with Op.Db -> "DBMS" | Op.Mw -> "middleware"))
+        p.children);
+  (* translatability of the DBMS subtree under each T^M *)
+  (match (p.algorithm, p.op) with
+  | Transfer_m_algo, Op.To_mw arg -> check_translatable acc ~path arg
+  | _ -> ());
+  (* ordering dataflow *)
+  let reqs = input_requirements p in
+  List.iteri
+    (fun i req ->
+      match (req, List.nth_opt child_orders i) with
+      | Some required, Some actual when required <> [] ->
+          if not (Order.satisfies ~actual ~required) then
+            error acc "ordering" ~path
+              ~hint:
+                (Fmt.str "insert a SORT[%s] below (or above T^M as rule \
+                          T6 would)"
+                   (Order.to_string required))
+              "input %d must be ordered by %s but the analysis infers %s" i
+              (Order.to_string required)
+              (match actual with [] -> "no order" | a -> Order.to_string a)
+      | _ -> ())
+    reqs;
+  let produced = produced_order p child_orders in
+  if not (Order.satisfies ~actual:produced ~required:p.out_order) then
+    error acc "ordering" ~path
+      ~hint:"the optimizer's order bookkeeping disagrees with the dataflow \
+             analysis: downstream passthroughs may skip a needed sort"
+      "plan claims output order %s but the analysis infers %s"
+      (Order.to_string p.out_order)
+      (match produced with [] -> "no order" | a -> Order.to_string a);
+  (* cost sanity (cardinality sanity runs over the logical tree) *)
+  check_costs acc ~path p;
+  produced
+
+let check_physical ?stats_env ?required (p : Physical.plan) : Diag.t list =
+  let acc : acc = ref [] in
+  (* the logical tree the plan implements must itself be sound; skip the
+     per-T^M translatability here because the physical walk re-checks it
+     with algorithm-level paths *)
+  List.iter (add acc)
+    (check_logical ?stats_env ~translatable:false p.Physical.op);
+  let root_order = physical_walk acc [] p in
+  (match required with
+  | Some (r : Physical.req) ->
+      if p.Physical.location <> r.Physical.loc then
+        error acc "boundary" ~path:(algo_name p.Physical.algorithm)
+          "plan root resides at the %s but the query requires the %s"
+          (match p.Physical.location with
+          | Op.Db -> "DBMS"
+          | Op.Mw -> "middleware")
+          (match r.Physical.loc with Op.Db -> "DBMS" | Op.Mw -> "middleware");
+      if not (Order.satisfies ~actual:root_order ~required:r.Physical.order)
+      then
+        error acc "ordering" ~path:(algo_name p.Physical.algorithm)
+          ~hint:"add a final SORT to meet the query's ORDER BY"
+          "plan output order %s does not satisfy the required %s"
+          (match root_order with [] -> "(none)" | a -> Order.to_string a)
+          (Order.to_string r.Physical.order)
+  | None -> ());
+  List.rev !acc

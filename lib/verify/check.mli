@@ -1,0 +1,46 @@
+(** The static plan verifier.
+
+    Four check families over logical ({!Tango_algebra.Op}) and physical
+    ({!Tango_volcano.Physical}) plans:
+
+    + {b schema} — every attribute reference resolves, predicates and
+      projection items type-check against the inferred child schemas,
+      temporal operators receive temporal inputs;
+    + {b boundary} — transfer operators partition the tree into
+      DBMS-resident and middleware-resident regions correctly, and every
+      DBMS subtree under a [T^M] is expressible in the SQL subset
+      ({!Tango_sqlgen.Translate});
+    + {b ordering} — a dataflow analysis infers the sort order each
+      physical operator provably produces (from the declarations in
+      {!Tango_xxl.Ordering}) and diagnoses every operator whose input-order
+      requirement is unmet, and every plan node that claims an output order
+      the analysis cannot confirm;
+    + {b estimates} — cardinalities and costs are nonnegative and non-NaN,
+      and join cardinality estimates never exceed the product of their
+      inputs.
+
+    Nothing raises: all findings come back as {!Diag.t} values. *)
+
+open Tango_algebra
+
+val check_logical :
+  ?stats_env:Tango_stats.Derive.env ->
+  ?expect_root:Op.location ->
+  ?translatable:bool ->
+  Op.t ->
+  Diag.t list
+(** Verify a logical plan.  [expect_root] additionally requires the root
+    to reside at the given location (the initial and final plans are
+    middleware-resident).  [translatable] (default true) controls the
+    per-[T^M] SQL translatability check.  [stats_env] enables the
+    cardinality-estimate checks. *)
+
+val check_physical :
+  ?stats_env:Tango_stats.Derive.env ->
+  ?required:Tango_volcano.Physical.req ->
+  Tango_volcano.Physical.plan ->
+  Diag.t list
+(** Verify a physical plan: the embedded logical tree (as
+    {!check_logical}), algorithm/operator/location agreement, the ordering
+    dataflow, and cost sanity.  [required] additionally checks the root
+    against the query's required properties (location and final order). *)

@@ -1,0 +1,28 @@
+(** The per-rule soundness gate.
+
+    A {!Tango_volcano.Rules.observer} that re-verifies every memo class a
+    transformation rule changes, immediately after the rule fires: all
+    elements of the class must still denote the same relation — agree on
+    output schema and result location — and each element must be locally
+    well-formed.  Violations become {!Diag.t} errors attributed to the
+    offending rule.
+
+    {[
+      let gate = Gate.create () in
+      let r = Search.optimize ~rule_observer:(Gate.observer gate) ... in
+      match Gate.diagnostics gate with [] -> () | ds -> ...
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val observer : t -> rule:string -> Tango_volcano.Memo.t -> int -> unit
+(** Pass as [?rule_observer] to {!Tango_volcano.Search.optimize} (or
+    [?observer] to {!Tango_volcano.Rules.saturate}). *)
+
+val diagnostics : t -> Diag.t list
+(** Accumulated findings, deduplicated, in discovery order. *)
+
+val checked : t -> int
+(** Number of rule applications examined. *)

@@ -340,9 +340,7 @@ and plan_element (p : t) (c : int) (r : req) (el : Memo.node) : plan option =
             | _ -> None)
       | Op.Mw -> plan_mw_merge_join p c r ~temporal:true pred left right)
   | Memo.N_taggr { group_by; aggs; arg } -> (
-      let out_order =
-        List.map Order.asc (group_by @ [ "T1" ])
-      in
+      let out_order = Tango_xxl.Ordering.taggr_output ~group_by in
       if not (satisfies out_order r.order) then None
       else
         match r.loc with
@@ -385,7 +383,7 @@ and plan_element (p : t) (c : int) (r : req) (el : Memo.node) : plan option =
           match Memo.schema_of p.memo arg with
           | exception _ -> None
           | s ->
-              let order = List.map Order.asc (Schema.names s) in
+              let order = Tango_xxl.Ordering.dup_elim_input s in
               if not (satisfies order r.order) then None
               else
                 Option.map
@@ -400,10 +398,7 @@ and plan_element (p : t) (c : int) (r : req) (el : Memo.node) : plan option =
         match Memo.schema_of p.memo arg with
         | exception _ -> None
         | s ->
-            let nonperiod =
-              List.map (fun (a : Schema.attribute) -> a.Schema.name) (Op.non_period_attrs s)
-            in
-            let order = List.map Order.asc (nonperiod @ [ "T1" ]) in
+            let order = Tango_xxl.Ordering.coalesce_input s in
             if not (satisfies order r.order) then None
             else
               Option.map
@@ -468,12 +463,20 @@ and plan_mw_merge_join p c r ~temporal pred left right =
             (* ordered by the left join attribute, if it survives *)
             match Memo.schema_of p.memo c with
             | exception _ -> []
-            | out_s -> if Schema.mem out_s ja1 then [ Order.asc ja1 ] else []
+            | out_s ->
+                Tango_xxl.Ordering.merge_join_output ~temporal out_s
+                  ~left_key:ja1
           in
           if not (satisfies out_order r.order) then None
           else
-            let pl = best p left { loc = Op.Mw; order = [ Order.asc ja1 ] } in
-            let pr = best p right { loc = Op.Mw; order = [ Order.asc ja2 ] } in
+            let pl =
+              best p left
+                { loc = Op.Mw; order = Tango_xxl.Ordering.merge_join_input ja1 }
+            in
+            let pr =
+              best p right
+                { loc = Op.Mw; order = Tango_xxl.Ordering.merge_join_input ja2 }
+            in
             (match (pl, pr) with
             | Some cl, Some cr ->
                 let left_size = class_size p left

@@ -54,11 +54,10 @@ let equi_pair sl sr pred =
       | _ -> None)
     (Ast.conjuncts pred)
 
-(* The (G1..Gn, T1) sort order TAGGR^M needs below itself. *)
+(* The (G1..Gn, T1) sort order TAGGR^M needs below itself
+   (declared centrally in {!Tango_xxl.Ordering}). *)
 let taggr_order (arg_schema : Schema.t) group_by =
-  match Op.period_attrs arg_schema with
-  | Some (t1, _) -> List.map Order.asc (group_by @ [ t1 ])
-  | None -> List.map Order.asc group_by
+  Tango_xxl.Ordering.taggr_input arg_schema ~group_by
 
 (* Identity projection items over a schema (preserving exact names). *)
 let identity_items (s : Schema.t) =
@@ -170,18 +169,18 @@ let join_to_mw ~temporal name =
                 match equi_pair sl sr pred with
                 | None -> false
                 | Some (ja1, ja2) ->
-                    let tl =
+                    let sorted_tm key arg =
                       Memo.insert m
                         (N_tm
                            (Memo.insert m
-                              (N_sort { order = [ Order.asc ja1 ]; arg = left })))
+                              (N_sort
+                                 {
+                                   order = Tango_xxl.Ordering.merge_join_input key;
+                                   arg;
+                                 })))
                     in
-                    let tr =
-                      Memo.insert m
-                        (N_tm
-                           (Memo.insert m
-                              (N_sort { order = [ Order.asc ja2 ]; arg = right })))
-                    in
+                    let tl = sorted_tm ja1 left in
+                    let tr = sorted_tm ja2 right in
                     let j =
                       if temporal then
                         Memo.insert m (N_tjoin { pred; left = tl; right = tr })
@@ -221,7 +220,7 @@ let t_dupelim =
   unary_to_mw "T1b-dupelim-to-mw"
     (function N_dupelim a -> Some a | _ -> None)
     (fun arg -> N_dupelim arg)
-    (fun s -> List.map Order.asc (Schema.names s))
+    Tango_xxl.Ordering.dup_elim_input
 
 (* Difference has no DBMS implementation either; move it wholesale. *)
 let t_difference =
@@ -244,13 +243,7 @@ let t_coalesce =
   unary_to_mw "T1c-coalesce-to-mw"
     (function N_coalesce a -> Some a | _ -> None)
     (fun arg -> N_coalesce arg)
-    (fun s ->
-      let nonperiod =
-        List.map (fun (a : Schema.attribute) -> a.Schema.name) (Op.non_period_attrs s)
-      in
-      match Op.period_attrs s with
-      | Some (t1, _) -> List.map Order.asc (nonperiod @ [ t1 ])
-      | None -> List.map Order.asc nonperiod)
+    Tango_xxl.Ordering.coalesce_input
 
 (* T4/T5/T6: pull σ/π/sort above T^M. *)
 let pull_above_tm name pick =
@@ -800,7 +793,10 @@ let c_rules_fired = Tango_obs.Counter.make "volcano.rules_fired"
 let c_passes = Tango_obs.Counter.make "volcano.saturate_passes"
 
 (** Apply rules to fixpoint (bounded by [max_elements]). *)
-let saturate ?(rules = all) ?(max_elements = 5_000) (m : Memo.t) : unit =
+type observer = rule:string -> Memo.t -> int -> unit
+
+let saturate ?(rules = all) ?(max_elements = 5_000) ?observer (m : Memo.t) :
+    unit =
   let changed = ref true in
   while !changed && Memo.element_count m < max_elements do
     changed := false;
@@ -815,6 +811,9 @@ let saturate ?(rules = all) ?(max_elements = 5_000) (m : Memo.t) : unit =
                 (fun r ->
                   if r.apply m c el then begin
                     Tango_obs.Counter.incr c_rules_fired;
+                    (match observer with
+                    | Some f -> f ~rule:r.name m (Memo.find m c)
+                    | None -> ());
                     changed := true
                   end)
                 rules)

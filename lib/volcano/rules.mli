@@ -37,5 +37,11 @@ type rule = { name : string; apply : Memo.t -> int -> Memo.node -> bool }
 
 val all : rule list
 
-val saturate : ?rules:rule list -> ?max_elements:int -> Memo.t -> unit
+type observer = rule:string -> Memo.t -> int -> unit
+(** [f ~rule memo cls] is called after every successful rule application
+    with the (canonical) class the rule changed — the hook behind the
+    per-rule plan-verification gate ({!Tango_verify.Gate}). *)
+
+val saturate :
+  ?rules:rule list -> ?max_elements:int -> ?observer:observer -> Memo.t -> unit
 (** Apply rules to fixpoint, bounded by [max_elements] (default 5000). *)

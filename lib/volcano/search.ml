@@ -28,14 +28,14 @@ let now_us () = Unix.gettimeofday () *. 1_000_000.0
     @param required_order final order the client asked for (default none)
     @param max_elements memo growth bound *)
 let optimize ~(factors : Factors.t) ~(stats_env : Derive.env)
-    ?(required_order : Order.t = []) ?max_elements ?rules (initial : Op.t) :
-    result =
+    ?(required_order : Order.t = []) ?max_elements ?rules ?rule_observer
+    (initial : Op.t) : result =
   let t0 = now_us () in
   Op.validate initial;
   let memo = Memo.create () in
   let root = Memo.insert_op memo initial in
   Tango_obs.Trace.span "optimize.saturate" (fun () ->
-      Rules.saturate ?max_elements ?rules memo;
+      Rules.saturate ?max_elements ?rules ?observer:rule_observer memo;
       Tango_obs.Trace.attr "classes"
         (Tango_obs.Trace.Int (Memo.class_count memo));
       Tango_obs.Trace.attr "elements"

@@ -22,9 +22,12 @@ val optimize :
   ?required_order:Order.t ->
   ?max_elements:int ->
   ?rules:Rules.rule list ->
+  ?rule_observer:Rules.observer ->
   Op.t ->
   result
-(** Optimize an initial plan (validated first). *)
+(** Optimize an initial plan (validated first).  [rule_observer] is invoked
+    after every successful rule application during saturation — the debug
+    hook behind {!Tango_verify.Gate}. *)
 
 val cost_plan :
   factors:Tango_cost.Factors.t ->

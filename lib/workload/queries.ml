@@ -259,3 +259,17 @@ let q4_plan_dbms ~position ~employee () =
        (q4_project
           (Op.join q4_pred (scan ~alias:"P" position)
              (scan_emp ~alias:"E" employee))))
+
+(* ------------------------------------------------------------------ *)
+(* The whole workload, for tools that sweep it (tango_cli check --all)  *)
+(* ------------------------------------------------------------------ *)
+
+(** Named temporal-SQL texts of the four workload queries, with default
+    parameters matching the experiments. *)
+let workload : (string * string) list =
+  [
+    ("q1", q1_sql);
+    ("q2", q2_sql ~period_end:"1996-01-01");
+    ("q3", q3_sql ~start_bound:"1996-01-01");
+    ("q4", q4_sql);
+  ]

@@ -1,0 +1,45 @@
+(* Single point of truth for the input-order requirements and output-order
+   guarantees of the order-sensitive middleware algorithms.  The physical
+   planner consults these to request properties and to annotate plans; the
+   verifier consults the same definitions, so planner and checker cannot
+   drift apart. *)
+
+open Tango_rel
+open Tango_algebra
+
+let all_attributes (s : Schema.t) : Order.t =
+  List.map Order.asc (Schema.names s)
+
+let taggr_input (s : Schema.t) ~group_by : Order.t =
+  match Op.period_attrs s with
+  | Some (t1, _) -> List.map Order.asc (group_by @ [ t1 ])
+  | None -> List.map Order.asc group_by
+
+let taggr_output ~group_by : Order.t = List.map Order.asc (group_by @ [ "T1" ])
+
+let dup_elim_input = all_attributes
+
+let coalesce_input (s : Schema.t) : Order.t =
+  let nonperiod =
+    List.map (fun (a : Schema.attribute) -> a.Schema.name) (Op.non_period_attrs s)
+  in
+  match Op.period_attrs s with
+  | Some (t1, _) -> List.map Order.asc (nonperiod @ [ t1 ])
+  | None -> List.map Order.asc nonperiod
+
+let merge_join_input key : Order.t = [ Order.asc key ]
+
+let merge_join_output ~temporal (out_schema : Schema.t) ~left_key : Order.t =
+  let survives =
+    if temporal then
+      (* A temporal join replaces the arguments' periods with their
+         intersection, so an order on an input period attribute does NOT
+         survive even though base-name resolution would find the output's
+         T1/T2 column.  Only an exact match among the kept non-period
+         attributes counts. *)
+      List.exists
+        (fun (a : Schema.attribute) -> String.equal a.Schema.name left_key)
+        (Op.non_period_attrs out_schema)
+    else Schema.mem out_schema left_key
+  in
+  if survives then [ Order.asc left_key ] else []

@@ -215,6 +215,73 @@ let pipeline_gen =
           (scan ()) steps)
       (list_size (int_range 1 4) step_g))
 
+(* ---------- round-trip: emitted SQL re-parses and re-prints fixed ---------- *)
+
+(* Every SQL string the translator emits must be within the subset our own
+   parser accepts, and pretty-printing must be a fixed point of
+   parse-then-print — otherwise the middleware could ship SQL it cannot
+   itself reason about. *)
+let roundtrip_query name (q : Ast.query) =
+  let sql = Printer.query_to_sql q in
+  let reparsed =
+    try Parser.query sql
+    with e ->
+      Alcotest.failf "%s: emitted SQL does not re-parse (%s):\n  %s" name
+        (Printexc.to_string e) sql
+  in
+  Alcotest.(check string)
+    (name ^ ": parse-then-print fixed point")
+    sql
+    (Printer.query_to_sql reparsed)
+
+let test_roundtrip_operators () =
+  List.iter
+    (fun (name, op) ->
+      roundtrip_query name (Tango_sqlgen.Translate.translate op))
+    [
+      ("scan", scan ());
+      ( "select",
+        Op.select
+          (Ast.Binop (Ast.Gt, col "PayRate", Ast.Lit (Value.Float 10.0)))
+          (scan ()) );
+      ( "project",
+        Op.project
+          [ (col "PosID", "P");
+            (Ast.Binop (Ast.Mul, col "PayRate", Ast.Lit (Value.Int 2)), "D") ]
+          (scan ()) );
+      ("sort", Op.sort [ Order.asc "PosID"; Order.desc "T1" ] (scan ()));
+      ( "temporal join",
+        Op.temporal_join
+          (Ast.Binop (Ast.Eq, col ~q:"A" "PosID", col ~q:"B" "PosID"))
+          (scan ~alias:"A" ()) (scan ~alias:"B" ()) );
+      ( "taggr",
+        Op.temporal_aggregate [ "POSITION.PosID" ]
+          [ Op.count_star "CNT"; Op.agg Ast.Max "PayRate" "MX" ]
+          (scan ()) );
+    ]
+
+(* The same property over the real pipeline: optimize every workload query
+   and round-trip each TRANSFER^M statement the chosen plan ships to the
+   DBMS. *)
+let test_roundtrip_workload () =
+  let db = Database.create () in
+  Tango_workload.Uis.load ~scale:0.002 db;
+  let mw = Tango_core.Middleware.connect ~roundtrip_spin:0 db in
+  let transfers = ref 0 in
+  List.iter
+    (fun (name, sql) ->
+      let report = Tango_core.Middleware.query mw sql in
+      Tango_core.Exec_plan.iter
+        (fun n ->
+          match n.Tango_core.Exec_plan.kind with
+          | Tango_core.Exec_plan.Transfer_m { sql = q; _ } ->
+              incr transfers;
+              roundtrip_query name q
+          | _ -> ())
+        report.Tango_core.Middleware.exec)
+    Tango_workload.Queries.workload;
+  Alcotest.(check bool) "workload plans contain transfers" true (!transfers > 0)
+
 let prop_pipeline =
   QCheck.Test.make ~name:"random pipelines translate correctly" ~count:60
     (QCheck.make pipeline_gen) (fun op ->
@@ -250,6 +317,11 @@ let () =
           Alcotest.test_case "scans inlined" `Quick test_scan_inlined_in_join;
           Alcotest.test_case "selection merged" `Quick test_selection_merged_into_where;
           Alcotest.test_case "name sanitizing" `Quick test_sql_name;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "operators" `Quick test_roundtrip_operators;
+          Alcotest.test_case "workload transfers" `Quick test_roundtrip_workload;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_pipeline ]);
     ]
