@@ -104,6 +104,11 @@ let period_ends ctx =
 
 let header cols = Fmt.pr "%s@." (String.concat "  " cols)
 
+(* Machine-readable baseline persistence: an experiment may leave a JSON
+   payload here; the driver writes it (plus wall time) to
+   BENCH_<experiment>.json in --out so CI can diff runs as artifacts. *)
+let bench_payload : Tango_obs.Json.t option ref = ref None
+
 (* ------------------------------------------------------------------ *)
 (* fig8: Query 1                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -607,6 +612,7 @@ let adapt ctx =
             (Tango_obs.Counter.value Tango_profile.Sentinel.plan_regressions) );
       ]
   in
+  bench_payload := Some doc;
   Fmt.pr "%s@." (Tango_obs.Json.to_string doc);
   Fmt.pr "# adapted mean q-error %s perturbed mean q-error@.@."
     (if improved then "<" else ">= (ADAPTATION DID NOT IMPROVE)")
@@ -656,7 +662,68 @@ let obs ctx =
         ("metrics", Tango_obs.Registry.to_json (Tango_obs.Registry.snapshot ()));
       ]
   in
+  bench_payload := Some doc;
   Fmt.pr "%s@.@." (Tango_obs.Json.to_string doc)
+
+(* ------------------------------------------------------------------ *)
+(* baseline: per-query wall times + transfer counters (CI artifact)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression baseline: every workload query warmed once, then timed
+   over [runs] repetitions, with the per-run transfer counters recovered
+   from a registry snapshot diff.  The JSON lands in BENCH_baseline.json
+   so successive CI runs can be compared as artifacts. *)
+let baseline ctx =
+  Fmt.pr "== Baseline: per-query times and transfer counters (JSON artifact) ==@.";
+  header
+    [ "query"; "optimize[ms]"; "execute[ms]"; "rows"; "roundtrips";
+      "tuples_shipped"; "dbms_queries" ];
+  let _db, mw =
+    session ctx [ ("POSITION", ctx.full_position); ("EMPLOYEE", ctx.full_employee) ]
+  in
+  let runs = if ctx.quick then 2 else 3 in
+  let entries =
+    List.map
+      (fun (name, sql) ->
+        ignore (Middleware.query mw sql) (* warm caches and statistics *);
+        let before = Tango_obs.Registry.snapshot () in
+        let reports = List.init runs (fun _ -> Middleware.query mw sql) in
+        let after = Tango_obs.Registry.snapshot () in
+        let delta = Tango_obs.Registry.diff after before in
+        let per_run n = Tango_obs.Registry.counter_value delta n / runs in
+        let mean f =
+          List.fold_left (fun acc r -> acc +. f r) 0.0 reports
+          /. float_of_int runs
+        in
+        let optimize_us = mean (fun r -> r.Middleware.optimize_us) in
+        let execute_us = mean (fun r -> r.Middleware.execute_us) in
+        let rows = Relation.cardinality (List.hd reports).Middleware.result in
+        let roundtrips = per_run "client.roundtrips" in
+        let tuples_shipped = per_run "client.tuples_shipped" in
+        let dbms_queries = per_run "dbms.queries" in
+        Fmt.pr "%-8s %11.1f %11.1f %6d %10d %14d %12d@." name
+          (optimize_us /. 1000.0) (execute_us /. 1000.0) rows roundtrips
+          tuples_shipped dbms_queries;
+        Tango_obs.Json.Obj
+          [
+            ("query", Tango_obs.Json.String name);
+            ("rows", Tango_obs.Json.Int rows);
+            ("optimize_us", Tango_obs.Json.Float optimize_us);
+            ("execute_us", Tango_obs.Json.Float execute_us);
+            ("roundtrips", Tango_obs.Json.Int roundtrips);
+            ("tuples_shipped", Tango_obs.Json.Int tuples_shipped);
+            ("dbms_queries", Tango_obs.Json.Int dbms_queries);
+          ])
+      Queries.workload
+  in
+  bench_payload :=
+    Some
+      (Tango_obs.Json.Obj
+         [
+           ("runs_per_query", Tango_obs.Json.Int runs);
+           ("queries", Tango_obs.Json.List entries);
+         ]);
+  Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks                                     *)
@@ -755,12 +822,33 @@ let experiments =
   [ ("fig8", fig8); ("fig10", fig10); ("fig11a", fig11a); ("fig11b", fig11b);
     ("sel", sel); ("choice", choice); ("memo", memo); ("overhead", overhead);
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
-    ("sharing", sharing); ("adapt", adapt); ("obs", obs); ("micro", micro) ]
+    ("sharing", sharing); ("adapt", adapt); ("obs", obs);
+    ("baseline", baseline); ("micro", micro) ]
+
+let write_bench_json ~dir ~name ~scale ~quick ~wall_s payload =
+  let doc =
+    Tango_obs.Json.Obj
+      [
+        ("experiment", Tango_obs.Json.String name);
+        ("scale", Tango_obs.Json.Float scale);
+        ("quick", Tango_obs.Json.Bool quick);
+        ("wall_s", Tango_obs.Json.Float wall_s);
+        ( "payload",
+          match payload with Some j -> j | None -> Tango_obs.Json.Null );
+      ]
+  in
+  let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Tango_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "# wrote %s@." path
 
 let () =
   let scale = ref 0.02 in
   let quick = ref false in
   let selected = ref [] in
+  let out = ref "" in
   let spec =
     [
       ( "--scale",
@@ -770,6 +858,10 @@ let () =
       ( "--experiment",
         Arg.String (fun s -> selected := String.split_on_char ',' s @ !selected),
         "NAMES  comma-separated experiments (default: all)" );
+      ( "--out",
+        Arg.Set_string out,
+        "DIR  write a BENCH_<experiment>.json baseline per experiment \
+         (wall time + machine-readable payload) into DIR" );
     ]
   in
   Arg.parse spec
@@ -792,5 +884,14 @@ let () =
   if to_run = [] then exit 1;
   let t0 = Unix.gettimeofday () in
   let ctx = make_ctx ~scale:!scale ~quick:!quick in
-  List.iter (fun (_, f) -> f ctx) to_run;
+  List.iter
+    (fun (name, f) ->
+      let e0 = Unix.gettimeofday () in
+      bench_payload := None;
+      f ctx;
+      if !out <> "" then
+        write_bench_json ~dir:!out ~name ~scale:!scale ~quick:!quick
+          ~wall_s:(Unix.gettimeofday () -. e0)
+          !bench_payload)
+    to_run;
   Fmt.pr "# total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

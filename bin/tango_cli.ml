@@ -208,6 +208,13 @@ let trace_arg =
                  measured operator tree (wall time, tuples, page reads, \
                  round trips per operator).")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the pipeline trace as Chrome trace-event JSON to \
+                 $(docv) (open in chrome://tracing or Perfetto).  Implies \
+                 $(b,--trace).")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
@@ -219,17 +226,31 @@ let analyze_arg =
                  and round trips, with q-errors.")
 
 let run_term =
-  let f scale csvs prefetch no_histograms calibrate verbose trace analyze sql =
+  let f scale csvs prefetch no_histograms calibrate verbose trace trace_out
+      analyze sql =
     catch_errors (fun () ->
         setup_logs verbose;
+        let trace = trace || trace_out <> None in
         let mw =
           setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
             ~profiling:analyze ()
         in
-        run_query mw ~explain_only:false ~analyze ~verbose sql)
+        run_query mw ~explain_only:false ~analyze ~verbose sql;
+        match trace_out with
+        | None -> ()
+        | Some path -> (
+            match Middleware.last_trace mw with
+            | None -> Fmt.epr "no trace collected@."
+            | Some span ->
+                let oc = open_out path in
+                output_string oc (Tango_monitor.Chrome_trace.to_string span);
+                output_char oc '\n';
+                close_out oc;
+                Fmt.pr "trace written to %s@." path))
   in
   Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-        $ calibrate_arg $ verbose_arg $ trace_arg $ analyze_arg $ sql_arg)
+        $ calibrate_arg $ verbose_arg $ trace_arg $ trace_out_arg
+        $ analyze_arg $ sql_arg)
 
 let run_cmd =
   let doc = "Run a temporal SQL query through the middleware." in
@@ -439,11 +460,96 @@ let tables_cmd =
   in
   Cmd.v (Cmd.info "tables" ~doc) Term.(const f $ scale_arg $ csv_arg)
 
+(* ---------------- serve (monitoring endpoint) ---------------- *)
+
+let port_arg =
+  Arg.(value & opt int 7117
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on; 0 picks a free port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+
+let slo_latency_arg =
+  Arg.(value & opt float 100.0
+       & info [ "slo-latency-ms" ] ~docv:"MS"
+           ~doc:"Per-query latency objective in milliseconds.")
+
+let sample_every_arg =
+  Arg.(value & opt int 1
+       & info [ "sample-every" ] ~docv:"N"
+           ~doc:"Keep every $(docv)-th query in the event log (1 = all); \
+                 failures and slow queries are always kept.")
+
+let log_capacity_arg =
+  Arg.(value & opt int 256
+       & info [ "log-capacity" ] ~docv:"N"
+           ~doc:"Event-log ring capacity (oldest records evicted first).")
+
+let slow_keep_arg =
+  Arg.(value & opt float 0.0
+       & info [ "slow-keep-ms" ] ~docv:"MS"
+           ~doc:"Always keep queries at least this slow in the event log, \
+                 regardless of sampling (0 disables the override).")
+
+let max_requests_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Exit after serving $(docv) connections (for smoke tests).")
+
+let serve_cmd =
+  let doc =
+    "Serve the monitoring endpoint over HTTP: GET /metrics (Prometheus), \
+     /healthz, /slo (burn-rate verdict), /queries?n=K (sampled per-query \
+     event log), /trace (Chrome trace JSON of the last run), and POST \
+     /query to run temporal SQL from the request body."
+  in
+  let f scale csvs prefetch no_histograms calibrate port host slo_latency_ms
+      sample_every log_capacity slow_keep_ms max_requests =
+    catch_errors (fun () ->
+        setup_logs false;
+        let mw =
+          setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:true
+            ~profiling:true ()
+        in
+        let log =
+          Tango_monitor.Event_log.create ~capacity:log_capacity ~sample_every
+            ~slow_keep_us:(slow_keep_ms *. 1000.0) ()
+        in
+        let slo =
+          Tango_monitor.Slo.create
+            ~objective:
+              {
+                Tango_monitor.Slo.default_objective with
+                Tango_monitor.Slo.latency_us = slo_latency_ms *. 1000.0;
+              }
+            ()
+        in
+        let endpoints = Tango_monitor.Endpoints.create ~log ~slo mw in
+        let sock = Tango_monitor.Http.listen ~host ~port () in
+        Fmt.pr "tango: serving monitoring endpoint on http://%s:%d@." host
+          (Tango_monitor.Http.bound_port sock);
+        Fmt.pr
+          "  GET /metrics /healthz /slo /queries?n=K /trace — POST /query@.";
+        Fmt.pr "%!";
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with _ -> ())
+          (fun () ->
+            Tango_monitor.Http.accept_loop ?max_requests sock
+              (Tango_monitor.Endpoints.handler endpoints)))
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
+          $ calibrate_arg $ port_arg $ host_arg $ slo_latency_arg
+          $ sample_every_arg $ log_capacity_arg $ slow_keep_arg
+          $ max_requests_arg)
+
 let main =
   let doc = "TANGO: adaptable temporal query middleware on a conventional DBMS" in
   (* [run] is the default subcommand: `tango --trace "SQL"` works. *)
   Cmd.group ~default:run_term
     (Cmd.info "tango" ~version:"1.0.0" ~doc)
-    [ run_cmd; explain_cmd; repl_cmd; tables_cmd; check_cmd ]
+    [ run_cmd; explain_cmd; repl_cmd; tables_cmd; check_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

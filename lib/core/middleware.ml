@@ -87,6 +87,33 @@ module Config = struct
   let with_verify_plans m c = { c with verify_plans = m }
 end
 
+(* The execution report, defined ahead of the session type so pipeline
+   events (which carry one) can be observed through a session field. *)
+type report = {
+  result : Relation.t;
+  physical : Physical.plan;
+  exec : Exec_plan.node;
+  optimize_us : float;
+  execute_us : float;
+  classes : int;
+  elements : int;
+  estimated_cost_us : float;
+  trace : Tango_obs.Trace.span option;
+  analysis : Tango_profile.Analyze.report option;
+  diagnostics : Tango_verify.Diag.t list;
+}
+
+(* One top-level pipeline run ({!query} / {!run_plan} / {!run_fixed}),
+   successful or not — the feed for monitoring (event logs, SLO engines). *)
+type query_event = {
+  kind : string;  (** ["query"] | ["run_plan"] | ["run_fixed"] *)
+  sql : string option;  (** the temporal SQL text, for {!query} *)
+  started_us : float;  (** wall clock ({!Tango_obs.now_us}) at entry *)
+  elapsed_us : float;  (** total pipeline wall time, parse to result *)
+  report : report option;  (** [None] when the pipeline raised *)
+  error : string option;  (** the exception text when the pipeline raised *)
+}
+
 type t = {
   client : Client.t;
   factors : Factors.t;
@@ -94,6 +121,7 @@ type t = {
   mutable last_trace : Tango_obs.Trace.span option;
   mutable last_analysis : Tango_profile.Analyze.report option;
   mutable last_diagnostics : Tango_verify.Diag.t list;
+  mutable query_observer : (query_event -> unit) option;
   profile : Tango_profile.Feedback.t;
   sentinel : Tango_profile.Sentinel.t;
   stats_cache : (string * string, Rel_stats.t) Hashtbl.t;
@@ -119,6 +147,7 @@ let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
     last_trace = None;
     last_analysis = None;
     last_diagnostics = [];
+    query_observer = None;
     profile = Tango_profile.Feedback.create ();
     sentinel = Tango_profile.Sentinel.create ();
     stats_cache = Hashtbl.create 16;
@@ -133,6 +162,7 @@ let last_analysis t = t.last_analysis
 let last_diagnostics t = t.last_diagnostics
 let profile_store t = t.profile
 let sentinel t = t.sentinel
+let set_query_observer t obs = t.query_observer <- obs
 
 let set_config t (c : Config.t) =
   if c.Config.histograms <> t.config.Config.histograms then
@@ -256,23 +286,38 @@ let cost_plan t ?(required_order : Order.t = []) (plan : Op.t) :
 (* Execution                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type report = {
-  result : Relation.t;
-  physical : Physical.plan;
-  exec : Exec_plan.node;
-  optimize_us : float;
-  execute_us : float;
-  classes : int;
-  elements : int;
-  estimated_cost_us : float;
-  trace : Tango_obs.Trace.span option;
-  analysis : Tango_profile.Analyze.report option;
-  diagnostics : Tango_verify.Diag.t list;
-}
-
 let now_us () = Unix.gettimeofday () *. 1_000_000.0
 
 exception No_plan of string
+
+(* Notify the session's query observer (if any) of one top-level pipeline
+   run.  Observer failures are swallowed: monitoring must never break the
+   query path. *)
+let observed t ~kind ?sql (f : unit -> report) : report =
+  match t.query_observer with
+  | None -> f ()
+  | Some notify ->
+      let started_us = now_us () in
+      let emit report error =
+        let ev =
+          {
+            kind;
+            sql;
+            started_us;
+            elapsed_us = now_us () -. started_us;
+            report;
+            error;
+          }
+        in
+        try notify ev with _ -> ()
+      in
+      (match f () with
+      | r ->
+          emit (Some r) None;
+          r
+      | exception e ->
+          emit None (Some (Printexc.to_string e));
+          raise e)
 
 (* Run a top-level pipeline entry under a fresh trace when the session asks
    for tracing.  Nested entries (e.g. [query] calling [run_plan]) see an
@@ -443,24 +488,27 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
 
 (** Optimize and execute an initial algebra plan. *)
 let run_plan t ?required_order (initial : Op.t) : report =
-  with_query_trace t "middleware.run_plan" (fun () ->
-      run_plan_body t ?required_order initial)
+  observed t ~kind:"run_plan" (fun () ->
+      with_query_trace t "middleware.run_plan" (fun () ->
+          run_plan_body t ?required_order initial))
 
 (** The full pipeline: temporal SQL in, relation out. *)
 let query t (sql : string) : report =
   Log.debug (fun m -> m "query: %s" sql);
-  with_query_trace t "middleware.query" (fun () ->
-      let initial, required_order =
-        Tango_obs.Trace.span "parse" (fun () ->
-            ( Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql,
-              Tango_tsql.Compile.required_order sql ))
-      in
-      run_plan_body t ~required_order initial)
+  observed t ~kind:"query" ~sql (fun () ->
+      with_query_trace t "middleware.query" (fun () ->
+          let initial, required_order =
+            Tango_obs.Trace.span "parse" (fun () ->
+                ( Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql,
+                  Tango_tsql.Compile.required_order sql ))
+          in
+          run_plan_body t ~required_order initial))
 
 (** Execute a {e fixed} plan tree (used by the experiments to time the
     paper's hand-enumerated plan alternatives). *)
 let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
-  with_query_trace t "middleware.run_fixed" (fun () ->
+  observed t ~kind:"run_fixed" (fun () ->
+      with_query_trace t "middleware.run_fixed" (fun () ->
       match cost_plan t ~required_order plan_tree with
       | None -> raise (No_plan "plan tree is not executable as written")
       | Some physical ->
@@ -483,4 +531,4 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
             trace = None;
             analysis;
             diagnostics = t.last_diagnostics;
-          })
+          }))

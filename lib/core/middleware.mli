@@ -209,6 +209,28 @@ type report = {
 
 exception No_plan of string
 
+(** {2 Pipeline observation}
+
+    One event per top-level pipeline run, successful or not — the feed
+    for monitoring surfaces ({!Tango_monitor}: per-query event logs, SLO
+    burn-rate tracking). *)
+type query_event = {
+  kind : string;  (** ["query"] | ["run_plan"] | ["run_fixed"] *)
+  sql : string option;  (** the temporal SQL text, for {!query} *)
+  started_us : float;  (** wall clock ({!Tango_obs.now_us}) at entry *)
+  elapsed_us : float;  (** total pipeline wall time, parse to result *)
+  report : report option;  (** [None] when the pipeline raised *)
+  error : string option;  (** the exception text when the pipeline raised *)
+}
+
+val set_query_observer : t -> (query_event -> unit) option -> unit
+(** Install (or with [None] remove) a callback invoked after every
+    {!query} / {!run_plan} / {!run_fixed}, including runs that raise (the
+    event then carries the exception text and no report, and the
+    exception is re-raised).  One observer per session; exceptions the
+    observer itself raises are swallowed — monitoring must never break
+    the query path. *)
+
 val execute_physical :
   t -> Tango_volcano.Physical.plan -> Relation.t * Exec_plan.node * float
 (** Execute a chosen physical plan; returns result, instrumented exec plan,

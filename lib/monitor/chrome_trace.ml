@@ -1,0 +1,60 @@
+(** Chrome trace-event JSON export of {!Tango_obs.Trace} spans.
+
+    Produces the ["traceEvents"] array format that [about:tracing] and
+    Perfetto open directly: one complete ("ph":"X") event per span with
+    microsecond [ts]/[dur] and the span attributes as [args].
+
+    Spans record durations and ordering but not absolute timestamps, so
+    timestamps are reconstructed: a span starts where its parent starts
+    and siblings are laid out back to back in execution order.  Within
+    the middleware pipeline children run sequentially inside their
+    parent, so this reconstruction preserves both nesting and relative
+    width — the properties the flame view renders. *)
+
+open Tango_obs
+
+let arg_value = function
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.Str s -> Json.String s
+
+let event ~pid ~tid ~ts (s : Trace.span) : Json.t =
+  Json.Obj
+    ([
+       ("name", Json.String s.Trace.name);
+       ("ph", Json.String "X");
+       ("ts", Json.Float ts);
+       ("dur", Json.Float s.Trace.elapsed_us);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @
+    match s.Trace.attrs with
+    | [] -> []
+    | attrs ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_value v)) attrs)) ])
+
+let events ?(pid = 1) ?(tid = 1) ?(start_us = 0.0) (root : Trace.span) :
+    Json.t list =
+  let acc = ref [] in
+  let rec go ts (s : Trace.span) =
+    acc := event ~pid ~tid ~ts s :: !acc;
+    ignore
+      (List.fold_left
+         (fun t (c : Trace.span) ->
+           go t c;
+           t +. c.Trace.elapsed_us)
+         ts s.Trace.children)
+  in
+  go start_us root;
+  List.rev !acc
+
+let to_json ?pid ?tid ?start_us (root : Trace.span) : Json.t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (events ?pid ?tid ?start_us root));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string ?pid ?tid ?start_us root =
+  Json.to_string (to_json ?pid ?tid ?start_us root)

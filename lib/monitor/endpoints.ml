@@ -1,0 +1,135 @@
+(** The monitoring surface: wires a middleware session to an
+    {!Event_log} and an {!Slo} tracker via
+    {!Tango_core.Middleware.set_query_observer}, and dispatches HTTP
+    requests to the endpoints [tango_cli serve] exposes:
+
+    - [GET /healthz] — liveness;
+    - [GET /metrics] — Prometheus exposition of the full
+      {!Tango_obs.Registry} snapshot plus SLO gauges;
+    - [GET /slo] — burn-rate verdict as JSON;
+    - [GET /queries?n=K] — the most recent sampled event-log records;
+    - [GET /trace] — Chrome trace JSON of the last pipeline run;
+    - [POST /query] — run the temporal SQL in the body, reply with a
+      JSON result summary. *)
+
+open Tango_core
+
+type t = {
+  mw : Middleware.t;
+  log : Event_log.t;
+  slo : Slo.t;
+  started_us : float;
+}
+
+let create ?log ?slo mw =
+  let log = match log with Some l -> l | None -> Event_log.create () in
+  let slo = match slo with Some s -> s | None -> Slo.create () in
+  Middleware.set_query_observer mw
+    (Some
+       (fun (ev : Middleware.query_event) ->
+         Event_log.observe log ev;
+         Slo.observe slo
+           ~now_us:(ev.Middleware.started_us +. ev.Middleware.elapsed_us)
+           ~latency_us:ev.Middleware.elapsed_us
+           ~ok:(ev.Middleware.error = None)));
+  { mw; log; slo; started_us = Tango_obs.now_us () }
+
+let event_log t = t.log
+let slo t = t.slo
+
+let json_response ?status j =
+  Http.response ?status ~content_type:"application/json"
+    (Tango_obs.Json.to_string j ^ "\n")
+
+let error_response status msg =
+  json_response ~status (Tango_obs.Json.Obj [ ("error", Tango_obs.Json.String msg) ])
+
+let metrics t =
+  let snapshot = Tango_obs.Registry.snapshot () in
+  let verdict = Slo.evaluate t.slo ~now_us:(Tango_obs.now_us ()) in
+  let gauges =
+    List.map
+      (fun (name, v) -> Prometheus.gauge ~name v)
+      (Slo.prometheus_gauges verdict)
+  in
+  let uptime =
+    Prometheus.gauge ~name:"monitor.uptime_seconds"
+      ((Tango_obs.now_us () -. t.started_us) /. 1e6)
+  in
+  Http.response ~content_type:Prometheus.content_type
+    (String.concat "" (Prometheus.render snapshot :: uptime :: gauges))
+
+let queries t (req : Http.request) =
+  let n =
+    match List.assoc_opt "n" req.Http.query with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> Some n
+        | _ -> None)
+    | None -> Some 20
+  in
+  match n with
+  | None -> error_response 400 "n must be a positive integer"
+  | Some n -> json_response (Event_log.to_json ~n t.log)
+
+let trace t =
+  match Middleware.last_trace t.mw with
+  | None -> error_response 404 "no trace collected (tracing off or no query yet)"
+  | Some span ->
+      Http.response ~content_type:"application/json"
+        (Chrome_trace.to_string span)
+
+(* Known pipeline failures become a 400 with the error text; anything
+   else propagates to Http's 500 handler. *)
+let query_failure = function
+  | Tango_sql.Lexer.Lex_error m -> Some ("lex error: " ^ m)
+  | Tango_sql.Parser.Parse_error m -> Some ("parse error: " ^ m)
+  | Tango_tsql.Compile.Unsupported m -> Some ("unsupported: " ^ m)
+  | Tango_dbms.Catalog.No_such_table m -> Some ("no such table: " ^ m)
+  | Tango_dbms.Executor.Sql_error m -> Some ("sql error: " ^ m)
+  | Tango_algebra.Op.Ill_formed m -> Some ("ill-formed plan: " ^ m)
+  | Middleware.No_plan m -> Some ("no plan: " ^ m)
+  | Failure m -> Some m
+  | _ -> None
+
+let run_query t (req : Http.request) =
+  let sql = String.trim req.Http.body in
+  if sql = "" then error_response 400 "empty request body; POST temporal SQL"
+  else
+    match Middleware.query t.mw sql with
+    | report ->
+        let open Tango_obs.Json in
+        json_response
+          (Obj
+             [
+               ( "rows",
+                 Int (Tango_rel.Relation.cardinality report.Middleware.result)
+               );
+               ("optimize_us", Float report.Middleware.optimize_us);
+               ("execute_us", Float report.Middleware.execute_us);
+               ( "fingerprint",
+                 String
+                   (Tango_volcano.Physical.fingerprint
+                      report.Middleware.physical) );
+               ( "plan",
+                 String
+                   (Tango_volcano.Physical.signature report.Middleware.physical)
+               );
+             ])
+    | exception e -> (
+        match query_failure e with
+        | Some msg -> error_response 400 msg
+        | None -> raise e)
+
+let handler t (req : Http.request) : Http.response =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> Http.response "ok\n"
+  | "GET", "/metrics" -> metrics t
+  | "GET", "/slo" ->
+      json_response (Slo.to_json t.slo ~now_us:(Tango_obs.now_us ()))
+  | "GET", "/queries" -> queries t req
+  | "GET", "/trace" -> trace t
+  | "POST", "/query" -> run_query t req
+  | _, ("/healthz" | "/metrics" | "/slo" | "/queries" | "/trace" | "/query") ->
+      Http.response ~status:405 "method not allowed\n"
+  | _ -> Http.response ~status:404 "not found\n"

@@ -1,0 +1,32 @@
+(** The monitoring surface behind [tango_cli serve]: wires a middleware
+    session to an {!Event_log} and an {!Slo} tracker, and dispatches
+    HTTP requests to the monitoring endpoints. *)
+
+type t
+
+val create :
+  ?log:Event_log.t -> ?slo:Slo.t -> Tango_core.Middleware.t -> t
+(** Installs a query observer on the session
+    ({!Tango_core.Middleware.set_query_observer}) feeding the event log
+    and the SLO tracker; defaults: [Event_log.create ()],
+    [Slo.create ()]. *)
+
+val event_log : t -> Event_log.t
+val slo : t -> Slo.t
+
+val handler : t -> Http.request -> Http.response
+(** Dispatch:
+
+    - [GET /healthz] — ["ok\n"];
+    - [GET /metrics] — Prometheus exposition of the registry snapshot,
+      plus SLO burn-rate gauges and an uptime gauge;
+    - [GET /slo] — the burn-rate verdict as JSON;
+    - [GET /queries?n=K] — up to [K] (default 20) most recent event-log
+      records, newest first;
+    - [GET /trace] — Chrome trace JSON of the last pipeline run (404
+      when tracing is off or nothing ran yet);
+    - [POST /query] — run the temporal SQL in the body; 200 with a JSON
+      summary (rows, times, plan fingerprint), or 400 with
+      [{"error": ...}] on lex/parse/compile/execution failures.
+
+    Unknown paths are 404, wrong methods on known paths 405. *)

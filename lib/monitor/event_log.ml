@@ -1,0 +1,244 @@
+(** Per-query event log: a fixed-capacity ring buffer of structured
+    records fed from the middleware pipeline
+    ({!Tango_core.Middleware.set_query_observer}).
+
+    Admission is {e head-based}: the keep/drop decision is made when the
+    event arrives, deterministically — every [sample_every]-th event is
+    kept (by arrival ordinal), and two overrides always keep an event
+    regardless of sampling: pipeline failures, and executions at least
+    [slow_keep_us] slow.  Once admitted, records evict oldest-first when
+    the ring is full.
+
+    Every event (kept or not) also feeds the always-on aggregate
+    metrics: [monitor.queries], [monitor.query_errors] and the
+    [monitor.query_us] latency histogram, which is what [/metrics]
+    exports buckets from. *)
+
+open Tango_core
+
+(* aggregate metrics, fed on every event *)
+let queries_total = Tango_obs.Counter.make "monitor.queries"
+let query_errors = Tango_obs.Counter.make "monitor.query_errors"
+let events_kept = Tango_obs.Counter.make "monitor.events_kept"
+let events_sampled_out = Tango_obs.Counter.make "monitor.events_sampled_out"
+let query_us = Tango_obs.Histogram.make "monitor.query_us"
+
+type keep_reason = Sampled | Slow | Failed
+
+type record = {
+  seq : int;
+  at_us : float;
+  kind : string;
+  sql : string option;
+  fingerprint : string option;
+  signature : string option;
+  total_us : float;
+  optimize_us : float;
+  execute_us : float;
+  rows : int;
+  mw_operators : int;
+  transfers : int;
+  tm_rows : int;
+  td_rows : int;
+  roundtrips : int;
+  q_rows : float option;
+  q_cost : float option;
+  verify_errors : int;
+  verify_warnings : int;
+  error : string option;
+  kept : keep_reason;
+}
+
+type t = {
+  capacity : int;
+  sample_every : int;
+  slow_keep_us : float;
+  ring : record option array;
+  mutable next : int;  (** write position *)
+  mutable stored : int;
+  mutable seen : int;  (** events offered, kept or not *)
+  mutable kept : int;
+}
+
+let create ?(capacity = 256) ?(sample_every = 1) ?(slow_keep_us = 0.0) () =
+  if capacity <= 0 then invalid_arg "Event_log.create: capacity must be > 0";
+  if sample_every <= 0 then
+    invalid_arg "Event_log.create: sample_every must be > 0";
+  {
+    capacity;
+    sample_every;
+    slow_keep_us;
+    ring = Array.make capacity None;
+    next = 0;
+    stored = 0;
+    seen = 0;
+    kept = 0;
+  }
+
+let capacity t = t.capacity
+let seen t = t.seen
+let kept t = t.kept
+
+(* Walk the executed operator tree for the transfer-boundary numbers:
+   rows entering the middleware across TRANSFER^M, rows materialized back
+   into the DBMS across TRANSFER^D (transfer dependencies), and the
+   middleware-resident operator count. *)
+let exec_shape (exec : Exec_plan.node) =
+  let mw_operators = ref 0
+  and transfers = ref 0
+  and tm_rows = ref 0
+  and td_rows = ref 0 in
+  Exec_plan.iter
+    (fun n ->
+      incr mw_operators;
+      match n.Exec_plan.kind with
+      | Exec_plan.Transfer_m { deps; _ } ->
+          incr transfers;
+          tm_rows := !tm_rows + n.Exec_plan.out_tuples;
+          List.iter
+            (fun (d : Exec_plan.dep) ->
+              td_rows := !td_rows + d.Exec_plan.source.Exec_plan.out_tuples)
+            deps
+      | _ -> ())
+    exec;
+  (!mw_operators, !transfers, !tm_rows, !td_rows)
+
+let record_of_event ?(seq = 0) ?(kept = Sampled)
+    (ev : Middleware.query_event) : record =
+  let empty =
+    {
+      seq;
+      at_us = ev.Middleware.started_us;
+      kind = ev.Middleware.kind;
+      sql = ev.Middleware.sql;
+      fingerprint = None;
+      signature = None;
+      total_us = ev.Middleware.elapsed_us;
+      optimize_us = 0.0;
+      execute_us = 0.0;
+      rows = 0;
+      mw_operators = 0;
+      transfers = 0;
+      tm_rows = 0;
+      td_rows = 0;
+      roundtrips = 0;
+      q_rows = None;
+      q_cost = None;
+      verify_errors = 0;
+      verify_warnings = 0;
+      error = ev.Middleware.error;
+      kept;
+    }
+  in
+  match ev.Middleware.report with
+  | None -> empty
+  | Some r ->
+      let mw_operators, transfers, tm_rows, td_rows =
+        exec_shape r.Middleware.exec
+      in
+      let q_rows, q_cost =
+        match r.Middleware.analysis with
+        | Some a ->
+            ( Some a.Tango_profile.Analyze.mean_q_rows,
+              Some a.Tango_profile.Analyze.mean_q_cost )
+        | None -> (None, None)
+      in
+      {
+        empty with
+        fingerprint =
+          Some (Tango_volcano.Physical.fingerprint r.Middleware.physical);
+        signature =
+          Some (Tango_volcano.Physical.signature r.Middleware.physical);
+        optimize_us = r.Middleware.optimize_us;
+        execute_us = r.Middleware.execute_us;
+        rows = Tango_rel.Relation.cardinality r.Middleware.result;
+        mw_operators;
+        transfers;
+        tm_rows;
+        td_rows;
+        roundtrips = r.Middleware.exec.Exec_plan.roundtrips;
+        q_rows;
+        q_cost;
+        verify_errors = Tango_verify.Diag.count_errors r.Middleware.diagnostics;
+        verify_warnings =
+          List.length
+            (List.filter
+               (fun d -> not (Tango_verify.Diag.is_error d))
+               r.Middleware.diagnostics);
+        kept;
+      }
+
+(* Head-based admission: failures and slow queries always keep; the rest
+   keep every [sample_every]-th arrival (by 0-based ordinal, so the first
+   event is always kept and the decision is deterministic). *)
+let admission t (ev : Middleware.query_event) : keep_reason option =
+  if ev.Middleware.error <> None then Some Failed
+  else if t.slow_keep_us > 0.0 && ev.Middleware.elapsed_us >= t.slow_keep_us
+  then Some Slow
+  else if t.seen mod t.sample_every = 0 then Some Sampled
+  else None
+
+let push t r =
+  t.ring.(t.next) <- Some r;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.stored < t.capacity then t.stored <- t.stored + 1;
+  t.kept <- t.kept + 1
+
+let observe t (ev : Middleware.query_event) : unit =
+  Tango_obs.Counter.incr queries_total;
+  if ev.Middleware.error <> None then Tango_obs.Counter.incr query_errors;
+  Tango_obs.Histogram.observe query_us ev.Middleware.elapsed_us;
+  (match admission t ev with
+  | Some kept ->
+      push t (record_of_event ~seq:t.seen ~kept ev);
+      Tango_obs.Counter.incr events_kept
+  | None -> Tango_obs.Counter.incr events_sampled_out);
+  t.seen <- t.seen + 1
+
+let recent ?n t : record list =
+  let n = match n with Some n -> min n t.stored | None -> t.stored in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+    match t.ring.(idx) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let keep_reason_name = function
+  | Sampled -> "sampled"
+  | Slow -> "slow"
+  | Failed -> "failed"
+
+let record_to_json (r : record) : Tango_obs.Json.t =
+  let open Tango_obs.Json in
+  let opt_str = function Some s -> String s | None -> Null in
+  let opt_float = function Some f -> Float f | None -> Null in
+  Obj
+    [
+      ("seq", Int r.seq);
+      ("at_us", Float r.at_us);
+      ("kind", String r.kind);
+      ("sql", opt_str r.sql);
+      ("fingerprint", opt_str r.fingerprint);
+      ("plan", opt_str r.signature);
+      ("total_us", Float r.total_us);
+      ("optimize_us", Float r.optimize_us);
+      ("execute_us", Float r.execute_us);
+      ("rows", Int r.rows);
+      ("mw_operators", Int r.mw_operators);
+      ("transfers", Int r.transfers);
+      ("tm_rows", Int r.tm_rows);
+      ("td_rows", Int r.td_rows);
+      ("roundtrips", Int r.roundtrips);
+      ("q_rows", opt_float r.q_rows);
+      ("q_cost", opt_float r.q_cost);
+      ("verify_errors", Int r.verify_errors);
+      ("verify_warnings", Int r.verify_warnings);
+      ("error", opt_str r.error);
+      ("kept", String (keep_reason_name r.kept));
+    ]
+
+let to_json ?n t : Tango_obs.Json.t =
+  Tango_obs.Json.List (List.map record_to_json (recent ?n t))

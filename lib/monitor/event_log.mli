@@ -1,0 +1,91 @@
+(** Per-query event log: a fixed-capacity ring buffer of structured
+    records fed from the middleware pipeline, with deterministic
+    head-based sampling and always-keep overrides for failures and slow
+    queries.  Every event (kept or not) also feeds the aggregate
+    [monitor.*] counters and the [monitor.query_us] latency histogram. *)
+
+val queries_total : Tango_obs.Counter.t
+(** ["monitor.queries"] — every observed pipeline run. *)
+
+val query_errors : Tango_obs.Counter.t
+(** ["monitor.query_errors"] — runs that raised. *)
+
+val events_kept : Tango_obs.Counter.t
+(** ["monitor.events_kept"] — records admitted to the ring. *)
+
+val events_sampled_out : Tango_obs.Counter.t
+(** ["monitor.events_sampled_out"] — records dropped by sampling. *)
+
+val query_us : Tango_obs.Histogram.t
+(** ["monitor.query_us"] — end-to-end pipeline latency, every run. *)
+
+(** Why a record was admitted. *)
+type keep_reason =
+  | Sampled  (** kept by the 1-in-[sample_every] head sample *)
+  | Slow  (** at least [slow_keep_us] slow — always kept *)
+  | Failed  (** the pipeline raised — always kept *)
+
+type record = {
+  seq : int;  (** arrival ordinal (0-based, counts dropped events too) *)
+  at_us : float;  (** wall clock at pipeline entry *)
+  kind : string;  (** ["query"] | ["run_plan"] | ["run_fixed"] *)
+  sql : string option;
+  fingerprint : string option;  (** whole-plan fingerprint *)
+  signature : string option;  (** one-line plan summary *)
+  total_us : float;  (** end-to-end pipeline wall time *)
+  optimize_us : float;
+  execute_us : float;
+  rows : int;  (** result cardinality *)
+  mw_operators : int;  (** middleware-resident operators executed *)
+  transfers : int;  (** [TRANSFER^M] statements issued *)
+  tm_rows : int;  (** rows shipped DBMS -> middleware across [T^M] *)
+  td_rows : int;  (** rows materialized middleware -> DBMS across [T^D] *)
+  roundtrips : int;  (** client round trips (inclusive, whole plan) *)
+  q_rows : float option;  (** mean cardinality q-error, when profiling *)
+  q_cost : float option;  (** mean cost q-error, when profiling *)
+  verify_errors : int;  (** error-severity verification findings *)
+  verify_warnings : int;
+  error : string option;  (** exception text when the pipeline raised *)
+  kept : keep_reason;
+}
+
+type t
+
+val create :
+  ?capacity:int -> ?sample_every:int -> ?slow_keep_us:float -> unit -> t
+(** [capacity] (default 256) bounds the ring, oldest evicted first.
+    [sample_every] (default 1 = keep everything) keeps each
+    [sample_every]-th arrival by 0-based ordinal.  [slow_keep_us]
+    (default 0 = off) always keeps events at least this slow, regardless
+    of sampling; failures are always kept. *)
+
+val capacity : t -> int
+
+val seen : t -> int
+(** Events offered so far, kept or not. *)
+
+val kept : t -> int
+(** Records admitted so far (>= stored: eviction does not decrement). *)
+
+val record_of_event :
+  ?seq:int ->
+  ?kept:keep_reason ->
+  Tango_core.Middleware.query_event ->
+  record
+(** Pure conversion: derives the transfer-boundary numbers from the
+    executed operator tree, q-errors from the profiling analysis, and
+    finding counts from the verification diagnostics. *)
+
+val observe : t -> Tango_core.Middleware.query_event -> unit
+(** Feed one pipeline event: updates the aggregate metrics, applies
+    admission, and appends the record when kept.  The function to hand
+    to {!Tango_core.Middleware.set_query_observer}. *)
+
+val recent : ?n:int -> t -> record list
+(** Up to [n] (default: all stored) most recent records, newest first. *)
+
+val keep_reason_name : keep_reason -> string
+val record_to_json : record -> Tango_obs.Json.t
+
+val to_json : ?n:int -> t -> Tango_obs.Json.t
+(** JSON array of {!recent}, newest first. *)

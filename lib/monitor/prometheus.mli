@@ -1,0 +1,32 @@
+(** Prometheus text-format (exposition format 0.0.4) rendering of
+    {!Tango_obs.Registry} snapshots: counters as [counter] families,
+    histograms as [histogram] families with cumulative [le=...] buckets,
+    [_sum] and [_count]. *)
+
+val default_namespace : string
+(** ["tango"] — prepended to every metric name. *)
+
+val metric_name : ?namespace:string -> string -> string
+(** Legal Prometheus metric name for a dotted registry name:
+    [metric_name "client.roundtrips" = "tango_client_roundtrips"].
+    Characters outside [[a-zA-Z0-9_:]] become underscores. *)
+
+val le_label : float -> string
+(** Bucket bound rendering: ["+Inf"] for [infinity], shortest decimal
+    otherwise. *)
+
+val gauge :
+  ?namespace:string ->
+  name:string ->
+  ?labels:(string * string) list ->
+  float ->
+  string
+(** One complete gauge family ([# TYPE] line plus a single sample) —
+    for values that are not registry counters, e.g. SLO burn rates. *)
+
+val render : ?namespace:string -> Tango_obs.Registry.snapshot -> string
+(** The whole snapshot as exposition text, counters then histograms,
+    each preceded by its [# TYPE] line. *)
+
+val content_type : string
+(** The HTTP [Content-Type] for {!render} output. *)

@@ -130,12 +130,20 @@ module Histogram = struct
      metric exports. *)
   let reservoir_capacity = 512
 
+  (* Fixed exponential bucket bounds shared by every histogram: 1, 2, 4,
+     ... 2^23 (≈8.4e6).  With the usual microsecond observations that
+     spans 1µs to ~8.4s at factor 2; one extra overflow cell catches the
+     rest.  Fixed bounds make bucket counts additive — snapshots diff
+     elementwise and render directly as Prometheus cumulative buckets. *)
+  let bucket_bounds = Array.init 24 (fun i -> float_of_int (1 lsl i))
+
   type t = {
     name : string;
     mutable count : int;
     mutable sum : float;
     mutable min : float;
     mutable max : float;
+    buckets : int array;  (** per-bucket counts; last cell is overflow *)
     reservoir : float array;  (** first [filled] cells are the sample *)
     mutable filled : int;
     mutable rng : int;  (** LCG state for reservoir replacement *)
@@ -156,6 +164,7 @@ module Histogram = struct
             sum = 0.0;
             min = infinity;
             max = neg_infinity;
+            buckets = Array.make (Array.length bucket_bounds + 1) 0;
             reservoir = Array.make reservoir_capacity 0.0;
             filled = 0;
             rng = seed_of name;
@@ -170,9 +179,19 @@ module Histogram = struct
     h.rng <- ((h.rng * 1103515245) + 12345) land 0x3FFFFFFF;
     (h.rng lsr 7) mod bound
 
+  (* Index of the first bound >= v, or the overflow cell.  A linear scan
+     over 24 bounds beats binary search at this size and the typical
+     (small-duration) observation lands in the first few cells anyway. *)
+  let bucket_index v =
+    let n = Array.length bucket_bounds in
+    let rec go i = if i >= n || v <= bucket_bounds.(i) then i else go (i + 1) in
+    go 0
+
   let observe h v =
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
+    (let i = bucket_index v in
+     h.buckets.(i) <- h.buckets.(i) + 1);
     if v < h.min then h.min <- v;
     if v > h.max then h.max <- v;
     if h.filled < reservoir_capacity then begin
@@ -187,6 +206,22 @@ module Histogram = struct
 
   let count h = h.count
   let sum h = h.sum
+  let bucket_counts h = Array.copy h.buckets
+
+  (** Cumulative (bound, count-of-observations <= bound) pairs over the
+      fixed bounds, closed by [(infinity, count)] — the Prometheus
+      [le=...] series. *)
+  let cumulative_buckets h =
+    let acc = ref 0 in
+    let below =
+      Array.to_list
+        (Array.mapi
+           (fun i bound ->
+             acc := !acc + h.buckets.(i);
+             (bound, !acc))
+           bucket_bounds)
+    in
+    below @ [ (infinity, h.count) ]
   let min_value h = if h.count = 0 then 0.0 else h.min
   let max_value h = if h.count = 0 then 0.0 else h.max
   let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
@@ -208,6 +243,7 @@ module Histogram = struct
     h.sum <- 0.0;
     h.min <- infinity;
     h.max <- neg_infinity;
+    Array.fill h.buckets 0 (Array.length h.buckets) 0;
     h.filled <- 0;
     h.rng <- seed_of h.name
 end
@@ -226,6 +262,9 @@ module Registry = struct
     p50 : float;  (** reservoir-estimated quantiles *)
     p95 : float;
     p99 : float;
+    buckets : (float * int) list;
+        (** cumulative [(upper bound, observations <= bound)] over
+            {!Histogram.bucket_bounds}, closed by [(infinity, count)] *)
   }
 
   type snapshot = {
@@ -253,6 +292,7 @@ module Registry = struct
               p50 = Histogram.quantile h 0.50;
               p95 = Histogram.quantile h 0.95;
               p99 = Histogram.quantile h 0.99;
+              buckets = Histogram.cumulative_buckets h;
             } )
           :: acc)
         Histogram.registry []
@@ -263,15 +303,40 @@ module Registry = struct
   let counter_value (s : snapshot) name =
     match List.assoc_opt name s.counters with Some v -> v | None -> 0
 
-  (** [diff later earlier]: per-counter deltas (histograms are dropped —
-      they do not subtract meaningfully). *)
+  (** [diff later earlier]: per-counter deltas, and per-histogram deltas
+      of the additive statistics — count, sum and the fixed-bound bucket
+      counts (with the mean recomputed from the deltas).  [min]/[max] and
+      the reservoir quantiles cannot be recovered for an interval from
+      aggregate state, so they are carried over from [later] verbatim. *)
   let diff (later : snapshot) (earlier : snapshot) : snapshot =
+    let diff_hist name (l : histogram_stats) : histogram_stats =
+      match List.assoc_opt name earlier.histograms with
+      | None -> l
+      | Some e ->
+          let count = l.count - e.count in
+          let sum = l.sum -. e.sum in
+          let buckets =
+            (* same fixed bounds on both sides; be defensive anyway *)
+            if List.length l.buckets = List.length e.buckets then
+              List.map2 (fun (b, lc) (_, ec) -> (b, lc - ec)) l.buckets
+                e.buckets
+            else l.buckets
+          in
+          {
+            l with
+            count;
+            sum;
+            buckets;
+            mean = (if count = 0 then 0.0 else sum /. float_of_int count);
+          }
+    in
     {
       counters =
         List.map
           (fun (name, v) -> (name, v - counter_value earlier name))
           later.counters;
-      histograms = [];
+      histograms =
+        List.map (fun (name, l) -> (name, diff_hist name l)) later.histograms;
     }
 
   let reset () =
@@ -298,6 +363,15 @@ module Registry = struct
                        ("p50", Json.Float h.p50);
                        ("p95", Json.Float h.p95);
                        ("p99", Json.Float h.p99);
+                       ( "buckets",
+                         Json.Obj
+                           (List.map
+                              (fun (bound, c) ->
+                                ( (if Float.is_finite bound then
+                                     Printf.sprintf "%g" bound
+                                   else "+Inf"),
+                                  Json.Int c ))
+                              h.buckets) );
                      ] ))
                s.histograms) );
       ]

@@ -55,6 +55,23 @@ module Histogram : sig
   val observe : t -> float -> unit
   val count : t -> int
   val sum : t -> float
+
+  val bucket_bounds : float array
+  (** Fixed exponential bucket bounds shared by every histogram:
+      [1, 2, 4, ... 2^23] — with microsecond observations, 1µs to ~8.4s
+      at factor 2.  Fixed bounds keep bucket counts additive across
+      snapshots and directly renderable as Prometheus cumulative
+      buckets. *)
+
+  val bucket_counts : t -> int array
+  (** Per-bucket (non-cumulative) observation counts; one cell per
+      {!bucket_bounds} entry plus a final overflow cell. *)
+
+  val cumulative_buckets : t -> (float * int) list
+  (** Cumulative [(upper bound, observations <= bound)] pairs over
+      {!bucket_bounds}, closed by [(infinity, count)] — the Prometheus
+      [le=...] series. *)
+
   val min_value : t -> float
   val max_value : t -> float
   val mean : t -> float
@@ -79,6 +96,9 @@ module Registry : sig
     p50 : float;  (** reservoir-estimated quantiles (see {!Histogram.quantile}) *)
     p95 : float;
     p99 : float;
+    buckets : (float * int) list;
+        (** cumulative [(upper bound, observations <= bound)] over
+            {!Histogram.bucket_bounds}, closed by [(infinity, count)] *)
   }
 
   type snapshot = {
@@ -93,7 +113,13 @@ module Registry : sig
   (** 0 when the name is not present. *)
 
   val diff : snapshot -> snapshot -> snapshot
-  (** [diff later earlier]: per-counter deltas; histograms are dropped. *)
+  (** [diff later earlier]: per-counter deltas, and per-histogram deltas
+      of the additive statistics — [count], [sum] and the fixed-bound
+      [buckets] (with [mean] recomputed from the deltas).  [min]/[max]
+      and the reservoir quantiles [p50]/[p95]/[p99] cannot be recovered
+      for an interval from aggregate state; they are carried over from
+      [later] verbatim and describe the whole lifetime, not the delta.
+      Histograms absent from [earlier] pass through unchanged. *)
 
   val reset : unit -> unit
   (** Zero every registered counter and histogram. *)
