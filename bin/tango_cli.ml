@@ -72,7 +72,7 @@ let setup_logs verbose =
   if verbose then Logs.Src.set_level Middleware.log_src (Some Logs.Debug)
 
 let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
-    ?(profiling = false) () =
+    ?(profiling = false) ?(plan_cache = false) () =
   let db = Tango_dbms.Database.create () in
   if scale > 0.0 then Tango_workload.Uis.load ~scale db;
   List.iter (load_csv db) csvs;
@@ -81,6 +81,7 @@ let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
     |> Middleware.Config.with_histograms (not no_histograms)
     |> Middleware.Config.with_tracing trace
     |> Middleware.Config.with_profiling profiling
+    |> Middleware.Config.with_plan_cache plan_cache
     |> fun c ->
     match prefetch with
     | None -> c
@@ -225,15 +226,22 @@ let analyze_arg =
                  per-operator estimated vs actual rows, time, page reads \
                  and round trips, with q-errors.")
 
+let plan_cache_arg =
+  Arg.(value & flag
+       & info [ "plan-cache" ]
+           ~doc:"Cache optimized plans keyed by normalized query text; a \
+                 re-submitted query skips parse and optimize.  Always on \
+                 for $(b,serve).")
+
 let run_term =
   let f scale csvs prefetch no_histograms calibrate verbose trace trace_out
-      analyze sql =
+      analyze plan_cache sql =
     catch_errors (fun () ->
         setup_logs verbose;
         let trace = trace || trace_out <> None in
         let mw =
           setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
-            ~profiling:analyze ()
+            ~profiling:analyze ~plan_cache ()
         in
         run_query mw ~explain_only:false ~analyze ~verbose sql;
         match trace_out with
@@ -250,7 +258,7 @@ let run_term =
   in
   Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
         $ calibrate_arg $ verbose_arg $ trace_arg $ trace_out_arg
-        $ analyze_arg $ sql_arg)
+        $ analyze_arg $ plan_cache_arg $ sql_arg)
 
 let run_cmd =
   let doc = "Run a temporal SQL query through the middleware." in
@@ -262,22 +270,25 @@ let explain_cmd =
      execute it and annotate every operator with estimated vs actual \
      cardinality, time and q-error."
   in
-  let f scale csvs prefetch no_histograms calibrate analyze sql =
+  let f scale csvs prefetch no_histograms calibrate analyze plan_cache sql =
     catch_errors (fun () ->
         let mw =
           setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:false
-            ~profiling:analyze ()
+            ~profiling:analyze ~plan_cache ()
         in
         run_query mw ~explain_only:true ~analyze ~verbose:false sql)
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ analyze_arg $ sql_arg)
+          $ calibrate_arg $ analyze_arg $ plan_cache_arg $ sql_arg)
 
 let repl_cmd =
   let doc = "Interactive session: one query per line; 'quit' exits." in
-  let f scale csvs prefetch no_histograms calibrate verbose trace =
-    let mw = setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace () in
+  let f scale csvs prefetch no_histograms calibrate verbose trace plan_cache =
+    let mw =
+      setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
+        ~plan_cache ()
+    in
     Fmt.pr "tango> @?";
     (try
        let rec loop () =
@@ -299,7 +310,7 @@ let repl_cmd =
   in
   Cmd.v (Cmd.info "repl" ~doc)
     Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ verbose_arg $ trace_arg)
+          $ calibrate_arg $ verbose_arg $ trace_arg $ plan_cache_arg)
 
 (* ---------------- check (plan verification) ---------------- *)
 
@@ -509,9 +520,11 @@ let serve_cmd =
       sample_every log_capacity slow_keep_ms max_requests =
     catch_errors (fun () ->
         setup_logs false;
+        (* one session serves every request: the plan cache persists
+           across POST /query submissions *)
         let mw =
           setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:true
-            ~profiling:true ()
+            ~profiling:true ~plan_cache:true ()
         in
         let log =
           Tango_monitor.Event_log.create ~capacity:log_capacity ~sample_every

@@ -1,0 +1,137 @@
+(** Fingerprint-keyed LRU plan cache.  See the interface for semantics. *)
+
+(* process-wide mirrors (aggregated across caches; see Tango_obs) *)
+let c_hits = Tango_obs.Counter.make "cache.hits"
+let c_misses = Tango_obs.Counter.make "cache.misses"
+let c_evictions = Tango_obs.Counter.make "cache.evictions"
+let c_invalidations = Tango_obs.Counter.make "cache.invalidations"
+
+let normalize_sql (sql : string) : string =
+  let buf = Buffer.create (String.length sql) in
+  let pending_space = ref false in
+  let in_string = ref false in
+  String.iter
+    (fun ch ->
+      if !in_string then begin
+        (* copy quoted literals verbatim; a '' escape just toggles twice *)
+        if ch = '\'' then in_string := false;
+        Buffer.add_char buf ch
+      end
+      else
+        match ch with
+        | ' ' | '\t' | '\n' | '\r' -> pending_space := true
+        | c ->
+            if !pending_space && Buffer.length buf > 0 then
+              Buffer.add_char buf ' ';
+            pending_space := false;
+            if c = '\'' then in_string := true;
+            Buffer.add_char buf c)
+    sql;
+  Buffer.contents buf
+
+(* 64-bit FNV-1a *)
+let key_of_sql (sql : string) : string =
+  let normalized = normalize_sql sql in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    normalized;
+  Printf.sprintf "%016Lx" !h
+
+type 'a entry = {
+  normalized : string;  (* collision guard *)
+  value : 'a;
+  mutable last_used : int;  (* tick of the most recent find/add *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  last_invalidation : string option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+  mutable last_invalidation : string option;
+}
+
+let create ?(capacity = 128) () =
+  {
+    capacity = max 1 capacity;
+    table = Hashtbl.create 64;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+    last_invalidation = None;
+  }
+
+let capacity c = c.capacity
+let length c = Hashtbl.length c.table
+
+let touch c entry =
+  c.tick <- c.tick + 1;
+  entry.last_used <- c.tick
+
+let find c ~sql =
+  let normalized = normalize_sql sql in
+  match Hashtbl.find_opt c.table (key_of_sql sql) with
+  | Some entry when String.equal entry.normalized normalized ->
+      touch c entry;
+      c.hits <- c.hits + 1;
+      Tango_obs.Counter.incr c_hits;
+      Some entry.value
+  | _ ->
+      c.misses <- c.misses + 1;
+      Tango_obs.Counter.incr c_misses;
+      None
+
+(* Evict the least-recently-used entry (smallest tick). *)
+let evict_lru c =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, best) when best.last_used <= entry.last_used -> ()
+      | _ -> victim := Some (key, entry))
+    c.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove c.table key;
+      c.evictions <- c.evictions + 1;
+      Tango_obs.Counter.incr c_evictions
+
+let add c ~sql value =
+  let key = key_of_sql sql in
+  if (not (Hashtbl.mem c.table key)) && Hashtbl.length c.table >= c.capacity
+  then evict_lru c;
+  let entry = { normalized = normalize_sql sql; value; last_used = 0 } in
+  touch c entry;
+  Hashtbl.replace c.table key entry
+
+let invalidate_all ?(reason = "invalidate") c =
+  Hashtbl.reset c.table;
+  c.invalidations <- c.invalidations + 1;
+  c.last_invalidation <- Some reason;
+  Tango_obs.Counter.incr c_invalidations
+
+let stats c =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    invalidations = c.invalidations;
+    last_invalidation = c.last_invalidation;
+  }

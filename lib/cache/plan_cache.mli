@@ -1,0 +1,63 @@
+(** A fingerprint-keyed LRU cache for optimized plans.
+
+    Keys are derived from the {e normalized SQL text} — whitespace
+    collapsed, nothing else touched — so two submissions of the same query
+    string hit, while a change to any literal misses (unlike the
+    structural plan fingerprints of [Tango_profile], which strip
+    literals: a cached physical plan carries its literals and must not be
+    reused under different ones).
+
+    The cache is parametric in the entry type: the middleware stores its
+    optimized physical plan together with verify diagnostics and the
+    database schema generation it was planned against.
+
+    Invalidation is explicit ({!invalidate_all}) and coarse: statistics
+    refreshes (ANALYZE), schema DDL, and adaptive cost-factor refits all
+    flush the whole cache, since any of them can change which plan is
+    best for {e every} cached query.
+
+    Hits, misses, evictions and invalidations are mirrored to the
+    process-wide [cache.*] counters of {!Tango_obs} (and hence to the
+    Prometheus endpoint). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** LRU cache holding at most [capacity] entries (default 128; a
+    capacity below 1 is clamped to 1). *)
+
+val capacity : 'a t -> int
+
+val normalize_sql : string -> string
+(** Collapse runs of whitespace to single spaces and trim; case is
+    preserved, and single-quoted literals are copied verbatim (their
+    whitespace is significant).  This is the text the key is computed
+    from, and what {!find} compares against to guard hash collisions. *)
+
+val key_of_sql : string -> string
+(** 64-bit FNV-1a hash of the normalized SQL, as 16 hex digits. *)
+
+val find : 'a t -> sql:string -> 'a option
+(** Look up the plan cached for [sql]; a hit refreshes its LRU position.
+    Collisions are guarded by comparing the stored normalized text. *)
+
+val add : 'a t -> sql:string -> 'a -> unit
+(** Insert (or replace) the entry for [sql], evicting the least recently
+    used entry when at capacity. *)
+
+val invalidate_all : ?reason:string -> 'a t -> unit
+(** Drop every entry.  [reason] (e.g. ["analyze"], ["ddl"],
+    ["cost-refit"]) is recorded for {!stats}. *)
+
+val length : 'a t -> int
+
+(** Per-cache counters since [create]. *)
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;  (** number of {!invalidate_all} calls *)
+  last_invalidation : string option;  (** reason of the most recent one *)
+}
+
+val stats : 'a t -> stats

@@ -263,15 +263,19 @@ let alpha_normalize (q : Ast.query) : Ast.query =
   query q
 
 (** A per-execution context; when [share_transfers] is set, alpha-equivalent
-    dependency-free `TRANSFER^M` statements are fetched once. *)
+    dependency-free `TRANSFER^M` statements are fetched once.  When
+    [batching] is unset, every node is degraded to tuple-at-a-time pulls
+    (see {!Tango_xxl.Cursor.tuple_at_a_time}) — the classic XXL protocol,
+    kept for differential testing and benchmarking. *)
 type run_ctx = {
   client : Client.t;
   share_transfers : bool;
+  batching : bool;
   fetched : (Ast.query, Relation.t) Hashtbl.t;
 }
 
-let run_ctx ?(share_transfers = true) client =
-  { client; share_transfers; fetched = Hashtbl.create 4 }
+let run_ctx ?(share_transfers = true) ?(batching = true) client =
+  { client; share_transfers; batching; fetched = Hashtbl.create 4 }
 
 (* Global counters snapshotted around each node's init/next to attribute
    inclusive page reads and client round trips to operators (same
@@ -280,40 +284,53 @@ let run_ctx ?(share_transfers = true) client =
 let c_page_reads = Tango_obs.Counter.make "storage.page_reads"
 let c_roundtrips = Tango_obs.Counter.make "client.roundtrips"
 
-(* Wrap a cursor with per-node instrumentation. *)
+(* Wrap a cursor with per-node instrumentation; both pull protocols are
+   forwarded natively (a batch costs one counter snapshot). *)
 let instrument (n : node) (c : Cursor.t) : Cursor.t =
   n.elapsed_us <- 0.0;
   n.out_bytes <- 0.0;
   n.out_tuples <- 0;
   n.page_reads <- 0;
   n.roundtrips <- 0;
-  Cursor.make ~schema:(Cursor.schema c)
-    ~init:(fun () ->
-      let t0 = now_us () in
-      let pr0 = Tango_obs.Counter.value c_page_reads in
-      let rt0 = Tango_obs.Counter.value c_roundtrips in
-      Cursor.init c;
-      n.page_reads <- n.page_reads + Tango_obs.Counter.value c_page_reads - pr0;
-      n.roundtrips <- n.roundtrips + Tango_obs.Counter.value c_roundtrips - rt0;
-      n.elapsed_us <- n.elapsed_us +. (now_us () -. t0))
+  (* Snapshot the global counters around [f] and attribute the deltas. *)
+  let measured f =
+    let t0 = now_us () in
+    let pr0 = Tango_obs.Counter.value c_page_reads in
+    let rt0 = Tango_obs.Counter.value c_roundtrips in
+    let r = f () in
+    n.page_reads <- n.page_reads + Tango_obs.Counter.value c_page_reads - pr0;
+    n.roundtrips <- n.roundtrips + Tango_obs.Counter.value c_roundtrips - rt0;
+    n.elapsed_us <- n.elapsed_us +. (now_us () -. t0);
+    r
+  in
+  Cursor.make_full ~schema:(Cursor.schema c)
+    ~init:(fun () -> measured (fun () -> Cursor.init c))
     ~next:(fun () ->
-      let t0 = now_us () in
-      let pr0 = Tango_obs.Counter.value c_page_reads in
-      let rt0 = Tango_obs.Counter.value c_roundtrips in
-      let r = Cursor.next c in
-      n.page_reads <- n.page_reads + Tango_obs.Counter.value c_page_reads - pr0;
-      n.roundtrips <- n.roundtrips + Tango_obs.Counter.value c_roundtrips - rt0;
-      n.elapsed_us <- n.elapsed_us +. (now_us () -. t0);
+      let r = measured (fun () -> Cursor.next c) in
       (match r with
       | Some t ->
           n.out_tuples <- n.out_tuples + 1;
           n.out_bytes <- n.out_bytes +. float_of_int (Tuple.byte_size t)
       | None -> ());
       r)
+    ~next_batch:(fun () ->
+      let r = measured (fun () -> Cursor.next_batch c) in
+      (match r with
+      | Some b ->
+          n.out_tuples <- n.out_tuples + Array.length b;
+          Array.iter
+            (fun t ->
+              n.out_bytes <- n.out_bytes +. float_of_int (Tuple.byte_size t))
+            b
+      | None -> ());
+      r)
 
 (* Rename a cursor's schema to the sanitized temp-table column names. *)
 let with_schema schema (c : Cursor.t) : Cursor.t =
-  Cursor.make ~schema ~init:(fun () -> Cursor.init c) ~next:(fun () -> Cursor.next c)
+  Cursor.make_full ~schema
+    ~init:(fun () -> Cursor.init c)
+    ~next:(fun () -> Cursor.next c)
+    ~next_batch:(fun () -> Cursor.next_batch c)
 
 let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
   let client = ctx.client in
@@ -326,7 +343,7 @@ let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
         in
         let tm = Transfer.transfer_m client ~schema:n.schema sql in
         let replay : Cursor.t option ref = ref None in
-        Cursor.make ~schema:n.schema
+        Cursor.make_full ~schema:n.schema
           ~init:(fun () ->
             (match shared_key with
             | Some key when Hashtbl.mem ctx.fetched key ->
@@ -356,6 +373,10 @@ let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
             match !replay with
             | Some c -> Cursor.next c
             | None -> Cursor.next tm)
+          ~next_batch:(fun () ->
+            match !replay with
+            | Some c -> Cursor.next_batch c
+            | None -> Cursor.next_batch tm)
     | Filter (pred, arg) -> Basic_ops.filter pred (build_cursor ctx arg)
     | Project (items, arg) -> Basic_ops.project items (build_cursor ctx arg)
     | Sort (order, arg) -> Sort.sort order (build_cursor ctx arg)
@@ -373,6 +394,7 @@ let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
     | Difference (l, r) ->
         Dup_elim.difference (build_cursor ctx l) (build_cursor ctx r)
   in
+  let c = if ctx.batching then c else Cursor.tuple_at_a_time c in
   instrument n c
 
 and run_dep ctx dep =

@@ -42,6 +42,9 @@ module Config = struct
     adaptive_costs : bool;
     slow_query_threshold_us : float;
     verify_plans : verify_mode;
+    plan_cache : bool;
+    plan_cache_capacity : int;
+    batch_execution : bool;
   }
 
   let default =
@@ -59,6 +62,9 @@ module Config = struct
       adaptive_costs = false;
       slow_query_threshold_us = 0.0;
       verify_plans = Verify_off;
+      plan_cache = false;
+      plan_cache_capacity = 128;
+      batch_execution = true;
     }
 
   let with_row_prefetch n c = { c with row_prefetch = n }
@@ -85,7 +91,40 @@ module Config = struct
     { c with slow_query_threshold_us = us; profiling = (us > 0.0) || c.profiling }
 
   let with_verify_plans m c = { c with verify_plans = m }
+
+  let with_plan_cache ?capacity b c =
+    {
+      c with
+      plan_cache = b;
+      plan_cache_capacity =
+        Option.value ~default:c.plan_cache_capacity capacity;
+    }
+
+  let with_batching b c = { c with batch_execution = b }
 end
+
+(* What the plan cache stores for a query text: everything needed to skip
+   parse + optimize on a hit.  Translation (Exec_plan.of_physical) still
+   runs per execution — temp-table names must be fresh. *)
+type cache_entry = {
+  cached_physical : Physical.plan;
+  cached_required_order : Order.t;
+  cached_classes : int;
+  cached_elements : int;
+  cached_diagnostics : Tango_verify.Diag.t list;
+  cached_generation : int;  (* DBMS schema generation at plan time *)
+  cached_fp : string;  (* query fingerprint, for the sentinel *)
+}
+
+(* Plan-cache outcome attached to a report (only for {!query} with the
+   cache enabled). *)
+type cache_report = {
+  cache_hit : bool;  (** this query was answered from the cache *)
+  cache_hits : int;  (** session totals since connect *)
+  cache_misses : int;
+  cache_invalidations : int;
+  cache_entries : int;  (** entries resident after this query *)
+}
 
 (* The execution report, defined ahead of the session type so pipeline
    events (which carry one) can be observed through a session field. *)
@@ -101,6 +140,7 @@ type report = {
   trace : Tango_obs.Trace.span option;
   analysis : Tango_profile.Analyze.report option;
   diagnostics : Tango_verify.Diag.t list;
+  cache : cache_report option;
 }
 
 (* One top-level pipeline run ({!query} / {!run_plan} / {!run_fixed}),
@@ -110,6 +150,7 @@ type query_event = {
   sql : string option;  (** the temporal SQL text, for {!query} *)
   started_us : float;  (** wall clock ({!Tango_obs.now_us}) at entry *)
   elapsed_us : float;  (** total pipeline wall time, parse to result *)
+  cache_hit : bool;  (** answered from the plan cache (no parse/optimize) *)
   report : report option;  (** [None] when the pipeline raised *)
   error : string option;  (** the exception text when the pipeline raised *)
 }
@@ -117,6 +158,7 @@ type query_event = {
 type t = {
   client : Client.t;
   factors : Factors.t;
+  mutable plan_cache : cache_entry Tango_cache.Plan_cache.t;
   mutable config : Config.t;
   mutable last_trace : Tango_obs.Trace.span option;
   mutable last_analysis : Tango_profile.Analyze.report option;
@@ -143,6 +185,9 @@ let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
       Client.connect ~row_prefetch:config.Config.row_prefetch
         ~roundtrip_spin:config.Config.roundtrip_spin db;
     factors = Factors.default ();
+    plan_cache =
+      Tango_cache.Plan_cache.create
+        ~capacity:config.Config.plan_cache_capacity ();
     config;
     last_trace = None;
     last_analysis = None;
@@ -164,9 +209,22 @@ let profile_store t = t.profile
 let sentinel t = t.sentinel
 let set_query_observer t obs = t.query_observer <- obs
 
+(* Plan-cache helpers.  Any change that can alter which plan is best for a
+   cached query flushes the whole cache (coarse, always sound). *)
+let invalidate_plan_cache t ~reason =
+  if Tango_cache.Plan_cache.length t.plan_cache > 0 then
+    Tango_cache.Plan_cache.invalidate_all ~reason t.plan_cache
+
+let plan_cache_stats t = Tango_cache.Plan_cache.stats t.plan_cache
+
 let set_config t (c : Config.t) =
-  if c.Config.histograms <> t.config.Config.histograms then
+  if c.Config.histograms <> t.config.Config.histograms then begin
     Hashtbl.reset t.stats_cache;
+    invalidate_plan_cache t ~reason:"config-histograms"
+  end;
+  if c.Config.plan_cache_capacity <> t.config.Config.plan_cache_capacity then
+    t.plan_cache <-
+      Tango_cache.Plan_cache.create ~capacity:c.Config.plan_cache_capacity ();
   (* row_prefetch / roundtrip_spin do apply to the live client *)
   Client.set_row_prefetch t.client c.Config.row_prefetch;
   Client.set_roundtrip_spin t.client c.Config.roundtrip_spin;
@@ -192,14 +250,20 @@ let set_tracing t b = set_config t (Config.with_tracing b t.config)
     measured factors. *)
 let calibrate ?sizes t =
   let measured = Calibrate.run ?sizes t.client in
-  Factors.blend ~alpha:1.0 t.factors measured
+  Factors.blend ~alpha:1.0 t.factors measured;
+  invalidate_plan_cache t ~reason:"calibrate"
 
 (** Adopt previously calibrated factors (e.g. shared across sessions against
     the same DBMS installation). *)
-let adopt_factors t (f : Factors.t) = Factors.blend ~alpha:1.0 t.factors f
+let adopt_factors t (f : Factors.t) =
+  Factors.blend ~alpha:1.0 t.factors f;
+  invalidate_plan_cache t ~reason:"adopt-factors"
 
-(** Invalidate cached statistics (after loads or ANALYZE). *)
-let refresh_statistics t = Hashtbl.reset t.stats_cache
+(** Invalidate cached statistics (after loads or ANALYZE); cached plans
+    were chosen under the old statistics and go with them. *)
+let refresh_statistics t =
+  Hashtbl.reset t.stats_cache;
+  invalidate_plan_cache t ~reason:"stats-refresh"
 
 (* The Statistics Collector hook used for optimization. *)
 let base_stats t ~qualifier table : Rel_stats.t =
@@ -299,12 +363,18 @@ let observed t ~kind ?sql (f : unit -> report) : report =
   | Some notify ->
       let started_us = now_us () in
       let emit report error =
+        let cache_hit =
+          match report with
+          | Some { cache = Some c; _ } -> c.cache_hit
+          | _ -> false
+        in
         let ev =
           {
             kind;
             sql;
             started_us;
             elapsed_us = now_us () -. started_us;
+            cache_hit;
             report;
             error;
           }
@@ -398,7 +468,8 @@ let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node 
           (fun () ->
             let ctx =
               Exec_plan.run_ctx
-                ~share_transfers:t.config.Config.share_transfers t.client
+                ~share_transfers:t.config.Config.share_transfers
+                ~batching:t.config.Config.batch_execution t.client
             in
             let r =
               Tango_xxl.Cursor.to_relation (Exec_plan.build_cursor ctx exec)
@@ -416,11 +487,12 @@ let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node 
 (* The profiling hook (after execution): pair the chosen physical plan
    with the measured operator trace, fold the per-operator est-vs-actual
    records into the feedback store, maybe refit cost factors, and pass
-   the execution by the plan-regression sentinel.  [initial] identifies
-   the {e query} (pre-optimization), so the sentinel can compare plan
-   choices across executions of the same query. *)
-let profile_execution t ~(initial : Op.t) (physical : Physical.plan)
-    (exec : Exec_plan.node) ~execute_us :
+   the execution by the plan-regression sentinel.  [query_fingerprint]
+   identifies the {e query} (pre-optimization), so the sentinel can
+   compare plan choices across executions of the same query; on a
+   plan-cache hit it comes from the cache entry. *)
+let profile_execution t ~(query_fingerprint : string)
+    (physical : Physical.plan) (exec : Exec_plan.node) ~execute_us :
     Tango_profile.Analyze.report option =
   if not t.config.Config.profiling then begin
     t.last_analysis <- None;
@@ -437,11 +509,13 @@ let profile_execution t ~(initial : Op.t) (physical : Physical.plan)
       (match Tango_profile.Adapt.maybe_refit t.profile ~factors:t.factors with
       | Some refitted ->
           Log.info (fun m ->
-              m "adaptive costs: refitted %s" (String.concat ", " refitted))
+              m "adaptive costs: refitted %s" (String.concat ", " refitted));
+          (* refitted factors re-rank plans: cached choices are stale *)
+          invalidate_plan_cache t ~reason:"cost-refit"
       | None -> ());
     ignore
       (Tango_profile.Sentinel.observe t.sentinel
-         ~fingerprint:(Physical.op_fingerprint initial)
+         ~fingerprint:query_fingerprint
          ~signature:(Physical.signature physical)
          ~slow_threshold_us:t.config.Config.slow_query_threshold_us
          ~elapsed_us:execute_us ());
@@ -471,7 +545,11 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
             (Physical.algorithm_name physical.Physical.algorithm)
             (Relation.cardinality result) (execute_us /. 1000.0)
             (physical.Physical.total_cost /. 1000.0));
-      let analysis = profile_execution t ~initial physical exec ~execute_us in
+      let analysis =
+        profile_execution t
+          ~query_fingerprint:(Physical.op_fingerprint initial)
+          physical exec ~execute_us
+      in
       {
         result;
         physical;
@@ -484,6 +562,7 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
         trace = None;
         analysis;
         diagnostics = t.last_diagnostics;
+        cache = None;
       }
 
 (** Optimize and execute an initial algebra plan. *)
@@ -492,17 +571,88 @@ let run_plan t ?required_order (initial : Op.t) : report =
       with_query_trace t "middleware.run_plan" (fun () ->
           run_plan_body t ?required_order initial))
 
-(** The full pipeline: temporal SQL in, relation out. *)
+(* Plan-cache lookup for {!query}.  A hit whose entry was planned under an
+   older DBMS schema generation means DDL/ANALYZE happened behind our
+   back: flush everything and report a miss. *)
+let cache_find t (sql : string) : cache_entry option =
+  if not t.config.Config.plan_cache then None
+  else
+    match Tango_cache.Plan_cache.find t.plan_cache ~sql with
+    | Some entry
+      when entry.cached_generation
+           <> Database.schema_generation (database t) ->
+        invalidate_plan_cache t ~reason:"ddl";
+        None
+    | found -> found
+
+let cache_report_now t ~hit : cache_report option =
+  if not t.config.Config.plan_cache then None
+  else
+    let s = plan_cache_stats t in
+    Some
+      {
+        cache_hit = hit;
+        cache_hits = s.Tango_cache.Plan_cache.hits;
+        cache_misses = s.Tango_cache.Plan_cache.misses;
+        cache_invalidations = s.Tango_cache.Plan_cache.invalidations;
+        cache_entries = Tango_cache.Plan_cache.length t.plan_cache;
+      }
+
+(** The full pipeline: temporal SQL in, relation out.  With the session's
+    [plan_cache] on, a re-submitted query text skips parse and optimize
+    entirely and executes the cached physical plan. *)
 let query t (sql : string) : report =
   Log.debug (fun m -> m "query: %s" sql);
   observed t ~kind:"query" ~sql (fun () ->
       with_query_trace t "middleware.query" (fun () ->
-          let initial, required_order =
-            Tango_obs.Trace.span "parse" (fun () ->
-                ( Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql,
-                  Tango_tsql.Compile.required_order sql ))
-          in
-          run_plan_body t ~required_order initial))
+          match cache_find t sql with
+          | Some entry ->
+              Tango_obs.Trace.attr "cache" (Tango_obs.Trace.Str "hit");
+              Log.debug (fun m -> m "plan cache hit");
+              t.last_diagnostics <- entry.cached_diagnostics;
+              let result, exec, execute_us =
+                execute_physical t entry.cached_physical
+              in
+              let analysis =
+                profile_execution t ~query_fingerprint:entry.cached_fp
+                  entry.cached_physical exec ~execute_us
+              in
+              {
+                result;
+                physical = entry.cached_physical;
+                exec;
+                optimize_us = 0.0;
+                execute_us;
+                classes = entry.cached_classes;
+                elements = entry.cached_elements;
+                estimated_cost_us =
+                  entry.cached_physical.Physical.total_cost;
+                trace = None;
+                analysis;
+                diagnostics = entry.cached_diagnostics;
+                cache = cache_report_now t ~hit:true;
+              }
+          | None ->
+              let initial, required_order =
+                Tango_obs.Trace.span "parse" (fun () ->
+                    ( Tango_tsql.Compile.initial_plan
+                        ~lookup:(schema_lookup t) sql,
+                      Tango_tsql.Compile.required_order sql ))
+              in
+              let report = run_plan_body t ~required_order initial in
+              if t.config.Config.plan_cache then
+                Tango_cache.Plan_cache.add t.plan_cache ~sql
+                  {
+                    cached_physical = report.physical;
+                    cached_required_order = required_order;
+                    cached_classes = report.classes;
+                    cached_elements = report.elements;
+                    cached_diagnostics = report.diagnostics;
+                    cached_generation =
+                      Database.schema_generation (database t);
+                    cached_fp = Physical.op_fingerprint initial;
+                  };
+              { report with cache = cache_report_now t ~hit:false }))
 
 (** Execute a {e fixed} plan tree (used by the experiments to time the
     paper's hand-enumerated plan alternatives). *)
@@ -517,7 +667,9 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
           t.last_diagnostics <- diags;
           let result, exec, execute_us = execute_physical t physical in
           let analysis =
-            profile_execution t ~initial:plan_tree physical exec ~execute_us
+            profile_execution t
+              ~query_fingerprint:(Physical.op_fingerprint plan_tree) physical
+              exec ~execute_us
           in
           {
             result;
@@ -531,4 +683,5 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
             trace = None;
             analysis;
             diagnostics = t.last_diagnostics;
+            cache = None;
           }))

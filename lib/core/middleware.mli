@@ -57,6 +57,14 @@ module Config : sig
     verify_plans : verify_mode;
         (** statically verify plans; findings surface in
             {!report.diagnostics} / {!last_diagnostics} *)
+    plan_cache : bool;
+        (** cache optimized physical plans keyed by normalized query text;
+            a re-submitted {!query} skips parse and optimize *)
+    plan_cache_capacity : int;  (** LRU capacity of the plan cache *)
+    batch_execution : bool;
+        (** pull tuples through the middleware pipeline in array batches
+            (default); unset to force the classic tuple-at-a-time XXL
+            protocol *)
   }
 
   val default : t
@@ -82,6 +90,15 @@ module Config : sig
       [profiling]. *)
 
   val with_verify_plans : verify_mode -> t -> t
+
+  val with_plan_cache : ?capacity:int -> bool -> t -> t
+  (** Enable/disable the plan cache; [capacity] additionally overrides
+      the LRU capacity (default 128 entries). *)
+
+  val with_batching : bool -> t -> t
+  (** Batch-at-a-time execution (on by default); unset for the classic
+      tuple-at-a-time protocol — used by differential tests and the
+      [throughput] benchmark. *)
 end
 
 type t
@@ -162,7 +179,16 @@ val adopt_factors : t -> Tango_cost.Factors.t -> unit
 (** Adopt previously calibrated factors (e.g. shared across sessions). *)
 
 val refresh_statistics : t -> unit
-(** Invalidate cached statistics (after loads or ANALYZE). *)
+(** Invalidate cached statistics (after loads or ANALYZE); also flushes
+    the plan cache, whose plans were chosen under the old statistics. *)
+
+val plan_cache_stats : t -> Tango_cache.Plan_cache.stats
+(** Hit/miss/eviction/invalidation totals of the session's plan cache. *)
+
+val invalidate_plan_cache : t -> reason:string -> unit
+(** Explicitly flush the plan cache (a no-op when it is empty).  Called
+    internally on statistics refresh, calibration, factor adoption,
+    adaptive cost refits, and detected DDL. *)
 
 val base_stats : t -> qualifier:string -> string -> Tango_stats.Rel_stats.t
 (** The Statistics Collector hook: statistics for a base table under a
@@ -185,6 +211,16 @@ val cost_plan :
 
 (** {1 Execution} *)
 
+(** Plan-cache outcome attached to a {!report} (present only for {!query}
+    runs with the configuration's [plan_cache] on). *)
+type cache_report = {
+  cache_hit : bool;  (** this query was answered from the cache *)
+  cache_hits : int;  (** session totals since connect *)
+  cache_misses : int;
+  cache_invalidations : int;
+  cache_entries : int;  (** entries resident after this query *)
+}
+
 type report = {
   result : Relation.t;
   physical : Tango_volcano.Physical.plan;  (** the chosen plan *)
@@ -204,7 +240,11 @@ type report = {
   diagnostics : Tango_verify.Diag.t list;
       (** plan-verification findings, when the configuration has
           [verify_plans] on: the per-rule gate's (in [Verify_per_rule]
-          mode) plus the final plan's *)
+          mode) plus the final plan's.  On a plan-cache hit these are the
+          findings recorded when the plan was first optimized. *)
+  cache : cache_report option;
+      (** plan-cache outcome; [None] unless this was a {!query} run with
+          [plan_cache] on *)
 }
 
 exception No_plan of string
@@ -219,6 +259,9 @@ type query_event = {
   sql : string option;  (** the temporal SQL text, for {!query} *)
   started_us : float;  (** wall clock ({!Tango_obs.now_us}) at entry *)
   elapsed_us : float;  (** total pipeline wall time, parse to result *)
+  cache_hit : bool;
+      (** answered from the plan cache — no parse or optimize ran (so a
+          zero [optimize_us] means "skipped", not "instantaneous") *)
   report : report option;  (** [None] when the pipeline raised *)
   error : string option;  (** the exception text when the pipeline raised *)
 }

@@ -122,37 +122,55 @@ let cursor_roundtrips cur = cur.cur_roundtrips
 let cursor_tuples cur = cur.cur_tuples
 let cursor_bytes cur = cur.cur_bytes
 
+(* Ship the next prefetch-sized batch into the client-side buffer.  The
+   single refill path shared by [fetch] and [fetch_batch], so the two
+   drain styles account identical round trips / tuples / bytes. *)
+let refill (cur : cursor) : bool =
+  match cur.pending with
+  | [] -> false
+  | pending ->
+      let n = cur.client.row_prefetch in
+      let rec take k = function
+        | x :: rest when k > 0 ->
+            let taken, rem = take (k - 1) rest in
+            (x :: taken, rem)
+        | rest -> ([], rest)
+      in
+      let batch, rest = take n pending in
+      cur.pending <- rest;
+      let shipped, nbytes = ship_batch cur.client batch in
+      cur.cur_roundtrips <- cur.cur_roundtrips + 1;
+      cur.cur_tuples <- cur.cur_tuples + List.length shipped;
+      cur.cur_bytes <- cur.cur_bytes + nbytes;
+      cur.buffered <- shipped;
+      true
+
 let rec fetch (cur : cursor) : Tuple.t option =
   match cur.buffered with
   | t :: rest ->
       cur.buffered <- rest;
       Some t
-  | [] -> (
-      match cur.pending with
-      | [] -> None
-      | pending ->
-          let n = cur.client.row_prefetch in
-          let rec take k = function
-            | x :: rest when k > 0 ->
-                let taken, rem = take (k - 1) rest in
-                (x :: taken, rem)
-            | rest -> ([], rest)
-          in
-          let batch, rest = take n pending in
-          cur.pending <- rest;
-          let shipped, nbytes = ship_batch cur.client batch in
-          cur.cur_roundtrips <- cur.cur_roundtrips + 1;
-          cur.cur_tuples <- cur.cur_tuples + List.length shipped;
-          cur.cur_bytes <- cur.cur_bytes + nbytes;
-          cur.buffered <- shipped;
-          fetch cur)
+  | [] -> if refill cur then fetch cur else None
+
+(** Fetch one prefetch batch: the buffered rows (refilled over the wire if
+    the buffer is empty) as an array, or [None] when the cursor is
+    exhausted.  One call consumes at most one round trip — exactly the
+    accounting [fetch] would do for the same rows. *)
+let rec fetch_batch (cur : cursor) : Tuple.t array option =
+  match cur.buffered with
+  | _ :: _ as buffered ->
+      cur.buffered <- [];
+      Some (Array.of_list buffered)
+  | [] -> if refill cur then fetch_batch cur else None
 
 (** Drain a cursor into a relation (paying all transfer work). *)
 let fetch_all (cur : cursor) : Relation.t =
   let rec go acc =
-    match fetch cur with None -> List.rev acc | Some t -> go (t :: acc)
+    match fetch_batch cur with
+    | None -> Array.concat (List.rev acc)
+    | Some b -> go (b :: acc)
   in
-  Relation.of_list cur.schema (go [])
+  Relation.make cur.schema (go [])
 
 (** Run a non-query statement. *)
 let execute_update c (sql : string) : int =

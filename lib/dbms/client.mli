@@ -43,6 +43,13 @@ val cursor_roundtrips : cursor -> int
 val cursor_tuples : cursor -> int
 val cursor_bytes : cursor -> int
 val fetch : cursor -> Tuple.t option
+
+val fetch_batch : cursor -> Tuple.t array option
+(** The buffered prefetch rows as one array ([None] at exhaustion),
+    refilling over the wire when the buffer is empty.  Interleaves freely
+    with {!fetch} and accounts exactly the same round trips / tuples /
+    bytes for the same rows. *)
+
 val fetch_all : cursor -> Relation.t
 
 val execute_update : t -> string -> int

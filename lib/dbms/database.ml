@@ -11,6 +11,7 @@ type t = {
   catalog : Catalog.t;
   settings : Executor.settings;
   mutable temp_counter : int;
+  mutable schema_generation : int;
 }
 
 type result = Rows of Relation.t | Ok_count of int
@@ -20,7 +21,22 @@ let create ?pool_pages () =
     catalog = Catalog.create ?pool_pages ();
     settings = Executor.default_settings ();
     temp_counter = 0;
+    schema_generation = 0;
   }
+
+let schema_generation db = db.schema_generation
+
+let temp_prefix = "TANGO_TMP_"
+
+let is_temp_table name =
+  String.length name >= String.length temp_prefix
+  && String.sub name 0 (String.length temp_prefix) = temp_prefix
+
+(* DDL/ANALYZE on real tables advances the generation (plan caches key on
+   it); `TRANSFER^D` temp tables come and go on every query and must not. *)
+let bump_generation db name =
+  if not (is_temp_table name) then
+    db.schema_generation <- db.schema_generation + 1
 
 let catalog db = db.catalog
 let io_stats db = db.catalog.Catalog.io
@@ -42,9 +58,11 @@ let execute_ast db (stmt : Ast.statement) : result =
       Rows (Executor.run_query ~settings:db.settings db.catalog q)
   | Ast.Create_table (name, defs) ->
       ignore (Catalog.add db.catalog name (schema_of_defs defs));
+      bump_generation db name;
       Ok_count 0
   | Ast.Drop_table name ->
       Catalog.drop db.catalog name;
+      bump_generation db name;
       Ok_count 0
   | Ast.Insert (name, rows) ->
       let table = Catalog.find db.catalog name in
@@ -82,9 +100,13 @@ let query_ast db q : Relation.t =
   Executor.run_query ~settings:db.settings db.catalog q
 
 (** Create a table directly from a schema (bypassing SQL DDL). *)
-let create_table db name schema = ignore (Catalog.add db.catalog name schema)
+let create_table db name schema =
+  ignore (Catalog.add db.catalog name schema);
+  bump_generation db name
 
-let drop_table db name = Catalog.drop db.catalog name
+let drop_table db name =
+  Catalog.drop db.catalog name;
+  bump_generation db name
 
 let table_exists db name = Catalog.mem db.catalog name
 
@@ -114,11 +136,17 @@ let fresh_temp_name db =
   Printf.sprintf "TANGO_TMP_%d" db.temp_counter
 
 let create_index db ?(clustered = false) table attr =
-  ignore (Catalog.add_index db.catalog table ~clustered attr)
+  ignore (Catalog.add_index db.catalog table ~clustered attr);
+  bump_generation db table
 
-(** ANALYZE a table (see {!Analyze.run}). *)
-let analyze db ?histograms ?buckets name : Stat.table_stats =
-  Analyze.run ?histograms ?buckets (Catalog.find db.catalog name)
+(** ANALYZE a table (see {!Analyze.run}).  [bump:false] is for the
+    middleware's internal statistics collection: it re-runs ANALYZE as an
+    implementation detail and must not advance the schema generation,
+    which would flush plan caches keyed on it. *)
+let analyze db ?histograms ?buckets ?(bump = true) name : Stat.table_stats =
+  let r = Analyze.run ?histograms ?buckets (Catalog.find db.catalog name) in
+  if bump then bump_generation db name;
+  r
 
 let analyze_all db ?histograms ?buckets () =
   List.iter

@@ -23,6 +23,11 @@ val settings : t -> Executor.settings
 val set_join_method : t -> Executor.join_method -> unit
 (** Force a join method — the stand-in for Oracle hints (Query 4). *)
 
+val schema_generation : t -> int
+(** Monotone counter advanced by DDL (create/drop table, create index)
+    and ANALYZE on non-temporary tables; `TANGO_TMP_*` transfer tables do
+    not advance it.  Plan caches compare it to detect staleness. *)
+
 val execute_ast : t -> Ast.statement -> result
 val execute : t -> string -> result
 
@@ -54,9 +59,14 @@ val analyze :
   t ->
   ?histograms:[ `All | `Cols of string list | `None ] ->
   ?buckets:int ->
+  ?bump:bool ->
   string ->
   Stat.table_stats
-(** ANALYZE one table (see {!Analyze.run}). *)
+(** ANALYZE one table (see {!Analyze.run}).  Advances the
+    {!schema_generation} (statistics changed, cached plans are stale)
+    unless [bump:false] — which the middleware's internal statistics
+    collection passes, since its re-ANALYZE is an implementation detail,
+    not a user-visible statistics change. *)
 
 val analyze_all :
   t ->

@@ -35,6 +35,7 @@ type record = {
   total_us : float;
   optimize_us : float;
   execute_us : float;
+  cache_hit : bool;
   rows : int;
   mw_operators : int;
   transfers : int;
@@ -116,6 +117,7 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
       total_us = ev.Middleware.elapsed_us;
       optimize_us = 0.0;
       execute_us = 0.0;
+      cache_hit = ev.Middleware.cache_hit;
       rows = 0;
       mw_operators = 0;
       transfers = 0;
@@ -226,6 +228,7 @@ let record_to_json (r : record) : Tango_obs.Json.t =
       ("total_us", Float r.total_us);
       ("optimize_us", Float r.optimize_us);
       ("execute_us", Float r.execute_us);
+      ("cache_hit", Bool r.cache_hit);
       ("rows", Int r.rows);
       ("mw_operators", Int r.mw_operators);
       ("transfers", Int r.transfers);

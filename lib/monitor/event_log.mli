@@ -35,6 +35,9 @@ type record = {
   total_us : float;  (** end-to-end pipeline wall time *)
   optimize_us : float;
   execute_us : float;
+  cache_hit : bool;
+      (** answered from the plan cache — parse/optimize were skipped, so
+          a zero [optimize_us] means "skipped", not "instantaneous" *)
   rows : int;  (** result cardinality *)
   mw_operators : int;  (** middleware-resident operators executed *)
   transfers : int;  (** [TRANSFER^M] statements issued *)

@@ -57,6 +57,6 @@ let collect ?histograms (db : Database.t) ~(qualifier : string)
   let ts =
     match Database.stats_of db table with
     | Some ts when histograms = None -> ts
-    | _ -> Database.analyze db ?histograms table
+    | _ -> Database.analyze db ?histograms ~bump:false table
   in
   of_table_stats ~qualifier ts

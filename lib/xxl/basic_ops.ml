@@ -1,24 +1,56 @@
-(** Tuple-at-a-time middleware algorithms: `FILTER^M` and `PROJECT^M`.
+(** Tuple- and batch-at-a-time middleware algorithms: `FILTER^M` and
+    `PROJECT^M`.
 
     Both are order-preserving, as the paper requires of middleware
-    algorithms (Section 4). *)
+    algorithms (Section 4), and both are native batch producers: one
+    input batch yields (at most) one output batch with no per-tuple
+    closure calls on the pipeline below. *)
 
 open Tango_rel
 open Tango_sql
 open Tango_algebra
+
+(* Filter an array through [p], preserving order; [None] when nothing
+   survives (so the caller can pull the next input batch). *)
+let array_filter p (b : Tuple.t array) : Tuple.t array option =
+  let n = Array.length b in
+  let kept = ref 0 in
+  let keep = Array.make n false in
+  for i = 0 to n - 1 do
+    if p b.(i) then begin
+      keep.(i) <- true;
+      incr kept
+    end
+  done;
+  if !kept = 0 then None
+  else if !kept = n then Some b
+  else begin
+    let out = Array.make !kept b.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        out.(!j) <- b.(i);
+        incr j
+      end
+    done;
+    Some out
+  end
 
 (** `FILTER^M`: selection in the middleware (paper Section 3.3). *)
 let filter (pred : Ast.expr) (arg : Cursor.t) : Cursor.t =
   let schema = Cursor.schema arg in
   let p = Scalar.compile_pred schema pred in
   Cursor.observed "filter"
-    (Cursor.make ~schema
+    (Cursor.make_batched ~schema
        ~init:(fun () -> Cursor.init arg)
-       ~next:(fun () ->
+       ~next_batch:(fun () ->
          let rec go () =
-           match Cursor.next arg with
+           match Cursor.next_batch arg with
            | None -> None
-           | Some t -> if p t then Some t else go ()
+           | Some b -> (
+               match array_filter p b with
+               | None -> go ()
+               | some -> some)
          in
          go ()))
 
@@ -29,14 +61,15 @@ let project (items : (Ast.expr * string) list) (arg : Cursor.t) : Cursor.t =
     Schema.make
       (List.map (fun (e, n) -> (n, Scalar.dtype in_schema e)) items)
   in
-  let fns = List.map (fun (e, _) -> Scalar.compile in_schema e) items in
+  let fns = Array.of_list (List.map (fun (e, _) -> Scalar.compile in_schema e) items) in
+  let eval t = Array.map (fun f -> f t) fns in
   Cursor.observed "project"
-    (Cursor.make ~schema:out_schema
+    (Cursor.make_batched ~schema:out_schema
        ~init:(fun () -> Cursor.init arg)
-       ~next:(fun () ->
-         match Cursor.next arg with
+       ~next_batch:(fun () ->
+         match Cursor.next_batch arg with
          | None -> None
-         | Some t -> Some (Array.of_list (List.map (fun f -> f t) fns))))
+         | Some b -> Some (Array.map eval b)))
 
 (** Projection onto named attributes. *)
 let project_attrs names (arg : Cursor.t) : Cursor.t =

@@ -1,7 +1,13 @@
-(** Tuple-at-a-time middleware algorithms: `FILTER^M` and `PROJECT^M`,
+(** Batch-at-a-time middleware algorithms: `FILTER^M` and `PROJECT^M`,
     both order-preserving as the paper requires of middleware algorithms. *)
 
+open Tango_rel
 open Tango_sql
+
+val array_filter : (Tuple.t -> bool) -> Tuple.t array -> Tuple.t array option
+(** Order-preserving filter over one batch; [None] when nothing survives
+    (so callers pull the next input batch).  Shared by the batch paths of
+    `FILTER^M` and `DIFFERENCE^M`. *)
 
 val filter : Ast.expr -> Cursor.t -> Cursor.t
 (** `FILTER^M` (paper §3.3). *)

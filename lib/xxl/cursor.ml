@@ -4,7 +4,15 @@
     result set with [init]/[next] methods, enabling pipelined execution
     (paper Figure 2).  [init] prepares inner structures — and for some
     algorithms does real work up front (sorting materializes runs; the
-    `TRANSFER^D` algorithm copies its whole input into the DBMS). *)
+    `TRANSFER^D` algorithm copies its whole input into the DBMS).
+
+    On top of the classic tuple-at-a-time protocol every cursor also
+    carries a {e batch} pull, [next_batch], returning an array of tuples
+    per call.  Batches are a pure amortization of the per-tuple closure
+    chain: the tuple stream delivered through [next_batch] is exactly the
+    stream [next] would deliver, in the same order, and the two entry
+    points may be interleaved freely.  A batch is never empty; [None]
+    marks exhaustion, exactly like [next]. *)
 
 open Tango_rel
 
@@ -12,77 +20,160 @@ type t = {
   schema : Schema.t;
   init : unit -> unit;
   next : unit -> Tuple.t option;
+  next_batch : unit -> Tuple.t array option;
 }
 
-let make ~schema ~init ~next = { schema; init; next }
+(** Tuples per batch produced by the default shim (and a reasonable size
+    for native producers that must pick one). *)
+let default_batch_size = 256
+
+(* Shim: assemble a batch by looping the tuple-at-a-time entry point.
+   Used for cursors defined only via [next]. *)
+let batch_of_next (next : unit -> Tuple.t option) () :
+    Tuple.t array option =
+  match next () with
+  | None -> None
+  | Some first ->
+      let buf = ref [ first ] in
+      let n = ref 1 in
+      (try
+         while !n < default_batch_size do
+           match next () with
+           | None -> raise Exit
+           | Some t ->
+               buf := t :: !buf;
+               incr n
+         done
+       with Exit -> ());
+      Some (Array.of_list (List.rev !buf))
+
+let make ~schema ~init ~next =
+  { schema; init; next; next_batch = batch_of_next next }
+
+(** For wrappers around an existing cursor: supply both protocols so each
+    forwards to the wrapped cursor's native implementation. *)
+let make_full ~schema ~init ~next ~next_batch = { schema; init; next; next_batch }
+
+(** Build a cursor from a native batch producer; the tuple-at-a-time
+    [next] is derived by serving tuples out of an internal buffer, so
+    per-tuple pulls cost an array index, not a closure chain.  The
+    producer must never return an empty array (empty batches are skipped
+    defensively, but producing them wastes work). *)
+let make_batched ~schema ~init ~(next_batch : unit -> Tuple.t array option) =
+  let buf = ref [||] in
+  let pos = ref 0 in
+  (* Pull the next non-empty batch from the producer. *)
+  let rec pull () =
+    match next_batch () with
+    | None -> None
+    | Some b when Array.length b = 0 -> pull ()
+    | some -> some
+  in
+  let rec next () =
+    if !pos < Array.length !buf then begin
+      let t = (!buf).(!pos) in
+      incr pos;
+      Some t
+    end
+    else
+      match pull () with
+      | None -> None
+      | Some b ->
+          buf := b;
+          pos := 0;
+          next ()
+  in
+  let next_batch' () =
+    if !pos < Array.length !buf then begin
+      (* serve the buffered remainder first so interleaving [next] and
+         [next_batch] preserves the stream *)
+      let rest = Array.sub !buf !pos (Array.length !buf - !pos) in
+      buf := [||];
+      pos := 0;
+      Some rest
+    end
+    else pull ()
+  in
+  let init' () =
+    buf := [||];
+    pos := 0;
+    init ()
+  in
+  { schema; init = init'; next; next_batch = next_batch' }
 
 let schema c = c.schema
 let init c = c.init ()
 let next c = c.next ()
+let next_batch c = c.next_batch ()
 
-(** Cursor over a materialized relation. *)
+(** Hide the native batch path: the result answers [next_batch] through
+    the per-tuple shim, so every pull below this point degrades to
+    tuple-at-a-time closure calls.  Used to measure (and differentially
+    test) batch-at-a-time against the classic protocol. *)
+let tuple_at_a_time (c : t) : t =
+  { schema = c.schema; init = c.init; next = c.next;
+    next_batch = batch_of_next c.next }
+
+(** Cursor over a materialized relation; the native batch path hands out
+    the remaining tuples in one array. *)
 let of_relation (r : Relation.t) : t =
+  let ts = Relation.tuples r in
   let pos = ref 0 in
-  {
-    schema = Relation.schema r;
-    init = (fun () -> pos := 0);
-    next =
-      (fun () ->
-        let ts = Relation.tuples r in
-        if !pos >= Array.length ts then None
-        else begin
-          let t = ts.(!pos) in
-          incr pos;
-          Some t
-        end);
-  }
+  make_batched ~schema:(Relation.schema r)
+    ~init:(fun () -> pos := 0)
+    ~next_batch:(fun () ->
+      let len = Array.length ts in
+      if !pos >= len then None
+      else begin
+        let b = Array.sub ts !pos (len - !pos) in
+        pos := len;
+        Some b
+      end)
 
 (** Cursor over a thunked relation, materialized at [init] time. *)
 let of_relation_lazy schema (produce : unit -> Relation.t) : t =
   let state = ref None in
   let pos = ref 0 in
-  {
-    schema;
-    init =
-      (fun () ->
-        state := Some (produce ());
-        pos := 0);
-    next =
-      (fun () ->
-        match !state with
-        | None -> invalid_arg "Cursor: next before init"
-        | Some r ->
-            let ts = Relation.tuples r in
-            if !pos >= Array.length ts then None
-            else begin
-              let t = ts.(!pos) in
-              incr pos;
-              Some t
-            end);
-  }
+  make_batched ~schema
+    ~init:(fun () ->
+      state := Some (produce ());
+      pos := 0)
+    ~next_batch:(fun () ->
+      match !state with
+      | None -> invalid_arg "Cursor: next before init"
+      | Some r ->
+          let ts = Relation.tuples r in
+          let len = Array.length ts in
+          if !pos >= len then None
+          else begin
+            let b = Array.sub ts !pos (len - !pos) in
+            pos := len;
+            Some b
+          end)
 
-(** [init] then drain into a relation. *)
+(* Drain every remaining batch, in order. *)
+let drain_batches (c : t) : Tuple.t array list =
+  let rec go acc =
+    match c.next_batch () with None -> List.rev acc | Some b -> go (b :: acc)
+  in
+  go []
+
+(** [init] then drain into a relation (batch pulls). *)
 let to_relation (c : t) : Relation.t =
   c.init ();
-  let rec go acc =
-    match c.next () with None -> List.rev acc | Some t -> go (t :: acc)
-  in
-  Relation.of_list c.schema (go [])
+  Relation.make c.schema (Array.concat (drain_batches c))
 
 (** Drain without init (when the caller already initialized). *)
 let drain (c : t) : Tuple.t list =
-  let rec go acc =
-    match c.next () with None -> List.rev acc | Some t -> go (t :: acc)
-  in
-  go []
+  List.concat_map Array.to_list (drain_batches c)
 
 let iter f (c : t) =
   c.init ();
   let rec go () =
-    match c.next () with
+    match c.next_batch () with
     | None -> ()
-    | Some t ->
-        f t;
+    | Some b ->
+        Array.iter f b;
         go ()
   in
   go ()
@@ -94,7 +185,8 @@ let iter f (c : t) =
     collected, [init] time and the summed [next] time until exhaustion
     are additionally recorded in the [xxl.<name>.init_us] / [.drain_us] /
     [.tuples_per_open] histograms; with tracing off, the only per-tuple
-    overhead is one branch and one counter increment. *)
+    overhead is one branch and one counter increment (one per {e batch}
+    on the batch path). *)
 let observed (name : string) (c : t) : t =
   let pre = "xxl." ^ name in
   let c_opens = Tango_obs.Counter.make (pre ^ ".opens") in
@@ -106,6 +198,20 @@ let observed (name : string) (c : t) : t =
   let produced = ref 0 in
   let spent = ref 0.0 in
   let exhausted = ref false in
+  let on_close () =
+    if not !exhausted then begin
+      exhausted := true;
+      Tango_obs.Counter.incr c_closes
+    end
+  in
+  let on_close_traced () =
+    if not !exhausted then begin
+      exhausted := true;
+      Tango_obs.Counter.incr c_closes;
+      Tango_obs.Histogram.observe h_drain !spent;
+      Tango_obs.Histogram.observe h_out (float_of_int !produced)
+    end
+  in
   {
     schema = c.schema;
     init =
@@ -130,24 +236,34 @@ let observed (name : string) (c : t) : t =
           | Some _ ->
               incr produced;
               Tango_obs.Counter.incr c_tuples
-          | None ->
-              if not !exhausted then begin
-                exhausted := true;
-                Tango_obs.Counter.incr c_closes;
-                Tango_obs.Histogram.observe h_drain !spent;
-                Tango_obs.Histogram.observe h_out (float_of_int !produced)
-              end);
+          | None -> on_close_traced ());
           r
         end
         else begin
           let r = c.next () in
           (match r with
           | Some _ -> Tango_obs.Counter.incr c_tuples
-          | None ->
-              if not !exhausted then begin
-                exhausted := true;
-                Tango_obs.Counter.incr c_closes
-              end);
+          | None -> on_close ());
+          r
+        end);
+    next_batch =
+      (fun () ->
+        if Tango_obs.Trace.active () then begin
+          let t0 = Tango_obs.now_us () in
+          let r = c.next_batch () in
+          spent := !spent +. (Tango_obs.now_us () -. t0);
+          (match r with
+          | Some b ->
+              produced := !produced + Array.length b;
+              Tango_obs.Counter.add c_tuples (Array.length b)
+          | None -> on_close_traced ());
+          r
+        end
+        else begin
+          let r = c.next_batch () in
+          (match r with
+          | Some b -> Tango_obs.Counter.add c_tuples (Array.length b)
+          | None -> on_close ());
           r
         end);
   }

@@ -8,7 +8,12 @@
       drops adjacent duplicates;
     - coalescing requires input sorted on the non-period attributes and
       [T1], and merges adjacent value-equivalent tuples whose periods
-      overlap or meet. *)
+      overlap or meet.
+
+    Duplicate elimination and difference are native batch producers
+    (one input batch in, at most one output batch out); coalescing stays
+    tuple-at-a-time because its output tuple is open-ended until the next
+    non-mergeable input arrives. *)
 
 open Tango_rel
 open Tango_algebra
@@ -18,20 +23,28 @@ let dup_elim (arg : Cursor.t) : Cursor.t =
   let schema = Cursor.schema arg in
   let last = ref None in
   Cursor.observed "dupelim"
-    (Cursor.make ~schema
+    (Cursor.make_batched ~schema
        ~init:(fun () ->
          Cursor.init arg;
          last := None)
-       ~next:(fun () ->
+       ~next_batch:(fun () ->
          let rec go () =
-           match Cursor.next arg with
+           match Cursor.next_batch arg with
            | None -> None
-           | Some t -> (
-               match !last with
-               | Some prev when Tuple.equal prev t -> go ()
-               | _ ->
-                   last := Some t;
-                   Some t)
+           | Some b ->
+               let out = ref [] in
+               let n = ref 0 in
+               Array.iter
+                 (fun t ->
+                   match !last with
+                   | Some prev when Tuple.equal prev t -> ()
+                   | _ ->
+                       last := Some t;
+                       out := t :: !out;
+                       incr n)
+                 b;
+               if !n = 0 then go ()
+               else Some (Array.of_list (List.rev !out))
          in
          go ()))
 
@@ -41,8 +54,16 @@ let dup_elim (arg : Cursor.t) : Cursor.t =
 let difference (left : Cursor.t) (right : Cursor.t) : Cursor.t =
   let schema = Cursor.schema left in
   let budget : (Value.t list, int) Hashtbl.t = Hashtbl.create 64 in
+  let survives t =
+    let k = Array.to_list t in
+    match Hashtbl.find_opt budget k with
+    | Some n when n > 0 ->
+        Hashtbl.replace budget k (n - 1);
+        false
+    | _ -> true
+  in
   Cursor.observed "difference"
-    (Cursor.make ~schema
+    (Cursor.make_batched ~schema
        ~init:(fun () ->
          Cursor.init left;
          Hashtbl.reset budget;
@@ -52,17 +73,14 @@ let difference (left : Cursor.t) (right : Cursor.t) : Cursor.t =
              Hashtbl.replace budget k
                (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
            right)
-       ~next:(fun () ->
+       ~next_batch:(fun () ->
          let rec go () =
-           match Cursor.next left with
+           match Cursor.next_batch left with
            | None -> None
-           | Some t -> (
-               let k = Array.to_list t in
-               match Hashtbl.find_opt budget k with
-               | Some n when n > 0 ->
-                   Hashtbl.replace budget k (n - 1);
-                   go ()
-               | _ -> Some t)
+           | Some b -> (
+               match Basic_ops.array_filter survives b with
+               | None -> go ()
+               | some -> some)
          in
          go ()))
 

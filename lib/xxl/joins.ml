@@ -54,61 +54,50 @@ let side_read_group s =
 let key_indexes schema attrs = List.map (Schema.index schema) attrs
 
 (* Shared sort-merge skeleton: [emit lt rt] produces an output tuple option
-   for a key-matched pair. *)
+   for a key-matched pair.  Native batch producer: each left tuple whose key
+   matches a buffered right group yields its surviving pairs as one batch. *)
 let merge_skeleton ~schema ~left ~right ~left_keys ~right_keys ~emit :
     Cursor.t =
   let ls = make_side left (key_indexes (Cursor.schema left) left_keys) in
   let rs = make_side right (key_indexes (Cursor.schema right) right_keys) in
   let right_group : (Tuple.t * Tuple.t list) option ref = ref None in
-  let queue : Tuple.t list ref = ref [] in
   let rec fill () =
-    match !queue with
-    | _ :: _ -> true
-    | [] -> (
-        match side_peek ls with
-        | None -> false
-        | Some lt -> (
-            let lk = ls.key lt in
-            (* Drop right groups/tuples with keys before the left key, then
-               buffer the next right group (whose key is >= lk). *)
-            let rec catch_up () =
-              match !right_group with
-              | Some (gk, _) when Tuple.compare gk lk >= 0 -> ()
-              | _ -> (
-                  match side_peek rs with
-                  | Some rt when Tuple.compare (rs.key rt) lk < 0 ->
-                      side_advance rs;
-                      catch_up ()
-                  | Some _ ->
-                      right_group := side_read_group rs;
-                      catch_up ()
-                  | None -> right_group := None)
-            in
-            catch_up ();
-            match !right_group with
-            | Some (gk, group) when Tuple.compare gk lk = 0 ->
-                side_advance ls;
-                queue := List.filter_map (fun rt -> emit lt rt) group;
-                fill ()
-            | _ ->
-                side_advance ls;
-                fill ()))
+    match side_peek ls with
+    | None -> None
+    | Some lt -> (
+        let lk = ls.key lt in
+        (* Drop right groups/tuples with keys before the left key, then
+           buffer the next right group (whose key is >= lk). *)
+        let rec catch_up () =
+          match !right_group with
+          | Some (gk, _) when Tuple.compare gk lk >= 0 -> ()
+          | _ -> (
+              match side_peek rs with
+              | Some rt when Tuple.compare (rs.key rt) lk < 0 ->
+                  side_advance rs;
+                  catch_up ()
+              | Some _ ->
+                  right_group := side_read_group rs;
+                  catch_up ()
+              | None -> right_group := None)
+        in
+        catch_up ();
+        match !right_group with
+        | Some (gk, group) when Tuple.compare gk lk = 0 -> (
+            side_advance ls;
+            match List.filter_map (fun rt -> emit lt rt) group with
+            | [] -> fill ()
+            | out -> Some (Array.of_list out))
+        | _ ->
+            side_advance ls;
+            fill ())
   in
-  Cursor.make ~schema
+  Cursor.make_batched ~schema
     ~init:(fun () ->
       side_init ls;
       side_init rs;
-      right_group := None;
-      queue := [])
-    ~next:(fun () ->
-      if fill () then begin
-        match !queue with
-        | t :: rest ->
-            queue := rest;
-            Some t
-        | [] -> None
-      end
-      else None)
+      right_group := None)
+    ~next_batch:fill
 
 (** `MERGEJOIN^M`: equi-join of inputs sorted on [left_keys]/[right_keys];
     [pred] is an optional residual predicate over the concatenated schema.

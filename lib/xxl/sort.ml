@@ -88,13 +88,18 @@ let sort ?(run_size = default_run_size) (order : Order.t) (arg : Cursor.t) :
         buf_len := 0
       end
     in
+    (* Runs are generated from batch pulls: one closure call per input
+       batch rather than per tuple. *)
     let rec consume () =
-      match Cursor.next arg with
+      match Cursor.next_batch arg with
       | None -> flush ()
-      | Some t ->
-          buf := t :: !buf;
-          incr buf_len;
-          if !buf_len >= run_size then flush ();
+      | Some b ->
+          Array.iter
+            (fun t ->
+              buf := t :: !buf;
+              incr buf_len;
+              if !buf_len >= run_size then flush ())
+            b;
           consume ()
     in
     consume ();

@@ -42,7 +42,6 @@ let taggr ~(group_by : string list) ~(aggs : Op.agg list) (arg : Cursor.t) :
           aggs)
   in
   let look = ref None in
-  let queue : Tuple.t list ref = ref [] in
   let group_key t = List.map (fun i -> t.(i)) group_idxs in
   let key_eq k1 k2 = List.for_all2 Value.equal k1 k2 in
   (* Read all tuples of the next group (argument is sorted on G). *)
@@ -119,23 +118,20 @@ let taggr ~(group_by : string list) ~(aggs : Op.agg list) (arg : Cursor.t) :
     done;
     List.rev !out
   in
+  (* Each input group yields one output batch (its constant intervals);
+     groups whose sweep produces nothing are skipped. *)
   Cursor.observed "taggr"
-    (Cursor.make ~schema:out_schema
+    (Cursor.make_batched ~schema:out_schema
        ~init:(fun () ->
          Cursor.init arg;
-         look := Cursor.next arg;
-         queue := [])
-       ~next:(fun () ->
+         look := Cursor.next arg)
+       ~next_batch:(fun () ->
          let rec go () =
-           match !queue with
-           | t :: rest ->
-               queue := rest;
-               Some t
-           | [] -> (
-               match read_group () with
-               | None -> None
-               | Some (key, members) ->
-                   queue := process_group key members;
-                   go ())
+           match read_group () with
+           | None -> None
+           | Some (key, members) -> (
+               match process_group key members with
+               | [] -> go ()
+               | out -> Some (Array.of_list out))
          in
          go ()))

@@ -22,12 +22,12 @@ let transfer_m (client : Client.t) ~(schema : Schema.t) (sql : Ast.query) :
     Cursor.t =
   let cur = ref None in
   Cursor.observed "transfer_m"
-    (Cursor.make ~schema
+    (Cursor.make_batched ~schema
        ~init:(fun () -> cur := Some (Client.execute_query_ast client sql))
-       ~next:(fun () ->
+       ~next_batch:(fun () ->
          match !cur with
          | None -> invalid_arg "TRANSFER^M: next before init"
-         | Some c -> Client.fetch c))
+         | Some c -> Client.fetch_batch c))
 
 (** `TRANSFER^D`: loads [arg] into table [table]; the cursor itself is
     empty. *)
@@ -38,11 +38,14 @@ let transfer_d (client : Client.t) ~(table : string) (arg : Cursor.t) :
     (Cursor.make ~schema
        ~init:(fun () ->
          Cursor.init arg;
-         let rec seq () =
-           match Cursor.next arg with
+         (* Feed the bulk load from batch pulls: the Seq below flattens
+            one input batch at a time. *)
+         let rec batches () =
+           match Cursor.next_batch arg with
            | None -> Seq.Nil
-           | Some t -> Seq.Cons (t, seq)
+           | Some b -> Seq.Cons (b, batches)
          in
+         let seq = Seq.concat_map Array.to_seq batches in
          ignore (Client.bulk_load client ~table schema seq))
        ~next:(fun () -> None))
 

@@ -1,0 +1,213 @@
+(* Plan-cache tests: the Plan_cache LRU structure itself, and its
+   integration into the middleware pipeline — hits on identical
+   resubmission, misses on literal changes, and invalidation on ANALYZE,
+   DDL and cost-factor changes. *)
+
+open Tango_rel
+open Tango_core
+open Tango_workload
+open Tango_cache
+
+(* ---- the cache structure ---- *)
+
+let test_normalize () =
+  Alcotest.(check string) "whitespace collapsed" "SELECT A FROM T"
+    (Plan_cache.normalize_sql "  SELECT\n  A\tFROM   T ");
+  Alcotest.(check string) "literals preserved" "SELECT 'a  b' FROM T"
+    (Plan_cache.normalize_sql "SELECT 'a  b' FROM T")
+
+let test_key_literal_sensitive () =
+  let k v = Plan_cache.key_of_sql ("SELECT A FROM T WHERE A < " ^ v) in
+  Alcotest.(check string) "same text, same key" (k "7") (k "7");
+  Alcotest.(check bool) "literal change, different key" false (k "7" = k "8");
+  Alcotest.(check string) "whitespace-insensitive"
+    (Plan_cache.key_of_sql "SELECT A\n FROM  T")
+    (Plan_cache.key_of_sql " SELECT A FROM T")
+
+let test_find_add () =
+  let c = Plan_cache.create ~capacity:4 () in
+  Alcotest.(check (option int)) "empty" None (Plan_cache.find c ~sql:"Q1");
+  Plan_cache.add c ~sql:"Q1" 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Plan_cache.find c ~sql:"Q1");
+  Alcotest.(check (option int)) "whitespace variant hits" (Some 1)
+    (Plan_cache.find c ~sql:"  Q1\n");
+  Plan_cache.add c ~sql:"Q1" 2;
+  Alcotest.(check (option int)) "replaced" (Some 2) (Plan_cache.find c ~sql:"Q1");
+  Alcotest.(check int) "one entry" 1 (Plan_cache.length c);
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "hits" 3 s.Plan_cache.hits;
+  Alcotest.(check int) "misses" 1 s.Plan_cache.misses
+
+let test_lru_eviction () =
+  let c = Plan_cache.create ~capacity:2 () in
+  Plan_cache.add c ~sql:"Q1" 1;
+  Plan_cache.add c ~sql:"Q2" 2;
+  (* touch Q1 so Q2 is the least recently used *)
+  ignore (Plan_cache.find c ~sql:"Q1");
+  Plan_cache.add c ~sql:"Q3" 3;
+  Alcotest.(check int) "at capacity" 2 (Plan_cache.length c);
+  Alcotest.(check (option int)) "LRU evicted" None (Plan_cache.find c ~sql:"Q2");
+  Alcotest.(check (option int)) "recently used kept" (Some 1)
+    (Plan_cache.find c ~sql:"Q1");
+  Alcotest.(check (option int)) "newest kept" (Some 3) (Plan_cache.find c ~sql:"Q3");
+  Alcotest.(check int) "one eviction" 1 (Plan_cache.stats c).Plan_cache.evictions
+
+let test_invalidate_all () =
+  let c = Plan_cache.create () in
+  Plan_cache.add c ~sql:"Q1" 1;
+  Plan_cache.add c ~sql:"Q2" 2;
+  Plan_cache.invalidate_all ~reason:"analyze" c;
+  Alcotest.(check int) "flushed" 0 (Plan_cache.length c);
+  Alcotest.(check (option int)) "gone" None (Plan_cache.find c ~sql:"Q1");
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "one invalidation" 1 s.Plan_cache.invalidations;
+  Alcotest.(check (option string)) "reason recorded" (Some "analyze")
+    s.Plan_cache.last_invalidation
+
+(* ---- middleware integration ---- *)
+
+let setup () =
+  let db = Tango_dbms.Database.create () in
+  Uis.load ~scale:0.005 db;
+  let config =
+    Middleware.Config.(
+      default |> with_roundtrip_spin 0 |> with_plan_cache true)
+  in
+  let mw = Middleware.connect ~config db in
+  (db, mw)
+
+let cache_hit (r : Middleware.report) =
+  match r.Middleware.cache with
+  | Some c -> c.Middleware.cache_hit
+  | None -> Alcotest.fail "no cache report on a plan_cache session"
+
+let test_hit_on_resubmission () =
+  let _db, mw = setup () in
+  let r1 = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "first submission misses" false (cache_hit r1);
+  let r2 = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "resubmission hits" true (cache_hit r2);
+  Alcotest.(check bool) "hit skips optimize" true
+    (r2.Middleware.optimize_us = 0.0 && r2.Middleware.optimize_us < r1.Middleware.optimize_us);
+  Alcotest.(check bool) "identical result" true
+    (Relation.equal_list r1.Middleware.result r2.Middleware.result);
+  let s = Middleware.plan_cache_stats mw in
+  Alcotest.(check int) "one hit" 1 s.Plan_cache.hits
+
+let test_miss_on_literal_change () =
+  let _db, mw = setup () in
+  ignore (Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01"));
+  let r = Middleware.query mw (Queries.q2_sql ~period_end:"1997-01-01") in
+  Alcotest.(check bool) "changed literal misses" false (cache_hit r);
+  let r2 = Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01") in
+  Alcotest.(check bool) "original still cached" true (cache_hit r2)
+
+let test_invalidation_on_analyze () =
+  let db, mw = setup () in
+  ignore (Middleware.query mw Queries.q1_sql);
+  (* ANALYZE behind the middleware's back: detected via the schema
+     generation at the next lookup *)
+  ignore (Tango_dbms.Database.analyze db "POSITION");
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "post-ANALYZE submission misses" false (cache_hit r);
+  Alcotest.(check bool) "cache was flushed" true
+    ((Middleware.plan_cache_stats mw).Plan_cache.invalidations > 0);
+  (* and the re-planned entry serves hits again *)
+  Alcotest.(check bool) "re-cached" true (cache_hit (Middleware.query mw Queries.q1_sql))
+
+let test_invalidation_on_ddl () =
+  let db, mw = setup () in
+  ignore (Middleware.query mw Queries.q1_sql);
+  Tango_dbms.Database.create_table db "NEWTBL"
+    (Schema.make [ ("A", Value.TInt) ]);
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "post-DDL submission misses" false (cache_hit r)
+
+let test_invalidation_on_factor_change () =
+  let _db, mw = setup () in
+  ignore (Middleware.query mw Queries.q1_sql);
+  let inv0 = (Middleware.plan_cache_stats mw).Plan_cache.invalidations in
+  (* adopting new cost factors re-ranks every cached plan *)
+  Middleware.adopt_factors mw (Tango_cost.Factors.default ());
+  Alcotest.(check bool) "factor adoption invalidates" true
+    ((Middleware.plan_cache_stats mw).Plan_cache.invalidations > inv0);
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "post-adoption submission misses" false (cache_hit r)
+
+let test_invalidation_on_stats_refresh () =
+  let _db, mw = setup () in
+  ignore (Middleware.query mw Queries.q1_sql);
+  Middleware.refresh_statistics mw;
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "post-refresh submission misses" false (cache_hit r)
+
+let test_session_capacity_eviction () =
+  let _db, mw = setup () in
+  Middleware.set_config mw
+    (Middleware.Config.with_plan_cache ~capacity:2 true (Middleware.config mw));
+  ignore (Middleware.query mw Queries.q1_sql);
+  ignore (Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01"));
+  ignore (Middleware.query mw (Queries.q3_sql ~start_bound:"1996-01-01"));
+  (* q1 was the least recently used of the three *)
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "evicted at capacity" false (cache_hit r);
+  Alcotest.(check bool) "evictions counted" true
+    ((Middleware.plan_cache_stats mw).Plan_cache.evictions > 0)
+
+let test_disabled_cache_reports_nothing () =
+  let db = Tango_dbms.Database.create () in
+  Uis.load ~scale:0.005 db;
+  let mw = Middleware.connect ~roundtrip_spin:0 db in
+  let r = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "no cache report when disabled" true
+    (r.Middleware.cache = None);
+  let r2 = Middleware.query mw Queries.q1_sql in
+  Alcotest.(check bool) "still none on resubmission" true (r2.Middleware.cache = None)
+
+let test_event_log_distinguishes_hits () =
+  let _db, mw = setup () in
+  let log = Tango_monitor.Event_log.create () in
+  Middleware.set_query_observer mw (Some (Tango_monitor.Event_log.observe log));
+  ignore (Middleware.query mw Queries.q1_sql);
+  ignore (Middleware.query mw Queries.q1_sql);
+  match Tango_monitor.Event_log.recent log with
+  | [ hit; miss ] ->
+      (* newest first *)
+      Alcotest.(check bool) "miss recorded as such" false
+        miss.Tango_monitor.Event_log.cache_hit;
+      Alcotest.(check bool) "hit recorded as such" true
+        hit.Tango_monitor.Event_log.cache_hit;
+      Alcotest.(check bool) "miss has an optimize phase" true
+        (miss.Tango_monitor.Event_log.optimize_us > 0.0);
+      Alcotest.(check (float 0.0)) "hit skipped optimize" 0.0
+        hit.Tango_monitor.Event_log.optimize_us
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+let () =
+  Alcotest.run "tango_cache"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "literal-sensitive keys" `Quick test_key_literal_sensitive;
+          Alcotest.test_case "find/add" `Quick test_find_add;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "invalidate all" `Quick test_invalidate_all;
+        ] );
+      ( "middleware",
+        [
+          Alcotest.test_case "hit on resubmission" `Quick test_hit_on_resubmission;
+          Alcotest.test_case "miss on literal change" `Quick test_miss_on_literal_change;
+          Alcotest.test_case "invalidation on ANALYZE" `Quick test_invalidation_on_analyze;
+          Alcotest.test_case "invalidation on DDL" `Quick test_invalidation_on_ddl;
+          Alcotest.test_case "invalidation on factor change" `Quick
+            test_invalidation_on_factor_change;
+          Alcotest.test_case "invalidation on stats refresh" `Quick
+            test_invalidation_on_stats_refresh;
+          Alcotest.test_case "capacity eviction" `Quick test_session_capacity_eviction;
+          Alcotest.test_case "disabled reports nothing" `Quick
+            test_disabled_cache_reports_nothing;
+          Alcotest.test_case "event log distinguishes hits" `Quick
+            test_event_log_distinguishes_hits;
+        ] );
+    ]

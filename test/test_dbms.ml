@@ -385,6 +385,82 @@ let test_client_bulk_load () =
   let r = Database.query db "SELECT A FROM LOADED WHERE A < 3" in
   Alcotest.(check int) "queryable" 3 (Relation.cardinality r)
 
+(* The two cursor-drain protocols must ship the same rows at the same
+   accounted cost: [fetch_batch] surfaces the prefetch buffer as an array
+   but refills through the same path as [fetch]. *)
+let test_fetch_batch_counters_agree () =
+  let db = make_db () in
+  Database.load_relation db "BIG"
+    (Relation.of_list pos_schema
+       (List.init 53 (fun i ->
+            Tuple.of_list
+              [ Value.Int i; Value.Str "x"; Value.Date i; Value.Date (i + 1) ])));
+  let sql = "SELECT PosID, EmpName, T1, T2 FROM BIG ORDER BY PosID" in
+  let run drain =
+    let client = Client.connect ~row_prefetch:7 ~roundtrip_spin:0 db in
+    let cur = Client.execute_query client sql in
+    let rows = drain cur in
+    ( rows,
+      Client.cursor_roundtrips cur,
+      Client.cursor_tuples cur,
+      Client.cursor_bytes cur )
+  in
+  let via_fetch cur =
+    let rec go acc =
+      match Client.fetch cur with Some t -> go (t :: acc) | None -> List.rev acc
+    in
+    go []
+  in
+  let via_fetch_batch cur =
+    let rec go acc =
+      match Client.fetch_batch cur with
+      | Some b -> go (List.rev_append (Array.to_list b) acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  (* interleaved: per-tuple pulls into a buffered batch and back *)
+  let mixed cur =
+    match Client.fetch cur with
+    | None -> []
+    | Some t0 -> t0 :: via_fetch_batch cur
+  in
+  let rows_f, rt_f, tu_f, by_f = run via_fetch in
+  let rows_b, rt_b, tu_b, by_b = run via_fetch_batch in
+  let rows_m, rt_m, tu_m, by_m = run mixed in
+  let eq_rows a b = List.length a = List.length b && List.for_all2 Tuple.equal a b in
+  Alcotest.(check bool) "batch rows = tuple rows" true (eq_rows rows_f rows_b);
+  Alcotest.(check bool) "mixed rows = tuple rows" true (eq_rows rows_f rows_m);
+  Alcotest.(check int) "roundtrips agree" rt_f rt_b;
+  Alcotest.(check int) "tuples agree" tu_f tu_b;
+  Alcotest.(check int) "bytes agree" by_f by_b;
+  Alcotest.(check int) "mixed roundtrips agree" rt_f rt_m;
+  Alcotest.(check int) "mixed tuples agree" tu_f tu_m;
+  Alcotest.(check int) "mixed bytes agree" by_f by_m;
+  (* 53 rows at prefetch 7 -> 8 refills under either protocol *)
+  Alcotest.(check int) "expected roundtrips" 8 rt_f
+
+let test_schema_generation () =
+  let db = make_db () in
+  let g0 = Database.schema_generation db in
+  ignore (Database.analyze db "POSITION");
+  let g1 = Database.schema_generation db in
+  Alcotest.(check bool) "ANALYZE bumps" true (g1 > g0);
+  (* internal statistics collection must not look like DDL *)
+  ignore (Database.analyze db ~bump:false "POSITION");
+  Alcotest.(check int) "bump:false is silent" g1 (Database.schema_generation db);
+  Database.create_table db "G" (Schema.make [ ("A", Value.TInt) ]);
+  let g2 = Database.schema_generation db in
+  Alcotest.(check bool) "CREATE TABLE bumps" true (g2 > g1);
+  Database.drop_table db "G";
+  let g3 = Database.schema_generation db in
+  Alcotest.(check bool) "DROP TABLE bumps" true (g3 > g2);
+  (* per-query TANGO_TMP_* churn is invisible to the generation *)
+  let tmp = Database.fresh_temp_name db in
+  Database.create_table db tmp (Schema.make [ ("A", Value.TInt) ]);
+  Database.drop_table db tmp;
+  Alcotest.(check int) "temp tables are silent" g3 (Database.schema_generation db)
+
 let test_sql_errors () =
   let db = make_db () in
   let fails sql =
@@ -471,6 +547,9 @@ let () =
         [
           Alcotest.test_case "cursor transfer" `Quick test_client_transfer;
           Alcotest.test_case "bulk load" `Quick test_client_bulk_load;
+          Alcotest.test_case "fetch/fetch_batch counters agree" `Quick
+            test_fetch_batch_counters_agree;
+          Alcotest.test_case "schema generation" `Quick test_schema_generation;
         ] );
       ( "properties",
         [

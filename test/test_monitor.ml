@@ -189,7 +189,8 @@ let test_chrome_trace_json () =
 
 let event ?(kind = "query") ?sql ?(started_us = 0.0) ?(elapsed_us = 100.0)
     ?error () : Middleware.query_event =
-  { Middleware.kind; sql; started_us; elapsed_us; report = None; error }
+  { Middleware.kind; sql; started_us; elapsed_us; cache_hit = false;
+    report = None; error }
 
 let seqs log = List.map (fun r -> r.Event_log.seq) (Event_log.recent log)
 

@@ -357,6 +357,131 @@ let test_coalesce_vs_reference () =
   Alcotest.(check bool) "coalesce matches" true
     (Relation.equal_multiset ref_out out)
 
+(* ---- batch protocol ---- *)
+
+(* Drain a cursor through each pull protocol explicitly (bypassing
+   [to_relation], which is itself batch-based). *)
+let drain_via_next c =
+  Cursor.init c;
+  let rec go acc =
+    match Cursor.next c with Some t -> go (t :: acc) | None -> List.rev acc
+  in
+  Relation.of_list (Cursor.schema c) (go [])
+
+let drain_via_batches c =
+  Cursor.init c;
+  let rec go acc =
+    match Cursor.next_batch c with
+    | Some b -> go (List.rev_append (Array.to_list b) acc)
+    | None -> List.rev acc
+  in
+  Relation.of_list (Cursor.schema c) (go [])
+
+(* Every operator must yield the identical relation (same order) whether
+   pulled tuple-at-a-time, batch-at-a-time, or through the degradation
+   wrapper that forces the classic protocol at every level. *)
+let check_differential name (mk : unit -> Cursor.t) =
+  let tuple = drain_via_next (mk ()) in
+  let batch = drain_via_batches (mk ()) in
+  let degraded = drain_via_batches (Cursor.tuple_at_a_time (mk ())) in
+  Alcotest.(check bool) (name ^ ": batch = tuple") true
+    (Relation.equal_list tuple batch);
+  Alcotest.(check bool) (name ^ ": degraded = tuple") true
+    (Relation.equal_list tuple degraded)
+
+let test_batch_differential () =
+  let qual alias = Relation.make (Schema.qualify alias schema_kab) (Relation.tuples sample) in
+  check_differential "of_relation" (fun () -> Cursor.of_relation sample);
+  check_differential "filter" (fun () ->
+      Basic_ops.filter
+        (Ast.Binop (Ast.Gt, col "V", Ast.Lit (Value.Float 2.0)))
+        (Cursor.of_relation sample));
+  check_differential "project" (fun () ->
+      Basic_ops.project
+        [ (col "K", "K"); (Ast.Binop (Ast.Mul, col "V", Ast.Lit (Value.Int 2)), "V2") ]
+        (Cursor.of_relation sample));
+  check_differential "sort" (fun () ->
+      Sort.sort ~run_size:2 [ Order.asc "K"; Order.desc "T1" ]
+        (Cursor.of_relation sample));
+  check_differential "taggr" (fun () ->
+      Taggr.taggr ~group_by:[ "K" ] ~aggs:[ Op.count_star "CNT" ]
+        (sorted_cursor [ "K"; "T1" ] sample));
+  check_differential "merge_join" (fun () ->
+      Joins.merge_join ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+        (sorted_cursor [ "A.K" ] (qual "A"))
+        (sorted_cursor [ "B.K" ] (qual "B")));
+  check_differential "tjoin" (fun () ->
+      Joins.temporal_merge_join ~pred:(Ast.Lit (Value.Bool true))
+        ~left_keys:[ "A.K" ] ~right_keys:[ "B.K" ]
+        (sorted_cursor [ "A.K" ] (qual "A"))
+        (sorted_cursor [ "B.K" ] (qual "B")));
+  check_differential "dup_elim" (fun () ->
+      Dup_elim.dup_elim (sorted_cursor [ "K"; "V"; "T1"; "T2" ] sample));
+  check_differential "coalesce" (fun () ->
+      Dup_elim.coalesce (sorted_cursor [ "K"; "V"; "T1" ] sample));
+  check_differential "difference" (fun () ->
+      Dup_elim.difference
+        (Cursor.of_relation sample)
+        (Cursor.of_relation (rel_of [ (1, 10.0, 2, 20) ])))
+
+let test_batch_interleave () =
+  (* A per-tuple pull must serve from (and advance past) the buffered
+     batch remainder, so the protocols interleave without loss or
+     duplication. *)
+  let c = Cursor.of_relation sample in
+  Cursor.init c;
+  let first = Option.get (Cursor.next c) in
+  let rest =
+    let rec go acc =
+      match Cursor.next_batch c with
+      | Some b -> go (List.rev_append (Array.to_list b) acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let all = Relation.of_list schema_kab (first :: rest) in
+  Alcotest.(check bool) "interleaved pull sees every tuple once" true
+    (Relation.equal_list sample all)
+
+let test_tuple_at_a_time_degrades () =
+  (* 600 tuples: the native of_relation batch path hands them out as one
+     array, while the degradation wrapper reassembles them through the
+     per-tuple shim in default_batch_size chunks. *)
+  let big = rel_of (List.init 600 (fun i -> (i, 0.0, 1, 2))) in
+  let batch_sizes c =
+    Cursor.init c;
+    let rec go acc =
+      match Cursor.next_batch c with
+      | Some b -> go (Array.length b :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let native = batch_sizes (Cursor.of_relation big) in
+  let degraded = batch_sizes (Cursor.tuple_at_a_time (Cursor.of_relation big)) in
+  Alcotest.(check (list int)) "native: one whole-relation batch" [ 600 ] native;
+  Alcotest.(check int) "degraded: total preserved" 600
+    (List.fold_left ( + ) 0 degraded);
+  Alcotest.(check bool) "degraded: shim-sized batches" true
+    (List.for_all (fun n -> n > 0 && n <= Cursor.default_batch_size) degraded);
+  Alcotest.(check bool) "degraded: more than one batch" true
+    (List.length degraded > 1)
+
+(* property: batch pulls = tuple pulls through a filter+sort pipeline on
+   random relations (batch boundaries land arbitrarily) *)
+let prop_batch_equals_tuple =
+  QCheck.Test.make ~name:"batch protocol = tuple protocol" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 600) (QCheck.make row_gen))
+    (fun rows ->
+      let r = rel_of rows in
+      let mk () =
+        Sort.sort ~run_size:16 [ Order.asc "K"; Order.asc "T1" ]
+          (Basic_ops.filter
+             (Ast.Binop (Ast.Gt, col "T1", Ast.Lit (Value.Date 5)))
+             (Cursor.of_relation r))
+      in
+      Relation.equal_list (drain_via_next (mk ())) (drain_via_batches (mk ())))
+
 (* ---- transfers ---- *)
 
 let test_transfer_m () =
@@ -420,6 +545,13 @@ let () =
           Alcotest.test_case "difference" `Quick test_difference;
           Alcotest.test_case "coalesce" `Quick test_coalesce_vs_reference;
         ] );
+      ( "batching",
+        [
+          Alcotest.test_case "operator differential" `Quick test_batch_differential;
+          Alcotest.test_case "protocol interleave" `Quick test_batch_interleave;
+          Alcotest.test_case "tuple_at_a_time degrades" `Quick
+            test_tuple_at_a_time_degrades;
+        ] );
       ( "transfers",
         [
           Alcotest.test_case "transfer^M" `Quick test_transfer_m;
@@ -430,5 +562,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_taggr_matches_reference;
           QCheck_alcotest.to_alcotest prop_merge_join_matches_reference;
           QCheck_alcotest.to_alcotest prop_tjoin_matches_reference;
+          QCheck_alcotest.to_alcotest prop_batch_equals_tuple;
         ] );
     ]
