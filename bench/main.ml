@@ -17,6 +17,7 @@
      adapt     est-vs-actual profiling + adaptive recalibration (JSON trajectory)
      obs       per-query traces + global metrics, exported as JSON
      throughput  repeated workload, plan cache x batch execution (qps)
+     sharding  workload over 1/2/4 time-range shards + pruning smoke
      micro     Bechamel micro-benchmarks of the core algorithms
 
    Sizes are scaled down from the paper's 83,857-tuple POSITION by --scale
@@ -184,7 +185,8 @@ let fig11a ctx =
   let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
   (* The paper predates the transfer-sharing refinement (our A4 ablation);
      disable it here so plan 2 pays both transfers, as in Figure 11(a). *)
-  Middleware.set_transfer_sharing mw false;
+  Middleware.set_config mw
+    Middleware.Config.(with_transfer_sharing false (Middleware.config mw));
   let bounds =
     let all = [ "1984-01-01"; "1986-01-01"; "1988-01-01"; "1990-01-01";
                 "1992-01-01"; "1994-01-01"; "1996-01-01"; "1998-01-01" ] in
@@ -332,25 +334,33 @@ let choice ctx =
           (Op.scan ~alias:"B" "POSITION" Uis.position_schema)
       in
       let est_card mode hist =
-        Middleware.set_histograms mw hist;
-        Middleware.set_selectivity_mode mw mode;
+        Middleware.set_config mw
+          Middleware.Config.(with_histograms hist (Middleware.config mw));
+        Middleware.set_config mw
+          Middleware.Config.(with_selectivity_mode mode (Middleware.config mw));
         let env = Middleware.stats_env mw in
         (Tango_stats.Derive.derive env sel_op).Tango_stats.Rel_stats.card
       in
       let card_hist = est_card Tango_stats.Selectivity.Temporal true in
       let card_nohist = est_card Tango_stats.Selectivity.Temporal false in
       let card_naive = est_card Tango_stats.Selectivity.Naive false in
-      Middleware.set_selectivity_mode mw Tango_stats.Selectivity.Temporal;
+      Middleware.set_config mw
+        Middleware.Config.(
+          with_selectivity_mode Tango_stats.Selectivity.Temporal
+            (Middleware.config mw));
       let actual =
         Relation.cardinality
           (Tango_dbms.Database.query_ast db
              (Tango_sqlgen.Translate.translate sel_op))
       in
-      Middleware.set_histograms mw true;
+      Middleware.set_config mw
+    Middleware.Config.(with_histograms true (Middleware.config mw));
       let with_h, est_w = choose () in
-      Middleware.set_histograms mw false;
+      Middleware.set_config mw
+    Middleware.Config.(with_histograms false (Middleware.config mw));
       let without_h, est_wo = choose () in
-      Middleware.set_histograms mw true;
+      Middleware.set_config mw
+    Middleware.Config.(with_histograms true (Middleware.config mw));
       Fmt.pr "%s  %-14s  %-14s  %8.1f  %8.1f  %8.0f  %8.0f  %8.0f  %6d@."
         period_end with_h without_h est_w est_wo card_hist card_nohist
         card_naive actual)
@@ -485,7 +495,8 @@ let feedback ctx =
   Fmt.pr "(repeated queries refine the transfer factor toward its measured value)@.";
   header [ "round"; "p_tm_before"; "p_tm_after" ];
   let _db, mw = session ctx [ ("POSITION", ctx.full_position) ] in
-  Middleware.set_feedback mw true;
+  Middleware.set_config mw
+    Middleware.Config.(with_feedback true (Middleware.config mw));
   for round = 1 to 5 do
     let before = (Middleware.factors mw).Tango_cost.Factors.p_tm in
     ignore (Middleware.query mw Queries.q1_sql);
@@ -506,11 +517,13 @@ let sharing ctx =
   List.iter
     (fun start_bound ->
       let tree = Queries.q3_plan2 ~position:"POSITION" ~start_bound () in
-      Middleware.set_transfer_sharing mw false;
+      Middleware.set_config mw
+    Middleware.Config.(with_transfer_sharing false (Middleware.config mw));
       Tango_dbms.Client.reset_counters (Middleware.client mw);
       let t_un = ms (Middleware.run_fixed mw ~required_order:Queries.q3_order tree) in
       let rt_un = Tango_dbms.Client.roundtrips (Middleware.client mw) in
-      Middleware.set_transfer_sharing mw true;
+      Middleware.set_config mw
+    Middleware.Config.(with_transfer_sharing true (Middleware.config mw));
       Tango_dbms.Client.reset_counters (Middleware.client mw);
       let t_sh = ms (Middleware.run_fixed mw ~required_order:Queries.q3_order tree) in
       let rt_sh = Tango_dbms.Client.roundtrips (Middleware.client mw) in
@@ -847,6 +860,121 @@ let throughput ctx =
     (if cache_on_beats_cache_off then "" else "  (CACHE DID NOT HELP)")
 
 (* ------------------------------------------------------------------ *)
+(* sharding: scatter/gather over N backends + partition pruning         *)
+(* ------------------------------------------------------------------ *)
+
+(* The workload over 1, 2 and 4 time-range shards of POSITION (quantile
+   bounds on T1, EMPLOYEE replicated), with per-backend round trips and
+   shipped tuples summed from the backend meters; then a pruning smoke —
+   a period-restricted scan must leave the out-of-period shards idle
+   while producing the same rows as the single-backend run. *)
+let sharding ctx =
+  Fmt.pr "== Sharded scatter/gather: workload vs shard count + pruning ==@.";
+  Fmt.pr "(POSITION range-partitioned on T1 at the data's quantiles;@.";
+  Fmt.pr " EMPLOYEE replicated; counters summed over the backend meters)@.";
+  header [ "shards"; "query"; "execute[ms]"; "rows"; "roundtrips"; "tuples_shipped" ];
+  let shard_counts = if ctx.quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let connect_n n =
+    if n = 1 then begin
+      let db = Tango_dbms.Database.create () in
+      Uis.load ~scale:ctx.scale db;
+      let mw = Middleware.connect ~roundtrip_spin:0 db in
+      Middleware.adopt_factors mw ctx.factors;
+      mw
+    end
+    else begin
+      let topo =
+        Uis.load_sharded ~scale:ctx.scale
+          ~roundtrip_spins:(List.init n (fun _ -> 0))
+          ~shards:n ()
+      in
+      let mw = Middleware.connect_topology topo in
+      Middleware.adopt_factors mw ctx.factors;
+      mw
+    end
+  in
+  let sum f backends = List.fold_left (fun acc b -> acc + f b) 0 backends in
+  let by_shard_count =
+    List.map
+      (fun n ->
+        let mw = connect_n n in
+        let backends = Tango_dbms.Topology.backends (Middleware.topology mw) in
+        (* warm caches and statistics *)
+        List.iter (fun (_, sql) -> ignore (Middleware.query mw sql)) Queries.workload;
+        let queries =
+          List.map
+            (fun (qname, sql) ->
+              List.iter Tango_dbms.Backend.reset_meters backends;
+              let r = Middleware.query mw sql in
+              let roundtrips = sum Tango_dbms.Backend.roundtrips backends in
+              let tuples = sum Tango_dbms.Backend.tuples_shipped backends in
+              Fmt.pr "%6d  %-6s %11.1f %6d %10d %14d@." n qname (ms r)
+                (Relation.cardinality r.Middleware.result)
+                roundtrips tuples;
+              Tango_obs.Json.Obj
+                [
+                  ("query", Tango_obs.Json.String qname);
+                  ( "rows",
+                    Tango_obs.Json.Int
+                      (Relation.cardinality r.Middleware.result) );
+                  ("execute_us", Tango_obs.Json.Float r.Middleware.execute_us);
+                  ("roundtrips", Tango_obs.Json.Int roundtrips);
+                  ("tuples_shipped", Tango_obs.Json.Int tuples);
+                ])
+            Queries.workload
+        in
+        let doc =
+          Tango_obs.Json.Obj
+            [
+              ("shards", Tango_obs.Json.Int n);
+              ("queries", Tango_obs.Json.List queries);
+            ]
+        in
+        if n > 1 then Tango_dbms.Topology.close (Middleware.topology mw);
+        doc)
+      shard_counts
+  in
+  (* pruning smoke: the UIS skew puts ~65 % of periods at 1995+, so a
+     T1 < 1985 restriction excludes the later quantile shards entirely *)
+  let prune_sql =
+    "VALIDTIME SELECT PosID FROM POSITION WHERE T1 < DATE '1985-01-01' \
+     ORDER BY PosID"
+  in
+  let mw1 = connect_n 1 in
+  let r1 = Middleware.query mw1 prune_sql in
+  let mwn = connect_n 3 in
+  let backends = Tango_dbms.Topology.backends (Middleware.topology mwn) in
+  List.iter Tango_dbms.Backend.reset_meters backends;
+  let rn = Middleware.query mwn prune_sql in
+  let idle =
+    List.filter (fun b -> Tango_dbms.Backend.tuples_shipped b = 0) backends
+  in
+  let same =
+    Relation.equal_multiset r1.Middleware.result rn.Middleware.result
+  in
+  let pruned = same && idle <> [] in
+  Fmt.pr "# pruning smoke: %d of %d shards idle on T1 < 1985 (%s)@.@."
+    (List.length idle) (List.length backends)
+    (if pruned then "pruning reduces tuples shipped"
+     else "NO PRUNING OBSERVED");
+  Tango_dbms.Topology.close (Middleware.topology mwn);
+  bench_payload :=
+    Some
+      (Tango_obs.Json.Obj
+         [
+           ("by_shard_count", Tango_obs.Json.List by_shard_count);
+           ( "pruning",
+             Tango_obs.Json.Obj
+               [
+                 ("idle_shards", Tango_obs.Json.Int (List.length idle));
+                 ("total_shards", Tango_obs.Json.Int (List.length backends));
+                 ("results_match", Tango_obs.Json.Bool same);
+                 ( "pruning_reduces_tuples_shipped",
+                   Tango_obs.Json.Bool pruned );
+               ] );
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -944,7 +1072,8 @@ let experiments =
     ("sel", sel); ("choice", choice); ("memo", memo); ("overhead", overhead);
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
     ("sharing", sharing); ("adapt", adapt); ("obs", obs);
-    ("baseline", baseline); ("throughput", throughput); ("micro", micro) ]
+    ("baseline", baseline); ("throughput", throughput);
+    ("sharding", sharding); ("micro", micro) ]
 
 let write_bench_json ~dir ~name ~scale ~quick ~wall_s payload =
   let doc =

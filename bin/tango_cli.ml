@@ -71,11 +71,8 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   if verbose then Logs.Src.set_level Middleware.log_src (Some Logs.Debug)
 
-let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
+let setup ~scale ~csvs ~shards ~prefetch ~no_histograms ~calibrate ~trace
     ?(profiling = false) ?(plan_cache = false) () =
-  let db = Tango_dbms.Database.create () in
-  if scale > 0.0 then Tango_workload.Uis.load ~scale db;
-  List.iter (load_csv db) csvs;
   let config =
     Middleware.Config.default
     |> Middleware.Config.with_histograms (not no_histograms)
@@ -87,12 +84,109 @@ let setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
     | None -> c
     | Some n -> Middleware.Config.with_row_prefetch n c
   in
-  let mw = Middleware.connect ~config db in
+  let mw =
+    if shards > 1 then begin
+      if scale <= 0.0 then
+        failwith "--shards needs a generated workload (give --scale > 0)";
+      let topo =
+        Tango_workload.Uis.load_sharded ~scale
+          ~histograms:(if no_histograms then `None else `All)
+          ~shards ()
+      in
+      (* CSV tables are replicated to every backend, like EMPLOYEE *)
+      List.iter
+        (fun b ->
+          (match Tango_dbms.Backend.database b with
+          | Some db -> List.iter (load_csv db) csvs
+          | None -> ());
+          match prefetch with
+          | Some n -> Tango_dbms.Backend.set_row_prefetch b n
+          | None -> ())
+        (Tango_dbms.Topology.backends topo);
+      Middleware.connect_topology ~config topo
+    end
+    else begin
+      let db = Tango_dbms.Database.create () in
+      if scale > 0.0 then Tango_workload.Uis.load ~scale db;
+      List.iter (load_csv db) csvs;
+      Middleware.connect ~config db
+    end
+  in
   if calibrate then begin
     Fmt.epr "calibrating cost factors...@.";
     Middleware.calibrate mw
   end;
   mw
+
+(* ---------------- machine-readable output ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Every subcommand takes the same flag: bare [--json] prints the summary
+   to stdout, [--json FILE] writes it to FILE. *)
+let json_arg =
+  Arg.(value
+       & opt ~vopt:(Some "-") (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Emit a machine-readable JSON summary to $(docv); omit \
+                 $(docv) (or pass '-') for stdout.")
+
+let emit_json dest body =
+  match dest with
+  | None -> ()
+  | Some "-" ->
+      print_string body;
+      print_newline ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc body;
+      output_char oc '\n';
+      close_out oc
+
+(* Per-backend traffic, for sharded sessions: name, roundtrips, tuples. *)
+let backends_json mw =
+  String.concat ","
+    (List.map
+       (fun b ->
+         Printf.sprintf
+           "{\"name\":\"%s\",\"roundtrips\":%d,\"tuples_shipped\":%d,\
+            \"bytes_shipped\":%d}"
+           (json_escape (Tango_dbms.Backend.name b))
+           (Tango_dbms.Backend.roundtrips b)
+           (Tango_dbms.Backend.tuples_shipped b)
+           (Tango_dbms.Backend.bytes_shipped b))
+       (Tango_dbms.Topology.backends (Middleware.topology mw)))
+
+let report_json mw (report : Middleware.report) =
+  let cache =
+    match report.Middleware.cache with
+    | None -> "null"
+    | Some c -> Printf.sprintf "{\"hit\":%b}" c.Middleware.cache_hit
+  in
+  Printf.sprintf
+    "{\"rows\":%d,\"optimize_us\":%.1f,\"execute_us\":%.1f,\
+     \"estimated_cost_us\":%.1f,\"classes\":%d,\"elements\":%d,\
+     \"plan\":\"%s\",\"cache\":%s,\"backends\":[%s]}"
+    (Relation.cardinality report.Middleware.result)
+    report.Middleware.optimize_us report.Middleware.execute_us
+    report.Middleware.estimated_cost_us report.Middleware.classes
+    report.Middleware.elements
+    (json_escape (Tango_volcano.Physical.signature report.Middleware.physical))
+    cache (backends_json mw)
 
 (* ---------------- output ---------------- *)
 
@@ -113,7 +207,7 @@ let print_analysis (report : Middleware.report) =
       Fmt.pr "@.estimated vs actual:@.%s@?" (Tango_profile.Analyze.to_string a)
   | None -> ()
 
-let run_query mw ~explain_only ~analyze ~verbose sql =
+let run_query ?json mw ~explain_only ~analyze ~verbose sql =
   if explain_only then begin
     if analyze then begin
       (* EXPLAIN ANALYZE: execute the query (profiling is on) and print
@@ -122,7 +216,8 @@ let run_query mw ~explain_only ~analyze ~verbose sql =
       Fmt.pr "physical plan (estimated %.0f us, actual %.0f us):@.%s@."
         report.Middleware.estimated_cost_us report.Middleware.execute_us
         (Tango_volcano.Physical.to_string report.Middleware.physical);
-      print_analysis report
+      print_analysis report;
+      emit_json json (report_json mw report)
     end
     else begin
       let initial =
@@ -132,7 +227,9 @@ let run_query mw ~explain_only ~analyze ~verbose sql =
       let order = Tango_tsql.Compile.required_order sql in
       let res = Middleware.optimize mw ~required_order:order initial in
       match res.Tango_volcano.Search.plan with
-      | None -> Fmt.pr "no feasible plan@."
+      | None ->
+          Fmt.pr "no feasible plan@.";
+          emit_json json "{\"feasible\":false}"
       | Some plan ->
           Fmt.pr "physical plan (estimated %.0f us):@.%s@."
             plan.Tango_volcano.Physical.total_cost
@@ -141,7 +238,17 @@ let run_query mw ~explain_only ~analyze ~verbose sql =
           Fmt.pr "execution-ready plan:@.%s@." (Exec_plan.to_string exec);
           Fmt.pr "%d classes, %d elements, optimized in %.1f ms@."
             res.Tango_volcano.Search.classes res.Tango_volcano.Search.elements
-            (res.Tango_volcano.Search.time_us /. 1000.0)
+            (res.Tango_volcano.Search.time_us /. 1000.0);
+          emit_json json
+            (Printf.sprintf
+               "{\"feasible\":true,\"estimated_cost_us\":%.1f,\
+                \"optimize_us\":%.1f,\"classes\":%d,\"elements\":%d,\
+                \"plan\":\"%s\"}"
+               plan.Tango_volcano.Physical.total_cost
+               res.Tango_volcano.Search.time_us
+               res.Tango_volcano.Search.classes
+               res.Tango_volcano.Search.elements
+               (json_escape (Tango_volcano.Physical.signature plan)))
     end
   end
   else begin
@@ -156,9 +263,10 @@ let run_query mw ~explain_only ~analyze ~verbose sql =
     print_result report.Middleware.result;
     Fmt.pr "executed in %.1f ms@." (report.Middleware.execute_us /. 1000.0);
     if analyze then print_analysis report;
-    match report.Middleware.trace with
+    (match report.Middleware.trace with
     | Some span -> Fmt.pr "@.%s@?" (Tango_obs.Trace.to_string span)
-    | None -> ()
+    | None -> ());
+    emit_json json (report_json mw report)
   end
 
 let catch_errors f =
@@ -186,6 +294,14 @@ let csv_arg =
   Arg.(value & opt_all string []
        & info [ "csv" ] ~docv:"NAME=FILE"
            ~doc:"Load a CSV file as a table (typed header Col:TYPE,...). Repeatable.")
+
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the generated POSITION table across $(docv) \
+                 in-process backends, range-partitioned on the period \
+                 start T1 at the data's quantiles; EMPLOYEE and CSV \
+                 tables are replicated to every backend.")
 
 let prefetch_arg =
   Arg.(value & opt (some int) None
@@ -234,16 +350,16 @@ let plan_cache_arg =
                  for $(b,serve).")
 
 let run_term =
-  let f scale csvs prefetch no_histograms calibrate verbose trace trace_out
-      analyze plan_cache sql =
+  let f scale csvs shards prefetch no_histograms calibrate verbose trace
+      trace_out analyze plan_cache json sql =
     catch_errors (fun () ->
         setup_logs verbose;
         let trace = trace || trace_out <> None in
         let mw =
-          setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
-            ~profiling:analyze ~plan_cache ()
+          setup ~scale ~csvs ~shards ~prefetch ~no_histograms ~calibrate
+            ~trace ~profiling:analyze ~plan_cache ()
         in
-        run_query mw ~explain_only:false ~analyze ~verbose sql;
+        run_query ?json mw ~explain_only:false ~analyze ~verbose sql;
         match trace_out with
         | None -> ()
         | Some path -> (
@@ -256,9 +372,9 @@ let run_term =
                 close_out oc;
                 Fmt.pr "trace written to %s@." path))
   in
-  Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
+  Term.(const f $ scale_arg $ csv_arg $ shards_arg $ prefetch_arg $ no_hist_arg
         $ calibrate_arg $ verbose_arg $ trace_arg $ trace_out_arg
-        $ analyze_arg $ plan_cache_arg $ sql_arg)
+        $ analyze_arg $ plan_cache_arg $ json_arg $ sql_arg)
 
 let run_cmd =
   let doc = "Run a temporal SQL query through the middleware." in
@@ -270,23 +386,26 @@ let explain_cmd =
      execute it and annotate every operator with estimated vs actual \
      cardinality, time and q-error."
   in
-  let f scale csvs prefetch no_histograms calibrate analyze plan_cache sql =
+  let f scale csvs shards prefetch no_histograms calibrate analyze plan_cache
+      json sql =
     catch_errors (fun () ->
         let mw =
-          setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:false
-            ~profiling:analyze ~plan_cache ()
+          setup ~scale ~csvs ~shards ~prefetch ~no_histograms ~calibrate
+            ~trace:false ~profiling:analyze ~plan_cache ()
         in
-        run_query mw ~explain_only:true ~analyze ~verbose:false sql)
+        run_query ?json mw ~explain_only:true ~analyze ~verbose:false sql)
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ analyze_arg $ plan_cache_arg $ sql_arg)
+    Term.(const f $ scale_arg $ csv_arg $ shards_arg $ prefetch_arg
+          $ no_hist_arg $ calibrate_arg $ analyze_arg $ plan_cache_arg
+          $ json_arg $ sql_arg)
 
 let repl_cmd =
   let doc = "Interactive session: one query per line; 'quit' exits." in
-  let f scale csvs prefetch no_histograms calibrate verbose trace plan_cache =
+  let f scale csvs shards prefetch no_histograms calibrate verbose trace
+      plan_cache =
     let mw =
-      setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace
+      setup ~scale ~csvs ~shards ~prefetch ~no_histograms ~calibrate ~trace
         ~plan_cache ()
     in
     Fmt.pr "tango> @?";
@@ -309,8 +428,9 @@ let repl_cmd =
     0
   in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ verbose_arg $ trace_arg $ plan_cache_arg)
+    Term.(const f $ scale_arg $ csv_arg $ shards_arg $ prefetch_arg
+          $ no_hist_arg $ calibrate_arg $ verbose_arg $ trace_arg
+          $ plan_cache_arg)
 
 (* ---------------- check (plan verification) ---------------- *)
 
@@ -367,11 +487,6 @@ let per_rule_arg =
                  application and attribute findings to the offending rule \
                  (verify_plans=per-rule).")
 
-let json_arg =
-  Arg.(value & opt (some string) None
-       & info [ "json" ] ~docv:"FILE"
-           ~doc:"Also write the diagnostics as JSON to $(docv).")
-
 let check_sql_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
 
@@ -382,7 +497,7 @@ let check_cmd =
      estimate sanity.  Exits nonzero when any error-severity diagnostic is \
      found."
   in
-  let f scale csvs all per_rule json sql =
+  let f scale csvs shards all per_rule json sql =
     setup_logs false;
     let queries =
       match (all, sql) with
@@ -393,8 +508,8 @@ let check_cmd =
           exit 2
     in
     let mw =
-      setup ~scale ~csvs ~prefetch:None ~no_histograms:false ~calibrate:false
-        ~trace:false ()
+      setup ~scale ~csvs ~shards ~prefetch:None ~no_histograms:false
+        ~calibrate:false ~trace:false ()
     in
     Middleware.set_config mw
       (Middleware.Config.with_verify_plans
@@ -428,37 +543,30 @@ let check_cmd =
       (if !total_errors = 1 then "" else "s")
       !total_warnings
       (if !total_warnings = 1 then "" else "s");
-    (match json with
-    | None -> ()
-    | Some path ->
-        let body =
-          "["
-          ^ String.concat ","
-              (List.map
-                 (fun (name, diags) ->
-                   Printf.sprintf
-                     "{\"query\":\"%s\",\"errors\":%d,\"diagnostics\":%s}" name
-                     (Diag.count_errors diags)
-                     (Diag.list_to_json diags))
-                 results)
-          ^ "]"
-        in
-        let oc = open_out path in
-        output_string oc body;
-        output_char oc '\n';
-        close_out oc);
+    emit_json json
+      ("["
+      ^ String.concat ","
+          (List.map
+             (fun (name, diags) ->
+               Printf.sprintf
+                 "{\"query\":\"%s\",\"errors\":%d,\"diagnostics\":%s}"
+                 (json_escape name)
+                 (Diag.count_errors diags)
+                 (Diag.list_to_json diags))
+             results)
+      ^ "]");
     if !total_errors > 0 then 1 else 0
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const f $ scale_arg $ csv_arg $ all_arg $ per_rule_arg $ json_arg
-          $ check_sql_arg)
+    Term.(const f $ scale_arg $ csv_arg $ shards_arg $ all_arg $ per_rule_arg
+          $ json_arg $ check_sql_arg)
 
 let tables_cmd =
   let doc = "List the tables of the generated/loaded database with statistics." in
-  let f scale csvs =
+  let f scale csvs shards =
     catch_errors (fun () ->
         let mw =
-          setup ~scale ~csvs ~prefetch:None ~no_histograms:false
+          setup ~scale ~csvs ~shards ~prefetch:None ~no_histograms:false
             ~calibrate:false ~trace:false ()
         in
         let db = Middleware.database mw in
@@ -469,7 +577,8 @@ let tables_cmd =
             | None -> Fmt.pr "%s (not analyzed)@." name)
           (Tango_dbms.Catalog.table_names (Tango_dbms.Database.catalog db)))
   in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const f $ scale_arg $ csv_arg)
+  Cmd.v (Cmd.info "tables" ~doc)
+    Term.(const f $ scale_arg $ csv_arg $ shards_arg)
 
 (* ---------------- serve (monitoring endpoint) ---------------- *)
 
@@ -516,15 +625,15 @@ let serve_cmd =
      event log), /trace (Chrome trace JSON of the last run), and POST \
      /query to run temporal SQL from the request body."
   in
-  let f scale csvs prefetch no_histograms calibrate port host slo_latency_ms
-      sample_every log_capacity slow_keep_ms max_requests =
+  let f scale csvs shards prefetch no_histograms calibrate port host
+      slo_latency_ms sample_every log_capacity slow_keep_ms max_requests =
     catch_errors (fun () ->
         setup_logs false;
         (* one session serves every request: the plan cache persists
            across POST /query submissions *)
         let mw =
-          setup ~scale ~csvs ~prefetch ~no_histograms ~calibrate ~trace:true
-            ~profiling:true ~plan_cache:true ()
+          setup ~scale ~csvs ~shards ~prefetch ~no_histograms ~calibrate
+            ~trace:true ~profiling:true ~plan_cache:true ()
         in
         let log =
           Tango_monitor.Event_log.create ~capacity:log_capacity ~sample_every
@@ -553,10 +662,10 @@ let serve_cmd =
               (Tango_monitor.Endpoints.handler endpoints)))
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const f $ scale_arg $ csv_arg $ prefetch_arg $ no_hist_arg
-          $ calibrate_arg $ port_arg $ host_arg $ slo_latency_arg
-          $ sample_every_arg $ log_capacity_arg $ slow_keep_arg
-          $ max_requests_arg)
+    Term.(const f $ scale_arg $ csv_arg $ shards_arg $ prefetch_arg
+          $ no_hist_arg $ calibrate_arg $ port_arg $ host_arg
+          $ slo_latency_arg $ sample_every_arg $ log_capacity_arg
+          $ slow_keep_arg $ max_requests_arg)
 
 let main =
   let doc = "TANGO: adaptable temporal query middleware on a conventional DBMS" in

@@ -40,7 +40,8 @@ let () =
   Tango_dbms.Database.analyze_all db ();
   let mw = Middleware.connect ~row_prefetch:16 db in
   Middleware.calibrate mw;
-  Middleware.set_feedback mw true;
+  Middleware.set_config mw
+    Middleware.Config.(with_feedback true (Middleware.config mw));
 
   Fmt.pr "Feedback-driven adaptation (same query, degrading network):@.@.";
   Fmt.pr "%-6s %-12s %-10s %-26s %s@." "round" "spin/rt" "p_tm" "join runs in" "exec ms";

@@ -29,6 +29,15 @@ type node = {
 
 and kind =
   | Transfer_m of { sql : Ast.query; deps : dep list }
+  | Scatter of {
+      sql : Ast.query;
+      deps : dep list;
+      shard_names : string list;
+      merge_order : Order.t;  (** the DBMS subtree's output order *)
+    }
+      (** partition-aware transfer: the same SQL on each named shard,
+          per-shard streams combined by an ordered {!Tango_xxl.Gather}
+          merge *)
   | Filter of Ast.expr * node
   | Project of (Ast.expr * string) list * node
   | Sort of Order.t * node
@@ -99,26 +108,41 @@ let rec collect_tds (plan : Physical.plan) : Physical.plan list =
     plan. *)
 let rec build ctx (plan : Physical.plan) : node =
   let schema = Op.schema plan.Physical.op in
+  (* Translate a DBMS subtree to SQL; its TRANSFER^D leaves become
+     dependencies executed first. *)
+  let translate_db_child (db_child : Physical.plan) =
+    let tds = collect_tds db_child in
+    let deps =
+      List.map
+        (fun (td : Physical.plan) ->
+          match (td.Physical.op, td.Physical.children) with
+          | Op.To_db _, [ mw_child ] ->
+              { table = temp_name_of ctx td.Physical.op; source = build ctx mw_child }
+          | _ -> unbuildable "malformed TRANSFER^D plan node")
+        tds
+    in
+    let sql =
+      Tango_sqlgen.Translate.translate
+        ~temp_name:(fun op -> temp_name_of ctx op)
+        db_child.Physical.op
+    in
+    (sql, deps)
+  in
   match (plan.Physical.algorithm, plan.Physical.children) with
   | Physical.Transfer_m_algo, [ db_child ] ->
-      (* Translate the DBMS subtree to SQL; its TRANSFER^D leaves become
-         dependencies executed first. *)
-      let tds = collect_tds db_child in
-      let deps =
-        List.map
-          (fun (td : Physical.plan) ->
-            match (td.Physical.op, td.Physical.children) with
-            | Op.To_db _, [ mw_child ] ->
-                { table = temp_name_of ctx td.Physical.op; source = build ctx mw_child }
-            | _ -> unbuildable "malformed TRANSFER^D plan node")
-          tds
-      in
-      let sql =
-        Tango_sqlgen.Translate.translate
-          ~temp_name:(fun op -> temp_name_of ctx op)
-          db_child.Physical.op
-      in
+      let sql, deps = translate_db_child db_child in
       mk (Transfer_m { sql; deps }) schema
+  | Physical.Scatter_gather_m, [ db_child ] ->
+      let sql, deps = translate_db_child db_child in
+      mk
+        (Scatter
+           {
+             sql;
+             deps;
+             shard_names = plan.Physical.shards;
+             merge_order = db_child.Physical.out_order;
+           })
+        schema
   | Physical.Filter_m, [ c ] -> (
       match plan.Physical.op with
       | Op.Select { pred; _ } -> mk (Filter (pred, build ctx c)) schema
@@ -268,14 +292,17 @@ let alpha_normalize (q : Ast.query) : Ast.query =
     (see {!Tango_xxl.Cursor.tuple_at_a_time}) — the classic XXL protocol,
     kept for differential testing and benchmarking. *)
 type run_ctx = {
-  client : Client.t;
+  topology : Topology.t;
   share_transfers : bool;
   batching : bool;
-  fetched : (Ast.query, Relation.t) Hashtbl.t;
+  fetched : (Ast.query * string list, Relation.t) Hashtbl.t;
+      (** keyed by normalized SQL {e and} the shard list: a scatter and a
+          single-backend transfer of the same statement read different
+          data *)
 }
 
-let run_ctx ?(share_transfers = true) ?(batching = true) client =
-  { client; share_transfers; batching; fetched = Hashtbl.create 4 }
+let run_ctx ?(share_transfers = true) ?(batching = true) topology =
+  { topology; share_transfers; batching; fetched = Hashtbl.create 4 }
 
 (* Global counters snapshotted around each node's init/next to attribute
    inclusive page reads and client round trips to operators (same
@@ -333,50 +360,24 @@ let with_schema schema (c : Cursor.t) : Cursor.t =
     ~next_batch:(fun () -> Cursor.next_batch c)
 
 let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
-  let client = ctx.client in
   let c =
     match n.kind with
     | Transfer_m { sql; deps } ->
-        let shared_key =
-          if ctx.share_transfers && deps = [] then Some (alpha_normalize sql)
-          else None
+        transfer_cursor ctx n ~sql ~deps ~shard_key:[]
+          (Transfer.transfer_m
+             (Topology.primary ctx.topology)
+             ~schema:n.schema sql)
+    | Scatter { sql; deps; shard_names; merge_order } ->
+        let sources =
+          List.map
+            (fun name ->
+              match Topology.find ctx.topology name with
+              | Some b -> Transfer.transfer_m b ~schema:n.schema sql
+              | None -> unbuildable "scatter names unknown shard %s" name)
+            shard_names
         in
-        let tm = Transfer.transfer_m client ~schema:n.schema sql in
-        let replay : Cursor.t option ref = ref None in
-        Cursor.make_full ~schema:n.schema
-          ~init:(fun () ->
-            (match shared_key with
-            | Some key when Hashtbl.mem ctx.fetched key ->
-                (* alpha-equivalent statement already fetched: replay its
-                   rows, skipping the DBMS and the wire *)
-                let r = Hashtbl.find ctx.fetched key in
-                let c = Cursor.of_relation (Relation.make n.schema (Relation.tuples r)) in
-                Cursor.init c;
-                replay := Some c
-            | Some key ->
-                List.iter
-                  (fun dep -> run_dep ctx dep)
-                  deps;
-                Cursor.init tm;
-                (* drain eagerly so the rows are shareable *)
-                let rows = Cursor.drain tm in
-                let r = Relation.of_list n.schema rows in
-                Hashtbl.replace ctx.fetched key r;
-                let c = Cursor.of_relation r in
-                Cursor.init c;
-                replay := Some c
-            | None ->
-                List.iter (fun dep -> run_dep ctx dep) deps;
-                Cursor.init tm;
-                replay := None))
-          ~next:(fun () ->
-            match !replay with
-            | Some c -> Cursor.next c
-            | None -> Cursor.next tm)
-          ~next_batch:(fun () ->
-            match !replay with
-            | Some c -> Cursor.next_batch c
-            | None -> Cursor.next_batch tm)
+        transfer_cursor ctx n ~sql ~deps ~shard_key:shard_names
+          (Gather.merge ~order:merge_order ~schema:n.schema sources)
     | Filter (pred, arg) -> Basic_ops.filter pred (build_cursor ctx arg)
     | Project (items, arg) -> Basic_ops.project items (build_cursor ctx arg)
     | Sort (order, arg) -> Sort.sort order (build_cursor ctx arg)
@@ -397,18 +398,63 @@ let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
   let c = if ctx.batching then c else Cursor.tuple_at_a_time c in
   instrument n c
 
+and transfer_cursor ctx (n : node) ~sql ~deps ~shard_key (tm : Cursor.t) :
+    Cursor.t =
+  let shared_key =
+    if ctx.share_transfers && deps = [] then
+      Some (alpha_normalize sql, shard_key)
+    else None
+  in
+  let replay : Cursor.t option ref = ref None in
+  Cursor.make_full ~schema:n.schema
+    ~init:(fun () ->
+      match shared_key with
+      | Some key when Hashtbl.mem ctx.fetched key ->
+          (* alpha-equivalent statement already fetched from the same
+             shard set: replay its rows, skipping the DBMS and the wire *)
+          let r = Hashtbl.find ctx.fetched key in
+          let c = Cursor.of_relation (Relation.make n.schema (Relation.tuples r)) in
+          Cursor.init c;
+          replay := Some c
+      | Some key ->
+          List.iter (fun dep -> run_dep ctx dep) deps;
+          Cursor.init tm;
+          (* drain eagerly so the rows are shareable *)
+          let rows = Cursor.drain tm in
+          let r = Relation.of_list n.schema rows in
+          Hashtbl.replace ctx.fetched key r;
+          let c = Cursor.of_relation r in
+          Cursor.init c;
+          replay := Some c
+      | None ->
+          List.iter (fun dep -> run_dep ctx dep) deps;
+          Cursor.init tm;
+          replay := None)
+    ~next:(fun () ->
+      match !replay with
+      | Some c -> Cursor.next c
+      | None -> Cursor.next tm)
+    ~next_batch:(fun () ->
+      match !replay with
+      | Some c -> Cursor.next_batch c
+      | None -> Cursor.next_batch tm)
+
 and run_dep ctx dep =
-  Transfer.drop_temp_table ctx.client dep.table;
+  (* temp tables referenced from shard-local SQL must exist everywhere:
+     replicate the middleware result to every backend *)
+  let backends = Topology.backends ctx.topology in
+  List.iter (fun b -> Transfer.drop_temp_table b dep.table) backends;
   let source = build_cursor ctx dep.source in
   let sanitized = Tango_sqlgen.Translate.temp_table_schema dep.source.schema in
   let td =
-    Transfer.transfer_d ctx.client ~table:dep.table (with_schema sanitized source)
+    Transfer.transfer_d_all backends ~table:dep.table
+      (with_schema sanitized source)
   in
   Cursor.init td
 
 (** Instantiate as an instrumented cursor (transfer sharing on). *)
-let to_cursor (client : Client.t) (n : node) : Cursor.t =
-  build_cursor (run_ctx client) n
+let to_cursor (topology : Topology.t) (n : node) : Cursor.t =
+  build_cursor (run_ctx topology) n
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                        *)
@@ -417,6 +463,7 @@ let to_cursor (client : Client.t) (n : node) : Cursor.t =
 let kind_name (n : node) =
   match n.kind with
   | Transfer_m _ -> "TRANSFER^M"
+  | Scatter _ -> "SCATTER^M"
   | Filter _ -> "FILTER^M"
   | Project _ -> "PROJECT^M"
   | Sort _ -> "SORT^M"
@@ -430,7 +477,8 @@ let kind_name (n : node) =
 
 let children (n : node) : node list =
   match n.kind with
-  | Transfer_m { deps; _ } -> List.map (fun d -> d.source) deps
+  | Transfer_m { deps; _ } | Scatter { deps; _ } ->
+      List.map (fun d -> d.source) deps
   | Filter (_, a) | Project (_, a) | Sort (_, a) | Sort_noop a
   | Taggr { arg = a; _ } | Dupelim a | Coalesce a ->
       [ a ]
@@ -458,17 +506,26 @@ let rec to_trace (n : node) : Tango_obs.Trace.span =
     ~children:(List.map to_trace (children n))
 
 let rec pp ?(indent = 0) ppf (n : node) =
+  let pp_deps deps =
+    List.iter
+      (fun d ->
+        Fmt.pf ppf "%s  after loading %s via TRANSFER^D:@."
+          (String.make indent ' ') d.table;
+        pp ~indent:(indent + 4) ppf d.source)
+      deps
+  in
   (match n.kind with
   | Transfer_m { sql; deps } ->
       Fmt.pf ppf "%sTRANSFER^M@.%s  SQL: %s@." (String.make indent ' ')
         (String.make indent ' ')
         (Printer.query_to_sql sql);
-      List.iter
-        (fun d ->
-          Fmt.pf ppf "%s  after loading %s via TRANSFER^D:@."
-            (String.make indent ' ') d.table;
-          pp ~indent:(indent + 4) ppf d.source)
-        deps
+      pp_deps deps
+  | Scatter { sql; deps; shard_names; _ } ->
+      Fmt.pf ppf "%sSCATTER^M {%s}@.%s  SQL: %s@." (String.make indent ' ')
+        (String.concat "," shard_names)
+        (String.make indent ' ')
+        (Printer.query_to_sql sql);
+      pp_deps deps
   | _ ->
       Fmt.pf ppf "%s%s@." (String.make indent ' ') (kind_name n);
       List.iter (pp ~indent:(indent + 2) ppf) (children n))

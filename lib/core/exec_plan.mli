@@ -25,6 +25,15 @@ type node = {
 
 and kind =
   | Transfer_m of { sql : Ast.query; deps : dep list }
+  | Scatter of {
+      sql : Ast.query;
+      deps : dep list;
+      shard_names : string list;
+      merge_order : Order.t;  (** the DBMS subtree's output order *)
+    }
+      (** partition-aware transfer: the same SQL on each named shard,
+          per-shard streams combined by an ordered {!Tango_xxl.Gather}
+          merge *)
   | Filter of Ast.expr * node
   | Project of (Ast.expr * string) list * node
   | Sort of Order.t * node
@@ -71,11 +80,11 @@ val alpha_normalize : Ast.query -> Ast.query
 type run_ctx
 
 val run_ctx :
-  ?share_transfers:bool -> ?batching:bool -> Tango_dbms.Client.t -> run_ctx
+  ?share_transfers:bool -> ?batching:bool -> Tango_dbms.Topology.t -> run_ctx
 
 val build_cursor : run_ctx -> node -> Tango_xxl.Cursor.t
 
-val to_cursor : Tango_dbms.Client.t -> node -> Tango_xxl.Cursor.t
+val to_cursor : Tango_dbms.Topology.t -> node -> Tango_xxl.Cursor.t
 (** [build_cursor] with a fresh context (sharing on). *)
 
 val to_trace : node -> Tango_obs.Trace.span

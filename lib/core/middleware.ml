@@ -113,6 +113,7 @@ type cache_entry = {
   cached_elements : int;
   cached_diagnostics : Tango_verify.Diag.t list;
   cached_generation : int;  (* DBMS schema generation at plan time *)
+  cached_topology_gen : int;  (* topology generation at plan time *)
   cached_fp : string;  (* query fingerprint, for the sentinel *)
 }
 
@@ -156,8 +157,9 @@ type query_event = {
 }
 
 type t = {
-  client : Client.t;
+  topology : Topology.t;
   factors : Factors.t;
+  backend_factors : Tango_profile.Backend_factors.t;
   mutable plan_cache : cache_entry Tango_cache.Plan_cache.t;
   mutable config : Config.t;
   mutable last_trace : Tango_obs.Trace.span option;
@@ -169,22 +171,15 @@ type t = {
   stats_cache : (string * string, Rel_stats.t) Hashtbl.t;
 }
 
-let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
-    (db : Database.t) : t =
-  let config =
-    {
-      config with
-      Config.row_prefetch =
-        Option.value ~default:config.Config.row_prefetch row_prefetch;
-      roundtrip_spin =
-        Option.value ~default:config.Config.roundtrip_spin roundtrip_spin;
-    }
-  in
+(** Attach a session to an existing topology ({!Topology.single} for the
+    classical one-DBMS architecture, or a sharded one from the loaders). *)
+let connect_topology ?(config = Config.default) (topology : Topology.t) : t =
+  let factors = Factors.default () in
   {
-    client =
-      Client.connect ~row_prefetch:config.Config.row_prefetch
-        ~roundtrip_spin:config.Config.roundtrip_spin db;
-    factors = Factors.default ();
+    topology;
+    factors;
+    backend_factors =
+      Tango_profile.Backend_factors.create ~base:(fun () -> factors);
     plan_cache =
       Tango_cache.Plan_cache.create
         ~capacity:config.Config.plan_cache_capacity ();
@@ -198,9 +193,38 @@ let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
     stats_cache = Hashtbl.create 16;
   }
 
-let client t = t.client
-let database t = Client.database t.client
+let connect ?(config = Config.default) ?row_prefetch ?roundtrip_spin
+    (db : Database.t) : t =
+  let config =
+    {
+      config with
+      Config.row_prefetch =
+        Option.value ~default:config.Config.row_prefetch row_prefetch;
+      roundtrip_spin =
+        Option.value ~default:config.Config.roundtrip_spin roundtrip_spin;
+    }
+  in
+  connect_topology ~config
+    (Topology.single
+       (Backend.in_process ~row_prefetch:config.Config.row_prefetch
+          ~roundtrip_spin:config.Config.roundtrip_spin db))
+
+let topology t = t.topology
+let primary t = Topology.primary t.topology
+
+let client t =
+  match Backend.client (primary t) with
+  | Some c -> c
+  | None -> invalid_arg "Middleware.client: primary backend is not in-process"
+
+let database t =
+  match Backend.database (primary t) with
+  | Some db -> db
+  | None ->
+      invalid_arg "Middleware.database: primary backend is not in-process"
+
 let factors t = t.factors
+let backend_factors t = t.backend_factors
 let config t = t.config
 let last_trace t = t.last_trace
 let last_analysis t = t.last_analysis
@@ -225,32 +249,34 @@ let set_config t (c : Config.t) =
   if c.Config.plan_cache_capacity <> t.config.Config.plan_cache_capacity then
     t.plan_cache <-
       Tango_cache.Plan_cache.create ~capacity:c.Config.plan_cache_capacity ();
-  (* row_prefetch / roundtrip_spin do apply to the live client *)
-  Client.set_row_prefetch t.client c.Config.row_prefetch;
-  Client.set_roundtrip_spin t.client c.Config.roundtrip_spin;
+  (* row_prefetch / roundtrip_spin do apply to the live backends — but
+     only when changed: backends of a sharded topology may carry their own
+     per-shard settings the session config knows nothing about *)
+  if c.Config.row_prefetch <> t.config.Config.row_prefetch then
+    List.iter
+      (fun b -> Backend.set_row_prefetch b c.Config.row_prefetch)
+      (Topology.backends t.topology);
+  if c.Config.roundtrip_spin <> t.config.Config.roundtrip_spin then
+    List.iter
+      (fun b -> Backend.set_roundtrip_spin b c.Config.roundtrip_spin)
+      (Topology.backends t.topology);
   t.config <- c
 
-(* Deprecated setter shims over [set_config]; prefer building a
-   {!Config.t} and passing it to {!connect} (or {!set_config}). *)
-let set_selectivity_mode t m =
-  set_config t (Config.with_selectivity_mode m t.config)
-
-let set_feedback t b = set_config t (Config.with_feedback b t.config)
-let set_transfer_sharing t b =
-  set_config t (Config.with_transfer_sharing b t.config)
-
-let set_histograms t b =
-  set_config t (Config.with_histograms b t.config);
-  (* legacy behavior: always invalidate, even when the flag is unchanged *)
-  Hashtbl.reset t.stats_cache
-
-let set_tracing t b = set_config t (Config.with_tracing b t.config)
-
-(** Run cost-factor calibration against the connected DBMS and adopt the
-    measured factors. *)
+(** Run cost-factor calibration against every connected backend; each
+    backend's measured factors are stored under its name (the cost-factor
+    handle), and the primary's are adopted as the session's globals. *)
 let calibrate ?sizes t =
-  let measured = Calibrate.run ?sizes t.client in
-  Factors.blend ~alpha:1.0 t.factors measured;
+  let prim = primary t in
+  List.iter
+    (fun b ->
+      match Backend.client b with
+      | None -> ()  (* nothing to microbenchmark against *)
+      | Some c ->
+          let measured = Calibrate.run ?sizes c in
+          Tango_profile.Backend_factors.set t.backend_factors (Backend.name b)
+            measured;
+          if b == prim then Factors.blend ~alpha:1.0 t.factors measured)
+    (Topology.backends t.topology);
   invalidate_plan_cache t ~reason:"calibrate"
 
 (** Adopt previously calibrated factors (e.g. shared across sessions against
@@ -265,13 +291,27 @@ let refresh_statistics t =
   Hashtbl.reset t.stats_cache;
   invalidate_plan_cache t ~reason:"stats-refresh"
 
-(* The Statistics Collector hook used for optimization. *)
+(* The Statistics Collector hook used for optimization.  For the
+   partitioned table the per-shard catalogs are merged into whole-table
+   statistics ({!Rel_stats.merge}); everything else is replicated, so the
+   primary's catalog is authoritative. *)
 let base_stats t ~qualifier table : Rel_stats.t =
   match Hashtbl.find_opt t.stats_cache (qualifier, table) with
   | Some s -> s
   | None ->
       let histograms = if t.config.Config.histograms then `All else `None in
-      let s = Collector.collect ~histograms (database t) ~qualifier table in
+      let collect db = Collector.collect ~histograms db ~qualifier table in
+      let s =
+        match Topology.partitioned_table t.topology with
+        | Some (ptable, _)
+          when Topology.is_sharded t.topology && String.equal ptable table -> (
+            match
+              List.filter_map Backend.database (Topology.backends t.topology)
+            with
+            | [] -> collect (database t)
+            | dbs -> Rel_stats.merge (List.map collect dbs))
+        | _ -> collect (database t)
+      in
       Hashtbl.replace t.stats_cache (qualifier, table) s;
       s
 
@@ -280,6 +320,30 @@ let stats_env t : Derive.env =
       base_stats t ~qualifier table)
 
 let schema_lookup t name = Database.table_schema (database t) name
+
+(* The optimizer's view of the topology: shard names and numeric bounds
+   on the partition column.  [None] for a classical single-DBMS session. *)
+let partition_layout t : Partition.layout option =
+  match Topology.partitioned_table t.topology with
+  | Some (table, column) when Topology.is_sharded t.topology ->
+      Some
+        {
+          Partition.table;
+          column;
+          shards =
+            List.map
+              (fun (b, (bounds : Topology.bounds)) ->
+                {
+                  Partition.shard_name = Backend.name b;
+                  lo = Option.map float_of_int bounds.Topology.lo;
+                  hi = Option.map float_of_int bounds.Topology.hi;
+                })
+              (Topology.shards t.topology);
+          generation = Topology.generation t.topology;
+        }
+  | _ -> None
+
+let shard_factors t name = Tango_profile.Backend_factors.get t.backend_factors name
 
 (* Log source for the middleware pipeline; enable with
    [Logs.Src.set_level Middleware.log_src (Some Logs.Debug)]. *)
@@ -299,6 +363,7 @@ let verify_final t ~(required_order : Order.t) (physical : Physical.plan) :
   | Config.Verify_off -> []
   | Config.Verify_final | Config.Verify_per_rule ->
       Tango_verify.Check.check_physical ~stats_env:(stats_env t)
+        ?partition:(partition_layout t)
         ~required:{ Physical.loc = Op.Mw; order = required_order }
         physical
 
@@ -325,9 +390,18 @@ let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
       (fun g ~rule m c -> Tango_verify.Gate.observer g ~rule m c)
       gate
   in
+  let partition = partition_layout t in
   let r =
     Search.optimize ~factors:t.factors ~stats_env:(stats_env t) ~required_order
-      ~max_elements:t.config.Config.max_memo_elements ?rule_observer initial
+      ~max_elements:t.config.Config.max_memo_elements ?rule_observer ?partition
+      ~shard_factors:(shard_factors t) initial
+  in
+  (* partition pruning: drop shards the query's period predicates exclude *)
+  let r =
+    match (partition, r.Search.plan) with
+    | Some layout, Some plan ->
+        { r with Search.plan = Some (Physical.prune_scatter layout plan) }
+    | _ -> r
   in
   let diags =
     (match gate with Some g -> Tango_verify.Gate.diagnostics g | None -> [])
@@ -343,8 +417,13 @@ let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
 (** Cost a fixed plan without exploring alternatives. *)
 let cost_plan t ?(required_order : Order.t = []) (plan : Op.t) :
     Physical.plan option =
+  let partition = partition_layout t in
   Search.cost_plan ~factors:t.factors ~stats_env:(stats_env t) ~required_order
-    plan
+    ?partition ~shard_factors:(shard_factors t) plan
+  |> Option.map (fun p ->
+         match partition with
+         | Some layout -> Physical.prune_scatter layout p
+         | None -> p)
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                             *)
@@ -436,7 +515,8 @@ let apply_feedback t (root : Exec_plan.node) =
       let ib = Float.max 1.0 (in_bytes n) in
       let ob = Float.max 1.0 n.Exec_plan.out_bytes in
       match n.Exec_plan.kind with
-      | Exec_plan.Transfer_m _ -> observed.Factors.p_tm <- own /. ob
+      | Exec_plan.Transfer_m _ | Exec_plan.Scatter _ ->
+          observed.Factors.p_tm <- own /. ob
       | Exec_plan.Sort _ ->
           observed.Factors.p_sortm <-
             own /. (ib *. Formulas.sort_levels ~size:ib)
@@ -464,12 +544,18 @@ let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node 
     Tango_obs.Trace.span "execute" (fun () ->
         Fun.protect
           ~finally:(fun () ->
-            List.iter (Tango_xxl.Transfer.drop_temp_table t.client) temp_tables)
+            (* temp tables were replicated to every backend *)
+            List.iter
+              (fun tbl ->
+                List.iter
+                  (fun b -> Tango_xxl.Transfer.drop_temp_table b tbl)
+                  (Topology.backends t.topology))
+              temp_tables)
           (fun () ->
             let ctx =
               Exec_plan.run_ctx
                 ~share_transfers:t.config.Config.share_transfers
-                ~batching:t.config.Config.batch_execution t.client
+                ~batching:t.config.Config.batch_execution t.topology
             in
             let r =
               Tango_xxl.Cursor.to_relation (Exec_plan.build_cursor ctx exec)
@@ -583,6 +669,11 @@ let cache_find t (sql : string) : cache_entry option =
            <> Database.schema_generation (database t) ->
         invalidate_plan_cache t ~reason:"ddl";
         None
+    | Some entry
+      when entry.cached_topology_gen <> Topology.generation t.topology ->
+        (* the plan baked in a shard layout that no longer exists *)
+        invalidate_plan_cache t ~reason:"topology";
+        None
     | found -> found
 
 let cache_report_now t ~hit : cache_report option =
@@ -650,6 +741,7 @@ let query t (sql : string) : report =
                     cached_diagnostics = report.diagnostics;
                     cached_generation =
                       Database.schema_generation (database t);
+                    cached_topology_gen = Topology.generation t.topology;
                     cached_fp = Physical.op_fingerprint initial;
                   };
               { report with cache = cache_report_now t ~hit:false }))

@@ -113,23 +113,45 @@ val connect :
   ?roundtrip_spin:int ->
   Tango_dbms.Database.t ->
   t
-(** Open a session over a DBMS with the given configuration
-    ({!Config.default} if omitted).  [row_prefetch] and [roundtrip_spin]
-    override the corresponding [config] fields (legacy convenience). *)
+(** Open a session over one in-process DBMS (a {!Tango_dbms.Topology.single}
+    topology) with the given configuration ({!Config.default} if omitted).
+    [row_prefetch] and [roundtrip_spin] override the corresponding [config]
+    fields (legacy convenience). *)
+
+val connect_topology : ?config:Config.t -> Tango_dbms.Topology.t -> t
+(** Open a session over an existing topology — possibly several backends
+    range-partitioning a table (see {!Tango_dbms.Topology}).  Transfers out
+    of sharded subtrees become partition-aware scatter/gather plans. *)
+
+val topology : t -> Tango_dbms.Topology.t
+val primary : t -> Tango_dbms.Backend.t
 
 val client : t -> Tango_dbms.Client.t
+(** The primary backend's in-process client; raises [Invalid_argument] if
+    the primary backend is not in-process. *)
+
 val database : t -> Tango_dbms.Database.t
+(** The primary backend's in-process database; raises [Invalid_argument]
+    if the primary backend is not in-process. *)
 
 val factors : t -> Tango_cost.Factors.t
 (** The session's (mutable) cost factors. *)
+
+val backend_factors : t -> Tango_profile.Backend_factors.t
+(** Per-backend calibrated cost factors, keyed by backend name; backends
+    that have not calibrated fall back to {!factors}. *)
+
+val partition_layout : t -> Tango_volcano.Partition.layout option
+(** The optimizer's view of the topology: shard names and numeric bounds
+    on the partition column.  [None] for a single-DBMS session. *)
 
 val config : t -> Config.t
 (** The session's current configuration. *)
 
 val set_config : t -> Config.t -> unit
 (** Replace the session configuration; applies [row_prefetch] and
-    [roundtrip_spin] to the live client and invalidates cached statistics
-    when the [histograms] flag changes. *)
+    [roundtrip_spin] to every live backend and invalidates cached
+    statistics when the [histograms] flag changes. *)
 
 val last_trace : t -> Tango_obs.Trace.span option
 (** The trace of the most recent {!query} / {!run_plan} / {!run_fixed}
@@ -150,30 +172,10 @@ val profile_store : t -> Tango_profile.Feedback.t
 val sentinel : t -> Tango_profile.Sentinel.t
 (** The session's plan-regression sentinel and slow-query log. *)
 
-(** {2 Deprecated setters}
-
-    Thin shims over {!set_config}, kept so existing call sites compile;
-    prefer building a {!Config.t} and passing it to {!connect}. *)
-
-val set_selectivity_mode : t -> Tango_stats.Selectivity.mode -> unit
-(** @deprecated Use {!Config.with_selectivity_mode} with {!set_config}. *)
-
-val set_feedback : t -> bool -> unit
-(** @deprecated Use {!Config.with_feedback} with {!set_config}. *)
-
-val set_transfer_sharing : t -> bool -> unit
-(** @deprecated Use {!Config.with_transfer_sharing} with {!set_config}. *)
-
-val set_histograms : t -> bool -> unit
-(** @deprecated Use {!Config.with_histograms} with {!set_config}.  Also
-    invalidates cached statistics, as before. *)
-
-val set_tracing : t -> bool -> unit
-(** Convenience shim over {!Config.with_tracing} + {!set_config}. *)
-
 val calibrate : ?sizes:Tango_cost.Calibrate.probe_sizes -> t -> unit
-(** Run cost-factor calibration against the connected DBMS and adopt the
-    measured factors. *)
+(** Run cost-factor calibration against every connected backend; each
+    backend's measured factors are stored in {!backend_factors} under its
+    name, and the primary's are adopted as the session's globals. *)
 
 val adopt_factors : t -> Tango_cost.Factors.t -> unit
 (** Adopt previously calibrated factors (e.g. shared across sessions). *)

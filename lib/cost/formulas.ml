@@ -20,6 +20,11 @@ let sort_levels ~size =
 let transfer_m (f : Factors.t) ~size = f.p_tm *. size
 let transfer_d (f : Factors.t) ~size = f.p_td *. size
 
+(* Gathering k per-shard sorted streams is one merge level of a k-way
+   external sort: log2(k) comparisons per byte at the sort-merge rate. *)
+let gather_m (f : Factors.t) ~size ~ways =
+  if ways <= 1 then 0.0 else f.p_sortm *. size *. log2 (float_of_int ways)
+
 (* --- middleware algorithms --- *)
 
 (** Selection-condition coefficient f(P): the number of atomic terms. *)

@@ -16,6 +16,10 @@ val sort_levels : size:float -> float
 val transfer_m : Factors.t -> size:float -> float
 val transfer_d : Factors.t -> size:float -> float
 
+val gather_m : Factors.t -> size:float -> ways:int -> float
+(** Ordered k-way merge of per-shard `TRANSFER^M` streams ([ways]
+    sources, [size] total bytes): one merge level at the sort rate. *)
+
 val predicate_coefficient : Ast.expr -> float
 (** The selection-condition coefficient f(P): number of atomic terms. *)
 

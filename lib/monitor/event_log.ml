@@ -93,7 +93,7 @@ let exec_shape (exec : Exec_plan.node) =
     (fun n ->
       incr mw_operators;
       match n.Exec_plan.kind with
-      | Exec_plan.Transfer_m { deps; _ } ->
+      | Exec_plan.Transfer_m { deps; _ } | Exec_plan.Scatter { deps; _ } ->
           incr transfers;
           tm_rows := !tm_rows + n.Exec_plan.out_tuples;
           List.iter

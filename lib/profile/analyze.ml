@@ -67,12 +67,12 @@ let rec collect_tds (p : Physical.plan) : Physical.plan list =
    TRANSFER^D dependencies; everything else is structural. *)
 let paired_children (p : Physical.plan) : Physical.plan list =
   match (p.Physical.algorithm, p.Physical.children) with
-  | Physical.Transfer_m_algo, [ db_child ] ->
+  | (Physical.Transfer_m_algo | Physical.Scatter_gather_m), [ db_child ] ->
       List.filter_map
         (fun (td : Physical.plan) ->
           match td.Physical.children with [ mw ] -> Some mw | _ -> None)
         (collect_tds db_child)
-  | Physical.Transfer_m_algo, _ -> []
+  | (Physical.Transfer_m_algo | Physical.Scatter_gather_m), _ -> []
   | _ -> p.Physical.children
 
 let rec zip xs ys =
@@ -94,7 +94,7 @@ let observation_of ~(factors : Factors.t) (p : Physical.plan) ~in_bytes
     else None
   in
   match p.Physical.algorithm with
-  | Physical.Transfer_m_algo ->
+  | Physical.Transfer_m_algo | Physical.Scatter_gather_m ->
       (* the whole time — wire plus the DBMS statement below it — goes to
          the transfer factor; splitting it is the paper's "interesting
          challenge", and [Middleware.apply_feedback] makes the same call *)
@@ -164,7 +164,11 @@ let analyze ~(stats_env : Derive.env) ~(factors : Factors.t)
               acc +. float_of_int (attr_i cs "bytes"))
             0.0 pairs
     in
-    let is_transfer = p.Physical.algorithm = Physical.Transfer_m_algo in
+    let is_transfer =
+      match p.Physical.algorithm with
+      | Physical.Transfer_m_algo | Physical.Scatter_gather_m -> true
+      | _ -> false
+    in
     let est_pages = if is_transfer then est_bytes /. float_of_int page_size else 0.0 in
     let est_roundtrips =
       if is_transfer then

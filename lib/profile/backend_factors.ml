@@ -1,0 +1,29 @@
+(** Per-backend cost factors.
+
+    A sharded topology puts shards behind different (simulated) network
+    latencies, so one global factor set misprices per-shard transfers.
+    This store keys an independently calibrated {!Tango_cost.Factors.t}
+    by the backend's name — the cost-factor handle of
+    [Tango_dbms.Backend] — and falls back to the session's base factors
+    for backends that have not calibrated yet. *)
+
+open Tango_cost
+
+type t = {
+  base : unit -> Factors.t;  (** fallback (the session's global factors) *)
+  tbl : (string, Factors.t) Hashtbl.t;
+}
+
+let create ~base = { base; tbl = Hashtbl.create 8 }
+
+let set t name factors = Hashtbl.replace t.tbl name factors
+
+let get t name =
+  match Hashtbl.find_opt t.tbl name with Some f -> f | None -> t.base ()
+
+let known t name = Hashtbl.mem t.tbl name
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+let clear t = Hashtbl.reset t.tbl

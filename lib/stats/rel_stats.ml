@@ -61,6 +61,57 @@ let distinct_of (s : t) name =
   | Some c -> Float.max 1.0 (Float.min c.distinct s.card)
   | None -> Float.max 1.0 s.card
 
+(* Merge two per-shard column estimates of the same attribute: ranges
+   union, widths average weighted by cardinality, and distinct counts add
+   (exact for the partition column, whose slices are disjoint; an
+   overestimate elsewhere, clamped by the caller's card).  Histograms are
+   dropped — per-shard bucket layouts need not line up. *)
+let merge_col (card_a, (a : col)) (card_b, (b : col)) : col =
+  let min_o f x y =
+    match (x, y) with None, v | v, None -> v | Some x, Some y -> Some (f x y)
+  in
+  let total = Float.max 1.0 (card_a +. card_b) in
+  {
+    distinct = a.distinct +. b.distinct;
+    min_v = min_o Float.min a.min_v b.min_v;
+    max_v = min_o Float.max a.max_v b.max_v;
+    histogram = None;
+    avg_width =
+      ((a.avg_width *. card_a) +. (b.avg_width *. card_b)) /. total;
+    indexed = a.indexed && b.indexed;
+  }
+
+(** Merge per-shard statistics of one range-partitioned relation into
+    statistics of the whole: cardinalities add, ranges union, and distinct
+    counts add clamped to the merged cardinality. *)
+let merge (parts : t list) : t =
+  match parts with
+  | [] -> invalid_arg "Rel_stats.merge: empty"
+  | first :: rest ->
+      let merged =
+        List.fold_left
+          (fun (acc : t) (s : t) ->
+            {
+              card = acc.card +. s.card;
+              cols =
+                List.map
+                  (fun (name, c) ->
+                    match List.assoc_opt name s.cols with
+                    | None -> (name, c)
+                    | Some c' -> (name, merge_col (acc.card, c) (s.card, c')))
+                  acc.cols;
+            })
+          first rest
+      in
+      {
+        merged with
+        cols =
+          List.map
+            (fun (n, c) ->
+              (n, { c with distinct = Float.min c.distinct merged.card }))
+            merged.cols;
+      }
+
 let pp ppf (s : t) =
   Fmt.pf ppf "card=%.1f avg_size=%.1f [%a]" s.card (avg_tuple_size s)
     (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (n, c) ->

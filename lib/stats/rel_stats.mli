@@ -42,4 +42,12 @@ val indexed_on : t -> string -> bool
 val distinct_of : t -> string -> float
 (** Distinct count clamped to [1, card]. *)
 
+val merge : t list -> t
+(** Merge per-shard statistics of one range-partitioned relation into
+    statistics of the whole relation: cardinalities add, value ranges
+    union, distinct counts add (clamped to the merged cardinality — exact
+    for the partition column, an overestimate elsewhere), widths average
+    weighted by cardinality, and histograms are dropped.  Raises
+    [Invalid_argument] on an empty list. *)
+
 val pp : Format.formatter -> t -> unit

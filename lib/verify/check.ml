@@ -444,6 +444,8 @@ let algo_shape (p : Physical.plan) =
   | Difference_m ->
       ((function Op.Difference _ -> true | _ -> false), Some Op.Mw, Some Op.Mw)
   | Transfer_m_algo -> ((function Op.To_mw _ -> true | _ -> false), Some Op.Mw, Some Op.Db)
+  | Scatter_gather_m ->
+      ((function Op.To_mw _ -> true | _ -> false), Some Op.Mw, Some Op.Db)
   | Transfer_d_algo -> ((function Op.To_db _ -> true | _ -> false), Some Op.Db, Some Op.Mw)
 
 let schema_of_op op = try Some (Op.schema op) with _ -> None
@@ -501,7 +503,9 @@ let produced_order (p : Physical.plan) (children : Order.t list) : Order.t =
   let child n = try List.nth children n with _ -> [] in
   match (p.algorithm, p.op) with
   | (Sort_d | Sort_m | Sort_passthrough), Op.Sort { order; _ } -> order
-  | (Filter_m | Transfer_m_algo), _ -> child 0
+  (* the scatter's ordered gather merge preserves the per-shard streams'
+     common order, i.e. the DBMS subtree's *)
+  | (Filter_m | Transfer_m_algo | Scatter_gather_m), _ -> child 0
   | Project_m, Op.Project { items; _ } -> project_order items (child 0)
   | (Taggr_d | Taggr_m), Op.Temporal_aggregate { group_by; _ } ->
       Ordering.taggr_output ~group_by
@@ -600,7 +604,8 @@ let rec physical_walk acc rev_path (p : Physical.plan) : Order.t =
         p.children);
   (* translatability of the DBMS subtree under each T^M *)
   (match (p.algorithm, p.op) with
-  | Transfer_m_algo, Op.To_mw arg -> check_translatable acc ~path arg
+  | (Transfer_m_algo | Scatter_gather_m), Op.To_mw arg ->
+      check_translatable acc ~path arg
   | _ -> ());
   (* ordering dataflow *)
   let reqs = input_requirements p in
@@ -631,7 +636,8 @@ let rec physical_walk acc rev_path (p : Physical.plan) : Order.t =
   check_costs acc ~path p;
   produced
 
-let check_physical ?stats_env ?required (p : Physical.plan) : Diag.t list =
+let check_physical ?stats_env ?partition ?required (p : Physical.plan) :
+    Diag.t list =
   let acc : acc = ref [] in
   (* the logical tree the plan implements must itself be sound; skip the
      per-T^M translatability here because the physical walk re-checks it
@@ -639,6 +645,14 @@ let check_physical ?stats_env ?required (p : Physical.plan) : Diag.t list =
   List.iter (add acc)
     (check_logical ?stats_env ~translatable:false p.Physical.op);
   let root_order = physical_walk acc [] p in
+  (* partition safety: every transfer over the sharded table must read
+     exactly the shards that can hold matching tuples *)
+  (match partition with
+  | Some layout ->
+      List.iter
+        (fun (path, msg) -> error acc "partition" ~path "%s" msg)
+        (Physical.scatter_violations layout p)
+  | None -> ());
   (match required with
   | Some (r : Physical.req) ->
       if p.Physical.location <> r.Physical.loc then

@@ -37,10 +37,14 @@ val check_logical :
 
 val check_physical :
   ?stats_env:Tango_stats.Derive.env ->
+  ?partition:Tango_volcano.Partition.layout ->
   ?required:Tango_volcano.Physical.req ->
   Tango_volcano.Physical.plan ->
   Diag.t list
 (** Verify a physical plan: the embedded logical tree (as
     {!check_logical}), algorithm/operator/location agreement, the ordering
     dataflow, and cost sanity.  [required] additionally checks the root
-    against the query's required properties (location and final order). *)
+    against the query's required properties (location and final order);
+    [partition] additionally checks partition safety — every transfer over
+    the sharded table must read exactly the shards that can hold matching
+    tuples ({!Tango_volcano.Physical.scatter_violations}). *)

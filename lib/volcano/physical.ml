@@ -40,6 +40,9 @@ type algorithm =
   | Difference_m
   | Transfer_m_algo
   | Transfer_d_algo
+  | Scatter_gather_m
+      (** partition-aware `T^M`: per-shard transfers merged by an ordered
+          gather in the middleware *)
 
 let algorithm_name = function
   | Table_scan_d -> "SCAN^D"
@@ -63,6 +66,7 @@ let algorithm_name = function
   | Difference_m -> "DIFFERENCE^M"
   | Transfer_m_algo -> "TRANSFER^M"
   | Transfer_d_algo -> "TRANSFER^D"
+  | Scatter_gather_m -> "SCATTER^M"
 
 type plan = {
   algorithm : algorithm;
@@ -72,6 +76,9 @@ type plan = {
   total_cost : float;  (** microseconds, including children *)
   out_order : Order.t;
   location : Op.location;
+  shards : string list;
+      (** [Scatter_gather_m] only: names of the backends the transfer must
+          hit; [[]] for every other algorithm *)
 }
 
 (** Required physical properties. *)
@@ -81,6 +88,11 @@ type t = {
   memo : Memo.t;
   factors : Factors.t;
   stats_env : Derive.env;
+  partition : Partition.layout option;
+      (** [Some] when the topology shards a table: transfers become
+          partition-aware *)
+  shard_factors : string -> Factors.t;
+      (** per-backend cost factors, keyed by backend name *)
   cache : (int * req, plan option) Hashtbl.t;
   in_progress : (int * req, unit) Hashtbl.t;
   stats_cache : (int, Rel_stats.t option) Hashtbl.t;
@@ -92,11 +104,14 @@ let c_considered = Tango_obs.Counter.make "volcano.plans_considered"
 let c_infeasible = Tango_obs.Counter.make "volcano.plans_infeasible"
 (** class elements rejected (location/order requirement unmet, or cyclic). *)
 
-let create ~memo ~factors ~stats_env =
+let create ?partition ?shard_factors ~memo ~factors ~stats_env () =
   {
     memo;
     factors;
     stats_env;
+    partition;
+    shard_factors =
+      (match shard_factors with Some f -> f | None -> fun _ -> factors);
     cache = Hashtbl.create 256;
     in_progress = Hashtbl.create 64;
     stats_cache = Hashtbl.create 64;
@@ -169,7 +184,7 @@ let rec best (p : t) (c : int) (r : req) : plan option =
         result
       end
 
-and mk_plan p algorithm op children own out_order location =
+and mk_plan_sharded p ~shards algorithm op children own out_order location =
   p.considered <- p.considered + 1;
   Tango_obs.Counter.incr c_considered;
   {
@@ -180,7 +195,11 @@ and mk_plan p algorithm op children own out_order location =
     total_cost = own +. List.fold_left (fun a ch -> a +. ch.total_cost) 0.0 children;
     out_order;
     location;
+    shards;
   }
+
+and mk_plan p algorithm op children own out_order location =
+  mk_plan_sharded p ~shards:[] algorithm op children own out_order location
 
 and plan_element (p : t) (c : int) (r : req) (el : Memo.node) : plan option =
   let f = p.factors in
@@ -195,23 +214,75 @@ and plan_element (p : t) (c : int) (r : req) (el : Memo.node) : plan option =
              []
              (Formulas.scan_d f ~size:(out_size ()))
              [] Op.Db)
-  | Memo.N_tm arg ->
+  | Memo.N_tm arg -> (
       if r.loc <> Op.Mw then None
       else
-        Option.map
-          (fun child ->
-            mk_plan p Transfer_m_algo (Op.To_mw child.op) [ child ]
-              (Formulas.transfer_m f ~size:(class_size p arg))
-              child.out_order Op.Mw)
-          (best p arg { loc = Op.Db; order = r.order })
+        match best p arg { loc = Op.Db; order = r.order } with
+        | None -> None
+        | Some child -> (
+            let size = class_size p arg in
+            match p.partition with
+            | None ->
+                Some
+                  (mk_plan p Transfer_m_algo (Op.To_mw child.op) [ child ]
+                     (Formulas.transfer_m f ~size)
+                     child.out_order Op.Mw)
+            | Some layout -> (
+                match Partition.analyze layout child.op with
+                | Partition.Unpartitioned ->
+                    (* replicated inputs only: the primary has it all *)
+                    Some
+                      (mk_plan p Transfer_m_algo (Op.To_mw child.op) [ child ]
+                         (Formulas.transfer_m f ~size)
+                         child.out_order Op.Mw)
+                | Partition.Unsafe _ ->
+                    (* no correct DBMS-side execution over the shards —
+                       the offending operator must move to the middleware *)
+                    None
+                | Partition.Scatter { shards; _ } ->
+                    (* per-shard transfers (the estimated output splits
+                       across them) plus the ordered gather merge *)
+                    let ways = max 1 (List.length shards) in
+                    let per = size /. float_of_int ways in
+                    let ship =
+                      List.fold_left
+                        (fun acc s ->
+                          acc
+                          +. Formulas.transfer_m
+                               (p.shard_factors s.Partition.shard_name)
+                               ~size:per)
+                        0.0 shards
+                    in
+                    let own = ship +. Formulas.gather_m f ~size ~ways in
+                    Some
+                      (mk_plan_sharded p
+                         ~shards:
+                           (List.map
+                              (fun s -> s.Partition.shard_name)
+                              shards)
+                         Scatter_gather_m (Op.To_mw child.op) [ child ] own
+                         child.out_order Op.Mw))))
   | Memo.N_td arg ->
       if r.loc <> Op.Db || r.order <> [] then None
       else
         Option.map
           (fun child ->
-            mk_plan p Transfer_d_algo (Op.To_db child.op) [ child ]
-              (Formulas.transfer_d f ~size:(class_size p arg))
-              [] Op.Db)
+            let size = class_size p arg in
+            let own =
+              match p.partition with
+              | None -> Formulas.transfer_d f ~size
+              | Some layout ->
+                  (* the temporary is replicated: one load per backend *)
+                  List.fold_left
+                    (fun acc s ->
+                      acc
+                      +. Formulas.transfer_d
+                           (p.shard_factors s.Partition.shard_name)
+                           ~size)
+                    0.0 layout.Partition.shards
+            in
+            mk_plan p Transfer_d_algo (Op.To_db child.op) [ child ] own []
+              Op.Db)
           (best p arg { loc = Op.Mw; order = [] })
   | Memo.N_select { pred; arg } -> (
       match r.loc with
@@ -502,9 +573,11 @@ and plan_mw_merge_join p c r ~temporal pred left right =
 (* ------------------------------------------------------------------ *)
 
 let rec pp ?(indent = 0) ppf (plan : plan) =
-  Fmt.pf ppf "%s%s  [%s, cost %.0fus%s]@."
+  Fmt.pf ppf "%s%s%s  [%s, cost %.0fus%s]@."
     (String.make indent ' ')
     (algorithm_name plan.algorithm)
+    (if plan.shards = [] then ""
+     else "{" ^ String.concat "," plan.shards ^ "}")
     (match plan.location with Op.Db -> "DB" | Op.Mw -> "MW")
     plan.total_cost
     (if plan.out_order = [] then ""
@@ -636,3 +709,113 @@ let rec signature (plan : plan) : string =
 
 let fingerprint (plan : plan) : string =
   digest (signature plan ^ "|" ^ canon_op plan.op)
+
+(* ------------------------------------------------------------------ *)
+(* Partition-aware refinement and checking                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Middleware-side predicate knowledge flows DOWN through contexts that
+   keep the scatter's output stream intact tuple-for-tuple: filters
+   (harvesting their period predicates) and sorts.  Any other operator
+   resets the interval to ⊤.  Harvested intervals prune a scatter's shard
+   list only when the partition column is traceable to the scatter output
+   (see {!Partition.analyze}), where a base-name reference in a predicate
+   above can only mean the partition column. *)
+
+let mw_interval layout (plan : plan) : Partition.interval =
+  match (plan.algorithm, plan.op) with
+  | Filter_m, Op.Select { pred; _ } ->
+      Partition.interval_of_pred
+        ~column:(Schema.base_name layout.Partition.column)
+        pred
+  | _ -> Partition.top
+
+let child_interval layout interval (plan : plan) : Partition.interval =
+  match plan.algorithm with
+  | Filter_m -> Partition.inter interval (mw_interval layout plan)
+  | Sort_m | Sort_passthrough -> interval
+  | _ -> Partition.top
+
+let scatter_verdict layout (plan : plan) : Partition.verdict option =
+  match plan.children with
+  | [ child ] -> Some (Partition.analyze layout child.op)
+  | _ -> None
+
+(** Drop shards a scatter provably cannot need, using the period
+    predicates the middleware applies above it.  Costs are left as
+    estimated (pruning only makes execution cheaper). *)
+let prune_scatter (layout : Partition.layout) (plan : plan) : plan =
+  let rec go interval plan =
+    let ci = child_interval layout interval plan in
+    let children = List.map (go ci) plan.children in
+    let plan = { plan with children } in
+    match plan.algorithm with
+    | Scatter_gather_m -> (
+        match scatter_verdict layout plan with
+        | Some (Partition.Scatter { shards; traceable = true }) ->
+            {
+              plan with
+              shards =
+                List.map
+                  (fun s -> s.Partition.shard_name)
+                  (Partition.restrict shards interval);
+            }
+        | _ -> plan)
+    | _ -> plan
+  in
+  go Partition.top plan
+
+(** Partition-safety violations in a physical plan: transfers that would
+    read a single shard's slice of partitioned data, scatters over
+    non-distributable subtrees, and scatters whose shard list misses a
+    shard the predicates cannot exclude (data loss).  Returns
+    [(path, message)] pairs; empty means the plan is partition-correct. *)
+let scatter_violations (layout : Partition.layout) (plan : plan) :
+    (string * string) list =
+  let errs = ref [] in
+  let rec walk interval path plan =
+    let here = path ^ "/" ^ algorithm_name plan.algorithm in
+    let err msg = errs := (here, msg) :: !errs in
+    (match plan.algorithm with
+    | Transfer_m_algo -> (
+        match scatter_verdict layout plan with
+        | Some (Partition.Scatter _) ->
+            err
+              "single-backend TRANSFER^M over the partitioned table reads \
+               one shard's slice only"
+        | Some (Partition.Unsafe msg) ->
+            err ("TRANSFER^M over a non-distributable subtree: " ^ msg)
+        | Some Partition.Unpartitioned | None -> ())
+    | Scatter_gather_m -> (
+        match scatter_verdict layout plan with
+        | Some (Partition.Unsafe msg) ->
+            err ("SCATTER^M over a non-distributable subtree: " ^ msg)
+        | Some Partition.Unpartitioned ->
+            err "SCATTER^M over an unpartitioned subtree"
+        | Some (Partition.Scatter { shards; traceable }) ->
+            let required =
+              if traceable then Partition.restrict shards interval else shards
+            in
+            List.iter
+              (fun s ->
+                if not (List.mem s.Partition.shard_name plan.shards) then
+                  err
+                    (Printf.sprintf
+                       "shard %s can hold matching tuples but is not \
+                        transferred (data loss)"
+                       s.Partition.shard_name))
+              required;
+            let known =
+              List.map (fun s -> s.Partition.shard_name) layout.Partition.shards
+            in
+            List.iter
+              (fun n ->
+                if not (List.mem n known) then err ("unknown shard " ^ n))
+              plan.shards
+        | None -> err "SCATTER^M without a DBMS child")
+    | _ -> ());
+    let ci = child_interval layout interval plan in
+    List.iter (walk ci here) plan.children
+  in
+  walk Partition.top "" plan;
+  List.rev !errs

@@ -30,6 +30,9 @@ type algorithm =
   | Difference_m
   | Transfer_m_algo
   | Transfer_d_algo
+  | Scatter_gather_m
+      (** partition-aware `T^M`: per-shard transfers merged by an ordered
+          gather in the middleware *)
 
 val algorithm_name : algorithm -> string
 
@@ -41,6 +44,9 @@ type plan = {
   total_cost : float;  (** microseconds, including children *)
   out_order : Order.t;
   location : Op.location;
+  shards : string list;
+      (** [Scatter_gather_m] only: names of the backends the transfer must
+          hit; [[]] for every other algorithm *)
 }
 
 (** Required physical properties. *)
@@ -50,6 +56,11 @@ type t = {
   memo : Memo.t;
   factors : Tango_cost.Factors.t;
   stats_env : Tango_stats.Derive.env;
+  partition : Partition.layout option;
+      (** [Some] when the topology shards a table: transfers become
+          partition-aware *)
+  shard_factors : string -> Tango_cost.Factors.t;
+      (** per-backend cost factors, keyed by backend name *)
   cache : (int * req, plan option) Hashtbl.t;
   in_progress : (int * req, unit) Hashtbl.t;
   stats_cache : (int, Tango_stats.Rel_stats.t option) Hashtbl.t;
@@ -57,9 +68,12 @@ type t = {
 }
 
 val create :
+  ?partition:Partition.layout ->
+  ?shard_factors:(string -> Tango_cost.Factors.t) ->
   memo:Memo.t ->
   factors:Tango_cost.Factors.t ->
   stats_env:Tango_stats.Derive.env ->
+  unit ->
   t
 
 val class_stats : t -> int -> Tango_stats.Rel_stats.t option
@@ -91,3 +105,17 @@ val fingerprint : plan -> string
 (** Digest of a physical plan: the algorithm tree plus the canonicalized
     logical tree, so the same logical fragment under a different algorithm
     choice keys separately. *)
+
+(** {2 Partition-aware refinement} *)
+
+val prune_scatter : Partition.layout -> plan -> plan
+(** Drop shards a scatter provably cannot need, using period predicates
+    the middleware applies directly above it (through filter/sort
+    contexts only).  Sound: a shard is dropped only when its bounds
+    cannot overlap the interval the predicates confine the (traceable)
+    partition column to. *)
+
+val scatter_violations : Partition.layout -> plan -> (string * string) list
+(** Partition-safety violations — single-backend transfers over
+    partitioned data, scatters over non-distributable subtrees, shard
+    lists that lose data.  [(path, message)] pairs; empty = correct. *)

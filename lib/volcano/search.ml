@@ -26,10 +26,12 @@ let now_us () = Unix.gettimeofday () *. 1_000_000.0
     @param factors calibrated cost factors
     @param stats_env base-statistics environment (see {!Derive.env})
     @param required_order final order the client asked for (default none)
-    @param max_elements memo growth bound *)
+    @param max_elements memo growth bound
+    @param partition partition layout of a sharded topology
+    @param shard_factors per-backend cost factors (by backend name) *)
 let optimize ~(factors : Factors.t) ~(stats_env : Derive.env)
     ?(required_order : Order.t = []) ?max_elements ?rules ?rule_observer
-    (initial : Op.t) : result =
+    ?partition ?shard_factors (initial : Op.t) : result =
   let t0 = now_us () in
   Op.validate initial;
   let memo = Memo.create () in
@@ -40,7 +42,9 @@ let optimize ~(factors : Factors.t) ~(stats_env : Derive.env)
         (Tango_obs.Trace.Int (Memo.class_count memo));
       Tango_obs.Trace.attr "elements"
         (Tango_obs.Trace.Int (Memo.element_count memo)));
-  let planner = Physical.create ~memo ~factors ~stats_env in
+  let planner =
+    Physical.create ?partition ?shard_factors ~memo ~factors ~stats_env ()
+  in
   let plan =
     Tango_obs.Trace.span "optimize.plan" (fun () ->
         let p =
@@ -63,12 +67,14 @@ let optimize ~(factors : Factors.t) ~(stats_env : Derive.env)
     experiments to compare the hand-built plan alternatives the paper
     reports.  The tree's transfers and sorts are taken as-is. *)
 let cost_plan ~(factors : Factors.t) ~(stats_env : Derive.env)
-    ?(required_order : Order.t = []) (plan_tree : Op.t) : Physical.plan option
-    =
+    ?(required_order : Order.t = []) ?partition ?shard_factors
+    (plan_tree : Op.t) : Physical.plan option =
   Op.validate plan_tree;
   let memo = Memo.create () in
   let root = Memo.insert_op memo plan_tree in
   (* no rules: the memo holds exactly this plan *)
-  let planner = Physical.create ~memo ~factors ~stats_env in
+  let planner =
+    Physical.create ?partition ?shard_factors ~memo ~factors ~stats_env ()
+  in
   Physical.best planner (Memo.find memo root)
     { Physical.loc = Op.Mw; order = required_order }

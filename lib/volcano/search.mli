@@ -23,16 +23,21 @@ val optimize :
   ?max_elements:int ->
   ?rules:Rules.rule list ->
   ?rule_observer:Rules.observer ->
+  ?partition:Partition.layout ->
+  ?shard_factors:(string -> Tango_cost.Factors.t) ->
   Op.t ->
   result
 (** Optimize an initial plan (validated first).  [rule_observer] is invoked
     after every successful rule application during saturation — the debug
-    hook behind {!Tango_verify.Gate}. *)
+    hook behind {!Tango_verify.Gate}.  With [partition], transfers out of
+    the sharded subtrees become partition-aware ({!Physical.Scatter_gather_m}). *)
 
 val cost_plan :
   factors:Tango_cost.Factors.t ->
   stats_env:Tango_stats.Derive.env ->
   ?required_order:Order.t ->
+  ?partition:Partition.layout ->
+  ?shard_factors:(string -> Tango_cost.Factors.t) ->
   Op.t ->
   Physical.plan option
 (** Cost a {e fixed} operator tree without rule exploration — used by the

@@ -162,3 +162,60 @@ let load ?(scale = 1.0) ?histograms (db : Tango_dbms.Database.t) : unit =
 let load_position_variant ?histograms db ~table ~n : unit =
   Tango_dbms.Database.load_relation db table (position ~n ());
   ignore (Tango_dbms.Database.analyze db ?histograms table)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded setup                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Load a scaled UIS database range-partitioned over [shards] in-process
+    backends: POSITION is sliced on its period start [T1] at the data's
+    quantiles (so the published time skew still yields even shards), and
+    EMPLOYEE — with its clustered EmpID index — is replicated to every
+    backend.  [roundtrip_spins] simulates per-backend network latencies.
+    The result is ready for {!Tango_dbms.Topology} consumers. *)
+let load_sharded ?(scale = 1.0) ?histograms ?(roundtrip_spins = [])
+    ~shards () : Tango_dbms.Topology.t =
+  if shards < 1 then invalid_arg "Uis.load_sharded: shards must be >= 1";
+  let n_pos =
+    max 10 (int_of_float (scale *. float_of_int position_full_cardinality))
+  in
+  let n_emp =
+    max 10 (int_of_float (scale *. float_of_int employee_full_cardinality))
+  in
+  let pos = position ~n:n_pos ~employees:n_emp () in
+  let emp = employee ~n:n_emp () in
+  let t1_ix = Schema.index position_schema "T1" in
+  let chronon_of t =
+    match Tuple.get t t1_ix with
+    | Value.Date c | Value.Int c -> c
+    | _ -> invalid_arg "Uis.load_sharded: non-chronon T1"
+  in
+  let starts = Array.map chronon_of (Relation.tuples pos) in
+  let bounds = Tango_dbms.Topology.quantile_bounds starts shards in
+  let in_bounds (b : Tango_dbms.Topology.bounds) c =
+    (match b.Tango_dbms.Topology.lo with None -> true | Some lo -> c >= lo)
+    && match b.Tango_dbms.Topology.hi with None -> true | Some hi -> c < hi
+  in
+  let spin_of i = List.nth_opt roundtrip_spins i in
+  let shard_list =
+    List.mapi
+      (fun i b ->
+        let db = Tango_dbms.Database.create () in
+        let slice =
+          Relation.of_list position_schema
+            (Array.to_list (Relation.tuples pos)
+            |> List.filter (fun t -> in_bounds b (chronon_of t)))
+        in
+        Tango_dbms.Database.load_relation db "POSITION" slice;
+        Tango_dbms.Database.load_relation db "EMPLOYEE" emp;
+        Tango_dbms.Database.create_index db ~clustered:true "EMPLOYEE" "EmpID";
+        Tango_dbms.Database.analyze_all db ?histograms ();
+        let backend =
+          Tango_dbms.Backend.in_process
+            ~name:(Printf.sprintf "shard%d" i)
+            ?roundtrip_spin:(spin_of i) db
+        in
+        (backend, b))
+      bounds
+  in
+  Tango_dbms.Topology.create ~partitioned:("POSITION", "T1") shard_list

@@ -35,3 +35,16 @@ val load_position_variant :
   table:string ->
   n:int ->
   unit
+
+val load_sharded :
+  ?scale:float ->
+  ?histograms:[ `All | `Cols of string list | `None ] ->
+  ?roundtrip_spins:int list ->
+  shards:int ->
+  unit ->
+  Tango_dbms.Topology.t
+(** Load a scaled UIS database over [shards] in-process backends:
+    POSITION range-partitioned on its period start [T1] at the data's
+    quantiles; EMPLOYEE (with its clustered EmpID index) replicated to
+    every backend.  Backends are named [shard0], [shard1], …;
+    [roundtrip_spins] gives each a simulated per-round-trip latency. *)

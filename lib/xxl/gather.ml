@@ -1,0 +1,95 @@
+(** Ordered k-way gather merge over per-shard cursors.  See the
+    interface for the ordering contract. *)
+
+open Tango_rel
+
+(* Drain [sources] one after another (no order to preserve). *)
+let concat ~schema (sources : Cursor.t list) : Cursor.t =
+  let remaining = ref sources in
+  Cursor.observed "gather"
+    (Cursor.make_batched ~schema
+       ~init:(fun () ->
+         List.iter Cursor.init sources;
+         remaining := sources)
+       ~next_batch:(fun () ->
+         let rec pull () =
+           match !remaining with
+           | [] -> None
+           | c :: rest -> (
+               match Cursor.next_batch c with
+               | Some b -> Some b
+               | None ->
+                   remaining := rest;
+                   pull ())
+         in
+         pull ()))
+
+(* K-way merge: one batch buffer per source, refilled on exhaustion; each
+   output batch repeatedly takes the least head (ties to the lowest source
+   index, so the merge is deterministic and stable across runs). *)
+let kway ~order ~schema (sources : Cursor.t array) : Cursor.t =
+  let n = Array.length sources in
+  let cmp = Order.comparator order schema in
+  let bufs = Array.make n [||] in
+  let pos = Array.make n 0 in
+  let done_ = Array.make n false in
+  let refill i =
+    if (not done_.(i)) && pos.(i) >= Array.length bufs.(i) then
+      match Cursor.next_batch sources.(i) with
+      | Some b ->
+          bufs.(i) <- b;
+          pos.(i) <- 0
+      | None -> done_.(i) <- true
+  in
+  let head i =
+    refill i;
+    if done_.(i) then None else Some bufs.(i).(pos.(i))
+  in
+  let next_tuple () =
+    let best = ref None in
+    for i = n - 1 downto 0 do
+      match head i with
+      | None -> ()
+      | Some t -> (
+          (* scanning high→low index: on ties the lower source wins *)
+          match !best with
+          | Some (_, bt) when cmp bt t < 0 -> ()
+          | _ -> best := Some (i, t))
+    done;
+    match !best with
+    | None -> None
+    | Some (i, t) ->
+        pos.(i) <- pos.(i) + 1;
+        Some t
+  in
+  Cursor.observed "gather"
+    (Cursor.make_batched ~schema
+       ~init:(fun () ->
+         Array.iter Cursor.init sources;
+         Array.fill bufs 0 n [||];
+         Array.fill pos 0 n 0;
+         Array.fill done_ 0 n false)
+       ~next_batch:(fun () ->
+         match next_tuple () with
+         | None -> None
+         | Some first ->
+             let out = ref [ first ] in
+             let count = ref 1 in
+             let continue = ref true in
+             while !continue && !count < Cursor.default_batch_size do
+               match next_tuple () with
+               | None -> continue := false
+               | Some t ->
+                   out := t :: !out;
+                   incr count
+             done;
+             Some (Array.of_list (List.rev !out))))
+
+let merge ?(order = []) ~schema (sources : Cursor.t list) : Cursor.t =
+  match sources with
+  | [] ->
+      Cursor.make ~schema ~init:(fun () -> ()) ~next:(fun () -> None)
+  | [ c ] -> c
+  | _ ->
+      if order = [] then concat ~schema sources
+      else kway ~order ~schema (Array.of_list sources)

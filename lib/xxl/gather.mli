@@ -1,0 +1,15 @@
+(** The gather half of scatter/gather: combine per-shard cursors into one
+    stream.
+
+    With an [order], the sources must each be sorted on it (each shard runs
+    the same DBMS subtree, so per-shard streams share the subtree's output
+    order) and the result is their ordered k-way merge — the
+    {!Ordering}-style guarantee a downstream temporal merge join relies
+    on.  Ties break by source position, so the merge is deterministic.
+    Without an order, sources are simply drained in sequence. *)
+
+open Tango_rel
+
+val merge : ?order:Order.t -> schema:Schema.t -> Cursor.t list -> Cursor.t
+(** [merge ~order ~schema sources].  An empty source list yields the empty
+    stream; a singleton is returned as-is (no wrapping cost). *)

@@ -1,16 +1,19 @@
 (** The transfer algorithms, `TRANSFER^M` and `TRANSFER^D` (paper
-    Section 3.2).
+    Section 3.2), over the {!Tango_dbms.Backend} abstraction.
 
-    `TRANSFER^M` issues a SELECT to the DBMS through the client boundary and
-    streams the result tuples into the middleware (paying marshalling and
-    round-trip costs per {!Tango_dbms.Client}).
+    `TRANSFER^M` issues a SELECT to one backend through the client boundary
+    and streams the result tuples into the middleware (paying marshalling
+    and round-trip costs per {!Tango_dbms.Client}).  Under a sharded
+    topology, one `TRANSFER^M` per shard feeds a {!Gather} merge.
 
     `TRANSFER^D` creates a uniquely-named table and bulk-loads its whole
     argument into the DBMS at [init] time — the direct-path-load analogue.
     Its cursor yields nothing; the data is consumed on the DBMS side by SQL
     referencing the created table, so the execution engine runs `TRANSFER^D`
     nodes before the `TRANSFER^M` that depends on them (the dashed
-    "sequence" edges of paper Figure 5). *)
+    "sequence" edges of paper Figure 5).  Under a sharded topology the
+    table is {e replicated}: every backend gets a full copy, so per-shard
+    SQL sees it ({!transfer_d_all}). *)
 
 open Tango_rel
 open Tango_sql
@@ -18,39 +21,60 @@ open Tango_dbms
 
 (** `TRANSFER^M`.  [schema] is the expected output schema (from the algebra);
     the SQL's column order must match. *)
-let transfer_m (client : Client.t) ~(schema : Schema.t) (sql : Ast.query) :
+let transfer_m (backend : Backend.t) ~(schema : Schema.t) (sql : Ast.query) :
     Cursor.t =
   let cur = ref None in
   Cursor.observed "transfer_m"
     (Cursor.make_batched ~schema
-       ~init:(fun () -> cur := Some (Client.execute_query_ast client sql))
+       ~init:(fun () -> cur := Some (Backend.execute_query backend sql))
        ~next_batch:(fun () ->
          match !cur with
          | None -> invalid_arg "TRANSFER^M: next before init"
-         | Some c -> Client.fetch_batch c))
+         | Some c -> Backend.fetch_batch c))
 
-(** `TRANSFER^D`: loads [arg] into table [table]; the cursor itself is
-    empty. *)
-let transfer_d (client : Client.t) ~(table : string) (arg : Cursor.t) :
-    Cursor.t =
+(* Load [arg]'s batches into [table] on every backend.  A single backend
+   streams batch-at-a-time; with replicas the input is drained once and
+   re-shipped to each. *)
+let load_all (backends : Backend.t list) ~table schema (arg : Cursor.t) =
+  Cursor.init arg;
+  match backends with
+  | [ b ] ->
+      let rec batches () =
+        match Cursor.next_batch arg with
+        | None -> Seq.Nil
+        | Some b -> Seq.Cons (b, batches)
+      in
+      let seq = Seq.concat_map Array.to_seq batches in
+      ignore (Backend.bulk_load b ~table schema seq)
+  | bs ->
+      let rec drain acc =
+        match Cursor.next_batch arg with
+        | None -> Array.concat (List.rev acc)
+        | Some b -> drain (b :: acc)
+      in
+      let tuples = drain [] in
+      List.iter
+        (fun b ->
+          ignore (Backend.bulk_load b ~table schema (Array.to_seq tuples)))
+        bs
+
+(** `TRANSFER^D` to every backend of the topology: the created table is
+    replicated, so any per-shard SQL can reference it.  The cursor itself
+    is empty. *)
+let transfer_d_all (backends : Backend.t list) ~(table : string)
+    (arg : Cursor.t) : Cursor.t =
   let schema = Cursor.schema arg in
   Cursor.observed "transfer_d"
     (Cursor.make ~schema
-       ~init:(fun () ->
-         Cursor.init arg;
-         (* Feed the bulk load from batch pulls: the Seq below flattens
-            one input batch at a time. *)
-         let rec batches () =
-           match Cursor.next_batch arg with
-           | None -> Seq.Nil
-           | Some b -> Seq.Cons (b, batches)
-         in
-         let seq = Seq.concat_map Array.to_seq batches in
-         ignore (Client.bulk_load client ~table schema seq))
+       ~init:(fun () -> load_all backends ~table schema arg)
        ~next:(fun () -> None))
+
+(** `TRANSFER^D` to a single backend. *)
+let transfer_d (backend : Backend.t) ~(table : string) (arg : Cursor.t) :
+    Cursor.t =
+  transfer_d_all [ backend ] ~table arg
 
 (** Drop the temporary tables a query created ("the table must be dropped at
     the end of the query"). *)
-let drop_temp_table (client : Client.t) (table : string) =
-  if Database.table_exists (Client.database client) table then
-    Database.drop_table (Client.database client) table
+let drop_temp_table (backend : Backend.t) (table : string) =
+  if Backend.table_exists backend table then Backend.drop_table backend table

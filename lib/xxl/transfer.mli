@@ -1,23 +1,29 @@
-(** The transfer algorithms, `TRANSFER^M` and `TRANSFER^D` (paper §3.2).
+(** The transfer algorithms, `TRANSFER^M` and `TRANSFER^D` (paper §3.2),
+    over the {!Tango_dbms.Backend} abstraction.
 
-    `TRANSFER^M` issues a SELECT through the client boundary and streams
-    the result into the middleware (paying marshalling and round-trip
-    costs).  `TRANSFER^D` bulk-loads its whole argument into a
-    uniquely-named DBMS table at [init] time — the direct-path-load
-    analogue; its cursor yields nothing, the data being consumed by SQL
-    referencing the created table (the dashed sequence edges of paper
-    Figure 5). *)
+    `TRANSFER^M` issues a SELECT to one backend and streams the result
+    into the middleware (paying marshalling and round-trip costs).
+    `TRANSFER^D` bulk-loads its whole argument into a uniquely-named table
+    at [init] time — the direct-path-load analogue; its cursor yields
+    nothing, the data being consumed by SQL referencing the created table
+    (the dashed sequence edges of paper Figure 5).  Under a sharded
+    topology the table is replicated to every backend
+    ({!transfer_d_all}). *)
 
 open Tango_rel
 open Tango_sql
 open Tango_dbms
 
-val transfer_m : Client.t -> schema:Schema.t -> Ast.query -> Cursor.t
+val transfer_m : Backend.t -> schema:Schema.t -> Ast.query -> Cursor.t
 (** [schema] is the expected output schema (from the algebra); the SQL's
     column order must match positionally. *)
 
-val transfer_d : Client.t -> table:string -> Cursor.t -> Cursor.t
+val transfer_d : Backend.t -> table:string -> Cursor.t -> Cursor.t
 
-val drop_temp_table : Client.t -> string -> unit
+val transfer_d_all : Backend.t list -> table:string -> Cursor.t -> Cursor.t
+(** Replicate the argument into [table] on every listed backend (one
+    drain of the argument, one bulk load per backend). *)
+
+val drop_temp_table : Backend.t -> string -> unit
 (** Drop a temp table if it exists ("the table must be dropped at the end
     of the query"). *)

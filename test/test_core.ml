@@ -153,7 +153,8 @@ let test_temp_tables_dropped () =
 
 let test_feedback_adapts () =
   let _db, mw = setup () in
-  Middleware.set_feedback mw true;
+  Middleware.set_config mw
+    Middleware.Config.(with_feedback true (Middleware.config mw));
   let before = (Middleware.factors mw).Tango_cost.Factors.p_tm in
   ignore (Middleware.query mw Queries.q1_sql);
   let after = (Middleware.factors mw).Tango_cost.Factors.p_tm in
@@ -197,7 +198,8 @@ let test_config_round_trip () =
   Alcotest.(check int) "explicit arg wins" 7
     (Middleware.config mw2).Middleware.Config.row_prefetch;
   (* deprecated setters are shims over the immutable config *)
-  Middleware.set_feedback mw false;
+  Middleware.set_config mw
+    Middleware.Config.(with_feedback false (Middleware.config mw));
   Alcotest.(check bool) "setter updates config" false
     (Middleware.config mw).Middleware.Config.feedback;
   Alcotest.(check (float 1e-9)) "other fields untouched" 0.5
@@ -208,9 +210,11 @@ let test_config_round_trip () =
 
 let test_histogram_toggle () =
   let _db, mw = setup () in
-  Middleware.set_histograms mw false;
+  Middleware.set_config mw
+    Middleware.Config.(with_histograms false (Middleware.config mw));
   let r1 = Middleware.query mw Queries.q1_sql in
-  Middleware.set_histograms mw true;
+  Middleware.set_config mw
+    Middleware.Config.(with_histograms true (Middleware.config mw));
   let r2 = Middleware.query mw Queries.q1_sql in
   Alcotest.(check bool) "same result either way" true
     (Relation.equal_multiset r1.Middleware.result r2.Middleware.result)
@@ -368,11 +372,13 @@ let test_transfer_sharing () =
      POSITION: with sharing, the second TRANSFER^M costs no round trips. *)
   let _db, mw = setup () in
   let tree = Queries.q3_plan2 ~position:"POSITION" ~start_bound:"1997-01-01" () in
-  Middleware.set_transfer_sharing mw false;
+  Middleware.set_config mw
+    Middleware.Config.(with_transfer_sharing false (Middleware.config mw));
   Tango_dbms.Client.reset_counters (Middleware.client mw);
   let unshared = Middleware.run_fixed mw ~required_order:Queries.q3_order tree in
   let rt_unshared = Tango_dbms.Client.roundtrips (Middleware.client mw) in
-  Middleware.set_transfer_sharing mw true;
+  Middleware.set_config mw
+    Middleware.Config.(with_transfer_sharing true (Middleware.config mw));
   Tango_dbms.Client.reset_counters (Middleware.client mw);
   let shared = Middleware.run_fixed mw ~required_order:Queries.q3_order tree in
   let rt_shared = Tango_dbms.Client.roundtrips (Middleware.client mw) in

@@ -78,6 +78,7 @@ let pplan ?(own = 1.0) ?(order = []) ?(loc = Op.Mw) algorithm op children =
     total_cost = total;
     out_order = order;
     location = loc;
+    shards = [];
   }
 
 let leaf ?alias () = pplan ~loc:Op.Db Physical.Table_scan_d (scan ?alias ()) []

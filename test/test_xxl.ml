@@ -488,25 +488,29 @@ let test_transfer_m () =
   let db = Tango_dbms.Database.create () in
   Tango_dbms.Database.load_relation db "R" sample;
   let client = Tango_dbms.Client.connect ~roundtrip_spin:0 db in
+  let backend = Tango_dbms.Backend.of_client client in
   let sql = Parser.query "SELECT K, V, T1, T2 FROM R ORDER BY K" in
   let out =
-    Cursor.to_relation (Transfer.transfer_m client ~schema:schema_kab sql)
+    Cursor.to_relation (Transfer.transfer_m backend ~schema:schema_kab sql)
   in
   Alcotest.(check int) "all rows" 5 (Relation.cardinality out);
-  Alcotest.(check int) "shipped" 5 (Tango_dbms.Client.tuples_shipped client)
+  Alcotest.(check int) "shipped" 5 (Tango_dbms.Client.tuples_shipped client);
+  Alcotest.(check int) "backend meter agrees" 5
+    (Tango_dbms.Backend.tuples_shipped backend)
 
 let test_transfer_d_roundtrip () =
   let db = Tango_dbms.Database.create () in
   let client = Tango_dbms.Client.connect ~roundtrip_spin:0 db in
-  let td = Transfer.transfer_d client ~table:"TMP1" (Cursor.of_relation sample) in
+  let backend = Tango_dbms.Backend.of_client client in
+  let td = Transfer.transfer_d backend ~table:"TMP1" (Cursor.of_relation sample) in
   Cursor.init td;
   Alcotest.(check bool) "empty cursor" true (Cursor.next td = None);
   Alcotest.(check int) "loaded" 5 (Tango_dbms.Database.table_cardinality db "TMP1");
   (* Round trip back out. *)
   let sql = Parser.query "SELECT K, V, T1, T2 FROM TMP1" in
-  let back = Cursor.to_relation (Transfer.transfer_m client ~schema:schema_kab sql) in
+  let back = Cursor.to_relation (Transfer.transfer_m backend ~schema:schema_kab sql) in
   Alcotest.(check bool) "round trip" true (Relation.equal_multiset sample back);
-  Transfer.drop_temp_table client "TMP1";
+  Transfer.drop_temp_table backend "TMP1";
   Alcotest.(check bool) "dropped" false (Tango_dbms.Database.table_exists db "TMP1")
 
 let () =
