@@ -18,6 +18,7 @@
      obs       per-query traces + global metrics, exported as JSON
      throughput  repeated workload, plan cache x batch execution (qps)
      sharding  workload over 1/2/4 time-range shards + pruning smoke
+     tail      tail-latency attribution on a skewed 2-shard topology
      micro     Bechamel micro-benchmarks of the core algorithms
 
    Sizes are scaled down from the paper's 83,857-tuple POSITION by --scale
@@ -975,6 +976,149 @@ let sharding ctx =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* tail: tail-latency attribution on a skewed 2-shard topology          *)
+(* ------------------------------------------------------------------ *)
+
+(* One shard pays a simulated per-round-trip latency, the other none:
+   the tail is manufactured, so the attribution machinery must name the
+   slow shard.  Checks the watchdog's dominant-backend/phase verdict and
+   conservation — the per-phase breakdown must sum to the pipeline wall
+   time, and the per-backend breakdown must account for the bulk of the
+   execute phase (the spin makes boundary time dominate). *)
+let tail ctx =
+  Fmt.pr "== Tail-latency attribution: skewed 2-shard topology ==@.";
+  (* shard1's per-round-trip spin is 50x the client default; shard0 pays
+     nothing — enough to outweigh shard0's larger transfer volume (the
+     replicated EMPLOYEE is scanned on the primary) *)
+  let spins = [ 0; 1_000_000 ] in
+  let slow_backend = "shard1" in
+  let topo =
+    Uis.load_sharded ~scale:ctx.scale ~roundtrip_spins:spins ~shards:2 ()
+  in
+  (* profiling off: its per-operator instrumentation would count as
+     middleware execution and dilute the boundary share being measured *)
+  let config =
+    Middleware.Config.(default |> with_tracing true |> with_plan_cache true)
+  in
+  let mw = Middleware.connect_topology ~config topo in
+  Middleware.adopt_factors mw ctx.factors;
+  (* warm the plan cache before the observer is installed: the recorded
+     runs are then cache hits, whose wall time the skewed boundary —
+     not the optimizer — dominates *)
+  List.iter (fun (_, sql) -> ignore (Middleware.query mw sql)) Queries.workload;
+  let open Tango_monitor in
+  let log = Event_log.create ~capacity:512 () in
+  let endpoints = Endpoints.create ~log mw in
+  let reps = if ctx.quick then 2 else 4 in
+  for _ = 1 to reps do
+    List.iter (fun (_, sql) -> ignore (Middleware.query mw sql)) Queries.workload
+  done;
+  let records =
+    List.filter
+      (fun (r : Event_log.record) -> r.Event_log.error = None)
+      (Event_log.recent log)
+  in
+  (* conservation: phases vs wall time, backends vs execute *)
+  let phase_sum (r : Event_log.record) =
+    r.Event_log.parse_us +. r.Event_log.optimize_us +. r.Event_log.translate_us
+    +. r.Event_log.mw_exec_us +. r.Event_log.transfer_us
+    +. r.Event_log.gather_wait_us
+  in
+  let backend_sum (r : Event_log.record) =
+    List.fold_left
+      (fun acc (_, (b : Middleware.backend_breakdown)) ->
+        acc +. b.Middleware.us +. b.Middleware.wait_us)
+      0.0 r.Event_log.backends
+  in
+  let ratios f sel =
+    List.filter_map
+      (fun r -> match sel r with d when d > 0.0 -> Some (f r /. d) | _ -> None)
+      records
+  in
+  let mean = function
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let phase_ratios = ratios phase_sum (fun r -> r.Event_log.total_us) in
+  let backend_ratios =
+    ratios backend_sum (fun (r : Event_log.record) -> r.Event_log.execute_us)
+  in
+  (* per-backend totals over the whole run *)
+  header [ "backend"; "transfer[ms]"; "wait[ms]"; "rows"; "bytes" ];
+  let lanes : (string, Middleware.backend_breakdown) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun (r : Event_log.record) ->
+      List.iter
+        (fun (name, (b : Middleware.backend_breakdown)) ->
+          let prev =
+            Option.value
+              (Hashtbl.find_opt lanes name)
+              ~default:
+                { Middleware.rows = 0; bytes = 0; us = 0.0; wait_us = 0.0 }
+          in
+          Hashtbl.replace lanes name
+            {
+              Middleware.rows = prev.Middleware.rows + b.Middleware.rows;
+              bytes = prev.Middleware.bytes + b.Middleware.bytes;
+              us = prev.Middleware.us +. b.Middleware.us;
+              wait_us = prev.Middleware.wait_us +. b.Middleware.wait_us;
+            })
+        r.Event_log.backends)
+    records;
+  Hashtbl.iter
+    (fun name (b : Middleware.backend_breakdown) ->
+      Fmt.pr "%-8s %12.1f %9.1f %6d %8d@." name
+        (b.Middleware.us /. 1000.0)
+        (b.Middleware.wait_us /. 1000.0)
+        b.Middleware.rows b.Middleware.bytes)
+    lanes;
+  let verdict =
+    Watchdog.evaluate (Endpoints.watchdog endpoints)
+      ~now_us:(Tango_obs.now_us ()) ~slo:(Endpoints.slo endpoints) ~log
+      ~feedback:(Middleware.profile_store mw)
+      ~cache:(Middleware.plan_cache_stats mw)
+      ~generation:(Tango_dbms.Topology.generation topo) ()
+  in
+  let dominant_name, dominant_share =
+    match verdict.Watchdog.dominant_backend with
+    | Some (n, s) -> (n, s)
+    | None -> ("(none)", 0.0)
+  in
+  let dominant_phase =
+    match verdict.Watchdog.dominant_phase with Some (n, _) -> n | None -> "(none)"
+  in
+  let dominant_ok = String.equal dominant_name slow_backend in
+  Fmt.pr
+    "# watchdog: dominant backend %s (share %.2f, expected %s — %s), \
+     dominant phase %s@."
+    dominant_name dominant_share slow_backend
+    (if dominant_ok then "OK" else "WRONG")
+    dominant_phase;
+  Fmt.pr "# conservation: phases/wall mean %.3f, backends/execute mean %.3f@.@."
+    (mean phase_ratios) (mean backend_ratios);
+  Tango_dbms.Topology.close topo;
+  bench_payload :=
+    Some
+      (Tango_obs.Json.Obj
+         [
+           ("shards", Tango_obs.Json.Int 2);
+           ( "spins",
+             Tango_obs.Json.List
+               (List.map (fun s -> Tango_obs.Json.Int s) spins) );
+           ("queries", Tango_obs.Json.Int (List.length records));
+           ("dominant_backend", Tango_obs.Json.String dominant_name);
+           ("dominant_share", Tango_obs.Json.Float dominant_share);
+           ("dominant_phase", Tango_obs.Json.String dominant_phase);
+           ("dominant_ok", Tango_obs.Json.Bool dominant_ok);
+           ( "phase_conservation_mean",
+             Tango_obs.Json.Float (mean phase_ratios) );
+           ( "backend_over_execute_mean",
+             Tango_obs.Json.Float (mean backend_ratios) );
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1073,7 +1217,7 @@ let experiments =
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
     ("sharing", sharing); ("adapt", adapt); ("obs", obs);
     ("baseline", baseline); ("throughput", throughput);
-    ("sharding", sharding); ("micro", micro) ]
+    ("sharding", sharding); ("tail", tail); ("micro", micro) ]
 
 let write_bench_json ~dir ~name ~scale ~quick ~wall_s payload =
   let doc =

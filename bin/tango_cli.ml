@@ -650,16 +650,31 @@ let serve_cmd =
         in
         let endpoints = Tango_monitor.Endpoints.create ~log ~slo mw in
         let sock = Tango_monitor.Http.listen ~host ~port () in
+        (* SIGINT/SIGTERM set a flag; the blocking accept returns with
+           EINTR and the loop re-checks it — the in-flight request (the
+           loop is sequential) is drained first, then we fall through to
+           the final snapshot below. *)
+        let stop = ref false in
+        let stop_handler = Sys.Signal_handle (fun _ -> stop := true) in
+        Sys.set_signal Sys.sigint stop_handler;
+        Sys.set_signal Sys.sigterm stop_handler;
         Fmt.pr "tango: serving monitoring endpoint on http://%s:%d@." host
           (Tango_monitor.Http.bound_port sock);
         Fmt.pr
-          "  GET /metrics /healthz /slo /queries?n=K /trace — POST /query@.";
+          "  GET /metrics /healthz /slo /queries?n=K /queries/SEQ \
+           /debug/watchdog /trace — POST /query@.";
         Fmt.pr "%!";
         Fun.protect
           ~finally:(fun () -> try Unix.close sock with _ -> ())
           (fun () ->
-            Tango_monitor.Http.accept_loop ?max_requests sock
-              (Tango_monitor.Endpoints.handler endpoints)))
+            Tango_monitor.Http.accept_loop ?max_requests
+              ~should_stop:(fun () -> !stop)
+              sock
+              (Tango_monitor.Endpoints.handler endpoints));
+        if !stop then
+          Fmt.pr "@.tango: signal received, in-flight request drained@.";
+        Fmt.pr "@.final registry snapshot:@.%a@." Tango_obs.Registry.pp
+          (Tango_obs.Registry.snapshot ()))
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const f $ scale_arg $ csv_arg $ shards_arg $ prefetch_arg

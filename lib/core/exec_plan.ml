@@ -377,7 +377,8 @@ let rec build_cursor (ctx : run_ctx) (n : node) : Cursor.t =
             shard_names
         in
         transfer_cursor ctx n ~sql ~deps ~shard_key:shard_names
-          (Gather.merge ~order:merge_order ~schema:n.schema sources)
+          (Gather.merge ~order:merge_order ~names:shard_names ~schema:n.schema
+             sources)
     | Filter (pred, arg) -> Basic_ops.filter pred (build_cursor ctx arg)
     | Project (items, arg) -> Basic_ops.project items (build_cursor ctx arg)
     | Sort (order, arg) -> Sort.sort order (build_cursor ctx arg)

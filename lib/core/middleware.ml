@@ -127,6 +127,54 @@ type cache_report = {
   cache_entries : int;  (** entries resident after this query *)
 }
 
+(* Per-backend latency attribution, as collected by the transfer/gather
+   layers during one execution ({!Tango_xxl.Attribution}). *)
+type backend_breakdown = Tango_xxl.Attribution.breakdown = {
+  rows : int;
+  bytes : int;
+  us : float;
+  wait_us : float;
+}
+
+(* Where one pipeline run's wall time went, phase by phase.  The first
+   four are measured directly; [transfer_us]/[gather_wait_us] are the
+   per-backend attribution totals, and [mw_exec_us] is the remainder of
+   [execute_us] — middleware-resident operator work.  parse + optimize +
+   translate + mw-exec + transfer + gather-wait ≈ pipeline wall time. *)
+type phases = {
+  parse_us : float;
+  optimize_us : float;
+  translate_us : float;
+  execute_us : float;  (** whole execution (= the last three summands) *)
+  transfer_us : float;  (** Σ backend transfer time *)
+  gather_wait_us : float;  (** Σ gather-merge blocked time *)
+  mw_exec_us : float;  (** execute − transfer − gather-wait, clamped *)
+}
+
+let no_phases =
+  {
+    parse_us = 0.0;
+    optimize_us = 0.0;
+    translate_us = 0.0;
+    execute_us = 0.0;
+    transfer_us = 0.0;
+    gather_wait_us = 0.0;
+    mw_exec_us = 0.0;
+  }
+
+let make_phases ?(parse_us = 0.0) ?(optimize_us = 0.0) ~translate_us
+    ~execute_us (backends : (string * backend_breakdown) list) : phases =
+  let t = Tango_xxl.Attribution.totals backends in
+  {
+    parse_us;
+    optimize_us;
+    translate_us;
+    execute_us;
+    transfer_us = t.us;
+    gather_wait_us = t.wait_us;
+    mw_exec_us = Float.max 0.0 (execute_us -. t.us -. t.wait_us);
+  }
+
 (* The execution report, defined ahead of the session type so pipeline
    events (which carry one) can be observed through a session field. *)
 type report = {
@@ -142,6 +190,9 @@ type report = {
   analysis : Tango_profile.Analyze.report option;
   diagnostics : Tango_verify.Diag.t list;
   cache : cache_report option;
+  phases : phases;
+  backends : (string * backend_breakdown) list;
+      (** per-backend latency attribution, first-touched first *)
 }
 
 (* One top-level pipeline run ({!query} / {!run_plan} / {!run_fixed}),
@@ -154,6 +205,9 @@ type query_event = {
   cache_hit : bool;  (** answered from the plan cache (no parse/optimize) *)
   report : report option;  (** [None] when the pipeline raised *)
   error : string option;  (** the exception text when the pipeline raised *)
+  backends : (string * backend_breakdown) list;
+      (** the report's per-backend attribution; [[]] when the pipeline
+          raised *)
 }
 
 type t = {
@@ -456,6 +510,8 @@ let observed t ~kind ?sql (f : unit -> report) : report =
             cache_hit;
             report;
             error;
+            backends =
+              (match report with Some r -> r.backends | None -> []);
           }
         in
         try notify ev with _ -> ()
@@ -532,13 +588,22 @@ let apply_feedback t (root : Exec_plan.node) =
   Factors.blend ~alpha:t.config.Config.feedback_alpha t.factors observed;
   Log.debug (fun m -> m "feedback: %a" Factors.pp t.factors)
 
-(** Execute a chosen physical plan; returns the result and measured times.
+(** Execute a chosen physical plan; returns the result, measured times,
+    the translate phase time, and the per-backend latency attribution.
     Temp tables created by `TRANSFER^D` steps are dropped afterwards. *)
-let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node * float =
+let execute_physical_full t (physical : Physical.plan) :
+    Relation.t
+    * Exec_plan.node
+    * float
+    * float
+    * (string * backend_breakdown) list =
+  let tr0 = now_us () in
   let exec, temp_tables =
     Tango_obs.Trace.span "translate" (fun () ->
         Exec_plan.of_physical (database t) physical)
   in
+  let translate_us = now_us () -. tr0 in
+  let collector = Tango_xxl.Attribution.create () in
   let t0 = now_us () in
   let result =
     Tango_obs.Trace.span "execute" (fun () ->
@@ -552,22 +617,32 @@ let execute_physical t (physical : Physical.plan) : Relation.t * Exec_plan.node 
                   (Topology.backends t.topology))
               temp_tables)
           (fun () ->
-            let ctx =
-              Exec_plan.run_ctx
-                ~share_transfers:t.config.Config.share_transfers
-                ~batching:t.config.Config.batch_execution t.topology
-            in
-            let r =
-              Tango_xxl.Cursor.to_relation (Exec_plan.build_cursor ctx exec)
-            in
-            Tango_obs.Trace.attr "tuples"
-              (Tango_obs.Trace.Int (Relation.cardinality r));
-            (* graft the measured operator tree under the execute span *)
-            Tango_obs.Trace.graft (Exec_plan.to_trace exec);
-            r))
+            Tango_xxl.Attribution.with_collector collector (fun () ->
+                let ctx =
+                  Exec_plan.run_ctx
+                    ~share_transfers:t.config.Config.share_transfers
+                    ~batching:t.config.Config.batch_execution t.topology
+                in
+                let r =
+                  Tango_xxl.Cursor.to_relation
+                    (Exec_plan.build_cursor ctx exec)
+                in
+                Tango_obs.Trace.attr "tuples"
+                  (Tango_obs.Trace.Int (Relation.cardinality r));
+                (* graft the measured operator tree under the execute
+                   span *)
+                Tango_obs.Trace.graft (Exec_plan.to_trace exec);
+                r)))
   in
   let elapsed = now_us () -. t0 in
   if t.config.Config.feedback then apply_feedback t exec;
+  (result, exec, elapsed, translate_us, Tango_xxl.Attribution.breakdown collector)
+
+let execute_physical t (physical : Physical.plan) :
+    Relation.t * Exec_plan.node * float =
+  let result, exec, elapsed, _translate_us, _backends =
+    execute_physical_full t physical
+  in
   (result, exec, elapsed)
 
 (* The profiling hook (after execution): pair the chosen physical plan
@@ -609,8 +684,10 @@ let profile_execution t ~(query_fingerprint : string)
     Some analysis
   end
 
-(* The shared optimize-then-execute body; the caller owns the trace. *)
-let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
+(* The shared optimize-then-execute body; the caller owns the trace.
+   [parse_us] is the parse phase wall time when the caller parsed SQL. *)
+let run_plan_body t ?(parse_us = 0.0) ?(required_order : Order.t = [])
+    (initial : Op.t) : report =
   let r =
     Tango_obs.Trace.span "optimize" (fun () ->
         let r = optimize t ~required_order initial in
@@ -625,7 +702,9 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
           m "optimized in %.1f ms (%d classes, %d elements): %s est=%.0fus"
             (r.Search.time_us /. 1000.0) r.Search.classes r.Search.elements
             (Physical.signature physical) physical.Physical.total_cost);
-      let result, exec, execute_us = execute_physical t physical in
+      let result, exec, execute_us, translate_us, backends =
+        execute_physical_full t physical
+      in
       Log.info (fun m ->
           m "executed %s: %d tuples in %.1f ms (estimated %.1f ms)"
             (Physical.algorithm_name physical.Physical.algorithm)
@@ -649,6 +728,10 @@ let run_plan_body t ?(required_order : Order.t = []) (initial : Op.t) : report =
         analysis;
         diagnostics = t.last_diagnostics;
         cache = None;
+        phases =
+          make_phases ~parse_us ~optimize_us:r.Search.time_us ~translate_us
+            ~execute_us backends;
+        backends;
       }
 
 (** Optimize and execute an initial algebra plan. *)
@@ -701,8 +784,8 @@ let query t (sql : string) : report =
               Tango_obs.Trace.attr "cache" (Tango_obs.Trace.Str "hit");
               Log.debug (fun m -> m "plan cache hit");
               t.last_diagnostics <- entry.cached_diagnostics;
-              let result, exec, execute_us =
-                execute_physical t entry.cached_physical
+              let result, exec, execute_us, translate_us, backends =
+                execute_physical_full t entry.cached_physical
               in
               let analysis =
                 profile_execution t ~query_fingerprint:entry.cached_fp
@@ -722,15 +805,19 @@ let query t (sql : string) : report =
                 analysis;
                 diagnostics = entry.cached_diagnostics;
                 cache = cache_report_now t ~hit:true;
+                phases = make_phases ~translate_us ~execute_us backends;
+                backends;
               }
           | None ->
+              let p0 = now_us () in
               let initial, required_order =
                 Tango_obs.Trace.span "parse" (fun () ->
                     ( Tango_tsql.Compile.initial_plan
                         ~lookup:(schema_lookup t) sql,
                       Tango_tsql.Compile.required_order sql ))
               in
-              let report = run_plan_body t ~required_order initial in
+              let parse_us = now_us () -. p0 in
+              let report = run_plan_body t ~parse_us ~required_order initial in
               if t.config.Config.plan_cache then
                 Tango_cache.Plan_cache.add t.plan_cache ~sql
                   {
@@ -757,7 +844,9 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
           let diags = verify_final t ~required_order physical in
           log_diagnostics diags;
           t.last_diagnostics <- diags;
-          let result, exec, execute_us = execute_physical t physical in
+          let result, exec, execute_us, translate_us, backends =
+            execute_physical_full t physical
+          in
           let analysis =
             profile_execution t
               ~query_fingerprint:(Physical.op_fingerprint plan_tree) physical
@@ -776,4 +865,6 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
             analysis;
             diagnostics = t.last_diagnostics;
             cache = None;
+            phases = make_phases ~translate_us ~execute_us backends;
+            backends;
           }))

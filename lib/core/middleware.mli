@@ -223,6 +223,38 @@ type cache_report = {
   cache_entries : int;  (** entries resident after this query *)
 }
 
+type backend_breakdown = Tango_xxl.Attribution.breakdown = {
+  rows : int;  (** tuples that crossed this backend's client boundary *)
+  bytes : int;  (** their marshalled volume *)
+  us : float;  (** transfer time: wall time inside boundary calls *)
+  wait_us : float;
+      (** gather-wait time: how long the merge sat blocked on this
+          backend beyond the transfer time those pulls recorded *)
+}
+(** Per-backend latency attribution for one query (re-exported from
+    {!Tango_xxl.Attribution}).  Summing [us +. wait_us] over all
+    backends gives the sharded execution's total boundary contribution. *)
+
+(** Phase breakdown of one pipeline run.  The phases are designed to be
+    {e conservative}: [parse + optimize + translate + mw_exec + transfer
+    + gather_wait] approximates the pipeline wall time, because
+    [mw_exec_us] is derived as the execute-phase remainder after
+    subtracting boundary time. *)
+type phases = {
+  parse_us : float;
+  optimize_us : float;
+  translate_us : float;
+  execute_us : float;  (** whole execute phase (contains the next three) *)
+  transfer_us : float;  (** Σ backend transfer time *)
+  gather_wait_us : float;  (** Σ backend gather-wait time *)
+  mw_exec_us : float;
+      (** middleware-side execution: [execute - transfer - gather_wait],
+          clamped at zero *)
+}
+
+val no_phases : phases
+(** All-zero phases (used for synthesized or failed reports). *)
+
 type report = {
   result : Relation.t;
   physical : Tango_volcano.Physical.plan;  (** the chosen plan *)
@@ -247,6 +279,10 @@ type report = {
   cache : cache_report option;
       (** plan-cache outcome; [None] unless this was a {!query} run with
           [plan_cache] on *)
+  phases : phases;  (** per-phase latency breakdown of this run *)
+  backends : (string * backend_breakdown) list;
+      (** per-backend attribution, in first-touch order; [[]] when the
+          plan never crossed a client boundary *)
 }
 
 exception No_plan of string
@@ -266,6 +302,10 @@ type query_event = {
           zero [optimize_us] means "skipped", not "instantaneous") *)
   report : report option;  (** [None] when the pipeline raised *)
   error : string option;  (** the exception text when the pipeline raised *)
+  backends : (string * backend_breakdown) list;
+      (** the report's per-backend attribution ([[]] when the pipeline
+          raised), duplicated here so observers need not destructure the
+          report *)
 }
 
 val set_query_observer : t -> (query_event -> unit) option -> unit

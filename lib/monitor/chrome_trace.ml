@@ -49,12 +49,51 @@ let events ?(pid = 1) ?(tid = 1) ?(start_us = 0.0) (root : Trace.span) :
   go start_us root;
   List.rev !acc
 
-let to_json ?pid ?tid ?start_us (root : Trace.span) : Json.t =
+(* "M"-phase metadata event naming a lane in the thread list. *)
+let thread_name_event ~pid ~tid name =
   Json.Obj
     [
-      ("traceEvents", Json.List (events ?pid ?tid ?start_us root));
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let lane_event ~pid ~tid ~name ~ts ~dur =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "X");
+      ("ts", Json.Float ts);
+      ("dur", Json.Float dur);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+    ]
+
+let backend_lanes ?(pid = 1) ?(start_us = 0.0)
+    (backends : (string * float * float) list) : Json.t list =
+  List.concat
+    (List.mapi
+       (fun i (name, transfer_us, wait_us) ->
+         let tid = 2 + i in
+         thread_name_event ~pid ~tid ("backend:" ^ name)
+         :: lane_event ~pid ~tid ~name:"transfer" ~ts:start_us ~dur:transfer_us
+         :: [
+              lane_event ~pid ~tid ~name:"gather-wait"
+                ~ts:(start_us +. transfer_us) ~dur:wait_us;
+            ])
+       backends)
+
+let to_json ?pid ?tid ?start_us ?(backends = []) (root : Trace.span) : Json.t =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (events ?pid ?tid ?start_us root
+          @ backend_lanes ?pid ?start_us backends) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let to_string ?pid ?tid ?start_us root =
-  Json.to_string (to_json ?pid ?tid ?start_us root)
+let to_string ?pid ?tid ?start_us ?backends root =
+  Json.to_string (to_json ?pid ?tid ?start_us ?backends root)

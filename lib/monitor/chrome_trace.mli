@@ -16,13 +16,31 @@ val events :
     microseconds, span attributes as [args].  [pid]/[tid] default to 1,
     [start_us] (the root timestamp) to 0. *)
 
+val backend_lanes :
+  ?pid:int ->
+  ?start_us:float ->
+  (string * float * float) list ->
+  Tango_obs.Json.t list
+(** One trace lane {e per backend}: [(name, transfer_us, wait_us)]
+    becomes a thread (tids 2, 3, ... — tid 1 is the pipeline) labeled
+    ["backend:<name>"] via a thread_name metadata event, holding a
+    ["transfer"] slice followed by a ["gather-wait"] slice.  Lane order
+    follows list order, so first-touch attribution order is preserved. *)
+
 val to_json :
   ?pid:int ->
   ?tid:int ->
   ?start_us:float ->
+  ?backends:(string * float * float) list ->
   Tango_obs.Trace.span ->
   Tango_obs.Json.t
-(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]; [backends] (default
+    none) appends {!backend_lanes} after the span events. *)
 
 val to_string :
-  ?pid:int -> ?tid:int -> ?start_us:float -> Tango_obs.Trace.span -> string
+  ?pid:int ->
+  ?tid:int ->
+  ?start_us:float ->
+  ?backends:(string * float * float) list ->
+  Tango_obs.Trace.span ->
+  string

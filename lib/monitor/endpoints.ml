@@ -3,11 +3,15 @@
     {!Tango_core.Middleware.set_query_observer}, and dispatches HTTP
     requests to the endpoints [tango_cli serve] exposes:
 
-    - [GET /healthz] — liveness;
+    - [GET /healthz] — liveness, as JSON (bare ["ok"] under [?plain=1]);
     - [GET /metrics] — Prometheus exposition of the full
-      {!Tango_obs.Registry} snapshot plus SLO gauges;
+      {!Tango_obs.Registry} snapshot plus SLO gauges; OpenMetrics
+      exemplar mode under content negotiation;
     - [GET /slo] — burn-rate verdict as JSON;
     - [GET /queries?n=K] — the most recent sampled event-log records;
+    - [GET /queries/<seq>] — one record in full: phase breakdown,
+      per-backend attribution, and its Chrome trace with backend lanes;
+    - [GET /debug/watchdog] — the {!Watchdog} drill-down verdict;
     - [GET /trace] — Chrome trace JSON of the last pipeline run;
     - [POST /query] — run the temporal SQL in the body, reply with a
       JSON result summary. *)
@@ -18,12 +22,24 @@ type t = {
   mw : Middleware.t;
   log : Event_log.t;
   slo : Slo.t;
+  watchdog : Watchdog.t;
   started_us : float;
 }
 
-let create ?log ?slo mw =
+let topology_generation t =
+  Tango_dbms.Topology.generation (Middleware.topology t.mw)
+
+let create ?log ?slo ?watchdog mw =
   let log = match log with Some l -> l | None -> Event_log.create () in
   let slo = match slo with Some s -> s | None -> Slo.create () in
+  let watchdog =
+    match watchdog with
+    | Some w -> w
+    | None ->
+        Watchdog.create
+          ~generation:(Tango_dbms.Topology.generation (Middleware.topology mw))
+          ()
+  in
   Middleware.set_query_observer mw
     (Some
        (fun (ev : Middleware.query_event) ->
@@ -32,10 +48,11 @@ let create ?log ?slo mw =
            ~now_us:(ev.Middleware.started_us +. ev.Middleware.elapsed_us)
            ~latency_us:ev.Middleware.elapsed_us
            ~ok:(ev.Middleware.error = None)));
-  { mw; log; slo; started_us = Tango_obs.now_us () }
+  { mw; log; slo; watchdog; started_us = Tango_obs.now_us () }
 
 let event_log t = t.log
 let slo t = t.slo
+let watchdog t = t.watchdog
 
 let json_response ?status j =
   Http.response ?status ~content_type:"application/json"
@@ -44,7 +61,26 @@ let json_response ?status j =
 let error_response status msg =
   json_response ~status (Tango_obs.Json.Obj [ ("error", Tango_obs.Json.String msg) ])
 
-let metrics t =
+(* OpenMetrics (exemplar) mode is negotiated: an [Accept] header naming
+   [application/openmetrics-text] (what a Prometheus server scraping
+   with exemplar support sends), or [?format=openmetrics] for humans
+   with curl. *)
+let wants_openmetrics (req : Http.request) =
+  (match List.assoc_opt "accept" req.Http.headers with
+  | Some accept ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      contains (String.lowercase_ascii accept) "application/openmetrics-text"
+  | None -> false)
+  || List.assoc_opt "format" req.Http.query = Some "openmetrics"
+
+let metrics t (req : Http.request) =
+  let openmetrics = wants_openmetrics req in
   let snapshot = Tango_obs.Registry.snapshot () in
   let verdict = Slo.evaluate t.slo ~now_us:(Tango_obs.now_us ()) in
   let gauges =
@@ -56,8 +92,15 @@ let metrics t =
     Prometheus.gauge ~name:"monitor.uptime_seconds"
       ((Tango_obs.now_us () -. t.started_us) /. 1e6)
   in
-  Http.response ~content_type:Prometheus.content_type
-    (String.concat "" (Prometheus.render snapshot :: uptime :: gauges))
+  let body =
+    (Prometheus.render ~exemplars:openmetrics snapshot :: uptime :: gauges)
+    @ (if openmetrics then [ Prometheus.eof ] else [])
+  in
+  Http.response
+    ~content_type:
+      (if openmetrics then Prometheus.openmetrics_content_type
+       else Prometheus.content_type)
+    (String.concat "" body)
 
 let queries t (req : Http.request) =
   let n =
@@ -71,6 +114,62 @@ let queries t (req : Http.request) =
   match n with
   | None -> error_response 400 "n must be a positive integer"
   | Some n -> json_response (Event_log.to_json ~n t.log)
+
+(* The drill-down: one kept record in full — phase breakdown,
+   per-backend attribution, and (when the run was traced) its Chrome
+   trace with one lane per backend. *)
+let query_by_seq t seq =
+  match int_of_string_opt seq with
+  | None -> error_response 400 "seq must be an integer"
+  | Some seq -> (
+      match Event_log.find t.log seq with
+      | None ->
+          error_response 404
+            (Printf.sprintf "no record for seq %d (not kept, or evicted)" seq)
+      | Some r ->
+          let record = Event_log.record_to_json r in
+          let fields =
+            match record with Tango_obs.Json.Obj fs -> fs | j -> [ ("record", j) ]
+          in
+          let lanes =
+            List.map
+              (fun (name, (b : Middleware.backend_breakdown)) ->
+                (name, b.Middleware.us, b.Middleware.wait_us))
+              r.Event_log.backends
+          in
+          let trace =
+            match r.Event_log.trace with
+            | Some span ->
+                [ ("trace", Chrome_trace.to_json ~backends:lanes span) ]
+            | None -> []
+          in
+          json_response (Tango_obs.Json.Obj (fields @ trace)))
+
+let watchdog_verdict t =
+  let verdict =
+    Watchdog.evaluate t.watchdog ~now_us:(Tango_obs.now_us ()) ~slo:t.slo
+      ~log:t.log
+      ~feedback:(Middleware.profile_store t.mw)
+      ~cache:(Middleware.plan_cache_stats t.mw)
+      ~generation:(topology_generation t) ()
+  in
+  json_response (Watchdog.verdict_to_json verdict)
+
+let healthz t (req : Http.request) =
+  if List.mem_assoc "plain" req.Http.query then Http.response "ok\n"
+  else
+    let open Tango_obs.Json in
+    let topology = Middleware.topology t.mw in
+    json_response
+      (Obj
+         [
+           ("status", String "ok");
+           ( "uptime_seconds",
+             Float ((Tango_obs.now_us () -. t.started_us) /. 1e6) );
+           ("topology_generation", Int (Tango_dbms.Topology.generation topology));
+           ("shards", Int (Tango_dbms.Topology.shard_count topology));
+           ("queries_seen", Int (Event_log.seen t.log));
+         ])
 
 let trace t =
   match Middleware.last_trace t.mw with
@@ -121,15 +220,27 @@ let run_query t (req : Http.request) =
         | Some msg -> error_response 400 msg
         | None -> raise e)
 
+let strip_prefix ~prefix s =
+  let np = String.length prefix in
+  if String.length s > np && String.sub s 0 np = prefix then
+    Some (String.sub s np (String.length s - np))
+  else None
+
 let handler t (req : Http.request) : Http.response =
-  match (req.Http.meth, req.Http.path) with
-  | "GET", "/healthz" -> Http.response "ok\n"
-  | "GET", "/metrics" -> metrics t
-  | "GET", "/slo" ->
+  match (req.Http.meth, req.Http.path, strip_prefix ~prefix:"/queries/" req.Http.path) with
+  | "GET", _, Some seq -> query_by_seq t seq
+  | "GET", "/healthz", _ -> healthz t req
+  | "GET", "/metrics", _ -> metrics t req
+  | "GET", "/slo", _ ->
       json_response (Slo.to_json t.slo ~now_us:(Tango_obs.now_us ()))
-  | "GET", "/queries" -> queries t req
-  | "GET", "/trace" -> trace t
-  | "POST", "/query" -> run_query t req
-  | _, ("/healthz" | "/metrics" | "/slo" | "/queries" | "/trace" | "/query") ->
+  | "GET", "/queries", _ -> queries t req
+  | "GET", "/debug/watchdog", _ -> watchdog_verdict t
+  | "GET", "/trace", _ -> trace t
+  | "POST", "/query", _ -> run_query t req
+  | ( _,
+      ( "/healthz" | "/metrics" | "/slo" | "/queries" | "/debug/watchdog"
+      | "/trace" | "/query" ),
+      _ )
+  | _, _, Some _ ->
       Http.response ~status:405 "method not allowed\n"
   | _ -> Http.response ~status:404 "not found\n"

@@ -5,24 +5,42 @@
 type t
 
 val create :
-  ?log:Event_log.t -> ?slo:Slo.t -> Tango_core.Middleware.t -> t
+  ?log:Event_log.t ->
+  ?slo:Slo.t ->
+  ?watchdog:Watchdog.t ->
+  Tango_core.Middleware.t ->
+  t
 (** Installs a query observer on the session
     ({!Tango_core.Middleware.set_query_observer}) feeding the event log
     and the SLO tracker; defaults: [Event_log.create ()],
-    [Slo.create ()]. *)
+    [Slo.create ()], a {!Watchdog} baselined at the session topology's
+    current generation. *)
 
 val event_log : t -> Event_log.t
 val slo : t -> Slo.t
+val watchdog : t -> Watchdog.t
 
 val handler : t -> Http.request -> Http.response
 (** Dispatch:
 
-    - [GET /healthz] — ["ok\n"];
+    - [GET /healthz] — liveness as JSON (status, uptime, topology
+      generation, shard count, queries seen); bare ["ok\n"] under
+      [?plain=1];
     - [GET /metrics] — Prometheus exposition of the registry snapshot,
-      plus SLO burn-rate gauges and an uptime gauge;
+      plus SLO burn-rate gauges and an uptime gauge.  With an [Accept]
+      header naming [application/openmetrics-text] (or
+      [?format=openmetrics]) the exposition switches to OpenMetrics:
+      bucket samples carry exemplars and the body ends with [# EOF];
     - [GET /slo] — the burn-rate verdict as JSON;
     - [GET /queries?n=K] — up to [K] (default 20) most recent event-log
       records, newest first;
+    - [GET /queries/<seq>] — the kept record with that seq in full —
+      phase breakdown, per-backend attribution, and (when traced) its
+      Chrome trace with one lane per backend (404 when not kept or
+      evicted);
+    - [GET /debug/watchdog] — the {!Watchdog} drill-down verdict:
+      correlated signals plus the dominant backend and phase of the
+      latency tail;
     - [GET /trace] — Chrome trace JSON of the last pipeline run (404
       when tracing is off or nothing ran yet);
     - [POST /query] — run the temporal SQL in the body; 200 with a JSON

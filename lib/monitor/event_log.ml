@@ -23,7 +23,7 @@ let events_kept = Tango_obs.Counter.make "monitor.events_kept"
 let events_sampled_out = Tango_obs.Counter.make "monitor.events_sampled_out"
 let query_us = Tango_obs.Histogram.make "monitor.query_us"
 
-type keep_reason = Sampled | Slow | Failed
+type keep_reason = Sampled | Slow | Failed | Tail
 
 type record = {
   seq : int;
@@ -33,8 +33,15 @@ type record = {
   fingerprint : string option;
   signature : string option;
   total_us : float;
+  parse_us : float;
   optimize_us : float;
+  translate_us : float;
   execute_us : float;
+  mw_exec_us : float;
+  transfer_us : float;
+  gather_wait_us : float;
+  backends : (string * Middleware.backend_breakdown) list;
+  trace : Tango_obs.Trace.span option;
   cache_hit : bool;
   rows : int;
   mw_operators : int;
@@ -115,8 +122,15 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
       fingerprint = None;
       signature = None;
       total_us = ev.Middleware.elapsed_us;
+      parse_us = 0.0;
       optimize_us = 0.0;
+      translate_us = 0.0;
       execute_us = 0.0;
+      mw_exec_us = 0.0;
+      transfer_us = 0.0;
+      gather_wait_us = 0.0;
+      backends = [];
+      trace = None;
       cache_hit = ev.Middleware.cache_hit;
       rows = 0;
       mw_operators = 0;
@@ -151,8 +165,15 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
           Some (Tango_volcano.Physical.fingerprint r.Middleware.physical);
         signature =
           Some (Tango_volcano.Physical.signature r.Middleware.physical);
+        parse_us = r.Middleware.phases.Middleware.parse_us;
         optimize_us = r.Middleware.optimize_us;
+        translate_us = r.Middleware.phases.Middleware.translate_us;
         execute_us = r.Middleware.execute_us;
+        mw_exec_us = r.Middleware.phases.Middleware.mw_exec_us;
+        transfer_us = r.Middleware.phases.Middleware.transfer_us;
+        gather_wait_us = r.Middleware.phases.Middleware.gather_wait_us;
+        backends = r.Middleware.backends;
+        trace = r.Middleware.trace;
         rows = Tango_rel.Relation.cardinality r.Middleware.result;
         mw_operators;
         transfers;
@@ -170,13 +191,28 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
         kept;
       }
 
-(* Head-based admission: failures and slow queries always keep; the rest
-   keep every [sample_every]-th arrival (by 0-based ordinal, so the first
-   event is always kept and the decision is deterministic). *)
-let admission t (ev : Middleware.query_event) : keep_reason option =
+(* An observation only counts as "tail" once the latency histogram has a
+   meaningful shape, and only when it lands {e strictly above} the bucket
+   holding the current p99 — a whole latency band beyond the estimated
+   tail, so constant-latency workloads never trip it. *)
+let tail_min_count = 32
+
+let is_tail elapsed_us =
+  Tango_obs.Histogram.count query_us >= tail_min_count
+  && Tango_obs.Histogram.bucket_index elapsed_us
+     > Tango_obs.Histogram.bucket_index
+         (Tango_obs.Histogram.quantile query_us 0.99)
+
+(* Head-based admission: failures, slow queries and tail outliers always
+   keep; the rest keep every [sample_every]-th arrival (by 0-based
+   ordinal, so the first event is always kept and the decision is
+   deterministic).  [tail] is computed against the histogram {e before}
+   this event is folded in. *)
+let admission t ~tail (ev : Middleware.query_event) : keep_reason option =
   if ev.Middleware.error <> None then Some Failed
   else if t.slow_keep_us > 0.0 && ev.Middleware.elapsed_us >= t.slow_keep_us
   then Some Slow
+  else if tail then Some Tail
   else if t.seen mod t.sample_every = 0 then Some Sampled
   else None
 
@@ -189,13 +225,45 @@ let push t r =
 let observe t (ev : Middleware.query_event) : unit =
   Tango_obs.Counter.incr queries_total;
   if ev.Middleware.error <> None then Tango_obs.Counter.incr query_errors;
-  Tango_obs.Histogram.observe query_us ev.Middleware.elapsed_us;
-  (match admission t ev with
+  let decision = admission t ~tail:(is_tail ev.Middleware.elapsed_us) ev in
+  (* Exemplars are attached only to {e kept} observations, so a bucket's
+     exemplar always resolves to a record still addressable by seq. *)
+  let exemplar =
+    match decision with
+    | None -> None
+    | Some _ ->
+        let trace_id =
+          match ev.Middleware.report with
+          | Some r ->
+              Tango_volcano.Physical.fingerprint r.Middleware.physical
+          | None -> ev.Middleware.kind
+        in
+        Some
+          {
+            Tango_obs.Histogram.ex_seq = t.seen;
+            ex_trace_id = trace_id;
+            ex_value = ev.Middleware.elapsed_us;
+            ex_at_us = ev.Middleware.started_us +. ev.Middleware.elapsed_us;
+          }
+  in
+  Tango_obs.Histogram.observe ?exemplar query_us ev.Middleware.elapsed_us;
+  (match decision with
   | Some kept ->
       push t (record_of_event ~seq:t.seen ~kept ev);
       Tango_obs.Counter.incr events_kept
   | None -> Tango_obs.Counter.incr events_sampled_out);
   t.seen <- t.seen + 1
+
+let find t seq : record option =
+  let rec go i =
+    if i >= t.stored then None
+    else
+      let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+      match t.ring.(idx) with
+      | Some r when r.seq = seq -> Some r
+      | _ -> go (i + 1)
+  in
+  go 0
 
 let recent ?n t : record list =
   let n = match n with Some n -> min n t.stored | None -> t.stored in
@@ -212,6 +280,23 @@ let keep_reason_name = function
   | Sampled -> "sampled"
   | Slow -> "slow"
   | Failed -> "failed"
+  | Tail -> "tail"
+
+let backends_to_json (backends : (string * Middleware.backend_breakdown) list)
+    : Tango_obs.Json.t =
+  let open Tango_obs.Json in
+  Obj
+    (List.map
+       (fun (name, (b : Middleware.backend_breakdown)) ->
+         ( name,
+           Obj
+             [
+               ("rows", Int b.Middleware.rows);
+               ("bytes", Int b.Middleware.bytes);
+               ("us", Float b.Middleware.us);
+               ("wait_us", Float b.Middleware.wait_us);
+             ] ))
+       backends)
 
 let record_to_json (r : record) : Tango_obs.Json.t =
   let open Tango_obs.Json in
@@ -226,8 +311,19 @@ let record_to_json (r : record) : Tango_obs.Json.t =
       ("fingerprint", opt_str r.fingerprint);
       ("plan", opt_str r.signature);
       ("total_us", Float r.total_us);
+      ( "phases",
+        Obj
+          [
+            ("parse_us", Float r.parse_us);
+            ("optimize_us", Float r.optimize_us);
+            ("translate_us", Float r.translate_us);
+            ("mw_exec_us", Float r.mw_exec_us);
+            ("transfer_us", Float r.transfer_us);
+            ("gather_wait_us", Float r.gather_wait_us);
+          ] );
       ("optimize_us", Float r.optimize_us);
       ("execute_us", Float r.execute_us);
+      ("backends", backends_to_json r.backends);
       ("cache_hit", Bool r.cache_hit);
       ("rows", Int r.rows);
       ("mw_operators", Int r.mw_operators);

@@ -24,6 +24,10 @@ type keep_reason =
   | Sampled  (** kept by the 1-in-[sample_every] head sample *)
   | Slow  (** at least [slow_keep_us] slow — always kept *)
   | Failed  (** the pipeline raised — always kept *)
+  | Tail
+      (** landed strictly above the latency bucket holding the current
+          p99 (with at least 32 prior observations) — always kept, so
+          every exemplar-flagged tail query resolves to a record *)
 
 type record = {
   seq : int;  (** arrival ordinal (0-based, counts dropped events too) *)
@@ -33,8 +37,19 @@ type record = {
   fingerprint : string option;  (** whole-plan fingerprint *)
   signature : string option;  (** one-line plan summary *)
   total_us : float;  (** end-to-end pipeline wall time *)
+  parse_us : float;
   optimize_us : float;
+  translate_us : float;
   execute_us : float;
+  mw_exec_us : float;
+      (** middleware-side execution: execute minus boundary time *)
+  transfer_us : float;  (** Σ per-backend transfer time *)
+  gather_wait_us : float;  (** Σ per-backend gather-wait time *)
+  backends : (string * Tango_core.Middleware.backend_breakdown) list;
+      (** per-backend latency attribution, first-touch order *)
+  trace : Tango_obs.Trace.span option;
+      (** the run's trace when tracing was on — the [/queries/<seq>]
+          drill-down grafts it into a Chrome trace with backend lanes *)
   cache_hit : bool;
       (** answered from the plan cache — parse/optimize were skipped, so
           a zero [optimize_us] means "skipped", not "instantaneous" *)
@@ -81,8 +96,15 @@ val record_of_event :
 
 val observe : t -> Tango_core.Middleware.query_event -> unit
 (** Feed one pipeline event: updates the aggregate metrics, applies
-    admission, and appends the record when kept.  The function to hand
-    to {!Tango_core.Middleware.set_query_observer}. *)
+    admission, and appends the record when kept.  Kept observations
+    carry a {!Tango_obs.Histogram.exemplar} (seq + plan fingerprint)
+    into [monitor.query_us], so an exemplar seen on [/metrics] always
+    resolves through {!find}.  The function to hand to
+    {!Tango_core.Middleware.set_query_observer}. *)
+
+val find : t -> int -> record option
+(** The stored record with this [seq], if it was kept and has not been
+    evicted. *)
 
 val recent : ?n:int -> t -> record list
 (** Up to [n] (default: all stored) most recent records, newest first. *)

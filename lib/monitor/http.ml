@@ -269,24 +269,35 @@ let bound_port sock =
   | Unix.ADDR_INET (_, p) -> p
   | _ -> invalid_arg "Http.bound_port: not an inet socket"
 
-let accept_loop ?max_requests sock (handler : request -> response) : unit =
+let accept_loop ?max_requests ?(should_stop = fun () -> false) sock
+    (handler : request -> response) : unit =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
   let served = ref 0 in
   let continue () =
-    match max_requests with None -> true | Some m -> !served < m
+    (not (should_stop ()))
+    && match max_requests with None -> true | Some m -> !served < m
   in
   while continue () do
-    let fd, _peer = Unix.accept sock in
-    (try handle_connection fd handler with _ -> ());
-    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
-    (try Unix.close fd with _ -> ());
-    incr served
+    (* A signal delivered while blocked in [accept] makes it raise
+       EINTR (OCaml does not restart syscalls): loop back to re-check
+       [should_stop], which is how a signal handler setting a flag
+       turns into a graceful exit.  An in-flight request is never cut
+       short — the loop is sequential, so by the time we are back in
+       [accept] the previous response has been written and closed. *)
+    match Unix.accept sock with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _peer ->
+        (try handle_connection fd handler with _ -> ());
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+        (try Unix.close fd with _ -> ());
+        incr served
   done
 
-let serve ?host ~port ?max_requests (handler : request -> response) : unit =
+let serve ?host ~port ?max_requests ?should_stop
+    (handler : request -> response) : unit =
   let sock = listen ?host ~port () in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with _ -> ())
-    (fun () -> accept_loop ?max_requests sock handler)
+    (fun () -> accept_loop ?max_requests ?should_stop sock handler)

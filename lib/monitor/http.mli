@@ -42,10 +42,24 @@ val listen : ?host:string -> port:int -> unit -> Unix.file_descr
 val bound_port : Unix.file_descr -> int
 
 val accept_loop :
-  ?max_requests:int -> Unix.file_descr -> (request -> response) -> unit
-(** Accept and serve connections sequentially, forever — or for
-    [max_requests] connections when given.  Ignores [SIGPIPE]. *)
+  ?max_requests:int ->
+  ?should_stop:(unit -> bool) ->
+  Unix.file_descr ->
+  (request -> response) ->
+  unit
+(** Accept and serve connections sequentially, forever — or until
+    [max_requests] connections were served or [should_stop] returns
+    true.  [should_stop] (default never) is re-checked before every
+    accept {e and} whenever a signal interrupts the blocking accept
+    (EINTR), so a [Signal_handle] that sets a flag drains the in-flight
+    request and then exits the loop — graceful shutdown without
+    threads.  Ignores [SIGPIPE]. *)
 
 val serve :
-  ?host:string -> port:int -> ?max_requests:int -> (request -> response) -> unit
+  ?host:string ->
+  port:int ->
+  ?max_requests:int ->
+  ?should_stop:(unit -> bool) ->
+  (request -> response) ->
+  unit
 (** {!listen} + {!accept_loop}, closing the listening socket on exit. *)

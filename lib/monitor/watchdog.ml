@@ -1,0 +1,261 @@
+(** The SLO drill-down: correlates burn with its likely cause.
+
+    A burning SLO says {e that} the service is slow, not {e why}.  The
+    watchdog pulls the signals the middleware already tracks — burn
+    state, cardinality/cost misestimation trend, plan-cache hit rate,
+    topology changes — next to a tail-record analysis of the event log
+    that names the dominant backend and the dominant pipeline phase, so
+    [/debug/watchdog] answers "who is burning my budget" in one fetch.
+
+    The tracker is stateful across evaluations: the cache-hit-rate
+    signal compares against the rate seen at the {e previous} check
+    (a trend, not an absolute), and the topology signal fires when the
+    generation advanced since the previous check. *)
+
+type signal = {
+  name : string;
+  firing : bool;
+  detail : string;  (** human-readable evidence, firing or not *)
+}
+
+type verdict = {
+  state : Slo.state;
+  signals : signal list;
+  dominant_backend : (string * float) option;
+  dominant_phase : (string * float) option;
+  tail_records : int;
+}
+
+type t = {
+  q_error_warn : float;
+  hit_rate_drop : float;
+  tail_fraction : float;
+  mutable last_generation : int;
+  mutable last_hit_rate : float option;
+}
+
+let create ?(q_error_warn = 2.0) ?(hit_rate_drop = 0.2)
+    ?(tail_fraction = 0.9) ~generation () =
+  if not (tail_fraction >= 0.0 && tail_fraction < 1.0) then
+    invalid_arg "Watchdog.create: tail_fraction must be in [0, 1)";
+  {
+    q_error_warn;
+    hit_rate_drop;
+    tail_fraction;
+    last_generation = generation;
+    last_hit_rate = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tail attribution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Records at or above the [tail_fraction] latency quantile of what the
+   ring currently holds (always at least the slowest record). *)
+let tail_records t (records : Event_log.record list) =
+  match records with
+  | [] -> []
+  | _ ->
+      let totals =
+        List.sort compare
+          (List.map (fun (r : Event_log.record) -> r.Event_log.total_us) records)
+      in
+      let n = List.length totals in
+      let cut =
+        List.nth totals
+          (min (n - 1) (int_of_float (t.tail_fraction *. float_of_int n)))
+      in
+      List.filter
+        (fun (r : Event_log.record) -> r.Event_log.total_us >= cut)
+        records
+
+let argmax = function
+  | [] -> None
+  | (k0, v0) :: rest ->
+      let k, v =
+        List.fold_left
+          (fun (bk, bv) (k, v) -> if v > bv then (k, v) else (bk, bv))
+          (k0, v0) rest
+      in
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 rest +. v0 in
+      if total <= 0.0 then None else Some (k, v /. total)
+
+(* Which backend the tail spends its boundary time on: argmax over
+   Σ (transfer + gather-wait) per backend, as a share of the tail's
+   whole boundary time. *)
+let dominant_backend tail =
+  let sums : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Event_log.record) ->
+      List.iter
+        (fun (name, (b : Tango_core.Middleware.backend_breakdown)) ->
+          if not (Hashtbl.mem sums name) then order := name :: !order;
+          Hashtbl.replace sums name
+            (Option.value ~default:0.0 (Hashtbl.find_opt sums name)
+            +. b.Tango_core.Middleware.us +. b.Tango_core.Middleware.wait_us))
+        r.Event_log.backends)
+    tail;
+  argmax
+    (List.rev_map (fun name -> (name, Hashtbl.find sums name)) !order)
+
+(* Which pipeline phase the tail spends its wall time in. *)
+let dominant_phase (tail : Event_log.record list) =
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 tail in
+  argmax
+    [
+      ("parse", sum (fun r -> r.Event_log.parse_us));
+      ("optimize", sum (fun r -> r.Event_log.optimize_us));
+      ("translate", sum (fun r -> r.Event_log.translate_us));
+      ("mw-exec", sum (fun r -> r.Event_log.mw_exec_us));
+      ("transfer", sum (fun r -> r.Event_log.transfer_us));
+      ("gather-wait", sum (fun r -> r.Event_log.gather_wait_us));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let slo_signal (v : Slo.verdict) =
+  {
+    name = "slo_burn";
+    firing = v.Slo.state <> Slo.Ok;
+    detail =
+      Printf.sprintf "state=%s latency_burn=%.2f/%.2f error_burn=%.2f/%.2f"
+        (Slo.state_name v.Slo.state)
+        v.Slo.latency_burn_short v.Slo.latency_burn_long v.Slo.error_burn_short
+        v.Slo.error_burn_long;
+  }
+
+(* Worst per-cost-factor mean q-error in the feedback store: sustained
+   misestimation means the optimizer is likely picking wrong plans. *)
+let q_error_signal t feedback =
+  match feedback with
+  | None -> { name = "q_error"; firing = false; detail = "no profiling" }
+  | Some fb -> (
+      let worst =
+        List.fold_left
+          (fun acc (factor, (samples, q)) ->
+            match acc with
+            | Some (_, _, bq) when bq >= q -> acc
+            | _ when samples > 0 -> Some (factor, samples, q)
+            | _ -> acc)
+          None
+          (Tango_profile.Feedback.factor_q fb)
+      in
+      match worst with
+      | None -> { name = "q_error"; firing = false; detail = "no samples" }
+      | Some (factor, samples, q) ->
+          {
+            name = "q_error";
+            firing = q > t.q_error_warn;
+            detail =
+              Printf.sprintf "worst factor %s mean_q=%.2f over %d samples"
+                factor q samples;
+          })
+
+(* Hit rate now vs. the previous check: a drop means the workload left
+   the cached plans behind (invalidation storm, shifted query mix). *)
+let cache_signal t cache =
+  match cache with
+  | None -> { name = "cache_hit_rate"; firing = false; detail = "no plan cache" }
+  | Some (s : Tango_cache.Plan_cache.stats) ->
+      let total = s.Tango_cache.Plan_cache.hits + s.Tango_cache.Plan_cache.misses in
+      if total = 0 then
+        { name = "cache_hit_rate"; firing = false; detail = "no lookups" }
+      else begin
+        let rate =
+          float_of_int s.Tango_cache.Plan_cache.hits /. float_of_int total
+        in
+        let previous = t.last_hit_rate in
+        t.last_hit_rate <- Some rate;
+        match previous with
+        | Some prev when prev -. rate > t.hit_rate_drop ->
+            {
+              name = "cache_hit_rate";
+              firing = true;
+              detail =
+                Printf.sprintf "hit rate dropped %.2f -> %.2f%s" prev rate
+                  (match s.Tango_cache.Plan_cache.last_invalidation with
+                  | Some reason -> "; last invalidation: " ^ reason
+                  | None -> "");
+            }
+        | _ ->
+            {
+              name = "cache_hit_rate";
+              firing = false;
+              detail = Printf.sprintf "hit rate %.2f" rate;
+            }
+      end
+
+let topology_signal t ~generation =
+  let previous = t.last_generation in
+  t.last_generation <- generation;
+  if generation > previous then
+    {
+      name = "topology_generation";
+      firing = true;
+      detail =
+        Printf.sprintf "generation bumped %d -> %d since last check" previous
+          generation;
+    }
+  else
+    {
+      name = "topology_generation";
+      firing = false;
+      detail = Printf.sprintf "generation %d" generation;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Verdict                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate t ~now_us ~slo ~log ?feedback ?cache ~generation () : verdict =
+  let slo_verdict = Slo.evaluate slo ~now_us in
+  let signals =
+    [
+      slo_signal slo_verdict;
+      q_error_signal t feedback;
+      cache_signal t cache;
+      topology_signal t ~generation;
+    ]
+  in
+  let tail = tail_records t (Event_log.recent log) in
+  let state =
+    if slo_verdict.Slo.state <> Slo.Ok then slo_verdict.Slo.state
+    else if List.exists (fun s -> s.firing) signals then Slo.Warning
+    else Slo.Ok
+  in
+  {
+    state;
+    signals;
+    dominant_backend = dominant_backend tail;
+    dominant_phase = dominant_phase tail;
+    tail_records = List.length tail;
+  }
+
+let verdict_to_json (v : verdict) : Tango_obs.Json.t =
+  let open Tango_obs.Json in
+  let dominant = function
+    | None -> Null
+    | Some (name, share) ->
+        Obj [ ("name", String name); ("share", Float share) ]
+  in
+  Obj
+    [
+      ("state", String (Slo.state_name v.state));
+      ( "signals",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("signal", String s.name);
+                   ("firing", Bool s.firing);
+                   ("detail", String s.detail);
+                 ])
+             v.signals) );
+      ("dominant_backend", dominant v.dominant_backend);
+      ("dominant_phase", dominant v.dominant_phase);
+      ("tail_records", Int v.tail_records);
+    ]

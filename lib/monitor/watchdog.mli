@@ -1,0 +1,62 @@
+(** SLO drill-down: correlates burn-rate state with the signals that
+    usually explain it — misestimation trend, plan-cache hit-rate drops,
+    topology-generation bumps — and names the dominant backend and
+    pipeline phase of the event log's latency tail.  Backs
+    [GET /debug/watchdog]. *)
+
+type signal = {
+  name : string;
+      (** ["slo_burn"] | ["q_error"] | ["cache_hit_rate"] |
+          ["topology_generation"] *)
+  firing : bool;
+  detail : string;  (** human-readable evidence, firing or not *)
+}
+
+type verdict = {
+  state : Slo.state;
+      (** the SLO state, lifted to at least [Warning] when any other
+          signal fires *)
+  signals : signal list;
+  dominant_backend : (string * float) option;
+      (** backend with the largest share of the tail's boundary time
+          (transfer + gather-wait), with that share in [0, 1]; [None]
+          when no tail record crossed a boundary *)
+  dominant_phase : (string * float) option;
+      (** pipeline phase (["parse"], ["optimize"], ["translate"],
+          ["mw-exec"], ["transfer"], ["gather-wait"]) with the largest
+          share of the tail's wall time *)
+  tail_records : int;  (** records the tail analysis covered *)
+}
+
+type t
+
+val create :
+  ?q_error_warn:float ->
+  ?hit_rate_drop:float ->
+  ?tail_fraction:float ->
+  generation:int ->
+  unit ->
+  t
+(** Stateful tracker.  [q_error_warn] (default 2.0): worst
+    per-cost-factor mean q-error above this fires [q_error].
+    [hit_rate_drop] (default 0.2): a hit-rate fall of more than this
+    since the previous {!evaluate} fires [cache_hit_rate].
+    [tail_fraction] (default 0.9, must be in [0, 1)): the tail analysis
+    covers records at or above this latency quantile of the event-log
+    ring.  [generation] seeds the topology baseline. *)
+
+val evaluate :
+  t ->
+  now_us:float ->
+  slo:Slo.t ->
+  log:Event_log.t ->
+  ?feedback:Tango_profile.Feedback.t ->
+  ?cache:Tango_cache.Plan_cache.stats ->
+  generation:int ->
+  unit ->
+  verdict
+(** One check, advancing the tracker's baselines: the cache-hit-rate
+    signal compares against the rate at the previous call, and the
+    topology signal fires when [generation] advanced since then. *)
+
+val verdict_to_json : verdict -> Tango_obs.Json.t

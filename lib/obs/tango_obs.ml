@@ -137,6 +137,19 @@ module Histogram = struct
      elementwise and render directly as Prometheus cumulative buckets. *)
   let bucket_bounds = Array.init 24 (fun i -> float_of_int (1 lsl i))
 
+  (* Exemplar: a concrete observation pinned to the bucket it fell in,
+     carrying enough identity (query seq + trace/fingerprint id) to jump
+     from an anonymous histogram bucket to the exact query that produced
+     it.  Last-exemplar-per-bucket: each new exemplared observation
+     overwrites its bucket's cell, so a scrape always sees a recent
+     representative of every populated latency band. *)
+  type exemplar = {
+    ex_seq : int;  (** query sequence number (event-log key) *)
+    ex_trace_id : string;  (** fingerprint / trace identity *)
+    ex_value : float;  (** the observed value itself *)
+    ex_at_us : float;  (** wall-clock time of the observation, µs *)
+  }
+
   type t = {
     name : string;
     mutable count : int;
@@ -144,6 +157,7 @@ module Histogram = struct
     mutable min : float;
     mutable max : float;
     buckets : int array;  (** per-bucket counts; last cell is overflow *)
+    exemplars : exemplar option array;  (** last exemplar per bucket *)
     reservoir : float array;  (** first [filled] cells are the sample *)
     mutable filled : int;
     mutable rng : int;  (** LCG state for reservoir replacement *)
@@ -165,6 +179,7 @@ module Histogram = struct
             min = infinity;
             max = neg_infinity;
             buckets = Array.make (Array.length bucket_bounds + 1) 0;
+            exemplars = Array.make (Array.length bucket_bounds + 1) None;
             reservoir = Array.make reservoir_capacity 0.0;
             filled = 0;
             rng = seed_of name;
@@ -187,11 +202,14 @@ module Histogram = struct
     let rec go i = if i >= n || v <= bucket_bounds.(i) then i else go (i + 1) in
     go 0
 
-  let observe h v =
+  let observe ?exemplar h v =
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     (let i = bucket_index v in
-     h.buckets.(i) <- h.buckets.(i) + 1);
+     h.buckets.(i) <- h.buckets.(i) + 1;
+     match exemplar with
+     | None -> ()
+     | Some ex -> h.exemplars.(i) <- Some ex);
     if v < h.min then h.min <- v;
     if v > h.max then h.max <- v;
     if h.filled < reservoir_capacity then begin
@@ -207,6 +225,21 @@ module Histogram = struct
   let count h = h.count
   let sum h = h.sum
   let bucket_counts h = Array.copy h.buckets
+  let bucket_exemplars h = Array.copy h.exemplars
+
+  (** The exemplars present, as [(bucket upper bound, exemplar)] pairs in
+      bound order; the overflow cell reports bound [infinity]. *)
+  let exemplar_list h =
+    let n = Array.length bucket_bounds in
+    let acc = ref [] in
+    for i = Array.length h.exemplars - 1 downto 0 do
+      match h.exemplars.(i) with
+      | None -> ()
+      | Some ex ->
+          let bound = if i >= n then infinity else bucket_bounds.(i) in
+          acc := (bound, ex) :: !acc
+    done;
+    !acc
 
   (** Cumulative (bound, count-of-observations <= bound) pairs over the
       fixed bounds, closed by [(infinity, count)] — the Prometheus
@@ -244,6 +277,7 @@ module Histogram = struct
     h.min <- infinity;
     h.max <- neg_infinity;
     Array.fill h.buckets 0 (Array.length h.buckets) 0;
+    Array.fill h.exemplars 0 (Array.length h.exemplars) None;
     h.filled <- 0;
     h.rng <- seed_of h.name
 end
@@ -265,6 +299,9 @@ module Registry = struct
     buckets : (float * int) list;
         (** cumulative [(upper bound, observations <= bound)] over
             {!Histogram.bucket_bounds}, closed by [(infinity, count)] *)
+    exemplars : (float * Histogram.exemplar) list;
+        (** [(bucket upper bound, last exemplar seen in that bucket)],
+            in bound order; overflow reports [infinity] *)
   }
 
   type snapshot = {
@@ -293,6 +330,7 @@ module Registry = struct
               p95 = Histogram.quantile h 0.95;
               p99 = Histogram.quantile h 0.99;
               buckets = Histogram.cumulative_buckets h;
+              exemplars = Histogram.exemplar_list h;
             } )
           :: acc)
         Histogram.registry []
@@ -354,7 +392,7 @@ module Registry = struct
                (fun (n, (h : histogram_stats)) ->
                  ( n,
                    Json.Obj
-                     [
+                     ([
                        ("count", Json.Int h.count);
                        ("sum", Json.Float h.sum);
                        ("min", Json.Float h.min);
@@ -372,7 +410,29 @@ module Registry = struct
                                    else "+Inf"),
                                   Json.Int c ))
                               h.buckets) );
-                     ] ))
+                     ]
+                     @
+                     (match h.exemplars with
+                     | [] -> []
+                     | exs ->
+                         [
+                           ( "exemplars",
+                             Json.Obj
+                               (List.map
+                                  (fun (bound, (ex : Histogram.exemplar)) ->
+                                    ( (if Float.is_finite bound then
+                                         Printf.sprintf "%g" bound
+                                       else "+Inf"),
+                                      Json.Obj
+                                        [
+                                          ("seq", Json.Int ex.ex_seq);
+                                          ( "trace_id",
+                                            Json.String ex.ex_trace_id );
+                                          ("value", Json.Float ex.ex_value);
+                                          ("at_us", Json.Float ex.ex_at_us);
+                                        ] ))
+                                  exs) );
+                         ])) ))
                s.histograms) );
       ]
 

@@ -48,11 +48,25 @@ end
 module Histogram : sig
   type t
 
+  type exemplar = {
+    ex_seq : int;  (** query sequence number (event-log key) *)
+    ex_trace_id : string;  (** fingerprint / trace identity *)
+    ex_value : float;  (** the observed value itself *)
+    ex_at_us : float;  (** wall-clock time of the observation, µs *)
+  }
+  (** A concrete observation pinned to the bucket it fell in, carrying
+      enough identity to jump from an anonymous histogram bucket to the
+      exact query that produced it (OpenMetrics exemplars). *)
+
   val make : string -> t
   (** Find-or-create the histogram registered under this name. *)
 
   val name : t -> string
-  val observe : t -> float -> unit
+
+  val observe : ?exemplar:exemplar -> t -> float -> unit
+  (** Record an observation; when [exemplar] is given it becomes the
+      bucket's exemplar (last-exemplar-per-bucket wins). *)
+
   val count : t -> int
   val sum : t -> float
 
@@ -67,10 +81,24 @@ module Histogram : sig
   (** Per-bucket (non-cumulative) observation counts; one cell per
       {!bucket_bounds} entry plus a final overflow cell. *)
 
+  val bucket_index : float -> int
+  (** Index into {!bucket_bounds} (or the overflow cell,
+      [Array.length bucket_bounds]) that an observation of this value
+      falls in — lets callers compare observations by latency band
+      (e.g. "is this strictly above the band holding p99?"). *)
+
   val cumulative_buckets : t -> (float * int) list
   (** Cumulative [(upper bound, observations <= bound)] pairs over
       {!bucket_bounds}, closed by [(infinity, count)] — the Prometheus
       [le=...] series. *)
+
+  val bucket_exemplars : t -> exemplar option array
+  (** Per-bucket last exemplar; one cell per {!bucket_bounds} entry plus
+      a final overflow cell. *)
+
+  val exemplar_list : t -> (float * exemplar) list
+  (** The exemplars present, as [(bucket upper bound, exemplar)] pairs in
+      bound order; the overflow cell reports bound [infinity]. *)
 
   val min_value : t -> float
   val max_value : t -> float
@@ -99,6 +127,11 @@ module Registry : sig
     buckets : (float * int) list;
         (** cumulative [(upper bound, observations <= bound)] over
             {!Histogram.bucket_bounds}, closed by [(infinity, count)] *)
+    exemplars : (float * Histogram.exemplar) list;
+        (** [(bucket upper bound, last exemplar seen in that bucket)],
+            in bound order; overflow reports [infinity].  Carried over
+            verbatim by {!diff} (they are point-in-time markers, not
+            additive state). *)
   }
 
   type snapshot = {

@@ -1,0 +1,82 @@
+(** Per-query, per-backend latency attribution.  See the interface for
+    the [us] / [wait_us] double-counting contract. *)
+
+type breakdown = { rows : int; bytes : int; us : float; wait_us : float }
+
+type lane = {
+  mutable l_rows : int;
+  mutable l_bytes : int;
+  mutable l_us : float;
+  mutable l_wait_us : float;
+}
+
+type t = {
+  lanes : (string, lane) Hashtbl.t;
+  mutable order : string list;  (** first-seen order, reversed *)
+}
+
+let create () = { lanes = Hashtbl.create 4; order = [] }
+
+(* The ambient collector, installed around one plan execution. *)
+let current : t option ref = ref None
+
+let with_collector t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let active () = !current <> None
+
+let lane t backend =
+  match Hashtbl.find_opt t.lanes backend with
+  | Some l -> l
+  | None ->
+      let l = { l_rows = 0; l_bytes = 0; l_us = 0.0; l_wait_us = 0.0 } in
+      Hashtbl.replace t.lanes backend l;
+      t.order <- backend :: t.order;
+      l
+
+let transfer ~backend ~rows ~bytes ~us =
+  match !current with
+  | None -> ()
+  | Some t ->
+      let l = lane t backend in
+      l.l_rows <- l.l_rows + rows;
+      l.l_bytes <- l.l_bytes + bytes;
+      l.l_us <- l.l_us +. us
+
+let wait ~backend ~us =
+  match !current with
+  | None -> ()
+  | Some t ->
+      let l = lane t backend in
+      l.l_wait_us <- l.l_wait_us +. us
+
+let transfer_us ~backend =
+  match !current with
+  | None -> 0.0
+  | Some t -> (
+      match Hashtbl.find_opt t.lanes backend with
+      | Some l -> l.l_us
+      | None -> 0.0)
+
+let breakdown t =
+  List.rev_map
+    (fun name ->
+      let l = Hashtbl.find t.lanes name in
+      ( name,
+        { rows = l.l_rows; bytes = l.l_bytes; us = l.l_us; wait_us = l.l_wait_us }
+      ))
+    t.order
+
+let totals lanes =
+  List.fold_left
+    (fun acc (_, b) ->
+      {
+        rows = acc.rows + b.rows;
+        bytes = acc.bytes + b.bytes;
+        us = acc.us +. b.us;
+        wait_us = acc.wait_us +. b.wait_us;
+      })
+    { rows = 0; bytes = 0; us = 0.0; wait_us = 0.0 }
+    lanes

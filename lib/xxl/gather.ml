@@ -1,33 +1,69 @@
 (** Ordered k-way gather merge over per-shard cursors.  See the
-    interface for the ordering contract. *)
+    interface for the ordering contract.
+
+    When shard [names] are given, the time the merge sits blocked on a
+    shard's stream — initializing it or refilling its batch buffer — is
+    charged to that shard's {!Attribution} lane as {e wait} time, minus
+    the transfer time the pull itself recorded underneath (so transfer
+    and wait never double-count). *)
 
 open Tango_rel
 
+(* Run [f], charging the blocked time (beyond inner transfer time) to
+   [name]'s wait lane. *)
+let waited name f =
+  match name with
+  | None -> f ()
+  | Some backend ->
+      if not (Attribution.active ()) then f ()
+      else begin
+        let t0 = Tango_obs.now_us () in
+        let u0 = Attribution.transfer_us ~backend in
+        Fun.protect
+          ~finally:(fun () ->
+            let blocked = Tango_obs.now_us () -. t0 in
+            let inner = Attribution.transfer_us ~backend -. u0 in
+            Attribution.wait ~backend ~us:(Float.max 0.0 (blocked -. inner)))
+          f
+      end
+
+let source_name names i =
+  match names with
+  | Some ns when i < Array.length ns -> Some ns.(i)
+  | _ -> None
+
 (* Drain [sources] one after another (no order to preserve). *)
-let concat ~schema (sources : Cursor.t list) : Cursor.t =
-  let remaining = ref sources in
+let concat ?names ~schema (sources : Cursor.t list) : Cursor.t =
+  let sources = Array.of_list sources in
+  let n = Array.length sources in
+  let at = ref 0 in
   Cursor.observed "gather"
     (Cursor.make_batched ~schema
        ~init:(fun () ->
-         List.iter Cursor.init sources;
-         remaining := sources)
+         Array.iteri
+           (fun i c -> waited (source_name names i) (fun () -> Cursor.init c))
+           sources;
+         at := 0)
        ~next_batch:(fun () ->
          let rec pull () =
-           match !remaining with
-           | [] -> None
-           | c :: rest -> (
-               match Cursor.next_batch c with
-               | Some b -> Some b
-               | None ->
-                   remaining := rest;
-                   pull ())
+           if !at >= n then None
+           else
+             let i = !at in
+             match
+               waited (source_name names i) (fun () ->
+                   Cursor.next_batch sources.(i))
+             with
+             | Some b -> Some b
+             | None ->
+                 incr at;
+                 pull ()
          in
          pull ()))
 
 (* K-way merge: one batch buffer per source, refilled on exhaustion; each
    output batch repeatedly takes the least head (ties to the lowest source
    index, so the merge is deterministic and stable across runs). *)
-let kway ~order ~schema (sources : Cursor.t array) : Cursor.t =
+let kway ?names ~order ~schema (sources : Cursor.t array) : Cursor.t =
   let n = Array.length sources in
   let cmp = Order.comparator order schema in
   let bufs = Array.make n [||] in
@@ -35,7 +71,9 @@ let kway ~order ~schema (sources : Cursor.t array) : Cursor.t =
   let done_ = Array.make n false in
   let refill i =
     if (not done_.(i)) && pos.(i) >= Array.length bufs.(i) then
-      match Cursor.next_batch sources.(i) with
+      match
+        waited (source_name names i) (fun () -> Cursor.next_batch sources.(i))
+      with
       | Some b ->
           bufs.(i) <- b;
           pos.(i) <- 0
@@ -65,7 +103,9 @@ let kway ~order ~schema (sources : Cursor.t array) : Cursor.t =
   Cursor.observed "gather"
     (Cursor.make_batched ~schema
        ~init:(fun () ->
-         Array.iter Cursor.init sources;
+         Array.iteri
+           (fun i c -> waited (source_name names i) (fun () -> Cursor.init c))
+           sources;
          Array.fill bufs 0 n [||];
          Array.fill pos 0 n 0;
          Array.fill done_ 0 n false)
@@ -85,11 +125,12 @@ let kway ~order ~schema (sources : Cursor.t array) : Cursor.t =
              done;
              Some (Array.of_list (List.rev !out))))
 
-let merge ?(order = []) ~schema (sources : Cursor.t list) : Cursor.t =
+let merge ?(order = []) ?names ~schema (sources : Cursor.t list) : Cursor.t =
+  let names = Option.map Array.of_list names in
   match sources with
   | [] ->
       Cursor.make ~schema ~init:(fun () -> ()) ~next:(fun () -> None)
   | [ c ] -> c
   | _ ->
-      if order = [] then concat ~schema sources
-      else kway ~order ~schema (Array.of_list sources)
+      if order = [] then concat ?names ~schema sources
+      else kway ?names ~order ~schema (Array.of_list sources)

@@ -10,6 +10,17 @@
 
 open Tango_rel
 
-val merge : ?order:Order.t -> schema:Schema.t -> Cursor.t list -> Cursor.t
+val merge :
+  ?order:Order.t ->
+  ?names:string list ->
+  schema:Schema.t ->
+  Cursor.t list ->
+  Cursor.t
 (** [merge ~order ~schema sources].  An empty source list yields the empty
-    stream; a singleton is returned as-is (no wrapping cost). *)
+    stream; a singleton is returned as-is (no wrapping cost).
+
+    [names] gives the backend name behind each source (parallel lists):
+    when present, the time the merge sits blocked pulling from source [k]
+    — beyond the transfer time that pull itself records — is charged to
+    [names[k]]'s {!Attribution} wait lane, making shard skew directly
+    measurable. *)

@@ -19,6 +19,35 @@ open Tango_rel
 open Tango_sql
 open Tango_dbms
 
+(* Time one boundary call against [backend]'s attribution lane; [rows]
+   extracts the crossing volume from the result.  Byte accounting only
+   runs when a collector is listening. *)
+let attributed backend ~rows f =
+  if not (Attribution.active ()) then f ()
+  else begin
+    let name = Backend.name backend in
+    let t0 = Tango_obs.now_us () in
+    let finish r =
+      let us = Tango_obs.now_us () -. t0 in
+      let tuples = rows r in
+      let bytes =
+        Array.fold_left (fun acc t -> acc + Tuple.byte_size t) 0 tuples
+      in
+      Attribution.transfer ~backend:name ~rows:(Array.length tuples) ~bytes ~us
+    in
+    match f () with
+    | r ->
+        finish r;
+        r
+    | exception e ->
+        Attribution.transfer ~backend:name ~rows:0 ~bytes:0
+          ~us:(Tango_obs.now_us () -. t0);
+        raise e
+  end
+
+let no_rows _ = [||]
+let batch_rows = function Some b -> b | None -> [||]
+
 (** `TRANSFER^M`.  [schema] is the expected output schema (from the algebra);
     the SQL's column order must match. *)
 let transfer_m (backend : Backend.t) ~(schema : Schema.t) (sql : Ast.query) :
@@ -26,11 +55,17 @@ let transfer_m (backend : Backend.t) ~(schema : Schema.t) (sql : Ast.query) :
   let cur = ref None in
   Cursor.observed "transfer_m"
     (Cursor.make_batched ~schema
-       ~init:(fun () -> cur := Some (Backend.execute_query backend sql))
+       ~init:(fun () ->
+         cur :=
+           Some
+             (attributed backend ~rows:no_rows (fun () ->
+                  Backend.execute_query backend sql)))
        ~next_batch:(fun () ->
          match !cur with
          | None -> invalid_arg "TRANSFER^M: next before init"
-         | Some c -> Backend.fetch_batch c))
+         | Some c ->
+             attributed backend ~rows:batch_rows (fun () ->
+                 Backend.fetch_batch c)))
 
 (* Load [arg]'s batches into [table] on every backend.  A single backend
    streams batch-at-a-time; with replicas the input is drained once and
@@ -45,7 +80,12 @@ let load_all (backends : Backend.t list) ~table schema (arg : Cursor.t) =
         | Some b -> Seq.Cons (b, batches)
       in
       let seq = Seq.concat_map Array.to_seq batches in
-      ignore (Backend.bulk_load b ~table schema seq)
+      (* the streamed load interleaves middleware pulls with the backend
+         write, so the whole call counts as boundary time; rows were
+         already counted crossing into the temp table by the meters *)
+      ignore
+        (attributed b ~rows:no_rows (fun () ->
+             Backend.bulk_load b ~table schema seq))
   | bs ->
       let rec drain acc =
         match Cursor.next_batch arg with
@@ -55,7 +95,9 @@ let load_all (backends : Backend.t list) ~table schema (arg : Cursor.t) =
       let tuples = drain [] in
       List.iter
         (fun b ->
-          ignore (Backend.bulk_load b ~table schema (Array.to_seq tuples)))
+          ignore
+            (attributed b ~rows:(fun _ -> tuples) (fun () ->
+                 Backend.bulk_load b ~table schema (Array.to_seq tuples))))
         bs
 
 (** `TRANSFER^D` to every backend of the topology: the created table is

@@ -88,6 +88,7 @@ let test_prometheus_golden () =
               p95 = 7.0;
               p99 = 7.0;
               buckets = [ (1.0, 0); (2.0, 2); (infinity, 3) ];
+              exemplars = [];
             } );
         ];
     }
@@ -116,6 +117,55 @@ let test_prometheus_names_and_gauges () =
     "# TYPE tango_up gauge\ntango_up{job=\"a\\\"b\"} 1\n"
     (Prometheus.gauge ~name:"up" ~labels:[ ("job", "a\"b") ] 1.0);
   Alcotest.(check string) "+Inf bound" "+Inf" (Prometheus.le_label infinity)
+
+let test_prometheus_exemplars () =
+  (* OpenMetrics mode renders a bucket's exemplar after the sample; the
+     default 0.0.4 mode drops it; [# EOF] is the caller's terminator *)
+  let ex =
+    {
+      Histogram.ex_seq = 7;
+      ex_trace_id = "deadbeef";
+      ex_value = 1.5;
+      ex_at_us = 2_500_000.0;
+    }
+  in
+  let snapshot =
+    {
+      Registry.counters = [];
+      histograms =
+        [
+          ( "query.us",
+            {
+              Registry.count = 3;
+              sum = 10.5;
+              min = 1.0;
+              max = 7.0;
+              mean = 3.5;
+              p50 = 2.5;
+              p95 = 7.0;
+              p99 = 7.0;
+              buckets = [ (1.0, 0); (2.0, 2); (infinity, 3) ];
+              exemplars = [ (2.0, ex) ];
+            } );
+        ];
+    }
+  in
+  let expected =
+    "# TYPE tango_query_us histogram\n\
+     tango_query_us_bucket{le=\"1\"} 0\n\
+     tango_query_us_bucket{le=\"2\"} 2 # {seq=\"7\",trace_id=\"deadbeef\"} \
+     1.5 2.500000\n\
+     tango_query_us_bucket{le=\"+Inf\"} 3\n\
+     tango_query_us_sum 10.5\n\
+     tango_query_us_count 3\n"
+  in
+  Alcotest.(check string) "golden openmetrics" expected
+    (Prometheus.render ~exemplars:true snapshot);
+  Alcotest.(check bool) "plain mode drops exemplars" false
+    (is_infix ~affix:"# {seq=" (Prometheus.render snapshot));
+  Alcotest.(check string) "eof terminator" "# EOF\n" Prometheus.eof;
+  check_infix "negotiated content type" "application/openmetrics-text"
+    Prometheus.openmetrics_content_type
 
 (* ---------------- chrome trace ---------------- *)
 
@@ -185,12 +235,56 @@ let test_chrome_trace_json () =
       | _ -> Alcotest.fail "traceEvents is not a list")
   | _ -> Alcotest.fail "not an object"
 
+(* every backend gets its own lane: a thread_name metadata event on tids
+   2, 3, ... followed by a transfer slice and a gather-wait slice laid
+   back to back from the lane start *)
+let test_chrome_backend_lanes () =
+  let events =
+    Chrome_trace.backend_lanes ~start_us:100.0
+      [ ("s0", 40.0, 10.0); ("s1", 5.0, 0.0) ]
+  in
+  Alcotest.(check int) "three events per backend" 6 (List.length events);
+  let field name = function
+    | Json.Obj kvs -> List.assoc name kvs
+    | _ -> Alcotest.fail "event is not an object"
+  in
+  let meta = List.nth events 0 in
+  Alcotest.(check bool) "metadata event" true
+    (field "ph" meta = Json.String "M");
+  Alcotest.(check bool) "first lane on tid 2" true
+    (field "tid" meta = Json.Int 2);
+  (match field "args" meta with
+  | Json.Obj args ->
+      Alcotest.(check bool) "lane label" true
+        (List.assoc "name" args = Json.String "backend:s0")
+  | _ -> Alcotest.fail "args missing");
+  let transfer = List.nth events 1 and wait = List.nth events 2 in
+  Alcotest.(check bool) "transfer slice" true
+    (field "name" transfer = Json.String "transfer"
+    && field "ts" transfer = Json.Float 100.0
+    && field "dur" transfer = Json.Float 40.0);
+  Alcotest.(check bool) "gather-wait laid after transfer" true
+    (field "name" wait = Json.String "gather-wait"
+    && field "ts" wait = Json.Float 140.0
+    && field "dur" wait = Json.Float 10.0);
+  Alcotest.(check bool) "second lane on tid 3" true
+    (field "tid" (List.nth events 3) = Json.Int 3);
+  (* lanes ride into the trace envelope after the span events *)
+  let root = Trace.make ~elapsed_us:10.0 "root" in
+  match Chrome_trace.to_json ~backends:[ ("s0", 4.0, 1.0) ] root with
+  | Json.Obj kvs -> (
+      match List.assoc "traceEvents" kvs with
+      | Json.List evs ->
+          Alcotest.(check int) "span + lane events" 4 (List.length evs)
+      | _ -> Alcotest.fail "traceEvents is not a list")
+  | _ -> Alcotest.fail "not an object"
+
 (* ---------------- event log ---------------- *)
 
 let event ?(kind = "query") ?sql ?(started_us = 0.0) ?(elapsed_us = 100.0)
     ?error () : Middleware.query_event =
   { Middleware.kind; sql; started_us; elapsed_us; cache_hit = false;
-    report = None; error }
+    report = None; error; backends = [] }
 
 let seqs log = List.map (fun r -> r.Event_log.seq) (Event_log.recent log)
 
@@ -259,6 +353,34 @@ let test_event_log_json () =
       Alcotest.(check bool) "kept" true
         (List.assoc "kept" kvs = Json.String "sampled")
   | _ -> Alcotest.fail "expected a one-record JSON array"
+
+let test_event_log_tail_exemplars () =
+  Histogram.reset Event_log.query_us;
+  let log = Event_log.create ~sample_every:1000 () in
+  (* 40 fast queries settle the histogram's idea of the p99... *)
+  for _ = 1 to 40 do
+    Event_log.observe log (event ~elapsed_us:100.0 ())
+  done;
+  (* ...then one lands whole latency bands above it: kept as Tail even
+     though sampling would have dropped it *)
+  Event_log.observe log (event ~elapsed_us:1.0e6 ());
+  (match Event_log.find log 40 with
+  | Some r ->
+      Alcotest.(check bool) "tail reason" true
+        (r.Event_log.kept = Event_log.Tail)
+  | None -> Alcotest.fail "tail record not kept");
+  (* the exemplar on the tail bucket resolves back to that record *)
+  let exs = Histogram.exemplar_list Event_log.query_us in
+  let _, e = List.find (fun (_, e) -> e.Histogram.ex_value = 1.0e6) exs in
+  Alcotest.(check int) "exemplar seq" 40 e.Histogram.ex_seq;
+  Alcotest.(check string) "trace id falls back to kind" "query"
+    e.Histogram.ex_trace_id;
+  Alcotest.(check bool) "resolves through find" true
+    (Event_log.find log e.Histogram.ex_seq <> None);
+  (* dropped events never leave an exemplar: only seq 0 (sampled) and
+     the tail outlier were kept, so only their buckets carry one *)
+  Alcotest.(check int) "exemplars only for kept" 2 (List.length exs);
+  Histogram.reset Event_log.query_us
 
 (* ---------------- slo ---------------- *)
 
@@ -338,6 +460,155 @@ let test_slo_json_and_gauges () =
        ignore (Slo.create ~objective:{ slo_objective with Slo.latency_goal = 1.0 } ());
        false
      with Invalid_argument _ -> true)
+
+(* ---------------- watchdog ---------------- *)
+
+let cache_stats ~hits ~misses =
+  {
+    Tango_cache.Plan_cache.hits;
+    misses;
+    evictions = 0;
+    invalidations = 0;
+    last_invalidation = None;
+  }
+
+let signal (v : Watchdog.verdict) name =
+  List.find (fun (s : Watchdog.signal) -> s.Watchdog.name = name)
+    v.Watchdog.signals
+
+let test_watchdog_transitions () =
+  Histogram.reset Event_log.query_us;
+  let now_us = 1e6 in
+  let slo = Slo.create ~objective:slo_objective () in
+  Slo.observe slo ~now_us:0.0 ~latency_us:100.0 ~ok:true;
+  let log = Event_log.create () in
+  (* nine fast runs and one 100x outlier: the tail analysis covers
+     exactly the outlier *)
+  for _ = 1 to 9 do
+    Event_log.observe log (event ~elapsed_us:100.0 ())
+  done;
+  Event_log.observe log (event ~elapsed_us:10_000.0 ());
+  let wd = Watchdog.create ~generation:5 () in
+  (* quiet: same generation, healthy slo, no cache or profiling wired *)
+  let v = Watchdog.evaluate wd ~now_us ~slo ~log ~generation:5 () in
+  Alcotest.(check bool) "quiet" true (v.Watchdog.state = Slo.Ok);
+  Alcotest.(check bool) "nothing firing" false
+    (List.exists (fun (s : Watchdog.signal) -> s.Watchdog.firing)
+       v.Watchdog.signals);
+  Alcotest.(check int) "tail covers the outlier" 1 v.Watchdog.tail_records;
+  (* a topology bump fires once and lifts the state to warning... *)
+  let v = Watchdog.evaluate wd ~now_us ~slo ~log ~generation:6 () in
+  Alcotest.(check bool) "topology firing" true
+    (signal v "topology_generation").Watchdog.firing;
+  Alcotest.(check bool) "lifted to warning" true
+    (v.Watchdog.state = Slo.Warning);
+  (* ...and clears at the next check of the same generation *)
+  let v =
+    Watchdog.evaluate wd ~now_us ~slo ~log
+      ~cache:(cache_stats ~hits:90 ~misses:10)
+      ~generation:6 ()
+  in
+  Alcotest.(check bool) "topology cleared" false
+    (signal v "topology_generation").Watchdog.firing;
+  Alcotest.(check bool) "back to ok" true (v.Watchdog.state = Slo.Ok);
+  (* the hit rate collapsing since the previous check fires the cache
+     signal: 0.90 -> 0.45 against a 0.2 threshold *)
+  let v =
+    Watchdog.evaluate wd ~now_us ~slo ~log
+      ~cache:(cache_stats ~hits:90 ~misses:110)
+      ~generation:6 ()
+  in
+  Alcotest.(check bool) "cache firing" true
+    (signal v "cache_hit_rate").Watchdog.firing;
+  Alcotest.(check bool) "warning again" true (v.Watchdog.state = Slo.Warning);
+  (* a steady rate clears it *)
+  let v =
+    Watchdog.evaluate wd ~now_us ~slo ~log
+      ~cache:(cache_stats ~hits:90 ~misses:110)
+      ~generation:6 ()
+  in
+  Alcotest.(check bool) "cache cleared" false
+    (signal v "cache_hit_rate").Watchdog.firing;
+  Alcotest.(check bool) "ok after recovery" true (v.Watchdog.state = Slo.Ok);
+  let s = Json.to_string (Watchdog.verdict_to_json v) in
+  check_infix "json state" "\"state\":" s;
+  check_infix "json signals" "\"signal\":\"slo_burn\"" s;
+  check_infix "json tail" "\"tail_records\":" s;
+  Histogram.reset Event_log.query_us
+
+(* ---------------- attribution over a sharded topology ---------------- *)
+
+let test_sharded_attribution_conservation () =
+  Histogram.reset Event_log.query_us;
+  let topo =
+    Uis.load_sharded ~scale:0.003 ~roundtrip_spins:[ 0; 0 ] ~shards:2 ()
+  in
+  let config = Middleware.Config.(default |> with_tracing true) in
+  let mw = Middleware.connect_topology ~config topo in
+  let log = Event_log.create () in
+  Middleware.set_query_observer mw (Some (Event_log.observe log));
+  let sql =
+    "VALIDTIME SELECT PosID, COUNT(*) AS CNT FROM POSITION GROUP BY PosID"
+  in
+  for _ = 1 to 12 do
+    ignore (Middleware.query mw sql)
+  done;
+  Middleware.set_query_observer mw None;
+  let records = Event_log.recent log in
+  Alcotest.(check int) "every run kept" 12 (List.length records);
+  let phase_sum (r : Event_log.record) =
+    r.Event_log.parse_us +. r.Event_log.optimize_us
+    +. r.Event_log.translate_us +. r.Event_log.mw_exec_us
+    +. r.Event_log.transfer_us +. r.Event_log.gather_wait_us
+  in
+  List.iter
+    (fun (r : Event_log.record) ->
+      (* POSITION is range-partitioned, so the scan crosses both shards *)
+      Alcotest.(check bool) "touches both shards" true
+        (List.mem_assoc "shard0" r.Event_log.backends
+        && List.mem_assoc "shard1" r.Event_log.backends);
+      (* the roll-up phases are exactly the per-backend sums *)
+      let sum f =
+        List.fold_left (fun acc (_, b) -> acc +. f b) 0.0 r.Event_log.backends
+      in
+      Alcotest.(check (float 1e-6)) "transfer rolls up"
+        r.Event_log.transfer_us
+        (sum (fun (b : Middleware.backend_breakdown) -> b.Middleware.us));
+      Alcotest.(check (float 1e-6)) "gather-wait rolls up"
+        r.Event_log.gather_wait_us
+        (sum (fun (b : Middleware.backend_breakdown) -> b.Middleware.wait_us)))
+    records;
+  (* conservation: the six phases partition the wall time — mw-exec is
+     derived as the remainder of execute, so the sum only falls short by
+     pipeline overhead outside the measured spans *)
+  let sums = List.fold_left (fun acc r -> acc +. phase_sum r) 0.0 records in
+  let walls =
+    List.fold_left
+      (fun acc (r : Event_log.record) -> acc +. r.Event_log.total_us)
+      0.0 records
+  in
+  let ratio = sums /. walls in
+  Alcotest.(check bool)
+    (Printf.sprintf "phases sum ~ wall (ratio %.3f)" ratio)
+    true
+    (ratio > 0.5 && ratio <= 1.001);
+  (* the watchdog's tail analysis names a backend and a phase *)
+  let slo = Slo.create ~objective:slo_objective () in
+  Slo.observe slo ~now_us:0.0 ~latency_us:100.0 ~ok:true;
+  let generation = Tango_dbms.Topology.generation topo in
+  let wd = Watchdog.create ~generation () in
+  let v = Watchdog.evaluate wd ~now_us:1e6 ~slo ~log ~generation () in
+  (match v.Watchdog.dominant_backend with
+  | Some (name, share) ->
+      Alcotest.(check bool) "dominant backend is a shard" true
+        (name = "shard0" || name = "shard1");
+      Alcotest.(check bool) "share in (0,1]" true
+        (share > 0.0 && share <= 1.0)
+  | None -> Alcotest.fail "no dominant backend");
+  Alcotest.(check bool) "dominant phase named" true
+    (v.Watchdog.dominant_phase <> None);
+  Alcotest.(check bool) "tail non-empty" true (v.Watchdog.tail_records >= 1);
+  Histogram.reset Event_log.query_us
 
 (* ---------------- http ---------------- *)
 
@@ -490,12 +761,20 @@ let counter_sample body name =
     (String.split_on_char '\n' body);
   !v
 
+let get_q ep path query headers =
+  Endpoints.handler ep
+    { Http.meth = "GET"; path; query; headers; body = "" }
+
 let test_endpoints_end_to_end () =
   Counter.reset Event_log.queries_total;
   Counter.reset Event_log.query_errors;
   Histogram.reset Event_log.query_us;
   let ep = make_endpoints ~log:(Event_log.create ~capacity:64 ()) () in
   Alcotest.(check int) "healthz" 200 (get ep "/healthz").Http.status;
+  check_infix "healthz json" "\"topology_generation\":"
+    (get ep "/healthz").Http.body;
+  Alcotest.(check string) "healthz plain for probes" "ok\n"
+    (get_q ep "/healthz" [ ("plain", "1") ] []).Http.body;
   (* drive >= 100 queries through POST /query, one of them invalid *)
   let sql = "VALIDTIME SELECT PosID, COUNT(*) AS CNT FROM POSITION GROUP BY PosID" in
   for _ = 1 to 100 do
@@ -522,6 +801,22 @@ let test_endpoints_end_to_end () =
   check_infix "slo gauges" "tango_monitor_slo_state" metrics.Http.body;
   check_infix "middleware counters too" "tango_client_roundtrips"
     metrics.Http.body;
+  (* openmetrics negotiation: exemplars appear and # EOF closes the
+     exposition; both the Accept header and ?format=openmetrics work *)
+  let om =
+    get_q ep "/metrics" []
+      [ ("accept", "application/openmetrics-text; version=1.0.0") ]
+  in
+  Alcotest.(check string) "openmetrics content type"
+    Prometheus.openmetrics_content_type om.Http.content_type;
+  check_infix "exemplar syntax" "# {seq=\"" om.Http.body;
+  Alcotest.(check string) "eof is the last line" "# EOF\n"
+    (String.sub om.Http.body (String.length om.Http.body - 6) 6);
+  Alcotest.(check string) "format param negotiates too"
+    Prometheus.openmetrics_content_type
+    (get_q ep "/metrics" [ ("format", "openmetrics") ] []).Http.content_type;
+  Alcotest.(check string) "plain scrape unchanged" Prometheus.content_type
+    (get ep "/metrics").Http.content_type;
   (* /queries returns the sampled log, newest first *)
   let queries = get ep "/queries" in
   Alcotest.(check int) "queries ok" 200 queries.Http.status;
@@ -529,6 +824,29 @@ let test_endpoints_end_to_end () =
   check_infix "failures kept" "\"kept\":\"failed\"" queries.Http.body;
   Alcotest.(check int) "log saw every run" 101
     (Event_log.seen (Endpoints.event_log ep));
+  (* /queries/<seq> drill-down: full record, phases, grafted trace *)
+  let kept_record =
+    List.find
+      (fun (r : Event_log.record) -> r.Event_log.error = None)
+      (Event_log.recent (Endpoints.event_log ep))
+  in
+  let drill =
+    get ep (Printf.sprintf "/queries/%d" kept_record.Event_log.seq)
+  in
+  Alcotest.(check int) "drill-down ok" 200 drill.Http.status;
+  check_infix "phase breakdown" "\"phases\":" drill.Http.body;
+  check_infix "per-backend breakdown" "\"backends\":" drill.Http.body;
+  check_infix "grafted trace" "\"traceEvents\":" drill.Http.body;
+  Alcotest.(check int) "non-numeric seq" 400
+    (get ep "/queries/abc").Http.status;
+  Alcotest.(check int) "unknown seq" 404
+    (get ep "/queries/999999").Http.status;
+  (* /debug/watchdog correlates the drill-down signals *)
+  let wd = get ep "/debug/watchdog" in
+  Alcotest.(check int) "watchdog ok" 200 wd.Http.status;
+  check_infix "watchdog state" "\"state\":" wd.Http.body;
+  check_infix "watchdog signals" "\"signal\":\"slo_burn\"" wd.Http.body;
+  check_infix "watchdog tail" "\"tail_records\":" wd.Http.body;
   (* /slo, /trace, dispatch edges *)
   Alcotest.(check int) "slo ok" 200 (get ep "/slo").Http.status;
   check_infix "slo verdict" "\"state\":" (get ep "/slo").Http.body;
@@ -573,11 +891,14 @@ let () =
             test_prometheus_golden;
           Alcotest.test_case "names, gauges, labels" `Quick
             test_prometheus_names_and_gauges;
+          Alcotest.test_case "openmetrics exemplars" `Quick
+            test_prometheus_exemplars;
         ] );
       ( "chrome trace",
         [
           Alcotest.test_case "event layout" `Quick test_chrome_trace_layout;
           Alcotest.test_case "json envelope" `Quick test_chrome_trace_json;
+          Alcotest.test_case "backend lanes" `Quick test_chrome_backend_lanes;
         ] );
       ( "event log",
         [
@@ -587,12 +908,21 @@ let () =
             test_event_log_overrides;
           Alcotest.test_case "aggregate metrics" `Quick test_event_log_metrics;
           Alcotest.test_case "json" `Quick test_event_log_json;
+          Alcotest.test_case "tail keep and exemplars" `Quick
+            test_event_log_tail_exemplars;
         ] );
       ( "slo",
         [
           Alcotest.test_case "latency transitions" `Quick test_slo_transitions;
           Alcotest.test_case "availability" `Quick test_slo_availability;
           Alcotest.test_case "json and gauges" `Quick test_slo_json_and_gauges;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "signal transitions" `Quick
+            test_watchdog_transitions;
+          Alcotest.test_case "sharded attribution conservation" `Quick
+            test_sharded_attribution_conservation;
         ] );
       ( "http",
         [
