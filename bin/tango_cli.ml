@@ -628,6 +628,33 @@ let serve_cmd =
   let f scale csvs shards prefetch no_histograms calibrate port host
       slo_latency_ms sample_every log_capacity slow_keep_ms max_requests =
     catch_errors (fun () ->
+        (* Validate flags up front: a bad value should produce one clear
+           line, not an [Invalid_argument] backtrace from deep inside
+           Event_log or the socket bind. *)
+        if port < 0 || port > 65535 then
+          failwith
+            (Printf.sprintf "--port must be in 0..65535 (got %d)" port);
+        if log_capacity <= 0 then
+          failwith
+            (Printf.sprintf "--log-capacity must be positive (got %d)"
+               log_capacity);
+        if sample_every <= 0 then
+          failwith
+            (Printf.sprintf "--sample-every must be positive (got %d)"
+               sample_every);
+        (match max_requests with
+        | Some n when n <= 0 ->
+            failwith
+              (Printf.sprintf "--max-requests must be positive (got %d)" n)
+        | _ -> ());
+        if slo_latency_ms <= 0.0 then
+          failwith
+            (Printf.sprintf "--slo-latency-ms must be positive (got %g)"
+               slo_latency_ms);
+        if slow_keep_ms < 0.0 then
+          failwith
+            (Printf.sprintf "--slow-keep-ms must be non-negative (got %g)"
+               slow_keep_ms);
         setup_logs false;
         (* one session serves every request: the plan cache persists
            across POST /query submissions *)
@@ -682,11 +709,69 @@ let serve_cmd =
           $ slo_latency_arg $ sample_every_arg $ log_capacity_arg
           $ slow_keep_arg $ max_requests_arg)
 
+(* ---------------- lint (domain-safety analyzer) ---------------- *)
+
+let lint_cmd =
+  let doc =
+    "Run the domain-safety lint over the compiled tree: inventory \
+     module-level mutable state, flag mutation sites not guarded by \
+     Mutex.protect/Dsync.protect, and check interface hygiene.  Exits \
+     nonzero when an error-severity finding is neither annotated with \
+     [\\@tango.unguarded] nor covered by the allow file."
+  in
+  let build_arg =
+    Arg.(value & opt string "_build/default"
+         & info [ "build" ] ~docv:"DIR"
+             ~doc:"Dune build context holding the .cmt files.")
+  in
+  let src_arg =
+    Arg.(value & opt string "."
+         & info [ "src" ] ~docv:"DIR"
+             ~doc:"Repository root (for hygiene checks and the allow file).")
+  in
+  let allow_arg =
+    Arg.(value & opt string "lint-allow"
+         & info [ "allow" ] ~docv:"FILE"
+             ~doc:"Allowlist path, relative to $(b,--src).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let github_arg =
+    Arg.(value & flag
+         & info [ "github" ]
+             ~doc:"Also emit GitHub workflow-command annotations \
+                   (::error file=...) for failing findings.")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Show every finding, including the Info-severity state \
+                   inventory and allowed findings.")
+  in
+  let f build src allow json github verbose =
+    let report =
+      Tango_lint.Lint.run
+        { Tango_lint.Lint.default_config with
+          Tango_lint.Lint.build_dir = build; src_dir = src; allow_file = allow }
+    in
+    if json then print_string (Tango_lint.Lint.to_json report ^ "\n")
+    else Tango_lint.Lint.render ~verbose Fmt.stdout report;
+    if github then
+      List.iter print_endline (Tango_lint.Lint.github_annotations report);
+    if Tango_lint.Lint.failing report = [] then 0 else 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const f $ build_arg $ src_arg $ allow_arg $ json_arg $ github_arg
+          $ verbose_arg)
+
 let main =
   let doc = "TANGO: adaptable temporal query middleware on a conventional DBMS" in
   (* [run] is the default subcommand: `tango --trace "SQL"` works. *)
   Cmd.group ~default:run_term
     (Cmd.info "tango" ~version:"1.0.0" ~doc)
-    [ run_cmd; explain_cmd; repl_cmd; tables_cmd; check_cmd; serve_cmd ]
+    [ run_cmd; explain_cmd; repl_cmd; tables_cmd; check_cmd; serve_cmd;
+      lint_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,4 +1,12 @@
-(** Fingerprint-keyed LRU plan cache.  See the interface for semantics. *)
+(** Fingerprint-keyed LRU plan cache.  See the interface for semantics.
+
+    Domain safety: every operation on a cache instance — lookup, insert,
+    invalidation, stats — runs inside the instance's {!Tango_obs.Dsync}
+    critical section, so one cache can be shared by a multi-domain
+    accept pool.  Key computation (normalize + hash) is pure and happens
+    outside the lock. *)
+
+module Dsync = Tango_obs.Dsync
 
 (* process-wide mirrors (aggregated across caches; see Tango_obs) *)
 let c_hits = Tango_obs.Counter.make "cache.hits"
@@ -56,6 +64,7 @@ type stats = {
 
 type 'a t = {
   capacity : int;
+  lock : Dsync.lock;  (** guards every mutable field below *)
   table : (string, 'a entry) Hashtbl.t;
   mutable tick : int;
   mutable hits : int;
@@ -68,6 +77,7 @@ type 'a t = {
 let create ?(capacity = 128) () =
   {
     capacity = max 1 capacity;
+    lock = Dsync.lock ();
     table = Hashtbl.create 64;
     tick = 0;
     hits = 0;
@@ -78,60 +88,75 @@ let create ?(capacity = 128) () =
   }
 
 let capacity c = c.capacity
-let length c = Hashtbl.length c.table
-
-let touch c entry =
-  c.tick <- c.tick + 1;
-  entry.last_used <- c.tick
+let length c = Dsync.protect c.lock (fun () -> Hashtbl.length c.table)
 
 let find c ~sql =
   let normalized = normalize_sql sql in
-  match Hashtbl.find_opt c.table (key_of_sql sql) with
-  | Some entry when String.equal entry.normalized normalized ->
-      touch c entry;
-      c.hits <- c.hits + 1;
-      Tango_obs.Counter.incr c_hits;
-      Some entry.value
-  | _ ->
-      c.misses <- c.misses + 1;
-      Tango_obs.Counter.incr c_misses;
-      None
-
-(* Evict the least-recently-used entry (smallest tick). *)
-let evict_lru c =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key entry ->
-      match !victim with
-      | Some (_, best) when best.last_used <= entry.last_used -> ()
-      | _ -> victim := Some (key, entry))
-    c.table;
-  match !victim with
-  | None -> ()
-  | Some (key, _) ->
-      Hashtbl.remove c.table key;
-      c.evictions <- c.evictions + 1;
-      Tango_obs.Counter.incr c_evictions
+  let key = key_of_sql sql in
+  let result =
+    Dsync.protect c.lock (fun () ->
+        match Hashtbl.find_opt c.table key with
+        | Some entry when String.equal entry.normalized normalized ->
+            c.tick <- c.tick + 1;
+            entry.last_used <- c.tick;
+            c.hits <- c.hits + 1;
+            Some entry.value
+        | _ ->
+            c.misses <- c.misses + 1;
+            None)
+  in
+  (match result with
+  | Some _ -> Tango_obs.Counter.incr c_hits
+  | None -> Tango_obs.Counter.incr c_misses);
+  result
 
 let add c ~sql value =
   let key = key_of_sql sql in
-  if (not (Hashtbl.mem c.table key)) && Hashtbl.length c.table >= c.capacity
-  then evict_lru c;
-  let entry = { normalized = normalize_sql sql; value; last_used = 0 } in
-  touch c entry;
-  Hashtbl.replace c.table key entry
+  let normalized = normalize_sql sql in
+  let evicted =
+    Dsync.protect c.lock (fun () ->
+        let evicted =
+          if
+            (not (Hashtbl.mem c.table key))
+            && Hashtbl.length c.table >= c.capacity
+          then begin
+            (* evict the least-recently-used entry (smallest tick) *)
+            let victim = ref None in
+            Hashtbl.iter
+              (fun key entry ->
+                match !victim with
+                | Some (_, best) when best.last_used <= entry.last_used -> ()
+                | _ -> victim := Some (key, entry))
+              c.table;
+            match !victim with
+            | None -> false
+            | Some (key, _) ->
+                Hashtbl.remove c.table key;
+                c.evictions <- c.evictions + 1;
+                true
+          end
+          else false
+        in
+        c.tick <- c.tick + 1;
+        let entry = { normalized; value; last_used = c.tick } in
+        Hashtbl.replace c.table key entry;
+        evicted)
+  in
+  if evicted then Tango_obs.Counter.incr c_evictions
 
 let invalidate_all ?(reason = "invalidate") c =
-  Hashtbl.reset c.table;
-  c.invalidations <- c.invalidations + 1;
-  c.last_invalidation <- Some reason;
+  Dsync.protect c.lock (fun () ->
+      Hashtbl.reset c.table;
+      c.invalidations <- c.invalidations + 1;
+      c.last_invalidation <- Some reason);
   Tango_obs.Counter.incr c_invalidations
 
 let stats c =
-  {
-    hits = c.hits;
-    misses = c.misses;
-    evictions = c.evictions;
-    invalidations = c.invalidations;
-    last_invalidation = c.last_invalidation;
-  }
+  Dsync.protect c.lock (fun () ->
+      {
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+        invalidations = c.invalidations;
+        last_invalidation = c.last_invalidation;
+      })

@@ -1,0 +1,62 @@
+type entry = {
+  pattern : string;
+  reason : string;
+  mutable used : bool;
+}
+
+type t = entry list
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.index_opt line ' ' with
+    | None -> Some { pattern = line; reason = "(no reason given)"; used = false }
+    | Some i ->
+        let pattern = String.sub line 0 i in
+        let reason =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        let reason = if reason = "" then "(no reason given)" else reason in
+        Some { pattern; reason; used = false }
+
+let of_string s =
+  String.split_on_char '\n' s |> List.filter_map parse_line
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  end
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* A pattern containing '/' matches the finding's file path by prefix;
+   otherwise it matches the dotted id by whole-segment prefix, so the
+   pattern [Tango_obs.Trace] matches [Tango_obs.Trace.push] but not
+   [Tango_obs.Tracer]. *)
+let entry_matches e ~file ~id =
+  if String.contains e.pattern '/' then starts_with ~prefix:e.pattern file
+  else
+    id = e.pattern
+    || starts_with ~prefix:(e.pattern ^ ".") id
+
+let find (t : t) ~file ~id =
+  match List.find_opt (fun e -> entry_matches e ~file ~id) t with
+  | Some e ->
+      e.used <- true;
+      Some e.reason
+  | None -> None
+
+let unused (t : t) =
+  List.filter_map (fun e -> if e.used then None else Some e.pattern) t

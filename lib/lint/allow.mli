@@ -1,0 +1,23 @@
+(** The committed allowlist ([lint-allow] at the repo root).
+
+    Line format: [<pattern> <justification...>]; blank lines and [#]
+    comments are ignored.  A pattern containing ['/'] matches a
+    finding's source path by prefix ([lib/volcano/]); otherwise it
+    matches the dotted id by whole-segment prefix ([Tango_obs.Trace]
+    matches [Tango_obs.Trace.push] but not [Tango_obs.Tracer]).
+
+    Entries record whether they matched anything, so the driver can
+    report stale patterns — an allowlist should shrink, not rot. *)
+
+type entry = { pattern : string; reason : string; mutable used : bool }
+type t = entry list
+
+val of_string : string -> t
+val load : string -> t
+(** [load path] is [[]] when [path] does not exist. *)
+
+val find : t -> file:string -> id:string -> string option
+(** First matching entry's reason; marks the entry used. *)
+
+val unused : t -> string list
+(** Patterns that never matched a finding. *)

@@ -1,0 +1,75 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  family : string;
+  file : string;
+  line : int;
+  id : string;
+  message : string;
+  hint : string option;
+  serve_path : bool;
+  allowed : string option;
+}
+
+let v ?hint ?(serve_path = false) ?allowed severity family ~file ~line ~id
+    message =
+  { severity; family; file; line; id; message; hint; serve_path; allowed }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_failing f = f.severity = Error && f.allowed = None
+let failing fs = List.filter is_failing fs
+
+let pp ppf f =
+  Fmt.pf ppf "%s[%s] %s:%d %s: %s" (severity_name f.severity) f.family f.file
+    f.line f.id f.message;
+  (match f.allowed with
+  | Some reason -> Fmt.pf ppf " (allowed: %s)" reason
+  | None -> ());
+  match f.hint with
+  | Some h when f.allowed = None -> Fmt.pf ppf "@.  hint: %s" h
+  | _ -> ()
+
+let to_string f = Fmt.str "%a" pp f
+
+(* Minimal JSON emission, matching the style used elsewhere in the tree
+   (no external JSON dependency). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  let opt name = function
+    | Some s -> Printf.sprintf ",\"%s\":\"%s\"" name (json_escape s)
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"severity\":\"%s\",\"family\":\"%s\",\"file\":\"%s\",\"line\":%d,\
+     \"id\":\"%s\",\"message\":\"%s\",\"serve_path\":%b%s%s}"
+    (severity_name f.severity) (json_escape f.family) (json_escape f.file)
+    f.line (json_escape f.id) (json_escape f.message) f.serve_path
+    (opt "hint" f.hint) (opt "allowed" f.allowed)
+
+let list_to_json fs = "[" ^ String.concat "," (List.map to_json fs) ^ "]"
+
+(* GitHub workflow-command annotation: rendered on failing findings by
+   the CI lint job so the finding shows up inline on the PR diff. *)
+let github_annotation f =
+  Printf.sprintf "::%s file=%s,line=%d::%s: %s [%s]"
+    (match f.severity with Error -> "error" | _ -> "warning")
+    f.file f.line f.id f.message f.family

@@ -1,0 +1,57 @@
+(** Structured lint diagnostics, in the style of [Tango_verify.Diag].
+
+    A finding names a source location, a dotted identifier (the unit,
+    submodule path and binding it concerns), and a family:
+
+    - ["state"]: module-level shared mutable state inventory (refs,
+      mutable record fields, [Hashtbl.t] / [Queue.t] / [Buffer.t] /
+      array values bound at structure level);
+    - ["guard"]: a mutation site not dominated by a recognized guard
+      ([Mutex.protect] / [Dsync.protect]), or a raw [Mutex.lock] /
+      [Mutex.unlock] pair (not exception-safe);
+    - ["hygiene"]: interface gaps ([.ml] without a sibling [.mli]).
+
+    A finding is {e failing} when it is an [Error] and has not been
+    allowed by a [[\@tango.unguarded "reason"]] annotation or by a
+    matching entry in the committed allow file. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  family : string;
+  file : string;  (** source path, relative to the repo root when known *)
+  line : int;
+  id : string;  (** dotted id, e.g. ["Tango_cache.Plan_cache.add"] *)
+  message : string;
+  hint : string option;
+  serve_path : bool;  (** the unit is reachable from the serve endpoints *)
+  allowed : string option;  (** justification, when suppressed *)
+}
+
+val v :
+  ?hint:string ->
+  ?serve_path:bool ->
+  ?allowed:string ->
+  severity ->
+  string ->
+  file:string ->
+  line:int ->
+  id:string ->
+  string ->
+  t
+
+val severity_name : severity -> string
+
+val is_failing : t -> bool
+(** [Error] severity and not allowed. *)
+
+val failing : t list -> t list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val json_escape : string -> string
+val to_json : t -> string
+val list_to_json : t list -> string
+
+val github_annotation : t -> string
+(** GitHub Actions workflow-command line ([::error file=...]). *)

@@ -1,0 +1,173 @@
+(* The lint driver: cmt discovery, hygiene checks, serve-path
+   reachability, allowlist application and report rendering. *)
+
+type config = {
+  build_dir : string;
+  src_dir : string;
+  allow_file : string;
+  serve_roots : string list;
+}
+
+let default_config =
+  {
+    build_dir = "_build/default";
+    src_dir = ".";
+    allow_file = "lint-allow";
+    serve_roots = [ "Tango_monitor.Endpoints"; "Tango_core.Middleware" ];
+  }
+
+type report = {
+  units : Scan.unit_info list;
+  findings : Finding.t list;
+  unused_allows : string list;
+}
+
+(* ---------- file discovery ---------- *)
+
+let rec walk_files dir acc =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk_files path acc else path :: acc)
+      acc (Sys.readdir dir)
+
+let find_cmts build_dir =
+  walk_files (Filename.concat build_dir "lib") []
+  |> List.filter (fun p -> Filename.check_suffix p ".cmt")
+  |> List.sort compare
+
+(* ---------- hygiene: every lib/**/*.ml needs a sibling .mli ---------- *)
+
+let module_id_of_src src_dir path =
+  (* lib/cost/factors.ml -> Tango_?.Factors is not derivable without
+     the dune file; use directory + capitalized module name. *)
+  let rel =
+    if String.length path > String.length src_dir
+       && String.sub path 0 (String.length src_dir) = src_dir
+    then
+      String.sub path
+        (String.length src_dir + 1)
+        (String.length path - String.length src_dir - 1)
+    else path
+  in
+  let base = Filename.remove_extension (Filename.basename rel) in
+  (rel, String.capitalize_ascii base)
+
+let hygiene_findings src_dir =
+  let libdir = Filename.concat src_dir "lib" in
+  walk_files libdir []
+  |> List.filter (fun p -> Filename.check_suffix p ".ml")
+  |> List.sort compare
+  |> List.filter_map (fun ml ->
+         let mli = ml ^ "i" in
+         if Sys.file_exists mli then None
+         else
+           let rel, modname = module_id_of_src src_dir ml in
+           Some
+             (Finding.v Finding.Error "hygiene" ~file:rel ~line:1 ~id:modname
+                ~hint:
+                  "an .mli pins the exported surface; without one every \
+                   binding (including internal mutable state) is public"
+                (Printf.sprintf "%s has no interface file (%s.mli)" rel
+                   (Filename.remove_extension rel))))
+
+(* ---------- serve-path reachability ---------- *)
+
+let reachable_units (units : Scan.unit_info list) roots =
+  let imports = Hashtbl.create 64 in
+  List.iter (fun (u : Scan.unit_info) -> Hashtbl.replace imports u.unit_id u.imports) units;
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Hashtbl.find_opt imports id with
+      | Some deps -> List.iter visit deps
+      | None -> ()
+    end
+  in
+  List.iter visit roots;
+  seen
+
+(* ---------- source paths relative to the repo root ---------- *)
+
+(* cmt_sourcefile is recorded relative to the dune workspace root, so
+   it is already the repo-relative path (e.g. lib/cache/plan_cache.ml). *)
+
+(* ---------- the run ---------- *)
+
+let run (config : config) : report =
+  let units = Scan.scan_cmts (find_cmts config.build_dir) in
+  let allow = Allow.load (Filename.concat config.src_dir config.allow_file) in
+  let reach = reachable_units units config.serve_roots in
+  let apply_allow (f : Finding.t) =
+    match f.Finding.allowed with
+    | Some _ -> f
+    | None -> (
+        match Allow.find allow ~file:f.Finding.file ~id:f.Finding.id with
+        | Some reason -> { f with Finding.allowed = Some reason }
+        | None -> f)
+  in
+  let unit_findings =
+    List.concat_map
+      (fun (u : Scan.unit_info) ->
+        let on_serve_path = Hashtbl.mem reach u.unit_id in
+        List.map
+          (fun f -> apply_allow { f with Finding.serve_path = on_serve_path })
+          u.findings)
+      units
+  in
+  let hygiene = List.map apply_allow (hygiene_findings config.src_dir) in
+  {
+    units;
+    findings = unit_findings @ hygiene;
+    unused_allows = Allow.unused allow;
+  }
+
+let failing report = Finding.failing report.findings
+
+(* ---------- rendering ---------- *)
+
+let count p l = List.length (List.filter p l)
+
+let summary report =
+  let f = report.findings in
+  let is fam (x : Finding.t) = x.Finding.family = fam in
+  Printf.sprintf
+    "lint: %d unit(s) scanned; %d state finding(s) (%d on the serve path), \
+     %d guard finding(s) (%d allowed), %d hygiene finding(s); %d failing"
+    (List.length report.units)
+    (count (is "state") f)
+    (count (fun x -> is "state" x && x.Finding.serve_path) f)
+    (count (is "guard") f)
+    (count (fun x -> is "guard" x && x.Finding.allowed <> None) f)
+    (count (is "hygiene") f)
+    (List.length (failing report))
+
+let render ?(verbose = false) ppf report =
+  let shown =
+    if verbose then report.findings
+    else List.filter Finding.is_failing report.findings
+  in
+  List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) shown;
+  List.iter
+    (fun p -> Fmt.pf ppf "warning: unused lint-allow pattern: %s@." p)
+    report.unused_allows;
+  Fmt.pf ppf "%s@." (summary report)
+
+let to_json report =
+  Printf.sprintf
+    "{\"units\":%d,\"failing\":%d,\"unused_allow_patterns\":%s,\"findings\":%s}"
+    (List.length report.units)
+    (List.length (failing report))
+    ("["
+    ^ String.concat ","
+        (List.map
+           (fun p -> "\"" ^ Finding.json_escape p ^ "\"")
+           report.unused_allows)
+    ^ "]")
+    (Finding.list_to_json report.findings)
+
+let github_annotations report =
+  List.map Finding.github_annotation (failing report)

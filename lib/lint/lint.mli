@@ -1,0 +1,38 @@
+(** The lint driver.
+
+    Discovers every [.cmt] under [build_dir]/lib, scans them with
+    {!Scan}, adds interface-hygiene findings from the source tree,
+    marks findings in units reachable (via [cmt_imports]) from the
+    serve roots, applies the committed allowlist, and renders the
+    report as text, JSON, or GitHub workflow commands.
+
+    The run {e fails} (nonzero exit in the CLI) iff {!failing} is
+    non-empty: an [Error]-severity finding survived both the in-code
+    [[\@tango.unguarded]] annotations and the allow file. *)
+
+type config = {
+  build_dir : string;  (** dune build context root, e.g. [_build/default] *)
+  src_dir : string;  (** repo root, for hygiene checks and the allow file *)
+  allow_file : string;  (** path of the allowlist, relative to [src_dir] *)
+  serve_roots : string list;
+      (** normalized unit ids whose import closure is "the serve path" *)
+}
+
+val default_config : config
+
+type report = {
+  units : Scan.unit_info list;
+  findings : Finding.t list;
+  unused_allows : string list;
+}
+
+val run : config -> report
+val failing : report -> Finding.t list
+val summary : report -> string
+
+val render : ?verbose:bool -> Format.formatter -> report -> unit
+(** Failing findings (all findings when [verbose]), then unused-allow
+    warnings, then the one-line summary. *)
+
+val to_json : report -> string
+val github_annotations : report -> string list

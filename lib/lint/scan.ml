@@ -1,0 +1,534 @@
+(* The typed-AST walker.  Reads a compiled [.cmt] file (compiler-libs
+   [Cmt_format]) and reports, per unit:
+
+   - module-level mutable state ("state" inventory findings);
+   - mutation sites not dominated by a recognized guard application
+     ("guard" findings);
+   - raw [Mutex.lock]/[Mutex.unlock] usage (guards must be
+     exception-safe: [Mutex.protect] / [Dsync.protect]).
+
+   Dune wraps libraries, so compilation units are named like
+   [Tango_cache__Plan_cache]; every identifier is normalized by
+   rewriting ["__"] to ["."] before matching, and stdlib aliases are
+   handled by suffix matching (both [Hashtbl.replace] and
+   [Stdlib.Hashtbl.replace] match the pattern ["Hashtbl.replace"]). *)
+
+open Typedtree
+
+type unit_info = {
+  unit_name : string;  (* raw module name, e.g. Tango_cache__Plan_cache *)
+  unit_id : string;  (* normalized dotted id, e.g. Tango_cache.Plan_cache *)
+  source : string option;
+  imports : string list;  (* normalized *)
+  findings : Finding.t list;
+}
+
+(* ---------- identifier normalization & matching ---------- *)
+
+let normalize name =
+  let buf = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
+      Buffer.add_char buf '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* [matches_tail name "Hashtbl.replace"] accepts the name itself and
+   any dotted elaboration of it ([Stdlib.Hashtbl.replace]). *)
+let matches_tail name pat = name = pat || ends_with ~suffix:("." ^ pat) name
+let matches_any name pats = List.exists (matches_tail name) pats
+
+(* ---------- what counts as a mutator ---------- *)
+
+(* Function applications that mutate one of their arguments, paired
+   with the index of the mutated argument ([Array.sort cmp a] mutates
+   its second argument, [Array.blit src sp dst ...] its third).
+   Atomic operations are deliberately absent: atomics are a recognized
+   guard in their own right.  [incr]/[decr] are pinned to [Stdlib] so
+   a counter abstraction's own [incr] does not suffix-match. *)
+let mutator_functions =
+  [
+    (":=", 0);
+    ("Stdlib.incr", 0);
+    ("Stdlib.decr", 0);
+    ("Hashtbl.replace", 0);
+    ("Hashtbl.add", 0);
+    ("Hashtbl.remove", 0);
+    ("Hashtbl.reset", 0);
+    ("Hashtbl.clear", 0);
+    ("Hashtbl.filter_map_inplace", 1);
+    ("Hashtbl.add_seq", 0);
+    ("Hashtbl.replace_seq", 0);
+    ("Queue.push", 1);
+    ("Queue.add", 1);
+    ("Queue.pop", 0);
+    ("Queue.take", 0);
+    ("Queue.clear", 0);
+    ("Queue.transfer", 0);
+    ("Queue.add_seq", 0);
+    ("Stack.push", 1);
+    ("Stack.pop", 0);
+    ("Stack.clear", 0);
+    ("Buffer.add_char", 0);
+    ("Buffer.add_string", 0);
+    ("Buffer.add_substring", 0);
+    ("Buffer.add_bytes", 0);
+    ("Buffer.add_buffer", 0);
+    ("Buffer.add_channel", 0);
+    ("Buffer.clear", 0);
+    ("Buffer.reset", 0);
+    ("Buffer.truncate", 0);
+    ("Array.set", 0);
+    ("Array.unsafe_set", 0);
+    ("Array.fill", 0);
+    ("Array.blit", 2);
+    ("Array.sort", 1);
+    ("Bytes.set", 0);
+    ("Bytes.unsafe_set", 0);
+    ("Bytes.fill", 0);
+    ("Bytes.blit", 2);
+  ]
+
+(* Applications whose dynamic extent counts as guarded. *)
+let guard_functions = [ "Mutex.protect"; "Dsync.protect" ]
+
+(* Raw locking primitives: flagged wherever referenced, because a
+   manual lock/unlock pair leaks the lock if the critical section
+   raises. *)
+let raw_lock_functions = [ "Mutex.lock"; "Mutex.unlock"; "Mutex.try_lock" ]
+
+(* ---------- what counts as mutable state ---------- *)
+
+(* Types that are containers of shared mutable state. *)
+let mutable_type_heads =
+  [ "ref"; "Hashtbl.t"; "Queue.t"; "Buffer.t"; "Stack.t"; "array"; "bytes" ]
+
+(* Types that are mutable but domain-safe by construction; reaching one
+   of these stops the walk. *)
+let safe_type_heads =
+  [
+    "Atomic.t";
+    "Mutex.t";
+    "Condition.t";
+    "Semaphore.Counting.t";
+    "Semaphore.Binary.t";
+    "Domain.DLS.key";
+    "Dsync.lock";
+    "Dsync.Sharded.t";
+  ]
+
+(* Mutable record types declared across the scanned units, keyed by
+   normalized dotted id; shared between the two passes. *)
+type type_env = (string, string list) Hashtbl.t
+(* value: names of the mutable fields *)
+
+let type_env_create () : type_env = Hashtbl.create 64
+
+(* Does this type expression contain reachable shared mutable state?
+   Conservative structural walk with a visited set (type_exprs can be
+   cyclic through Tconstr arguments). *)
+let rec type_is_mutable (env : type_env) ~unit_id ~mod_path visited ty =
+  let id = Types.get_id ty in
+  if List.mem id !visited then false
+  else begin
+    visited := id :: !visited;
+    match Types.get_desc ty with
+    | Types.Tconstr (path, args, _) ->
+        let name = normalize (Path.name path) in
+        if matches_any name safe_type_heads then false
+        else if matches_any name mutable_type_heads then true
+        else if
+          (* a record type with mutable fields, declared in this repo *)
+          Hashtbl.mem env name
+          || Hashtbl.mem env (unit_id ^ "." ^ name)
+          || mod_path <> []
+             && Hashtbl.mem env
+                  (String.concat "." ((unit_id :: mod_path) @ [ name ]))
+        then true
+        else
+          List.exists (type_is_mutable env ~unit_id ~mod_path visited) args
+    | Types.Ttuple tys ->
+        List.exists (type_is_mutable env ~unit_id ~mod_path visited) tys
+    | _ -> false
+  end
+
+let value_type_is_mutable env ~unit_id ~mod_path ty =
+  (* functions are behaviour, not state, even when they return refs *)
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> false
+  | _ -> type_is_mutable env ~unit_id ~mod_path (ref []) ty
+
+(* ---------- [@tango.unguarded "reason"] ---------- *)
+
+let unguarded_reason (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "tango.unguarded" then None
+      else
+        match a.attr_payload with
+        | Parsetree.PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( {
+                        pexp_desc =
+                          Pexp_constant (Pconst_string (reason, _, _));
+                        _;
+                      },
+                      _ );
+                _;
+              };
+            ] ->
+            Some reason
+        | _ -> Some "(no reason given)")
+    attrs
+
+(* ---------- the walker ---------- *)
+
+type ctx = {
+  env : type_env;
+  unit_id : string;
+  src : string;
+  mutable mod_path : string list;  (* innermost last *)
+  mutable binding : string;  (* enclosing structure-level binding name *)
+  mutable guard_depth : int;
+  mutable allow : string option;  (* innermost [@tango.unguarded] reason *)
+  locals : (string, unit) Hashtbl.t;  (* Ident.unique_name of let-locals *)
+  toplevel : (string, unit) Hashtbl.t;  (* structure-level value idents *)
+  mutable findings : Finding.t list;
+}
+
+let dotted ctx leaf =
+  String.concat "." ((ctx.unit_id :: ctx.mod_path) @ [ leaf ])
+
+let emit ctx ?hint severity family ~loc ~leaf message =
+  let line = loc.Location.loc_start.Lexing.pos_lnum in
+  ctx.findings <-
+    Finding.v ?hint ?allowed:ctx.allow severity family ~file:ctx.src ~line
+      ~id:(dotted ctx leaf) message
+    :: ctx.findings
+
+let guard_hint =
+  "wrap the mutation in Dsync.protect/Mutex.protect (or use Atomic), or \
+   justify it with [@tango.unguarded \"reason\"] / a lint-allow entry"
+
+(* Walk a mutation target down to its root identifier. *)
+let rec mutation_root (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (e, _, _) -> mutation_root e
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when matches_tail (normalize (Path.name p)) "!" -> (
+      match args with
+      | [ (_, Some arg) ] -> mutation_root arg
+      | _ -> None)
+  | _ -> None
+
+type root_class = Local | Global of string | Instance of string
+
+let classify_root ctx (e : expression) =
+  match mutation_root e with
+  | Some (Path.Pident id) ->
+      let u = Ident.unique_name id in
+      if Hashtbl.mem ctx.locals u then Local
+      else if Hashtbl.mem ctx.toplevel u then Global (Ident.name id)
+      else Instance (Ident.name id)
+  | Some p -> Global (normalize (Path.name p))
+  | None -> Instance "<computed>"
+
+let flag_mutation ctx ~loc ~kind target_expr =
+  if ctx.guard_depth > 0 then ()
+  else
+    match classify_root ctx target_expr with
+    | Local -> ()
+    | Global root ->
+        emit ctx Finding.Error "guard" ~loc ~leaf:ctx.binding
+          ~hint:guard_hint
+          (Printf.sprintf "unguarded %s of module-level state [%s]" kind root)
+    | Instance root ->
+        emit ctx Finding.Error "guard" ~loc ~leaf:ctx.binding
+          ~hint:guard_hint
+          (Printf.sprintf "unguarded %s of escaping instance state [%s]" kind
+             root)
+
+let register_locals ctx vbs =
+  List.iter
+    (fun vb ->
+      List.iter
+        (fun id -> Hashtbl.replace ctx.locals (Ident.unique_name id) ())
+        (pat_bound_idents vb.vb_pat))
+    vbs
+
+let with_allow ctx reason f =
+  match reason with
+  | None -> f ()
+  | Some _ ->
+      let saved = ctx.allow in
+      ctx.allow <- reason;
+      Fun.protect ~finally:(fun () -> ctx.allow <- saved) f
+
+let rec iter_expr ctx sub (e : expression) =
+  with_allow ctx (unguarded_reason e.exp_attributes) @@ fun () ->
+  match e.exp_desc with
+  | Texp_let (_, vbs, _) ->
+      register_locals ctx vbs;
+      Tast_iterator.default_iterator.expr sub e
+  | Texp_setfield (target, _, label, _) ->
+      flag_mutation ctx ~loc:e.exp_loc
+        ~kind:
+          (Printf.sprintf "field assignment [%s <-]"
+             label.Types.lbl_name)
+        target;
+      Tast_iterator.default_iterator.expr sub e
+  | Texp_setinstvar (_, _, _, _) ->
+      if ctx.guard_depth = 0 then
+        emit ctx Finding.Error "guard" ~loc:e.exp_loc ~leaf:ctx.binding
+          ~hint:guard_hint "unguarded instance-variable assignment";
+      Tast_iterator.default_iterator.expr sub e
+  | Texp_ident (p, _, _)
+    when matches_any (normalize (Path.name p)) raw_lock_functions ->
+      emit ctx Finding.Error "guard" ~loc:e.exp_loc ~leaf:ctx.binding
+        ~hint:
+          "use Mutex.protect/Dsync.protect: it releases the lock when the \
+           critical section raises"
+        (Printf.sprintf "raw lock primitive [%s] is not exception-safe"
+           (normalize (Path.name p)))
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+      let name = normalize (Path.name p) in
+      if matches_any name guard_functions then begin
+        ctx.guard_depth <- ctx.guard_depth + 1;
+        Fun.protect
+          ~finally:(fun () -> ctx.guard_depth <- ctx.guard_depth - 1)
+          (fun () -> Tast_iterator.default_iterator.expr sub e)
+      end
+      else begin
+        (match
+           List.find_opt (fun (pat, _) -> matches_tail name pat)
+             mutator_functions
+         with
+        | Some (pat, arg_idx) -> (
+            let explicit_args =
+              List.filter_map (fun (_, arg) -> arg) args
+            in
+            match List.nth_opt explicit_args arg_idx with
+            | Some target ->
+                flag_mutation ctx ~loc:e.exp_loc
+                  ~kind:(Printf.sprintf "mutation [%s]" pat)
+                  target
+            | None -> ())
+        | None -> ());
+        Tast_iterator.default_iterator.expr sub e
+      end
+  | _ -> Tast_iterator.default_iterator.expr sub e
+
+and iter_structure_item ctx sub (item : structure_item) =
+  match item.str_desc with
+  | Tstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          let ids = pat_bound_idents vb.vb_pat in
+          List.iter
+            (fun id -> Hashtbl.replace ctx.toplevel (Ident.unique_name id) ())
+            ids;
+          let leaf =
+            match ids with id :: _ -> Ident.name id | [] -> "_"
+          in
+          let saved_binding = ctx.binding in
+          ctx.binding <- leaf;
+          with_allow ctx (unguarded_reason vb.vb_attributes) (fun () ->
+              (if
+                 value_type_is_mutable ctx.env ~unit_id:ctx.unit_id
+                   ~mod_path:ctx.mod_path vb.vb_pat.pat_type
+               then
+                 let ty =
+                   Format.asprintf "%a" Printtyp.type_expr vb.vb_pat.pat_type
+                 in
+                 emit ctx Finding.Info "state" ~loc:vb.vb_loc ~leaf
+                   (Printf.sprintf "module-level mutable value: %s" ty));
+              sub.Tast_iterator.expr sub vb.vb_expr);
+          ctx.binding <- saved_binding)
+        vbs
+  | Tstr_module mb -> iter_module_binding ctx sub mb
+  | Tstr_recmodule mbs -> List.iter (iter_module_binding ctx sub) mbs
+  | Tstr_type (_, decls) ->
+      List.iter
+        (fun (d : type_declaration) ->
+          match d.typ_kind with
+          | Ttype_record labels ->
+              let mutables =
+                List.filter_map
+                  (fun (l : label_declaration) ->
+                    if l.ld_mutable = Asttypes.Mutable then
+                      Some l.ld_name.txt
+                    else None)
+                  labels
+              in
+              if mutables <> [] then
+                emit ctx Finding.Info "state" ~loc:d.typ_loc
+                  ~leaf:d.typ_name.txt
+                  (Printf.sprintf "record type with mutable field(s): %s"
+                     (String.concat ", " mutables))
+          | _ -> ())
+        decls
+  | _ -> Tast_iterator.default_iterator.structure_item sub item
+
+and iter_module_binding ctx sub (mb : module_binding) =
+  let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+  with_allow ctx (unguarded_reason mb.mb_attributes) @@ fun () ->
+  ctx.mod_path <- ctx.mod_path @ [ name ];
+  Fun.protect
+    ~finally:(fun () ->
+      ctx.mod_path <-
+        List.filteri (fun i _ -> i < List.length ctx.mod_path - 1) ctx.mod_path)
+    (fun () -> sub.Tast_iterator.module_expr sub mb.mb_expr)
+
+(* ---------- pass 1: collect mutable record types ---------- *)
+
+let collect_types (env : type_env) ~unit_id (str : structure) =
+  let mod_path = ref [] in
+  let rec item (sub : Tast_iterator.iterator) (it : structure_item) =
+    match it.str_desc with
+    | Tstr_type (_, decls) ->
+        List.iter
+          (fun (d : type_declaration) ->
+            match d.typ_kind with
+            | Ttype_record labels ->
+                let mutables =
+                  List.filter_map
+                    (fun (l : label_declaration) ->
+                      if l.ld_mutable = Asttypes.Mutable then
+                        Some l.ld_name.txt
+                      else None)
+                    labels
+                in
+                if mutables <> [] then
+                  let id =
+                    String.concat "."
+                      ((unit_id :: !mod_path) @ [ d.typ_name.txt ])
+                  in
+                  Hashtbl.replace env id mutables
+            | _ -> ())
+          decls
+    | Tstr_module mb -> mbind sub mb
+    | Tstr_recmodule mbs -> List.iter (mbind sub) mbs
+    | _ -> Tast_iterator.default_iterator.structure_item sub it
+  and mbind sub (mb : module_binding) =
+    let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+    mod_path := !mod_path @ [ name ];
+    Fun.protect
+      ~finally:(fun () ->
+        mod_path :=
+          List.filteri (fun i _ -> i < List.length !mod_path - 1) !mod_path)
+      (fun () -> sub.Tast_iterator.module_expr sub mb.mb_expr)
+  in
+  let iter = { Tast_iterator.default_iterator with structure_item = item } in
+  iter.structure iter str
+
+(* ---------- pass 2: scan a unit ---------- *)
+
+let scan_structure env ~unit_id ~src (str : structure) =
+  let ctx =
+    {
+      env;
+      unit_id;
+      src;
+      mod_path = [];
+      binding = "_";
+      guard_depth = 0;
+      allow = None;
+      locals = Hashtbl.create 64;
+      toplevel = Hashtbl.create 64;
+      findings = [];
+    }
+  in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr = (fun sub e -> iter_expr ctx sub e);
+      structure_item = (fun sub it -> iter_structure_item ctx sub it);
+    }
+  in
+  iter.structure iter str;
+  List.rev ctx.findings
+
+(* ---------- cmt plumbing ---------- *)
+
+type cmt = {
+  cmt_path : string;
+  cmt_unit : string;
+  cmt_source : string option;
+  cmt_structure : structure option;
+  cmt_imports : string list;
+}
+
+let read_cmt path =
+  let infos = Cmt_format.read_cmt path in
+  let structure =
+    match infos.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str -> Some str
+    | _ -> None
+  in
+  {
+    cmt_path = path;
+    cmt_unit = infos.Cmt_format.cmt_modname;
+    cmt_source = infos.Cmt_format.cmt_sourcefile;
+    cmt_structure = structure;
+    cmt_imports =
+      List.map (fun (name, _) -> normalize name) infos.Cmt_format.cmt_imports;
+  }
+
+(* Dune generates an alias module per wrapped library (from a .ml-gen
+   source); those carry no user code. *)
+let is_generated cmt =
+  match cmt.cmt_source with
+  | Some src -> ends_with ~suffix:".ml-gen" src
+  | None -> true
+
+let scan_cmts paths =
+  let cmts =
+    List.filter_map
+      (fun p ->
+        match read_cmt p with
+        | cmt -> if is_generated cmt then None else Some cmt
+        | exception _ -> None)
+      paths
+  in
+  let env = type_env_create () in
+  List.iter
+    (fun cmt ->
+      match cmt.cmt_structure with
+      | Some str -> collect_types env ~unit_id:(normalize cmt.cmt_unit) str
+      | None -> ())
+    cmts;
+  List.map
+    (fun cmt ->
+      let unit_id = normalize cmt.cmt_unit in
+      let src =
+        match cmt.cmt_source with Some s -> s | None -> cmt.cmt_path
+      in
+      let findings =
+        match cmt.cmt_structure with
+        | Some str -> scan_structure env ~unit_id ~src str
+        | None -> []
+      in
+      {
+        unit_name = cmt.cmt_unit;
+        unit_id;
+        source = cmt.cmt_source;
+        imports = cmt.cmt_imports;
+        findings;
+      })
+    cmts

@@ -1,0 +1,39 @@
+(** Typed-AST scanner over compiled [.cmt] files.
+
+    One pass collects every record type with mutable fields across the
+    given units; a second pass walks each unit's typed tree and emits
+    {!Finding.t}s:
+
+    - {b state} (Info): structure-level values whose type transitively
+      contains [ref] / [Hashtbl.t] / [Queue.t] / [Buffer.t] / [Stack.t]
+      / [array] / [bytes] or a repo-declared mutable record — except
+      through [Atomic.t], [Mutex.t], [Domain.DLS.key] or the [Dsync]
+      abstractions, which are domain-safe by construction; plus record
+      type declarations with mutable fields.
+    - {b guard} (Error): mutation sites ([:=], [x.f <- e],
+      [Hashtbl.replace], [Queue.push], [Buffer.add_*], [Array.set], …)
+      whose target's root is module-level or escapes the current
+      function (a parameter or match binding), and which are not in the
+      dynamic extent of a [Mutex.protect] / [Dsync.protect]
+      application.  Mutation of let-bound locals is not flagged.  Raw
+      [Mutex.lock] / [Mutex.unlock] / [Mutex.try_lock] references are
+      flagged unconditionally (not exception-safe).
+
+    [[\@tango.unguarded "reason"]] on a value binding, module binding
+    or expression pre-allows the findings it dominates (they keep the
+    reason in {!Finding.t.allowed}). *)
+
+type unit_info = {
+  unit_name : string;  (** raw compilation-unit name *)
+  unit_id : string;  (** normalized dotted id ([__] rewritten to [.]) *)
+  source : string option;  (** source path recorded in the cmt *)
+  imports : string list;  (** normalized imported unit names *)
+  findings : Finding.t list;
+}
+
+val normalize : string -> string
+(** Rewrite dune's wrapped-library separator ["__"] to ["."]. *)
+
+val scan_cmts : string list -> unit_info list
+(** Read and scan the given [.cmt] paths.  Unreadable files, interfaces
+    and dune-generated alias modules are skipped silently. *)

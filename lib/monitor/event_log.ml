@@ -12,9 +12,15 @@
     Every event (kept or not) also feeds the always-on aggregate
     metrics: [monitor.queries], [monitor.query_errors] and the
     [monitor.query_us] latency histogram, which is what [/metrics]
-    exports buckets from. *)
+    exports buckets from.
+
+    Domain safety: admission, ring writes and reads all run inside the
+    instance's {!Tango_obs.Dsync} critical section, so one log can be
+    fed from a multi-domain accept pool; sequence numbers are assigned
+    under the lock and stay unique. *)
 
 open Tango_core
+module Dsync = Tango_obs.Dsync
 
 (* aggregate metrics, fed on every event *)
 let queries_total = Tango_obs.Counter.make "monitor.queries"
@@ -61,6 +67,7 @@ type t = {
   capacity : int;
   sample_every : int;
   slow_keep_us : float;
+  lock : Dsync.lock;  (** guards the ring and every mutable field *)
   ring : record option array;
   mutable next : int;  (** write position *)
   mutable stored : int;
@@ -76,6 +83,7 @@ let create ?(capacity = 256) ?(sample_every = 1) ?(slow_keep_us = 0.0) () =
     capacity;
     sample_every;
     slow_keep_us;
+    lock = Dsync.lock ();
     ring = Array.make capacity None;
     next = 0;
     stored = 0;
@@ -84,8 +92,8 @@ let create ?(capacity = 256) ?(sample_every = 1) ?(slow_keep_us = 0.0) () =
   }
 
 let capacity t = t.capacity
-let seen t = t.seen
-let kept t = t.kept
+let seen t = Dsync.protect t.lock (fun () -> t.seen)
+let kept t = Dsync.protect t.lock (fun () -> t.kept)
 
 (* Walk the executed operator tree for the transfer-boundary numbers:
    rows entering the middleware across TRANSFER^M, rows materialized back
@@ -216,65 +224,80 @@ let admission t ~tail (ev : Middleware.query_event) : keep_reason option =
   else if t.seen mod t.sample_every = 0 then Some Sampled
   else None
 
-let push t r =
-  t.ring.(t.next) <- Some r;
-  t.next <- (t.next + 1) mod t.capacity;
-  if t.stored < t.capacity then t.stored <- t.stored + 1;
-  t.kept <- t.kept + 1
-
 let observe t (ev : Middleware.query_event) : unit =
   Tango_obs.Counter.incr queries_total;
   if ev.Middleware.error <> None then Tango_obs.Counter.incr query_errors;
-  let decision = admission t ~tail:(is_tail ev.Middleware.elapsed_us) ev in
-  (* Exemplars are attached only to {e kept} observations, so a bucket's
-     exemplar always resolves to a record still addressable by seq. *)
-  let exemplar =
-    match decision with
-    | None -> None
-    | Some _ ->
-        let trace_id =
-          match ev.Middleware.report with
-          | Some r ->
-              Tango_volcano.Physical.fingerprint r.Middleware.physical
-          | None -> ev.Middleware.kind
+  (* Admission, seq assignment and the ring write happen atomically
+     under the instance lock, so sequence numbers are unique and the
+     ring never tears under concurrent observers.  The histogram guards
+     itself (its own lock; no cycle — it never takes ours). *)
+  let decision =
+    Dsync.protect t.lock (fun () ->
+        let decision =
+          admission t ~tail:(is_tail ev.Middleware.elapsed_us) ev
         in
-        Some
-          {
-            Tango_obs.Histogram.ex_seq = t.seen;
-            ex_trace_id = trace_id;
-            ex_value = ev.Middleware.elapsed_us;
-            ex_at_us = ev.Middleware.started_us +. ev.Middleware.elapsed_us;
-          }
+        (* Exemplars are attached only to {e kept} observations, so a
+           bucket's exemplar always resolves to a record still
+           addressable by seq. *)
+        let exemplar =
+          match decision with
+          | None -> None
+          | Some _ ->
+              let trace_id =
+                match ev.Middleware.report with
+                | Some r ->
+                    Tango_volcano.Physical.fingerprint r.Middleware.physical
+                | None -> ev.Middleware.kind
+              in
+              Some
+                {
+                  Tango_obs.Histogram.ex_seq = t.seen;
+                  ex_trace_id = trace_id;
+                  ex_value = ev.Middleware.elapsed_us;
+                  ex_at_us =
+                    ev.Middleware.started_us +. ev.Middleware.elapsed_us;
+                }
+        in
+        Tango_obs.Histogram.observe ?exemplar query_us
+          ev.Middleware.elapsed_us;
+        (match decision with
+        | Some kept ->
+            let r = record_of_event ~seq:t.seen ~kept ev in
+            t.ring.(t.next) <- Some r;
+            t.next <- (t.next + 1) mod t.capacity;
+            if t.stored < t.capacity then t.stored <- t.stored + 1;
+            t.kept <- t.kept + 1
+        | None -> ());
+        t.seen <- t.seen + 1;
+        decision)
   in
-  Tango_obs.Histogram.observe ?exemplar query_us ev.Middleware.elapsed_us;
-  (match decision with
-  | Some kept ->
-      push t (record_of_event ~seq:t.seen ~kept ev);
-      Tango_obs.Counter.incr events_kept
-  | None -> Tango_obs.Counter.incr events_sampled_out);
-  t.seen <- t.seen + 1
+  match decision with
+  | Some _ -> Tango_obs.Counter.incr events_kept
+  | None -> Tango_obs.Counter.incr events_sampled_out
 
 let find t seq : record option =
-  let rec go i =
-    if i >= t.stored then None
-    else
-      let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
-      match t.ring.(idx) with
-      | Some r when r.seq = seq -> Some r
-      | _ -> go (i + 1)
-  in
-  go 0
+  Dsync.protect t.lock (fun () ->
+      let rec go i =
+        if i >= t.stored then None
+        else
+          let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+          match t.ring.(idx) with
+          | Some r when r.seq = seq -> Some r
+          | _ -> go (i + 1)
+      in
+      go 0)
 
 let recent ?n t : record list =
-  let n = match n with Some n -> min n t.stored | None -> t.stored in
-  let out = ref [] in
-  for i = 0 to n - 1 do
-    let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
-    match t.ring.(idx) with
-    | Some r -> out := r :: !out
-    | None -> ()
-  done;
-  List.rev !out
+  Dsync.protect t.lock (fun () ->
+      let n = match n with Some n -> min n t.stored | None -> t.stored in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+        match t.ring.(idx) with
+        | Some r -> out := r :: !out
+        | None -> ()
+      done;
+      List.rev !out)
 
 let keep_reason_name = function
   | Sampled -> "sampled"

@@ -111,6 +111,9 @@ type reader = {
 
 let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
 
+(* The reader is connection-local: one domain owns a connection for
+   its whole lifetime, so its cursor needs no lock. *)
+
 (* false at EOF *)
 let refill r =
   if r.pos < r.len then true
@@ -119,6 +122,7 @@ let refill r =
     r.len <- Unix.read r.fd r.buf 0 (Bytes.length r.buf);
     r.len > 0
   end
+[@@tango.unguarded "connection-local reader cursor; one domain per connection"]
 
 (** A line up to ['\n'], with the ['\n'] (and a preceding ['\r'])
     stripped; [None] at EOF before any byte. *)
@@ -142,6 +146,7 @@ let read_line r : string option =
       let s = Buffer.contents b in
       let n = String.length s in
       Some (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+[@@tango.unguarded "connection-local reader cursor; one domain per connection"]
 
 let read_exact r n : string option =
   let b = Buffer.create n in
@@ -156,6 +161,7 @@ let read_exact r n : string option =
     end
   in
   go n
+[@@tango.unguarded "connection-local reader cursor; one domain per connection"]
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing / response writing                                   *)

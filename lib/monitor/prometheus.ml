@@ -102,6 +102,7 @@ let backend_counter raw =
 let render_counter b ?namespace (name, value) =
   let m = metric_name ?namespace name in
   Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m value)
+[@@tango.unguarded "renders into a call-local Buffer sink; never shared"]
 
 (* One labeled family per backend-counter tail:
    # TYPE tango_backend_roundtrips counter
@@ -124,6 +125,7 @@ let render_backend_counters b ?namespace groups =
                  value))
         groups)
     tails
+[@@tango.unguarded "renders into a call-local Buffer sink; never shared"]
 
 (* OpenMetrics exemplar suffix: [ # {seq="…",trace_id="…"} value ts]
    with the timestamp in seconds. *)
@@ -152,6 +154,7 @@ let render_histogram b ?namespace ?(exemplars = false)
   Buffer.add_string b
     (Printf.sprintf "%s_sum %s\n" m (sample_value h.Registry.sum));
   Buffer.add_string b (Printf.sprintf "%s_count %d\n" m h.Registry.count)
+[@@tango.unguarded "renders into a call-local Buffer sink; never shared"]
 
 let render ?namespace ?(exemplars = false) (s : Registry.snapshot) =
   let b = Buffer.create 4096 in

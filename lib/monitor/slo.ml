@@ -53,8 +53,11 @@ let state_rank = function Ok -> 0 | Warning -> 1 | Critical -> 2
 
 type sample = { at_us : float; slow : bool; failed : bool }
 
+module Dsync = Tango_obs.Dsync
+
 type t = {
   objective : objective;
+  lock : Dsync.lock;  (** guards [samples] *)
   samples : sample Queue.t;  (** oldest first, pruned to the long window *)
   max_samples : int;
 }
@@ -64,10 +67,11 @@ let create ?(objective = default_objective) ?(max_samples = 8192) () =
     invalid_arg "Slo.create: goals must leave a nonzero error budget";
   if objective.short_window_us > objective.long_window_us then
     invalid_arg "Slo.create: short window exceeds long window";
-  { objective; samples = Queue.create (); max_samples }
+  { objective; lock = Dsync.lock (); samples = Queue.create (); max_samples }
 
 let objective t = t.objective
 
+(* Only called with [t.lock] held. *)
 let prune t ~now_us =
   let horizon = now_us -. t.objective.long_window_us in
   while
@@ -79,12 +83,18 @@ let prune t ~now_us =
   while Queue.length t.samples > t.max_samples do
     ignore (Queue.pop t.samples)
   done
+[@@tango.unguarded "internal helper, only called under t.lock"]
 
 let observe t ~now_us ~latency_us ~ok =
-  Queue.push
-    { at_us = now_us; slow = latency_us > t.objective.latency_us; failed = not ok }
-    t.samples;
-  prune t ~now_us
+  Dsync.protect t.lock (fun () ->
+      Queue.push
+        {
+          at_us = now_us;
+          slow = latency_us > t.objective.latency_us;
+          failed = not ok;
+        }
+        t.samples;
+      prune t ~now_us)
 
 type window_stats = { total : int; slow : int; failed : int }
 
@@ -117,10 +127,14 @@ type verdict = {
 }
 
 let evaluate t ~now_us : verdict =
-  prune t ~now_us;
+  let short, long =
+    Dsync.protect t.lock (fun () ->
+        prune t ~now_us;
+        let o = t.objective in
+        ( window_stats t ~now_us ~width_us:o.short_window_us,
+          window_stats t ~now_us ~width_us:o.long_window_us ))
+  in
   let o = t.objective in
-  let short = window_stats t ~now_us ~width_us:o.short_window_us in
-  let long = window_stats t ~now_us ~width_us:o.long_window_us in
   let latency_budget = 1.0 -. o.latency_goal
   and error_budget = 1.0 -. o.error_goal in
   let latency_burn_short =

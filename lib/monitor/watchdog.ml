@@ -26,10 +26,13 @@ type verdict = {
   tail_records : int;
 }
 
+module Dsync = Tango_obs.Dsync
+
 type t = {
   q_error_warn : float;
   hit_rate_drop : float;
   tail_fraction : float;
+  lock : Dsync.lock;  (* guards the cross-evaluation trend fields *)
   mutable last_generation : int;
   mutable last_hit_rate : float option;
 }
@@ -42,6 +45,7 @@ let create ?(q_error_warn = 2.0) ?(hit_rate_drop = 0.2)
     q_error_warn;
     hit_rate_drop;
     tail_fraction;
+    lock = Dsync.lock ();
     last_generation = generation;
     last_hit_rate = None;
   }
@@ -167,8 +171,12 @@ let cache_signal t cache =
         let rate =
           float_of_int s.Tango_cache.Plan_cache.hits /. float_of_int total
         in
-        let previous = t.last_hit_rate in
-        t.last_hit_rate <- Some rate;
+        let previous =
+          Dsync.protect t.lock (fun () ->
+              let p = t.last_hit_rate in
+              t.last_hit_rate <- Some rate;
+              p)
+        in
         match previous with
         | Some prev when prev -. rate > t.hit_rate_drop ->
             {
@@ -189,8 +197,12 @@ let cache_signal t cache =
       end
 
 let topology_signal t ~generation =
-  let previous = t.last_generation in
-  t.last_generation <- generation;
+  let previous =
+    Dsync.protect t.lock (fun () ->
+        let p = t.last_generation in
+        t.last_generation <- generation;
+        p)
+  in
   if generation > previous then
     {
       name = "topology_generation";

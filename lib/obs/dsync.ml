@@ -1,0 +1,56 @@
+(** Domain-safety primitives for the middleware's shared state.
+
+    Two building blocks, matching the two shapes of shared state the
+    lint pass ({!Tango_lint}) distinguishes:
+
+    - {!protect}: an exception-safe critical section over a {!lock}.
+      This is the {e only} sanctioned way to guard compound mutable
+      state (hash tables, rings, queues, multi-field records): raw
+      [Mutex.lock]/[Mutex.unlock] pairs leak the lock when the body
+      raises and are flagged by the linter.
+    - {!Sharded}: a domain-sharded monotonic integer cell for hot
+      counters.  Increments go to a per-domain [Atomic] shard with no
+      lock and no cross-domain contention in the common case; reads
+      fold the shards.  This is exactly the additivity the Prometheus
+      exporter already assumes of counters: the folded value is the sum
+      of per-shard sums, and concurrent readers may observe a value
+      between two increments but never a torn or decreasing one.
+
+    The linter recognizes [Dsync.protect] (and [Mutex.protect]) as a
+    guard: mutation sites dominated by one are considered domain-safe. *)
+
+type lock = Mutex.t
+
+let lock () = Mutex.create ()
+
+(* [Mutex.protect] releases the lock on exceptions (OCaml >= 5.1), so
+   re-exporting it keeps the guard exception-safe by construction. *)
+let protect : lock -> (unit -> 'a) -> 'a = Mutex.protect
+
+module Sharded = struct
+  (* A power of two so the shard pick is a mask, not a division.  Eight
+     shards cover typical accept-pool sizes; domains beyond that alias
+     onto existing shards, which costs contention but never
+     correctness. *)
+  let width = 8
+
+  type t = int Atomic.t array
+
+  let create () = Array.init width (fun _ -> Atomic.make 0)
+
+  let shard (t : t) = t.((Domain.self () :> int) land (width - 1))
+
+  let add t n = ignore (Atomic.fetch_and_add (shard t) n)
+  let incr t = add t 1
+
+  (* Fold at read time.  Each shard read is atomic; the sum is a valid
+     linearization point-in-time only once writers are quiescent, but it
+     is always the sum of genuinely performed increments (monotone, no
+     tearing) — the property counter conservation tests rely on. *)
+  let value (t : t) = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+
+  (* Not atomic across shards: concurrent adds during a reset may land
+     before or after their shard is zeroed.  Reset is a test/bench
+     convenience for quiescent registries, not a runtime operation. *)
+  let reset (t : t) = Array.iter (fun c -> Atomic.set c 0) t
+end

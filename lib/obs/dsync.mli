@@ -1,0 +1,40 @@
+(** Domain-safety primitives: exception-safe critical sections and
+    domain-sharded counters.
+
+    The middleware's shared state (plan cache, metric registry, event
+    log, SLO window, profile stores) is guarded with these two
+    primitives; the static analyzer ({!Tango_lint}) recognizes
+    {!protect} (and [Mutex.protect]) as the guard that makes a mutation
+    site domain-safe, and treats raw [Mutex.lock]/[Mutex.unlock] pairs
+    as findings because they are not exception-safe. *)
+
+type lock
+
+val lock : unit -> lock
+(** A fresh mutex. *)
+
+val protect : lock -> (unit -> 'a) -> 'a
+(** [protect l f] runs [f ()] with [l] held.  Exception-safe: the lock
+    is released whether [f] returns or raises ([Mutex.protect]
+    semantics). *)
+
+(** Domain-sharded monotonic integer cells for hot counters: increments
+    touch a per-domain [Atomic] shard; {!Sharded.value} folds the
+    shards.  Additive (the fold is the sum of genuine increments, never
+    torn), which is what snapshot diffing and the Prometheus exporter
+    assume of counters. *)
+module Sharded : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Sum over shards.  Monotone under concurrent increments; exact
+      once writers are quiescent. *)
+
+  val reset : t -> unit
+  (** Zero every shard.  Not atomic with respect to concurrent adds;
+      intended for quiescent registries (tests, bench setup). *)
+end

@@ -7,8 +7,8 @@
 
     - {b counters} ({!Counter}): monotonic event counts (page reads,
       round trips, tuples shipped, rules fired).  Always live — an
-      increment is a single integer store — and registered by name in a
-      process-wide registry.
+      increment is one atomic add on a domain-local shard — and
+      registered by name in a process-wide registry.
     - {b histograms} ({!Histogram}): labeled value distributions
       (per-operator drain times, tuples per cursor open).  Same registry.
     - {b spans} ({!Trace}): a hierarchical timed trace of one query
@@ -17,11 +17,19 @@
       trace is active, [Trace.span] is a single branch and closure call,
       so instrumented code pays near-zero overhead.
 
+    Domain safety: counters are {!Dsync.Sharded} cells (lock-free
+    increments, folded at read time), histograms take a per-instance
+    {!Dsync} lock around their compound updates, the name registries are
+    guarded by one registry lock, and trace collection state lives in
+    domain-local storage — every domain collects its own trace.
+
     Everything is exported three ways: a rendered span tree
     ([Trace.render], the EXPLAIN-ANALYZE-style output of
     [tango --trace]), machine-readable JSON ([Trace.to_json],
     [Registry.to_json], consumed by [bench/main.ml]), and the
     programmatic {!Registry.snapshot} API. *)
+
+module Dsync = Dsync
 
 let now_us () = Unix.gettimeofday () *. 1_000_000.0
 
@@ -52,6 +60,7 @@ module Json = struct
             Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
         | c -> Buffer.add_char b c)
       s
+  [@@tango.unguarded "renders into a call-local Buffer sink; never shared"]
 
   let rec emit b = function
     | Null -> Buffer.add_string b "null"
@@ -85,6 +94,7 @@ module Json = struct
             emit b v)
           kvs;
         Buffer.add_char b '}'
+  [@@tango.unguarded "renders into a call-local Buffer sink; never shared"]
 
   let to_string j =
     let b = Buffer.create 256 in
@@ -92,30 +102,36 @@ module Json = struct
     Buffer.contents b
 end
 
+(* One lock guards the find-or-create name registries of both counters
+   and histograms (creation is rare; reads fold atomics or take the
+   per-instance lock, never this one). *)
+let registry_lock = Dsync.lock ()
+
 (* ------------------------------------------------------------------ *)
 (* Counters                                                             *)
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { name : string; mutable value : int }
+  type t = { name : string; cells : Dsync.Sharded.t }
 
   (* process-wide registry; [make] is find-or-create so independent
      modules referring to the same name share one counter *)
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { name; value = 0 } in
-        Hashtbl.replace registry name c;
-        c
+    Dsync.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+            let c = { name; cells = Dsync.Sharded.create () } in
+            Hashtbl.replace registry name c;
+            c)
 
   let name c = c.name
-  let incr c = c.value <- c.value + 1
-  let add c n = c.value <- c.value + n
-  let value c = c.value
-  let reset c = c.value <- 0
+  let incr c = Dsync.Sharded.incr c.cells
+  let add c n = Dsync.Sharded.add c.cells n
+  let value c = Dsync.Sharded.value c.cells
+  let reset c = Dsync.Sharded.reset c.cells
 end
 
 (* ------------------------------------------------------------------ *)
@@ -152,6 +168,7 @@ module Histogram = struct
 
   type t = {
     name : string;
+    lock : Dsync.lock;  (** guards every mutable field below *)
     mutable count : int;
     mutable sum : float;
     mutable min : float;
@@ -168,31 +185,29 @@ module Histogram = struct
   let seed_of name = (Hashtbl.hash name lor 1) land 0x3FFFFFFF
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            name;
-            count = 0;
-            sum = 0.0;
-            min = infinity;
-            max = neg_infinity;
-            buckets = Array.make (Array.length bucket_bounds + 1) 0;
-            exemplars = Array.make (Array.length bucket_bounds + 1) None;
-            reservoir = Array.make reservoir_capacity 0.0;
-            filled = 0;
-            rng = seed_of name;
-          }
-        in
-        Hashtbl.replace registry name h;
-        h
+    Dsync.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                name;
+                lock = Dsync.lock ();
+                count = 0;
+                sum = 0.0;
+                min = infinity;
+                max = neg_infinity;
+                buckets = Array.make (Array.length bucket_bounds + 1) 0;
+                exemplars = Array.make (Array.length bucket_bounds + 1) None;
+                reservoir = Array.make reservoir_capacity 0.0;
+                filled = 0;
+                rng = seed_of name;
+              }
+            in
+            Hashtbl.replace registry name h;
+            h)
 
   let name h = h.name
-
-  let rand h bound =
-    h.rng <- ((h.rng * 1103515245) + 12345) land 0x3FFFFFFF;
-    (h.rng lsr 7) mod bound
 
   (* Index of the first bound >= v, or the overflow cell.  A linear scan
      over 24 bounds beats binary search at this size and the typical
@@ -203,33 +218,47 @@ module Histogram = struct
     go 0
 
   let observe ?exemplar h v =
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    (let i = bucket_index v in
-     h.buckets.(i) <- h.buckets.(i) + 1;
-     match exemplar with
-     | None -> ()
-     | Some ex -> h.exemplars.(i) <- Some ex);
-    if v < h.min then h.min <- v;
-    if v > h.max then h.max <- v;
-    if h.filled < reservoir_capacity then begin
-      h.reservoir.(h.filled) <- v;
-      h.filled <- h.filled + 1
-    end
-    else
-      (* keep each of the [count] observations in the sample with equal
-         probability capacity/count *)
-      let j = rand h h.count in
-      if j < reservoir_capacity then h.reservoir.(j) <- v
+    Dsync.protect h.lock (fun () ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        (let i = bucket_index v in
+         h.buckets.(i) <- h.buckets.(i) + 1;
+         match exemplar with
+         | None -> ()
+         | Some ex -> h.exemplars.(i) <- Some ex);
+        if v < h.min then h.min <- v;
+        if v > h.max then h.max <- v;
+        if h.filled < reservoir_capacity then begin
+          h.reservoir.(h.filled) <- v;
+          h.filled <- h.filled + 1
+        end
+        else begin
+          (* keep each of the [count] observations in the sample with
+             equal probability capacity/count (LCG replacement stream) *)
+          h.rng <- ((h.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+          let j = (h.rng lsr 7) mod h.count in
+          if j < reservoir_capacity then h.reservoir.(j) <- v
+        end)
 
+  (* Single-word reads: atomic at the hardware level, no lock needed. *)
   let count h = h.count
   let sum h = h.sum
-  let bucket_counts h = Array.copy h.buckets
-  let bucket_exemplars h = Array.copy h.exemplars
+  let min_value h = if h.count = 0 then 0.0 else h.min
+  let max_value h = if h.count = 0 then 0.0 else h.max
+  let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
-  (** The exemplars present, as [(bucket upper bound, exemplar)] pairs in
-      bound order; the overflow cell reports bound [infinity]. *)
-  let exemplar_list h =
+  (* Compound reads copy under the instance lock so concurrent observes
+     cannot tear them. *)
+  let bucket_counts h = Dsync.protect h.lock (fun () -> Array.copy h.buckets)
+
+  let bucket_exemplars h =
+    Dsync.protect h.lock (fun () -> Array.copy h.exemplars)
+
+  (* Unlocked bodies, shared by the public accessors (which take the
+     lock) and {!snapshot_stats} (which computes everything under one
+     acquisition).  Only called with [h.lock] held. *)
+
+  let exemplar_list_unlocked h =
     let n = Array.length bucket_bounds in
     let acc = ref [] in
     for i = Array.length h.exemplars - 1 downto 0 do
@@ -241,10 +270,7 @@ module Histogram = struct
     done;
     !acc
 
-  (** Cumulative (bound, count-of-observations <= bound) pairs over the
-      fixed bounds, closed by [(infinity, count)] — the Prometheus
-      [le=...] series. *)
-  let cumulative_buckets h =
+  let cumulative_buckets_unlocked h =
     let acc = ref 0 in
     let below =
       Array.to_list
@@ -255,31 +281,56 @@ module Histogram = struct
            bucket_bounds)
     in
     below @ [ (infinity, h.count) ]
-  let min_value h = if h.count = 0 then 0.0 else h.min
-  let max_value h = if h.count = 0 then 0.0 else h.max
-  let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
-  let quantile h q =
+  let quantile_unlocked h q =
     if h.filled = 0 then 0.0
     else begin
       let sample = Array.sub h.reservoir 0 h.filled in
       Array.sort compare sample;
       let q = Float.max 0.0 (Float.min 1.0 q) in
-      let idx =
-        int_of_float ((q *. float_of_int (h.filled - 1)) +. 0.5)
-      in
+      let idx = int_of_float ((q *. float_of_int (h.filled - 1)) +. 0.5) in
       sample.(idx)
     end
 
+  (** The exemplars present, as [(bucket upper bound, exemplar)] pairs in
+      bound order; the overflow cell reports bound [infinity]. *)
+  let exemplar_list h = Dsync.protect h.lock (fun () -> exemplar_list_unlocked h)
+
+  (** Cumulative (bound, count-of-observations <= bound) pairs over the
+      fixed bounds, closed by [(infinity, count)] — the Prometheus
+      [le=...] series. *)
+  let cumulative_buckets h =
+    Dsync.protect h.lock (fun () -> cumulative_buckets_unlocked h)
+
+  let quantile h q = Dsync.protect h.lock (fun () -> quantile_unlocked h q)
+
+  (* Every statistic under one lock acquisition: the registry snapshot
+     uses this so a histogram's stats are mutually consistent (count,
+     sum, buckets and quantiles all describe the same instant — no torn
+     snapshots under concurrent observes). *)
+  let snapshot_stats h =
+    Dsync.protect h.lock (fun () ->
+        ( h.count,
+          h.sum,
+          (if h.count = 0 then 0.0 else h.min),
+          (if h.count = 0 then 0.0 else h.max),
+          (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count),
+          quantile_unlocked h 0.50,
+          quantile_unlocked h 0.95,
+          quantile_unlocked h 0.99,
+          cumulative_buckets_unlocked h,
+          exemplar_list_unlocked h ))
+
   let reset h =
-    h.count <- 0;
-    h.sum <- 0.0;
-    h.min <- infinity;
-    h.max <- neg_infinity;
-    Array.fill h.buckets 0 (Array.length h.buckets) 0;
-    Array.fill h.exemplars 0 (Array.length h.exemplars) None;
-    h.filled <- 0;
-    h.rng <- seed_of h.name
+    Dsync.protect h.lock (fun () ->
+        h.count <- 0;
+        h.sum <- 0.0;
+        h.min <- infinity;
+        h.max <- neg_infinity;
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        Array.fill h.exemplars 0 (Array.length h.exemplars) None;
+        h.filled <- 0;
+        h.rng <- seed_of h.name)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -310,30 +361,39 @@ module Registry = struct
   }
 
   let snapshot () : snapshot =
+    (* Collect the instances under the registry lock (a concurrent
+       [make] may be resizing the tables), then read each instance
+       through its own domain-safe accessors. *)
+    let counter_list =
+      Dsync.protect registry_lock (fun () ->
+          Hashtbl.fold (fun name c acc -> (name, c) :: acc) Counter.registry [])
+    and histogram_list =
+      Dsync.protect registry_lock (fun () ->
+          Hashtbl.fold
+            (fun name h acc -> (name, h) :: acc)
+            Histogram.registry [])
+    in
     let counters =
-      Hashtbl.fold
-        (fun name c acc -> (name, Counter.value c) :: acc)
-        Counter.registry []
+      List.map (fun (name, c) -> (name, Counter.value c)) counter_list
       |> List.sort compare
     in
     let histograms =
-      Hashtbl.fold
-        (fun name h acc ->
-          ( name,
-            {
-              count = Histogram.count h;
-              sum = Histogram.sum h;
-              min = Histogram.min_value h;
-              max = Histogram.max_value h;
-              mean = Histogram.mean h;
-              p50 = Histogram.quantile h 0.50;
-              p95 = Histogram.quantile h 0.95;
-              p99 = Histogram.quantile h 0.99;
-              buckets = Histogram.cumulative_buckets h;
-              exemplars = Histogram.exemplar_list h;
-            } )
-          :: acc)
-        Histogram.registry []
+      List.map
+        (fun (name, h) ->
+          let ( count,
+                sum,
+                min,
+                max,
+                mean,
+                p50,
+                p95,
+                p99,
+                buckets,
+                exemplars ) =
+            Histogram.snapshot_stats h
+          in
+          (name, { count; sum; min; max; mean; p50; p95; p99; buckets; exemplars }))
+        histogram_list
       |> List.sort compare
     in
     { counters; histograms }
@@ -378,8 +438,15 @@ module Registry = struct
     }
 
   let reset () =
-    Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry;
-    Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry
+    let counter_list =
+      Dsync.protect registry_lock (fun () ->
+          Hashtbl.fold (fun _ c acc -> c :: acc) Counter.registry [])
+    and histogram_list =
+      Dsync.protect registry_lock (fun () ->
+          Hashtbl.fold (fun _ h acc -> h :: acc) Histogram.registry [])
+    in
+    List.iter Counter.reset counter_list;
+    List.iter Histogram.reset histogram_list
 
   let to_json (s : snapshot) : Json.t =
     Json.Obj
@@ -465,46 +532,51 @@ module Trace = struct
     { name; elapsed_us; attrs; children }
 
   (* Collection state: a stack of open spans (innermost first) plus the
-     root of the finished trace.  [collecting = false] is the fast path:
-     every instrumentation point checks this single flag first. *)
-  let collecting = ref false
-  let stack : span list ref = ref []
-  let finished : span option ref = ref None
+     root of the finished trace.  Domain-local — each domain collects
+     its own trace, so instrumentation points never race across
+     domains.  [collecting = false] is the fast path: every
+     instrumentation point checks this single flag first. *)
+  let collecting : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-  let active () = !collecting
+  let stack : span list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+  let finished : span option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let active () = Domain.DLS.get collecting
 
   let start () =
-    collecting := true;
-    stack := [];
-    finished := None
+    Domain.DLS.set collecting true;
+    Domain.DLS.set stack [];
+    Domain.DLS.set finished None
 
   let attr name v =
-    match !stack with
+    match Domain.DLS.get stack with
     | [] -> ()
     | s :: _ -> s.attrs <- s.attrs @ [ (name, v) ]
 
   (* Attach a finished span (or a whole pre-built subtree, e.g. the
      executed operator tree) under the innermost open span. *)
   let graft (child : span) =
-    if !collecting then
-      match !stack with
+    if Domain.DLS.get collecting then
+      match Domain.DLS.get stack with
       | [] -> ()
       | s :: _ -> s.children <- s.children @ [ child ]
 
   let close_span s t0 =
     s.elapsed_us <- now_us () -. t0;
-    (match !stack with
-    | top :: rest when top == s -> stack := rest
+    (match Domain.DLS.get stack with
+    | top :: rest when top == s -> Domain.DLS.set stack rest
     | _ -> () (* unbalanced exit; drop silently rather than corrupt *));
-    match !stack with
+    match Domain.DLS.get stack with
     | parent :: _ -> parent.children <- parent.children @ [ s ]
-    | [] -> finished := Some s
+    | [] -> Domain.DLS.set finished (Some s)
 
   let span name f =
-    if not !collecting then f ()
+    if not (Domain.DLS.get collecting) then f ()
     else begin
       let s = make name in
-      stack := s :: !stack;
+      Domain.DLS.set stack (s :: Domain.DLS.get stack);
       let t0 = now_us () in
       Fun.protect ~finally:(fun () -> close_span s t0) f
     end
@@ -513,14 +585,14 @@ module Trace = struct
     (* close any spans left open (e.g. an exception unwound past them) *)
     List.iter
       (fun s ->
-        match !stack with
+        match Domain.DLS.get stack with
         | top :: _ when top == s -> close_span s (now_us ())
         | _ -> ())
-      !stack;
-    collecting := false;
-    stack := [];
-    let r = !finished in
-    finished := None;
+      (Domain.DLS.get stack);
+    Domain.DLS.set collecting false;
+    Domain.DLS.set stack [];
+    let r = Domain.DLS.get finished in
+    Domain.DLS.set finished None;
     r
 
   let pp_value ppf = function
@@ -596,3 +668,6 @@ module Trace = struct
     | Some (Float f) -> Some (int_of_float f)
     | _ -> None
 end
+[@@tango.unguarded
+  "trace state is domain-local: collection is DLS-rooted and span trees \
+   never cross domains"]

@@ -12,7 +12,17 @@
       with JSON export (the machine-readable feed for [bench/main.ml]).
 
     Counter and histogram creation is {e find-or-create} by name, so
-    independent modules naming the same metric share one instance. *)
+    independent modules naming the same metric share one instance.
+
+    Domain safety: counters are {!Dsync.Sharded} cells (lock-free
+    per-domain increments, folded at read time), histogram updates and
+    compound reads take a per-instance {!Dsync} lock, the name
+    registries are guarded, and trace collection state is domain-local
+    (each domain collects its own trace). *)
+
+module Dsync = Dsync
+(** Domain-safety primitives (exception-safe critical sections,
+    domain-sharded counters) — see {!Dsync}. *)
 
 val now_us : unit -> float
 (** Wall time in microseconds (the clock every span uses). *)

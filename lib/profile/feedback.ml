@@ -1,8 +1,13 @@
 (** The feedback store: per-fragment misestimation aggregates plus a
-    bounded window of refit observations.  See the mli for the model. *)
+    bounded window of refit observations.  See the mli for the model.
+
+    Domain safety: the aggregate tables and the observation window are
+    guarded by the instance's {!Tango_obs.Dsync} lock, so profiling
+    reports can be folded in from a multi-domain accept pool. *)
 
 open Tango_cost
 module Json = Tango_obs.Json
+module Dsync = Tango_obs.Dsync
 
 type stats = {
   operator : string;
@@ -25,6 +30,7 @@ type agg = {
 }
 
 type t = {
+  lock : Dsync.lock;  (* guards the tables and every mutable field *)
   frags : (string, agg) Hashtbl.t;  (* fragment fingerprint -> aggregate *)
   factors : (string, agg) Hashtbl.t;  (* cost factor -> aggregate *)
   mutable observations : Calibrate.observation list;  (* newest first *)
@@ -35,6 +41,7 @@ type t = {
 
 let create ?(max_observations = 1024) () : t =
   {
+    lock = Dsync.lock ();
     frags = Hashtbl.create 64;
     factors = Hashtbl.create 16;
     observations = [];
@@ -55,6 +62,7 @@ let factor_of_operator = function
   | "TAGGR^M" -> Some "p_taggm1"
   | _ -> None
 
+(* Only called with the owning store's lock held. *)
 let get_agg table key op_name =
   match Hashtbl.find_opt table key with
   | Some a -> a
@@ -72,6 +80,7 @@ let get_agg table key op_name =
       in
       Hashtbl.replace table key a;
       a
+[@@tango.unguarded "internal helper, only called under t.lock"]
 
 let fold_record (a : agg) (r : Analyze.record) =
   a.executions <- a.executions + 1;
@@ -80,26 +89,31 @@ let fold_record (a : agg) (r : Analyze.record) =
   a.max_q_rows <- Float.max a.max_q_rows r.Analyze.q_rows;
   a.max_q_cost <- Float.max a.max_q_cost r.Analyze.q_cost;
   a.sum_act_us <- a.sum_act_us +. r.Analyze.act_us
+[@@tango.unguarded "internal helper, only called under t.lock"]
 
 let record (t : t) (report : Analyze.report) =
-  t.queries <- t.queries + 1;
-  List.iter
-    (fun (r : Analyze.record) ->
-      fold_record (get_agg t.frags r.Analyze.fingerprint r.Analyze.operator) r;
-      match factor_of_operator r.Analyze.operator with
-      | Some f -> fold_record (get_agg t.factors f r.Analyze.operator) r
-      | None -> ())
-    report.Analyze.records;
-  t.observations <- List.rev_append report.Analyze.observations t.observations;
-  t.n_obs <- t.n_obs + List.length report.Analyze.observations;
-  if t.n_obs > t.max_observations then begin
-    (* drop the oldest (tail of the newest-first list) *)
-    t.observations <-
-      List.filteri (fun i _ -> i < t.max_observations) t.observations;
-    t.n_obs <- t.max_observations
-  end
+  Dsync.protect t.lock (fun () ->
+      t.queries <- t.queries + 1;
+      List.iter
+        (fun (r : Analyze.record) ->
+          fold_record
+            (get_agg t.frags r.Analyze.fingerprint r.Analyze.operator)
+            r;
+          match factor_of_operator r.Analyze.operator with
+          | Some f -> fold_record (get_agg t.factors f r.Analyze.operator) r
+          | None -> ())
+        report.Analyze.records;
+      t.observations <-
+        List.rev_append report.Analyze.observations t.observations;
+      t.n_obs <- t.n_obs + List.length report.Analyze.observations;
+      if t.n_obs > t.max_observations then begin
+        (* drop the oldest (tail of the newest-first list) *)
+        t.observations <-
+          List.filteri (fun i _ -> i < t.max_observations) t.observations;
+        t.n_obs <- t.max_observations
+      end)
 
-let queries t = t.queries
+let queries t = Dsync.protect t.lock (fun () -> t.queries)
 
 let stats_of (a : agg) : stats =
   let n = Float.max 1.0 (float_of_int a.executions) in
@@ -113,28 +127,36 @@ let stats_of (a : agg) : stats =
     mean_act_us = a.sum_act_us /. n;
   }
 
-let find (t : t) fp = Option.map stats_of (Hashtbl.find_opt t.frags fp)
+let find (t : t) fp =
+  Dsync.protect t.lock (fun () ->
+      Option.map stats_of (Hashtbl.find_opt t.frags fp))
 
 let fragments (t : t) : (string * stats) list =
-  Hashtbl.fold (fun fp a acc -> (fp, stats_of a) :: acc) t.frags []
+  Dsync.protect t.lock (fun () ->
+      Hashtbl.fold (fun fp a acc -> (fp, stats_of a) :: acc) t.frags [])
   |> List.sort (fun (_, a) (_, b) -> compare b.mean_q_cost a.mean_q_cost)
 
 let factor_q (t : t) : (string * (int * float)) list =
-  Hashtbl.fold
-    (fun f a acc ->
-      (f, (a.executions, a.sum_q_cost /. Float.max 1.0 (float_of_int a.executions)))
-      :: acc)
-    t.factors []
+  Dsync.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun f a acc ->
+          ( f,
+            ( a.executions,
+              a.sum_q_cost /. Float.max 1.0 (float_of_int a.executions) ) )
+          :: acc)
+        t.factors [])
   |> List.sort compare
 
-let observations (t : t) = List.rev t.observations
+let observations (t : t) =
+  Dsync.protect t.lock (fun () -> List.rev t.observations)
 
 let clear_window (t : t) =
-  t.observations <- [];
-  t.n_obs <- 0;
-  t.queries <- 0;
-  Hashtbl.reset t.frags;
-  Hashtbl.reset t.factors
+  Dsync.protect t.lock (fun () ->
+      t.observations <- [];
+      t.n_obs <- 0;
+      t.queries <- 0;
+      Hashtbl.reset t.frags;
+      Hashtbl.reset t.factors)
 
 let stats_to_json (s : stats) : Json.t =
   Json.Obj

@@ -2,6 +2,7 @@
     ratio-triggered regression flags, absolute-threshold slow-query log. *)
 
 module Json = Tango_obs.Json
+module Dsync = Tango_obs.Dsync
 
 type event =
   | Slow of { elapsed_us : float; threshold_us : float }
@@ -21,6 +22,7 @@ type entry = {
 }
 
 type t = {
+  lock : Dsync.lock;  (* guards [best], [entries], [n_entries], [seq] *)
   best : (string, string * float) Hashtbl.t;
       (* query fingerprint -> (plan signature, best latency us) *)
   mutable entries : entry list; (* newest first *)
@@ -32,6 +34,7 @@ type t = {
 
 let create ?(regression_ratio = 1.5) ?(max_log = 64) () : t =
   {
+    lock = Dsync.lock ();
     best = Hashtbl.create 32;
     entries = [];
     n_entries = 0;
@@ -54,49 +57,62 @@ let push (t : t) (e : entry) =
     t.entries <- List.filteri (fun i _ -> i < t.max_log) t.entries;
     t.n_entries <- t.max_log
   end
+[@@tango.unguarded "internal helper, only called under t.lock"]
 
 let observe (t : t) ~fingerprint ~signature ?(slow_threshold_us = 0.0)
     ~elapsed_us () : event list =
-  t.seq <- t.seq + 1;
-  let events = ref [] in
-  let fire counter ev log_fn =
-    Tango_obs.Counter.incr counter;
-    push t
-      { query_fingerprint = fingerprint; signature; elapsed_us; event = ev;
-        seq = t.seq };
-    log_fn ();
-    events := ev :: !events
+  (* table and log updates happen under the lock; counters are atomic
+     and the Logs calls run after release, so a slow reporter never
+     extends the critical section *)
+  let events, log_fns =
+    Dsync.protect t.lock (fun () ->
+        t.seq <- t.seq + 1;
+        let events = ref [] and log_fns = ref [] in
+        let fire counter ev log_fn =
+          Tango_obs.Counter.incr counter;
+          push t
+            { query_fingerprint = fingerprint; signature; elapsed_us;
+              event = ev; seq = t.seq };
+          log_fns := log_fn :: !log_fns;
+          events := ev :: !events
+        in
+        if slow_threshold_us > 0.0 && elapsed_us >= slow_threshold_us then
+          fire slow_queries
+            (Slow { elapsed_us; threshold_us = slow_threshold_us })
+            (fun () ->
+              Log.warn (fun m ->
+                  m "slow query %s: %.1f ms (threshold %.1f ms) plan %s"
+                    fingerprint
+                    (elapsed_us /. 1000.0)
+                    (slow_threshold_us /. 1000.0)
+                    signature));
+        (match Hashtbl.find_opt t.best fingerprint with
+        | Some (best_sig, best_us)
+          when best_sig <> signature
+               && elapsed_us > t.regression_ratio *. best_us ->
+            fire plan_regressions
+              (Regression
+                 { elapsed_us; best_us; best_signature = best_sig;
+                   chosen_signature = signature })
+              (fun () ->
+                Log.warn (fun m ->
+                    m "plan regression for %s: %.1f ms vs best %.1f ms; \
+                       chose %s over %s"
+                      fingerprint (elapsed_us /. 1000.0) (best_us /. 1000.0)
+                      signature best_sig))
+        | _ -> ());
+        (match Hashtbl.find_opt t.best fingerprint with
+        | Some (_, best_us) when elapsed_us >= best_us -> ()
+        | _ -> Hashtbl.replace t.best fingerprint (signature, elapsed_us));
+        (List.rev !events, List.rev !log_fns))
   in
-  if slow_threshold_us > 0.0 && elapsed_us >= slow_threshold_us then
-    fire slow_queries
-      (Slow { elapsed_us; threshold_us = slow_threshold_us })
-      (fun () ->
-        Log.warn (fun m ->
-            m "slow query %s: %.1f ms (threshold %.1f ms) plan %s" fingerprint
-              (elapsed_us /. 1000.0)
-              (slow_threshold_us /. 1000.0)
-              signature));
-  (match Hashtbl.find_opt t.best fingerprint with
-  | Some (best_sig, best_us)
-    when best_sig <> signature && elapsed_us > t.regression_ratio *. best_us ->
-      fire plan_regressions
-        (Regression
-           { elapsed_us; best_us; best_signature = best_sig;
-             chosen_signature = signature })
-        (fun () ->
-          Log.warn (fun m ->
-              m "plan regression for %s: %.1f ms vs best %.1f ms; chose %s \
-                 over %s"
-                fingerprint (elapsed_us /. 1000.0) (best_us /. 1000.0)
-                signature best_sig))
-  | _ -> ());
-  (match Hashtbl.find_opt t.best fingerprint with
-  | Some (_, best_us) when elapsed_us >= best_us -> ()
-  | _ -> Hashtbl.replace t.best fingerprint (signature, elapsed_us));
-  List.rev !events
+  List.iter (fun f -> f ()) log_fns;
+  events
 
-let best (t : t) fp = Hashtbl.find_opt t.best fp
-let log (t : t) = t.entries
+let best (t : t) fp =
+  Dsync.protect t.lock (fun () -> Hashtbl.find_opt t.best fp)
+
+let log (t : t) = Dsync.protect t.lock (fun () -> t.entries)
 
 let event_to_json = function
   | Slow { elapsed_us; threshold_us } ->
@@ -127,17 +143,20 @@ let entry_to_json (e : entry) : Json.t =
     ]
 
 let to_json (t : t) : Json.t =
+  let best_plans, entries =
+    Dsync.protect t.lock (fun () ->
+        ( Hashtbl.fold
+            (fun fp (sg, us) acc ->
+              ( fp,
+                Json.Obj
+                  [ ("signature", Json.String sg); ("best_us", Json.Float us) ]
+              )
+              :: acc)
+            t.best [],
+          t.entries ))
+  in
   Json.Obj
     [
-      ( "best_plans",
-        Json.Obj
-          (Hashtbl.fold
-             (fun fp (sg, us) acc ->
-               ( fp,
-                 Json.Obj
-                   [ ("signature", Json.String sg); ("best_us", Json.Float us) ]
-               )
-               :: acc)
-             t.best []) );
-      ("log", Json.List (List.map entry_to_json t.entries));
+      ("best_plans", Json.Obj best_plans);
+      ("log", Json.List (List.map entry_to_json entries));
     ]

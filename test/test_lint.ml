@@ -1,0 +1,221 @@
+(* Regression tests for the domain-safety analyzer: compile small
+   fixtures with [ocamlc -bin-annot] at test time, scan the resulting
+   [.cmt], and assert the analyzer flags exactly the seeded races.
+   Self-contained — no dependence on the repo's own build tree. *)
+
+module Finding = Tango_lint.Finding
+module Allow = Tango_lint.Allow
+module Scan = Tango_lint.Scan
+
+(* ---------------- fixture plumbing ---------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let counter = ref 0
+
+(* Compile [source] as its own module in a temp dir and scan the cmt.
+   Skips (rather than fails) if ocamlc is unavailable. *)
+let scan_fixture source : Scan.unit_info =
+  incr counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tango_lint_fixture_%d_%d" (Unix.getpid ()) !counter)
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write_file (Filename.concat dir "fixture.ml") source;
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot -c fixture.ml 2>fixture.err"
+      (Filename.quote dir)
+  in
+  if Sys.command cmd <> 0 then
+    Alcotest.failf "fixture failed to compile: %s"
+      (let ic = open_in (Filename.concat dir "fixture.err") in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s);
+  match Scan.scan_cmts [ Filename.concat dir "fixture.cmt" ] with
+  | [ u ] -> u
+  | us -> Alcotest.failf "expected 1 scanned unit, got %d" (List.length us)
+
+let guard_findings (u : Scan.unit_info) =
+  List.filter (fun f -> f.Finding.family = "guard") u.Scan.findings
+
+let failing_guards u = Finding.failing (guard_findings u)
+
+(* ---------------- fixtures ---------------- *)
+
+(* The seeded race: module-level table and ref mutated with no guard. *)
+let unguarded_fixture =
+  {|
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let total = ref 0
+
+let record name n =
+  Hashtbl.replace table name n;   (* race: unguarded shared table *)
+  total := !total + n             (* race: unguarded shared ref *)
+|}
+
+(* Same state, every mutation inside Mutex.protect: must be clean. *)
+let guarded_fixture =
+  {|
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let total = ref 0
+
+let record name n =
+  Mutex.protect lock (fun () ->
+      Hashtbl.replace table name n;
+      total := !total + n)
+|}
+
+(* Unguarded but annotated: findings exist, none failing. *)
+let annotated_fixture =
+  {|
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let record name n = Hashtbl.replace table name n
+[@@tango.unguarded "fixture: single-domain by construction"]
+|}
+
+(* Raw lock/unlock instead of protect: flagged as not exception-safe. *)
+let raw_lock_fixture =
+  {|
+let lock = Mutex.create ()
+let total = ref 0
+
+let record n =
+  Mutex.lock lock;
+  total := !total + n;
+  Mutex.unlock lock
+|}
+
+(* Mutation of let-bound locals only: must be clean. *)
+let local_fixture =
+  {|
+let sum l =
+  let acc = ref 0 in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace seen x ();
+      acc := !acc + x)
+    l;
+  !acc
+|}
+
+(* ---------------- scanner tests ---------------- *)
+
+let test_flags_seeded_race () =
+  let u = scan_fixture unguarded_fixture in
+  let fails = failing_guards u in
+  Alcotest.(check int) "both mutation sites flagged" 2 (List.length fails);
+  let ids = List.map (fun f -> f.Finding.id) fails in
+  List.iter
+    (fun id -> Alcotest.(check string) "site attributed to record" "Fixture.record" id)
+    ids;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "error severity" true
+        (f.Finding.severity = Finding.Error))
+    fails
+
+let test_state_inventory () =
+  let u = scan_fixture unguarded_fixture in
+  let state =
+    List.filter (fun f -> f.Finding.family = "state") u.Scan.findings
+  in
+  let ids = List.sort compare (List.map (fun f -> f.Finding.id) state) in
+  Alcotest.(check (list string)) "module-level mutable values inventoried"
+    [ "Fixture.table"; "Fixture.total" ] ids
+
+let test_guarded_is_clean () =
+  let u = scan_fixture guarded_fixture in
+  Alcotest.(check int) "no guard findings under Mutex.protect" 0
+    (List.length (guard_findings u))
+
+let test_annotation_allows () =
+  let u = scan_fixture annotated_fixture in
+  let guards = guard_findings u in
+  Alcotest.(check int) "finding still reported" 1 (List.length guards);
+  Alcotest.(check int) "but not failing" 0 (List.length (failing_guards u));
+  match (List.hd guards).Finding.allowed with
+  | Some reason ->
+      Alcotest.(check string) "annotation reason carried"
+        "fixture: single-domain by construction" reason
+  | None -> Alcotest.fail "annotation reason lost"
+
+let test_raw_lock_flagged () =
+  let u = scan_fixture raw_lock_fixture in
+  let fails = failing_guards u in
+  (* Mutex.lock, Mutex.unlock, and the := between them *)
+  Alcotest.(check bool) "raw lock primitives flagged" true
+    (List.exists
+       (fun f ->
+         let is_infix ~affix s =
+           let n = String.length affix and m = String.length s in
+           let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+           go 0
+         in
+         is_infix ~affix:"not exception-safe" f.Finding.message)
+       fails)
+
+let test_locals_not_flagged () =
+  let u = scan_fixture local_fixture in
+  Alcotest.(check int) "let-bound locals are free to mutate" 0
+    (List.length (guard_findings u))
+
+(* ---------------- allowlist tests ---------------- *)
+
+let test_allow_matching () =
+  let allow =
+    Allow.of_string
+      "# comment\n\
+       Tango_obs.Trace trace state is domain-local\n\
+       lib/xxl/ query-local operator state\n"
+  in
+  Alcotest.(check (option string)) "segment prefix matches"
+    (Some "trace state is domain-local")
+    (Allow.find allow ~file:"lib/obs/tango_obs.ml" ~id:"Tango_obs.Trace.push");
+  Alcotest.(check (option string)) "segment prefix does not match Tracer"
+    None
+    (Allow.find allow ~file:"lib/obs/tango_obs.ml" ~id:"Tango_obs.Tracer.push");
+  Alcotest.(check (option string)) "path prefix matches"
+    (Some "query-local operator state")
+    (Allow.find allow ~file:"lib/xxl/sort.ml" ~id:"Tango_xxl.Sort.sort");
+  Alcotest.(check (option string)) "path prefix bounded"
+    None
+    (Allow.find allow ~file:"lib/rel/value.ml" ~id:"Tango_rel.Value.coerce")
+
+let test_allow_unused () =
+  let allow = Allow.of_string "Tango_a.B reason one\nTango_c.D reason two\n" in
+  ignore (Allow.find allow ~file:"f.ml" ~id:"Tango_a.B.x");
+  Alcotest.(check (list string)) "unmatched entries reported" [ "Tango_c.D" ]
+    (Allow.unused allow)
+
+let () =
+  Alcotest.run "tango_lint"
+    [
+      ( "scanner",
+        [
+          Alcotest.test_case "seeded race is flagged" `Quick
+            test_flags_seeded_race;
+          Alcotest.test_case "state inventory" `Quick test_state_inventory;
+          Alcotest.test_case "Mutex.protect dominates" `Quick
+            test_guarded_is_clean;
+          Alcotest.test_case "[@tango.unguarded] allows" `Quick
+            test_annotation_allows;
+          Alcotest.test_case "raw lock/unlock flagged" `Quick
+            test_raw_lock_flagged;
+          Alcotest.test_case "locals are not shared state" `Quick
+            test_locals_not_flagged;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "pattern matching" `Quick test_allow_matching;
+          Alcotest.test_case "unused entries" `Quick test_allow_unused;
+        ] );
+    ]
