@@ -1056,7 +1056,13 @@ let tail ctx =
             Option.value
               (Hashtbl.find_opt lanes name)
               ~default:
-                { Middleware.rows = 0; bytes = 0; us = 0.0; wait_us = 0.0 }
+                {
+                  Middleware.rows = 0;
+                  bytes = 0;
+                  us = 0.0;
+                  wait_us = 0.0;
+                  alloc_bytes = 0;
+                }
           in
           Hashtbl.replace lanes name
             {
@@ -1064,6 +1070,7 @@ let tail ctx =
               bytes = prev.Middleware.bytes + b.Middleware.bytes;
               us = prev.Middleware.us +. b.Middleware.us;
               wait_us = prev.Middleware.wait_us +. b.Middleware.wait_us;
+              alloc_bytes = prev.Middleware.alloc_bytes + b.Middleware.alloc_bytes;
             })
         r.Event_log.backends)
     records;
@@ -1117,6 +1124,128 @@ let tail ctx =
            ( "backend_over_execute_mean",
              Tango_obs.Json.Float (mean backend_ratios) );
          ])
+
+(* ------------------------------------------------------------------ *)
+(* telemetry: what does observing cost?                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability stack must not become the workload.  Re-submit the
+   repeated workload under increasing instrumentation — everything off,
+   GC/alloc attribution only, lock-contention profiling only, tracing
+   only, then the full serve-path stack (attribution + contention +
+   tracing + the event-log/SLO observer) — and report each variant's qps
+   and its overhead relative to all-off.  Each variant takes the best of
+   [passes] timed passes (the gate must measure instrumentation cost,
+   not scheduler noise).  The payload carries [overhead_full] and the
+   [overhead_ok] verdict the CI telemetry job gates on (< 10%). *)
+let telemetry ctx =
+  Fmt.pr "== Telemetry self-overhead: workload qps vs instrumentation ==@.";
+  Fmt.pr "(one untimed warm round, then best of 3 passes of %s timed rounds@."
+    (if ctx.quick then "5" else "10");
+  Fmt.pr " over Queries 1-4 per variant; overhead relative to all-off)@.";
+  header [ "variant"; "qps"; "total[ms]"; "overhead" ];
+  let rounds = if ctx.quick then 5 else 10 in
+  let passes = 3 in
+  let position = position_prefix ctx 400 in
+  let employee =
+    let tuples = Relation.tuples ctx.full_employee in
+    Relation.make
+      (Relation.schema ctx.full_employee)
+      (Array.sub tuples 0 (min 200 (Array.length tuples)))
+  in
+  (* Each variant names the subset of the stack it turns on. *)
+  let variants =
+    [
+      ("all-off", (false, false, false, false));
+      ("gc-attribution", (true, false, false, false));
+      ("contention", (false, true, false, false));
+      ("tracing", (false, false, true, false));
+      ("full", (true, true, true, true));
+    ]
+  in
+  let run_variant (name, (gc, contention, tracing, observer)) =
+    let _db, mw =
+      session ctx [ ("POSITION", position); ("EMPLOYEE", employee) ]
+    in
+    (* spin 0 for the same reason as the throughput experiment: the
+       simulated network latency is identical across variants and only
+       dilutes the effect under measurement *)
+    Middleware.set_config mw
+      Middleware.Config.(
+        Middleware.config mw |> with_roundtrip_spin 0 |> with_telemetry gc
+        |> with_tracing tracing);
+    Tango_obs.Dsync.Profile.set_enabled contention;
+    let endpoints =
+      if observer then Some (Tango_monitor.Endpoints.create mw) else None
+    in
+    if not observer then Middleware.set_query_observer mw None;
+    ignore endpoints;
+    (* warm round: plan cache + statistics, so the timed passes measure
+       the steady state of each variant *)
+    List.iter (fun (_, sql) -> ignore (Middleware.query mw sql))
+      Queries.workload;
+    let queries = rounds * List.length Queries.workload in
+    let best_qps = ref 0.0 in
+    for _ = 1 to passes do
+      let t0 = Tango_obs.mono_us () in
+      for _ = 1 to rounds do
+        List.iter (fun (_, sql) -> ignore (Middleware.query mw sql))
+          Queries.workload
+      done;
+      let wall_s = (Tango_obs.mono_us () -. t0) /. 1e6 in
+      let qps = float_of_int queries /. wall_s in
+      if qps > !best_qps then best_qps := qps
+    done;
+    (name, (gc, contention, tracing, observer), queries, !best_qps)
+  in
+  let results = List.map run_variant variants in
+  (* contention profiling is on by default in the serve path; leave the
+     process the way we found it *)
+  Tango_obs.Dsync.Profile.set_enabled true;
+  let qps_of name =
+    match List.find_opt (fun (n, _, _, _) -> String.equal n name) results with
+    | Some (_, _, _, qps) -> qps
+    | None -> nan
+  in
+  let off = qps_of "all-off" in
+  let overhead qps = Stdlib.max 0.0 ((off -. qps) /. off) in
+  let variant_json (name, (gc, contention, tracing, observer), queries, qps) =
+    Fmt.pr "%-16s %9.1f %10.1f %9.1f%%@." name qps
+      (1000.0 *. float_of_int queries /. qps)
+      (100.0 *. overhead qps);
+    Tango_obs.Json.Obj
+      [
+        ("variant", Tango_obs.Json.String name);
+        ("gc_attribution", Tango_obs.Json.Bool gc);
+        ("contention_profiling", Tango_obs.Json.Bool contention);
+        ("tracing", Tango_obs.Json.Bool tracing);
+        ("observer", Tango_obs.Json.Bool observer);
+        ("queries", Tango_obs.Json.Int queries);
+        ("qps", Tango_obs.Json.Float qps);
+        ("overhead", Tango_obs.Json.Float (overhead qps));
+      ]
+  in
+  let variant_docs = List.map variant_json results in
+  let budget = 0.10 in
+  let overhead_full = overhead (qps_of "full") in
+  let overhead_ok = overhead_full < budget in
+  let doc =
+    Tango_obs.Json.Obj
+      [
+        ("experiment", Tango_obs.Json.String "telemetry");
+        ("rounds", Tango_obs.Json.Int rounds);
+        ("passes", Tango_obs.Json.Int passes);
+        ("variants", Tango_obs.Json.List variant_docs);
+        ("overhead_full", Tango_obs.Json.Float overhead_full);
+        ("overhead_budget", Tango_obs.Json.Float budget);
+        ("overhead_ok", Tango_obs.Json.Bool overhead_ok);
+      ]
+  in
+  bench_payload := Some doc;
+  Fmt.pr "%s@." (Tango_obs.Json.to_string doc);
+  Fmt.pr "# full observability overhead: %.1f%% of all-off qps (budget %.0f%%)%s@.@."
+    (100.0 *. overhead_full) (100.0 *. budget)
+    (if overhead_ok then "" else "  (OVER BUDGET)")
 
 (* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks                                     *)
@@ -1217,7 +1346,8 @@ let experiments =
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
     ("sharing", sharing); ("adapt", adapt); ("obs", obs);
     ("baseline", baseline); ("throughput", throughput);
-    ("sharding", sharding); ("tail", tail); ("micro", micro) ]
+    ("sharding", sharding); ("tail", tail); ("telemetry", telemetry);
+    ("micro", micro) ]
 
 let write_bench_json ~dir ~name ~scale ~quick ~wall_s payload =
   let doc =

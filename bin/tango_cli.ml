@@ -689,7 +689,7 @@ let serve_cmd =
           (Tango_monitor.Http.bound_port sock);
         Fmt.pr
           "  GET /metrics /healthz /slo /queries?n=K /queries/SEQ \
-           /debug/watchdog /trace — POST /query@.";
+           /debug/watchdog /debug/contention /trace — POST /query@.";
         Fmt.pr "%!";
         Fun.protect
           ~finally:(fun () -> try Unix.close sock with _ -> ())

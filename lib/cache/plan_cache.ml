@@ -77,7 +77,7 @@ type 'a t = {
 let create ?(capacity = 128) () =
   {
     capacity = max 1 capacity;
-    lock = Dsync.lock ();
+    lock = Dsync.named_lock "cache.plan_cache";
     table = Hashtbl.create 64;
     tick = 0;
     hits = 0;

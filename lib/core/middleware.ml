@@ -45,6 +45,7 @@ module Config = struct
     plan_cache : bool;
     plan_cache_capacity : int;
     batch_execution : bool;
+    telemetry : bool;
   }
 
   let default =
@@ -65,6 +66,7 @@ module Config = struct
       plan_cache = false;
       plan_cache_capacity = 128;
       batch_execution = true;
+      telemetry = true;
     }
 
   let with_row_prefetch n c = { c with row_prefetch = n }
@@ -101,6 +103,7 @@ module Config = struct
     }
 
   let with_batching b c = { c with batch_execution = b }
+  let with_telemetry b c = { c with telemetry = b }
 end
 
 (* What the plan cache stores for a query text: everything needed to skip
@@ -134,7 +137,32 @@ type backend_breakdown = Tango_xxl.Attribution.breakdown = {
   bytes : int;
   us : float;
   wait_us : float;
+  alloc_bytes : int;
 }
+
+(* Where one run's allocation went, mirroring the wall-time breakdown:
+   the four measured phases carry full GC deltas; the transfer share is
+   the Σ of per-backend boundary allocation, and [mw_exec_alloc_bytes]
+   is the remainder of the execute delta — allocation by
+   middleware-resident operators. *)
+type phase_resources = {
+  parse_res : Tango_obs.Runtime.delta;
+  optimize_res : Tango_obs.Runtime.delta;
+  translate_res : Tango_obs.Runtime.delta;
+  execute_res : Tango_obs.Runtime.delta;
+  transfer_alloc_bytes : int;  (** Σ backend boundary allocation *)
+  mw_exec_alloc_bytes : int;  (** execute alloc − transfer alloc, clamped *)
+}
+
+let no_resources =
+  {
+    parse_res = Tango_obs.Runtime.zero;
+    optimize_res = Tango_obs.Runtime.zero;
+    translate_res = Tango_obs.Runtime.zero;
+    execute_res = Tango_obs.Runtime.zero;
+    transfer_alloc_bytes = 0;
+    mw_exec_alloc_bytes = 0;
+  }
 
 (* Where one pipeline run's wall time went, phase by phase.  The first
    four are measured directly; [transfer_us]/[gather_wait_us] are the
@@ -149,6 +177,7 @@ type phases = {
   transfer_us : float;  (** Σ backend transfer time *)
   gather_wait_us : float;  (** Σ gather-merge blocked time *)
   mw_exec_us : float;  (** execute − transfer − gather-wait, clamped *)
+  res : phase_resources;  (** per-phase GC/allocation attribution *)
 }
 
 let no_phases =
@@ -160,10 +189,14 @@ let no_phases =
     transfer_us = 0.0;
     gather_wait_us = 0.0;
     mw_exec_us = 0.0;
+    res = no_resources;
   }
 
-let make_phases ?(parse_us = 0.0) ?(optimize_us = 0.0) ~translate_us
-    ~execute_us (backends : (string * backend_breakdown) list) : phases =
+let make_phases ?(parse_us = 0.0) ?(optimize_us = 0.0)
+    ?(parse_res = Tango_obs.Runtime.zero) ?(optimize_res = Tango_obs.Runtime.zero)
+    ?(translate_res = Tango_obs.Runtime.zero)
+    ?(execute_res = Tango_obs.Runtime.zero) ~translate_us ~execute_us
+    (backends : (string * backend_breakdown) list) : phases =
   let t = Tango_xxl.Attribution.totals backends in
   {
     parse_us;
@@ -173,6 +206,16 @@ let make_phases ?(parse_us = 0.0) ?(optimize_us = 0.0) ~translate_us
     transfer_us = t.us;
     gather_wait_us = t.wait_us;
     mw_exec_us = Float.max 0.0 (execute_us -. t.us -. t.wait_us);
+    res =
+      {
+        parse_res;
+        optimize_res;
+        translate_res;
+        execute_res;
+        transfer_alloc_bytes = t.alloc_bytes;
+        mw_exec_alloc_bytes =
+          max 0 (execute_res.Tango_obs.Runtime.alloc_bytes - t.alloc_bytes);
+      };
   }
 
 (* The execution report, defined ahead of the session type so pipeline
@@ -208,6 +251,9 @@ type query_event = {
   backends : (string * backend_breakdown) list;
       (** the report's per-backend attribution; [[]] when the pipeline
           raised *)
+  resources : Tango_obs.Runtime.delta;
+      (** whole-pipeline GC/allocation delta on the serving domain
+          (zero when telemetry is off) *)
 }
 
 type t = {
@@ -483,19 +529,77 @@ let cost_plan t ?(required_order : Order.t = []) (plan : Op.t) :
 (* Execution                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let now_us () = Unix.gettimeofday () *. 1_000_000.0
+let now_us () = Tango_obs.now_us ()
+
+(* Durations below are monotonic-clock differences; [now_us] (wall) is
+   kept only for the [started_us] timestamp observers export. *)
+let mono_us () = Tango_obs.mono_us ()
+
+let telemetry_on t = t.config.Config.telemetry
+
+(* GC capture around a phase, gated so telemetry-off pays one branch. *)
+let gc_point enabled = if enabled then Some (Tango_obs.Runtime.point ()) else None
+
+let gc_delta = function
+  | Some p -> Tango_obs.Runtime.delta_since p
+  | None -> Tango_obs.Runtime.zero
+
+(* Process-wide allocation/GC accounting, fed once per top-level run.
+   Dotted names render as [tango_alloc_*] / [tango_gc_*] families. *)
+let c_alloc_bytes = Tango_obs.Counter.make "alloc.bytes"
+let c_gc_minor = Tango_obs.Counter.make "gc.minor_collections"
+let c_gc_major = Tango_obs.Counter.make "gc.major_collections"
+let c_gc_promoted = Tango_obs.Counter.make "gc.promoted_words"
+let c_alloc_parse = Tango_obs.Counter.make "alloc.parse_bytes"
+let c_alloc_optimize = Tango_obs.Counter.make "alloc.optimize_bytes"
+let c_alloc_translate = Tango_obs.Counter.make "alloc.translate_bytes"
+let c_alloc_transfer = Tango_obs.Counter.make "alloc.transfer_bytes"
+let c_alloc_mw_exec = Tango_obs.Counter.make "alloc.mw_exec_bytes"
 
 exception No_plan of string
 
+(* Feed the process-wide allocation/GC counters and the per-domain
+   table with one completed run's resource usage. *)
+let account_resources report (res : Tango_obs.Runtime.delta) =
+  Tango_obs.Counter.add c_alloc_bytes res.Tango_obs.Runtime.alloc_bytes;
+  Tango_obs.Counter.add c_gc_minor res.Tango_obs.Runtime.minor_collections;
+  Tango_obs.Counter.add c_gc_major res.Tango_obs.Runtime.major_collections;
+  Tango_obs.Counter.add c_gc_promoted res.Tango_obs.Runtime.promoted_words;
+  (match report with
+  | None -> ()
+  | Some r ->
+      let p = r.phases.res in
+      Tango_obs.Counter.add c_alloc_parse
+        p.parse_res.Tango_obs.Runtime.alloc_bytes;
+      Tango_obs.Counter.add c_alloc_optimize
+        p.optimize_res.Tango_obs.Runtime.alloc_bytes;
+      Tango_obs.Counter.add c_alloc_translate
+        p.translate_res.Tango_obs.Runtime.alloc_bytes;
+      Tango_obs.Counter.add c_alloc_transfer p.transfer_alloc_bytes;
+      Tango_obs.Counter.add c_alloc_mw_exec p.mw_exec_alloc_bytes);
+  Tango_obs.Runtime.touch ()
+
 (* Notify the session's query observer (if any) of one top-level pipeline
    run.  Observer failures are swallowed: monitoring must never break the
-   query path. *)
+   query path.  With telemetry on, the whole-run GC delta is measured
+   and accounted here whether or not an observer is attached. *)
 let observed t ~kind ?sql (f : unit -> report) : report =
+  let g0 = gc_point (telemetry_on t) in
   match t.query_observer with
-  | None -> f ()
+  | None -> (
+      match f () with
+      | r ->
+          if telemetry_on t then account_resources (Some r) (gc_delta g0);
+          r
+      | exception e ->
+          if telemetry_on t then account_resources None (gc_delta g0);
+          raise e)
   | Some notify ->
       let started_us = now_us () in
+      let m0 = mono_us () in
       let emit report error =
+        let resources = gc_delta g0 in
+        if telemetry_on t then account_resources report resources;
         let cache_hit =
           match report with
           | Some { cache = Some c; _ } -> c.cache_hit
@@ -506,12 +610,13 @@ let observed t ~kind ?sql (f : unit -> report) : report =
             kind;
             sql;
             started_us;
-            elapsed_us = now_us () -. started_us;
+            elapsed_us = mono_us () -. m0;
             cache_hit;
             report;
             error;
             backends =
               (match report with Some r -> r.backends | None -> []);
+            resources;
           }
         in
         try notify ev with _ -> ()
@@ -589,22 +694,29 @@ let apply_feedback t (root : Exec_plan.node) =
   Log.debug (fun m -> m "feedback: %a" Factors.pp t.factors)
 
 (** Execute a chosen physical plan; returns the result, measured times,
-    the translate phase time, and the per-backend latency attribution.
-    Temp tables created by `TRANSFER^D` steps are dropped afterwards. *)
+    the translate phase time, the per-backend latency attribution, and
+    the translate/execute GC deltas.  Temp tables created by
+    `TRANSFER^D` steps are dropped afterwards. *)
 let execute_physical_full t (physical : Physical.plan) :
     Relation.t
     * Exec_plan.node
     * float
     * float
-    * (string * backend_breakdown) list =
-  let tr0 = now_us () in
+    * (string * backend_breakdown) list
+    * Tango_obs.Runtime.delta
+    * Tango_obs.Runtime.delta =
+  let telemetry = telemetry_on t in
+  let tr0 = mono_us () in
+  let g_tr = gc_point telemetry in
   let exec, temp_tables =
     Tango_obs.Trace.span "translate" (fun () ->
         Exec_plan.of_physical (database t) physical)
   in
-  let translate_us = now_us () -. tr0 in
+  let translate_res = gc_delta g_tr in
+  let translate_us = mono_us () -. tr0 in
   let collector = Tango_xxl.Attribution.create () in
-  let t0 = now_us () in
+  let g_ex = gc_point telemetry in
+  let t0 = mono_us () in
   let result =
     Tango_obs.Trace.span "execute" (fun () ->
         Fun.protect
@@ -634,13 +746,20 @@ let execute_physical_full t (physical : Physical.plan) :
                 Tango_obs.Trace.graft (Exec_plan.to_trace exec);
                 r)))
   in
-  let elapsed = now_us () -. t0 in
+  let elapsed = mono_us () -. t0 in
+  let execute_res = gc_delta g_ex in
   if t.config.Config.feedback then apply_feedback t exec;
-  (result, exec, elapsed, translate_us, Tango_xxl.Attribution.breakdown collector)
+  ( result,
+    exec,
+    elapsed,
+    translate_us,
+    Tango_xxl.Attribution.breakdown collector,
+    translate_res,
+    execute_res )
 
 let execute_physical t (physical : Physical.plan) :
     Relation.t * Exec_plan.node * float =
-  let result, exec, elapsed, _translate_us, _backends =
+  let result, exec, elapsed, _translate_us, _backends, _tres, _eres =
     execute_physical_full t physical
   in
   (result, exec, elapsed)
@@ -685,9 +804,12 @@ let profile_execution t ~(query_fingerprint : string)
   end
 
 (* The shared optimize-then-execute body; the caller owns the trace.
-   [parse_us] is the parse phase wall time when the caller parsed SQL. *)
-let run_plan_body t ?(parse_us = 0.0) ?(required_order : Order.t = [])
+   [parse_us] is the parse phase time when the caller parsed SQL;
+   [parse_res] its GC delta. *)
+let run_plan_body t ?(parse_us = 0.0)
+    ?(parse_res = Tango_obs.Runtime.zero) ?(required_order : Order.t = [])
     (initial : Op.t) : report =
+  let g_opt = gc_point (telemetry_on t) in
   let r =
     Tango_obs.Trace.span "optimize" (fun () ->
         let r = optimize t ~required_order initial in
@@ -695,6 +817,7 @@ let run_plan_body t ?(parse_us = 0.0) ?(required_order : Order.t = [])
         Tango_obs.Trace.attr "elements" (Tango_obs.Trace.Int r.Search.elements);
         r)
   in
+  let optimize_res = gc_delta g_opt in
   match r.Search.plan with
   | None -> raise (No_plan "optimizer found no feasible plan")
   | Some physical ->
@@ -702,7 +825,8 @@ let run_plan_body t ?(parse_us = 0.0) ?(required_order : Order.t = [])
           m "optimized in %.1f ms (%d classes, %d elements): %s est=%.0fus"
             (r.Search.time_us /. 1000.0) r.Search.classes r.Search.elements
             (Physical.signature physical) physical.Physical.total_cost);
-      let result, exec, execute_us, translate_us, backends =
+      let result, exec, execute_us, translate_us, backends, translate_res,
+          execute_res =
         execute_physical_full t physical
       in
       Log.info (fun m ->
@@ -729,7 +853,8 @@ let run_plan_body t ?(parse_us = 0.0) ?(required_order : Order.t = [])
         diagnostics = t.last_diagnostics;
         cache = None;
         phases =
-          make_phases ~parse_us ~optimize_us:r.Search.time_us ~translate_us
+          make_phases ~parse_us ~optimize_us:r.Search.time_us ~parse_res
+            ~optimize_res ~translate_res ~execute_res ~translate_us
             ~execute_us backends;
         backends;
       }
@@ -784,7 +909,8 @@ let query t (sql : string) : report =
               Tango_obs.Trace.attr "cache" (Tango_obs.Trace.Str "hit");
               Log.debug (fun m -> m "plan cache hit");
               t.last_diagnostics <- entry.cached_diagnostics;
-              let result, exec, execute_us, translate_us, backends =
+              let result, exec, execute_us, translate_us, backends,
+                  translate_res, execute_res =
                 execute_physical_full t entry.cached_physical
               in
               let analysis =
@@ -805,19 +931,25 @@ let query t (sql : string) : report =
                 analysis;
                 diagnostics = entry.cached_diagnostics;
                 cache = cache_report_now t ~hit:true;
-                phases = make_phases ~translate_us ~execute_us backends;
+                phases =
+                  make_phases ~translate_res ~execute_res ~translate_us
+                    ~execute_us backends;
                 backends;
               }
           | None ->
-              let p0 = now_us () in
+              let p0 = mono_us () in
+              let g_p = gc_point (telemetry_on t) in
               let initial, required_order =
                 Tango_obs.Trace.span "parse" (fun () ->
                     ( Tango_tsql.Compile.initial_plan
                         ~lookup:(schema_lookup t) sql,
                       Tango_tsql.Compile.required_order sql ))
               in
-              let parse_us = now_us () -. p0 in
-              let report = run_plan_body t ~parse_us ~required_order initial in
+              let parse_res = gc_delta g_p in
+              let parse_us = mono_us () -. p0 in
+              let report =
+                run_plan_body t ~parse_us ~parse_res ~required_order initial
+              in
               if t.config.Config.plan_cache then
                 Tango_cache.Plan_cache.add t.plan_cache ~sql
                   {
@@ -844,7 +976,8 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
           let diags = verify_final t ~required_order physical in
           log_diagnostics diags;
           t.last_diagnostics <- diags;
-          let result, exec, execute_us, translate_us, backends =
+          let result, exec, execute_us, translate_us, backends, translate_res,
+              execute_res =
             execute_physical_full t physical
           in
           let analysis =
@@ -865,6 +998,8 @@ let run_fixed t ?(required_order : Order.t = []) (plan_tree : Op.t) : report =
             analysis;
             diagnostics = t.last_diagnostics;
             cache = None;
-            phases = make_phases ~translate_us ~execute_us backends;
+            phases =
+              make_phases ~translate_res ~execute_res ~translate_us
+                ~execute_us backends;
             backends;
           }))

@@ -65,6 +65,10 @@ module Config : sig
         (** pull tuples through the middleware pipeline in array batches
             (default); unset to force the classic tuple-at-a-time XXL
             protocol *)
+    telemetry : bool;
+        (** capture GC/allocation deltas per pipeline phase and per query
+            ({!Tango_obs.Runtime}) and feed the [tango_alloc_*] /
+            [tango_gc_*] counter families (on by default) *)
   }
 
   val default : t
@@ -99,6 +103,11 @@ module Config : sig
   (** Batch-at-a-time execution (on by default); unset for the classic
       tuple-at-a-time protocol — used by differential tests and the
       [throughput] benchmark. *)
+
+  val with_telemetry : bool -> t -> t
+  (** GC/allocation attribution (on by default); unset to skip every
+      [Gc.quick_stat] capture — used by the [telemetry] benchmark to
+      price the observability stack itself. *)
 end
 
 type t
@@ -226,14 +235,32 @@ type cache_report = {
 type backend_breakdown = Tango_xxl.Attribution.breakdown = {
   rows : int;  (** tuples that crossed this backend's client boundary *)
   bytes : int;  (** their marshalled volume *)
-  us : float;  (** transfer time: wall time inside boundary calls *)
+  us : float;  (** transfer time: time inside boundary calls *)
   wait_us : float;
       (** gather-wait time: how long the merge sat blocked on this
           backend beyond the transfer time those pulls recorded *)
+  alloc_bytes : int;
+      (** bytes allocated on the pulling domain inside those boundary
+          calls *)
 }
 (** Per-backend latency attribution for one query (re-exported from
     {!Tango_xxl.Attribution}).  Summing [us +. wait_us] over all
     backends gives the sharded execution's total boundary contribution. *)
+
+(** Per-phase GC/allocation attribution, mirroring the wall-time
+    breakdown (zero when the configuration's [telemetry] is off). *)
+type phase_resources = {
+  parse_res : Tango_obs.Runtime.delta;
+  optimize_res : Tango_obs.Runtime.delta;
+  translate_res : Tango_obs.Runtime.delta;
+  execute_res : Tango_obs.Runtime.delta;  (** contains the next two *)
+  transfer_alloc_bytes : int;  (** Σ backend boundary allocation *)
+  mw_exec_alloc_bytes : int;
+      (** middleware-side execution allocation:
+          [execute − transfer], clamped at zero *)
+}
+
+val no_resources : phase_resources
 
 (** Phase breakdown of one pipeline run.  The phases are designed to be
     {e conservative}: [parse + optimize + translate + mw_exec + transfer
@@ -250,6 +277,7 @@ type phases = {
   mw_exec_us : float;
       (** middleware-side execution: [execute - transfer - gather_wait],
           clamped at zero *)
+  res : phase_resources;  (** per-phase GC/allocation attribution *)
 }
 
 val no_phases : phases
@@ -296,7 +324,8 @@ type query_event = {
   kind : string;  (** ["query"] | ["run_plan"] | ["run_fixed"] *)
   sql : string option;  (** the temporal SQL text, for {!query} *)
   started_us : float;  (** wall clock ({!Tango_obs.now_us}) at entry *)
-  elapsed_us : float;  (** total pipeline wall time, parse to result *)
+  elapsed_us : float;
+      (** total pipeline duration, parse to result (monotonic clock) *)
   cache_hit : bool;
       (** answered from the plan cache — no parse or optimize ran (so a
           zero [optimize_us] means "skipped", not "instantaneous") *)
@@ -306,6 +335,9 @@ type query_event = {
       (** the report's per-backend attribution ([[]] when the pipeline
           raised), duplicated here so observers need not destructure the
           report *)
+  resources : Tango_obs.Runtime.delta;
+      (** whole-pipeline GC/allocation delta on the serving domain
+          (zero when the configuration's [telemetry] is off) *)
 }
 
 val set_query_observer : t -> (query_event -> unit) option -> unit

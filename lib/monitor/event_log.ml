@@ -46,6 +46,16 @@ type record = {
   mw_exec_us : float;
   transfer_us : float;
   gather_wait_us : float;
+  (* per-phase allocation deltas (bytes), plus the whole-run GC counts *)
+  parse_alloc_bytes : int;
+  optimize_alloc_bytes : int;
+  translate_alloc_bytes : int;
+  transfer_alloc_bytes : int;
+  mw_exec_alloc_bytes : int;
+  alloc_bytes : int;
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : int;
   backends : (string * Middleware.backend_breakdown) list;
   trace : Tango_obs.Trace.span option;
   cache_hit : bool;
@@ -83,7 +93,7 @@ let create ?(capacity = 256) ?(sample_every = 1) ?(slow_keep_us = 0.0) () =
     capacity;
     sample_every;
     slow_keep_us;
-    lock = Dsync.lock ();
+    lock = Dsync.named_lock "monitor.event_log";
     ring = Array.make capacity None;
     next = 0;
     stored = 0;
@@ -137,6 +147,18 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
       mw_exec_us = 0.0;
       transfer_us = 0.0;
       gather_wait_us = 0.0;
+      parse_alloc_bytes = 0;
+      optimize_alloc_bytes = 0;
+      translate_alloc_bytes = 0;
+      transfer_alloc_bytes = 0;
+      mw_exec_alloc_bytes = 0;
+      alloc_bytes = ev.Middleware.resources.Tango_obs.Runtime.alloc_bytes;
+      minor_collections =
+        ev.Middleware.resources.Tango_obs.Runtime.minor_collections;
+      major_collections =
+        ev.Middleware.resources.Tango_obs.Runtime.major_collections;
+      promoted_words =
+        ev.Middleware.resources.Tango_obs.Runtime.promoted_words;
       backends = [];
       trace = None;
       cache_hit = ev.Middleware.cache_hit;
@@ -180,6 +202,19 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
         mw_exec_us = r.Middleware.phases.Middleware.mw_exec_us;
         transfer_us = r.Middleware.phases.Middleware.transfer_us;
         gather_wait_us = r.Middleware.phases.Middleware.gather_wait_us;
+        parse_alloc_bytes =
+          r.Middleware.phases.Middleware.res.Middleware.parse_res
+            .Tango_obs.Runtime.alloc_bytes;
+        optimize_alloc_bytes =
+          r.Middleware.phases.Middleware.res.Middleware.optimize_res
+            .Tango_obs.Runtime.alloc_bytes;
+        translate_alloc_bytes =
+          r.Middleware.phases.Middleware.res.Middleware.translate_res
+            .Tango_obs.Runtime.alloc_bytes;
+        transfer_alloc_bytes =
+          r.Middleware.phases.Middleware.res.Middleware.transfer_alloc_bytes;
+        mw_exec_alloc_bytes =
+          r.Middleware.phases.Middleware.res.Middleware.mw_exec_alloc_bytes;
         backends = r.Middleware.backends;
         trace = r.Middleware.trace;
         rows = Tango_rel.Relation.cardinality r.Middleware.result;
@@ -318,6 +353,7 @@ let backends_to_json (backends : (string * Middleware.backend_breakdown) list)
                ("bytes", Int b.Middleware.bytes);
                ("us", Float b.Middleware.us);
                ("wait_us", Float b.Middleware.wait_us);
+               ("alloc_bytes", Int b.Middleware.alloc_bytes);
              ] ))
        backends)
 
@@ -343,6 +379,19 @@ let record_to_json (r : record) : Tango_obs.Json.t =
             ("mw_exec_us", Float r.mw_exec_us);
             ("transfer_us", Float r.transfer_us);
             ("gather_wait_us", Float r.gather_wait_us);
+            ("parse_alloc_bytes", Int r.parse_alloc_bytes);
+            ("optimize_alloc_bytes", Int r.optimize_alloc_bytes);
+            ("translate_alloc_bytes", Int r.translate_alloc_bytes);
+            ("transfer_alloc_bytes", Int r.transfer_alloc_bytes);
+            ("mw_exec_alloc_bytes", Int r.mw_exec_alloc_bytes);
+          ] );
+      ( "gc",
+        Obj
+          [
+            ("alloc_bytes", Int r.alloc_bytes);
+            ("minor_collections", Int r.minor_collections);
+            ("major_collections", Int r.major_collections);
+            ("promoted_words", Int r.promoted_words);
           ] );
       ("optimize_us", Float r.optimize_us);
       ("execute_us", Float r.execute_us);

@@ -45,6 +45,15 @@ type record = {
       (** middleware-side execution: execute minus boundary time *)
   transfer_us : float;  (** Σ per-backend transfer time *)
   gather_wait_us : float;  (** Σ per-backend gather-wait time *)
+  parse_alloc_bytes : int;  (** per-phase allocation deltas … *)
+  optimize_alloc_bytes : int;
+  translate_alloc_bytes : int;
+  transfer_alloc_bytes : int;  (** … Σ backend boundary allocation *)
+  mw_exec_alloc_bytes : int;  (** … execute minus boundary allocation *)
+  alloc_bytes : int;  (** whole-run allocation (serving domain) *)
+  minor_collections : int;  (** whole-run GC counts … *)
+  major_collections : int;
+  promoted_words : int;
   backends : (string * Tango_core.Middleware.backend_breakdown) list;
       (** per-backend latency attribution, first-touch order *)
   trace : Tango_obs.Trace.span option;

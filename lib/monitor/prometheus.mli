@@ -33,6 +33,19 @@ val gauge :
 (** One complete gauge family ([# TYPE] line plus a single sample) —
     for values that are not registry counters, e.g. SLO burn rates. *)
 
+val lock_profile :
+  ?namespace:string -> Tango_obs.Dsync.Profile.snapshot list -> string
+(** Lock-contention families from a {!Tango_obs.Dsync.Profile} snapshot,
+    labeled by lock name: [tango_lock_acquires] / [tango_lock_contended]
+    counters and [tango_lock_wait_us] / [tango_lock_hold_us] histograms
+    (with per-lock [_sum]/[_count]).  Empty string for an empty list. *)
+
+val runtime_gauges : ?namespace:string -> unit -> string
+(** Process-runtime gauges: [tango_gc_heap_words] /
+    [tango_gc_top_heap_words] / [tango_gc_compactions], plus
+    [tango_gc_domain_*{domain="<id>"}] gauge families for every domain
+    that has published counters via {!Tango_obs.Runtime.touch}. *)
+
 val render :
   ?namespace:string -> ?exemplars:bool -> Tango_obs.Registry.snapshot -> string
 (** The whole snapshot as exposition text: plain counters, then

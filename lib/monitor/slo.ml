@@ -67,7 +67,7 @@ let create ?(objective = default_objective) ?(max_samples = 8192) () =
     invalid_arg "Slo.create: goals must leave a nonzero error budget";
   if objective.short_window_us > objective.long_window_us then
     invalid_arg "Slo.create: short window exceeds long window";
-  { objective; lock = Dsync.lock (); samples = Queue.create (); max_samples }
+  { objective; lock = Dsync.named_lock "monitor.slo"; samples = Queue.create (); max_samples }
 
 let objective t = t.objective
 

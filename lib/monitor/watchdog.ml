@@ -32,22 +32,28 @@ type t = {
   q_error_warn : float;
   hit_rate_drop : float;
   tail_fraction : float;
+  contention_warn : float;
   lock : Dsync.lock;  (* guards the cross-evaluation trend fields *)
   mutable last_generation : int;
   mutable last_hit_rate : float option;
+  mutable last_wait_us : float;
+  mutable last_check_mono_us : float option;
 }
 
 let create ?(q_error_warn = 2.0) ?(hit_rate_drop = 0.2)
-    ?(tail_fraction = 0.9) ~generation () =
+    ?(tail_fraction = 0.9) ?(contention_warn = 0.25) ~generation () =
   if not (tail_fraction >= 0.0 && tail_fraction < 1.0) then
     invalid_arg "Watchdog.create: tail_fraction must be in [0, 1)";
   {
     q_error_warn;
     hit_rate_drop;
     tail_fraction;
-    lock = Dsync.lock ();
+    contention_warn;
+    lock = Dsync.named_lock "monitor.watchdog";
     last_generation = generation;
     last_hit_rate = None;
+    last_wait_us = 0.0;
+    last_check_mono_us = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -218,6 +224,57 @@ let topology_signal t ~generation =
       detail = Printf.sprintf "generation %d" generation;
     }
 
+(* Lock wait accumulated since the previous check, as a share of the
+   wall time between checks (monotonic clock).  With several domains
+   the share can exceed 1.0 — it is wait-seconds per wall-second across
+   the process.  The first check only primes the baseline. *)
+let contention_signal t =
+  let snaps = Tango_obs.Dsync.Profile.snapshot () in
+  let total_wait =
+    List.fold_left
+      (fun acc (s : Tango_obs.Dsync.Profile.snapshot) ->
+        acc +. s.Tango_obs.Dsync.Profile.wait_us)
+      0.0 snaps
+  in
+  let now_mono = Tango_obs.mono_us () in
+  let previous =
+    Dsync.protect t.lock (fun () ->
+        let p = (t.last_wait_us, t.last_check_mono_us) in
+        t.last_wait_us <- total_wait;
+        t.last_check_mono_us <- Some now_mono;
+        p)
+  in
+  match previous with
+  | _, None ->
+      { name = "lock_contention"; firing = false; detail = "first check" }
+  | prev_wait, Some prev_mono ->
+      let dw = Float.max 0.0 (total_wait -. prev_wait) in
+      let dt = Float.max 1.0 (now_mono -. prev_mono) in
+      let share = dw /. dt in
+      let top =
+        List.fold_left
+          (fun acc (s : Tango_obs.Dsync.Profile.snapshot) ->
+            match acc with
+            | Some (b : Tango_obs.Dsync.Profile.snapshot)
+              when b.Tango_obs.Dsync.Profile.wait_us
+                   >= s.Tango_obs.Dsync.Profile.wait_us ->
+                acc
+            | _ -> Some s)
+          None snaps
+      in
+      {
+        name = "lock_contention";
+        firing = share > t.contention_warn;
+        detail =
+          Printf.sprintf "wait/wall %.3f since last check%s" share
+            (match top with
+            | Some l when l.Tango_obs.Dsync.Profile.wait_us > 0.0 ->
+                Printf.sprintf "; top lock %s (%.0fus cumulative wait)"
+                  l.Tango_obs.Dsync.Profile.lock_name
+                  l.Tango_obs.Dsync.Profile.wait_us
+            | _ -> "");
+      }
+
 (* ------------------------------------------------------------------ *)
 (* Verdict                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -230,6 +287,7 @@ let evaluate t ~now_us ~slo ~log ?feedback ?cache ~generation () : verdict =
       q_error_signal t feedback;
       cache_signal t cache;
       topology_signal t ~generation;
+      contention_signal t;
     ]
   in
   let tail = tail_records t (Event_log.recent log) in

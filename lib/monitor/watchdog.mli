@@ -7,7 +7,7 @@
 type signal = {
   name : string;
       (** ["slo_burn"] | ["q_error"] | ["cache_hit_rate"] |
-          ["topology_generation"] *)
+          ["topology_generation"] | ["lock_contention"] *)
   firing : bool;
   detail : string;  (** human-readable evidence, firing or not *)
 }
@@ -34,6 +34,7 @@ val create :
   ?q_error_warn:float ->
   ?hit_rate_drop:float ->
   ?tail_fraction:float ->
+  ?contention_warn:float ->
   generation:int ->
   unit ->
   t
@@ -43,7 +44,10 @@ val create :
     since the previous {!evaluate} fires [cache_hit_rate].
     [tail_fraction] (default 0.9, must be in [0, 1)): the tail analysis
     covers records at or above this latency quantile of the event-log
-    ring.  [generation] seeds the topology baseline. *)
+    ring.  [contention_warn] (default 0.25): lock wait accumulated
+    since the previous check, divided by the wall time between checks,
+    above this fires [lock_contention] (the first check only primes the
+    baseline).  [generation] seeds the topology baseline. *)
 
 val evaluate :
   t ->

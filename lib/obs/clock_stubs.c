@@ -1,0 +1,20 @@
+/* Monotonic clock for duration measurement.
+ *
+ * Spans, phase timings and lock wait/hold intervals must not jump when
+ * the wall clock steps (NTP, manual adjustment), so durations are taken
+ * from CLOCK_MONOTONIC.  Wall time (Unix.gettimeofday) remains the
+ * source for timestamps that must be meaningful outside the process.
+ */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value tango_clock_monotonic_us(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec * 1e6 +
+                          (double)ts.tv_nsec * 1e-3);
+}

@@ -1,0 +1,150 @@
+(** GC and allocation attribution.
+
+    GC counters are domain-local in OCaml 5, so a delta taken around a
+    phase on one domain prices that phase's own allocation — a GC pause
+    or an allocation storm becomes attributable to
+    parse/optimize/translate/execute instead of being smeared into wall
+    time.  Allocated bytes follow the classic identity:
+    [(minor + major - promoted) words × word size], read through
+    [Gc.allocated_bytes] rather than [Gc.quick_stat]: on OCaml 5 the
+    [quick_stat] word counters only advance at collection boundaries,
+    so a small phase (parse of a short statement) between two minor
+    collections would price as zero, while [Gc.allocated_bytes] reads
+    the live young-generation pointer and is exact.
+
+    The module also keeps a per-domain cumulative table ([touch] /
+    [domains]) feeding the [tango_gc_domain_*] gauges, and a process
+    heap snapshot ([heap]) for [tango_gc_heap_*]. *)
+
+type delta = {
+  alloc_bytes : int;
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : int;
+}
+
+let zero =
+  { alloc_bytes = 0; minor_collections = 0; major_collections = 0; promoted_words = 0 }
+
+let add a b =
+  {
+    alloc_bytes = a.alloc_bytes + b.alloc_bytes;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+    promoted_words = a.promoted_words + b.promoted_words;
+  }
+
+type point = {
+  pt_alloc_bytes : float;
+  pt_minor : int;
+  pt_major : int;
+  pt_promoted : float;
+}
+
+let point () =
+  let s = Gc.quick_stat () in
+  {
+    (* exact even between collections (reads the young pointer) *)
+    pt_alloc_bytes = Gc.allocated_bytes ();
+    pt_minor = s.Gc.minor_collections;
+    pt_major = s.Gc.major_collections;
+    pt_promoted = s.Gc.promoted_words;
+  }
+
+(* Clamp at zero: the float counters are monotone per domain, but a
+   measure spanning a DLS-initialized domain switch (or float rounding
+   at large magnitudes) must never yield a negative charge. *)
+let delta_since p =
+  let q = point () in
+  {
+    alloc_bytes = max 0 (int_of_float (q.pt_alloc_bytes -. p.pt_alloc_bytes));
+    minor_collections = max 0 (q.pt_minor - p.pt_minor);
+    major_collections = max 0 (q.pt_major - p.pt_major);
+    promoted_words = max 0 (int_of_float (q.pt_promoted -. p.pt_promoted));
+  }
+
+let measure f =
+  let p = point () in
+  let r = f () in
+  (r, delta_since p)
+
+(* --- per-domain cumulative table ------------------------------------- *)
+
+type domain_stats = {
+  domain : int;
+  d_alloc_bytes : int;
+  d_minor_collections : int;
+  d_major_collections : int;
+  d_promoted_words : int;
+}
+
+type slot = {
+  s_domain : int;
+  s_alloc_bytes : int Atomic.t;
+  s_minor : int Atomic.t;
+  s_major : int Atomic.t;
+  s_promoted : int Atomic.t;
+}
+
+let slots : (int, slot) Hashtbl.t = Hashtbl.create 8
+
+(* Named: the runtime-attribution table is itself a profiled serve-path
+   lock, taken once per domain at slot creation. *)
+let slots_lock = Dsync.named_lock "obs.runtime"
+
+let slot_for id =
+  Dsync.protect slots_lock (fun () ->
+      match Hashtbl.find_opt slots id with
+      | Some s -> s
+      | None ->
+          let s =
+            {
+              s_domain = id;
+              s_alloc_bytes = Atomic.make 0;
+              s_minor = Atomic.make 0;
+              s_major = Atomic.make 0;
+              s_promoted = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace slots id s;
+          s)
+
+let slot_key = Domain.DLS.new_key (fun () -> slot_for (Domain.self () :> int))
+
+(* Publish the calling domain's cumulative counters.  Owner-written,
+   scraper-read: the writer is always the slot's own domain, readers
+   ([domains]) see whole [Atomic] values. *)
+let touch () =
+  let s = Domain.DLS.get slot_key in
+  let p = point () in
+  Atomic.set s.s_alloc_bytes (max 0 (int_of_float p.pt_alloc_bytes));
+  Atomic.set s.s_minor p.pt_minor;
+  Atomic.set s.s_major p.pt_major;
+  Atomic.set s.s_promoted (max 0 (int_of_float p.pt_promoted))
+
+let domains () =
+  Dsync.protect slots_lock (fun () ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          {
+            domain = s.s_domain;
+            d_alloc_bytes = Atomic.get s.s_alloc_bytes;
+            d_minor_collections = Atomic.get s.s_minor;
+            d_major_collections = Atomic.get s.s_major;
+            d_promoted_words = Atomic.get s.s_promoted;
+          }
+          :: acc)
+        slots [])
+  |> List.sort (fun a b -> compare a.domain b.domain)
+
+(* --- process heap ----------------------------------------------------- *)
+
+type heap = { heap_words : int; top_heap_words : int; compactions : int }
+
+let heap () =
+  let s = Gc.quick_stat () in
+  {
+    heap_words = s.Gc.heap_words;
+    top_heap_words = s.Gc.top_heap_words;
+    compactions = s.Gc.compactions;
+  }

@@ -1,0 +1,55 @@
+(** GC and allocation attribution: per-phase deltas, per-domain
+    cumulative counters, and process heap snapshots.
+
+    GC counters are domain-local in OCaml 5, so a {!measure} around a
+    pipeline phase charges that phase with its own allocation and
+    collection counts.  Allocated bytes come from [Gc.allocated_bytes]
+    (exact even between collections — it reads the young pointer);
+    collection and promotion counts from [Gc.quick_stat]. *)
+
+type delta = {
+  alloc_bytes : int;  (** (minor + major - promoted) words × word size *)
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : int;
+}
+
+val zero : delta
+val add : delta -> delta -> delta
+
+type point
+(** An allocation-counter reading ([Gc.allocated_bytes] plus a
+    [Gc.quick_stat] projection). *)
+
+val point : unit -> point
+val delta_since : point -> delta
+(** Counters accumulated on this domain since [point] was taken.
+    Components clamp at zero. *)
+
+val measure : (unit -> 'a) -> 'a * delta
+(** [measure f] is [f ()] paired with the allocation/GC delta it
+    incurred on the calling domain.  Not exception-safe: if [f] raises,
+    take {!point} / {!delta_since} around the call instead. *)
+
+(** {1 Per-domain cumulative counters} *)
+
+type domain_stats = {
+  domain : int;
+  d_alloc_bytes : int;
+  d_minor_collections : int;
+  d_major_collections : int;
+  d_promoted_words : int;
+}
+
+val touch : unit -> unit
+(** Publish the calling domain's cumulative allocation/GC counters into
+    the per-domain table (call periodically, e.g. once per query). *)
+
+val domains : unit -> domain_stats list
+(** All domains that have {!touch}ed, sorted by domain id. *)
+
+(** {1 Process heap} *)
+
+type heap = { heap_words : int; top_heap_words : int; compactions : int }
+
+val heap : unit -> heap

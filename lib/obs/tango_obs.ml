@@ -29,9 +29,12 @@
     [Registry.to_json], consumed by [bench/main.ml]), and the
     programmatic {!Registry.snapshot} API. *)
 
+module Clock = Clock
 module Dsync = Dsync
+module Runtime = Runtime
 
-let now_us () = Unix.gettimeofday () *. 1_000_000.0
+let now_us () = Clock.wall_us ()
+let mono_us = Clock.mono_us
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                 *)
@@ -105,7 +108,7 @@ end
 (* One lock guards the find-or-create name registries of both counters
    and histograms (creation is rare; reads fold atomics or take the
    per-instance lock, never this one). *)
-let registry_lock = Dsync.lock ()
+let registry_lock = Dsync.named_lock "obs.registry"
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                             *)
@@ -192,7 +195,9 @@ module Histogram = struct
             let h =
               {
                 name;
-                lock = Dsync.lock ();
+                (* every histogram's instance lock aggregates into one
+                   contention-profile family *)
+                lock = Dsync.named_lock "obs.histogram";
                 count = 0;
                 sum = 0.0;
                 min = infinity;
@@ -564,7 +569,7 @@ module Trace = struct
       | s :: _ -> s.children <- s.children @ [ child ]
 
   let close_span s t0 =
-    s.elapsed_us <- now_us () -. t0;
+    s.elapsed_us <- mono_us () -. t0;
     (match Domain.DLS.get stack with
     | top :: rest when top == s -> Domain.DLS.set stack rest
     | _ -> () (* unbalanced exit; drop silently rather than corrupt *));
@@ -577,7 +582,7 @@ module Trace = struct
     else begin
       let s = make name in
       Domain.DLS.set stack (s :: Domain.DLS.get stack);
-      let t0 = now_us () in
+      let t0 = mono_us () in
       Fun.protect ~finally:(fun () -> close_span s t0) f
     end
 
@@ -586,7 +591,7 @@ module Trace = struct
     List.iter
       (fun s ->
         match Domain.DLS.get stack with
-        | top :: _ when top == s -> close_span s (now_us ())
+        | top :: _ when top == s -> close_span s (mono_us ())
         | _ -> ())
       (Domain.DLS.get stack);
     Domain.DLS.set collecting false;

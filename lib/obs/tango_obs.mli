@@ -20,12 +20,25 @@
     registries are guarded, and trace collection state is domain-local
     (each domain collects its own trace). *)
 
+module Clock = Clock
+(** Monotonic vs wall clocks — see {!Clock}. *)
+
 module Dsync = Dsync
 (** Domain-safety primitives (exception-safe critical sections,
-    domain-sharded counters) — see {!Dsync}. *)
+    domain-sharded counters, lock-contention profiling) — see
+    {!Dsync}. *)
+
+module Runtime = Runtime
+(** GC/allocation attribution: per-phase deltas, per-domain cumulative
+    counters, heap snapshots — see {!Runtime}. *)
 
 val now_us : unit -> float
-(** Wall time in microseconds (the clock every span uses). *)
+(** Wall time in microseconds.  For {e timestamps} only (event-log
+    [at_us], exemplar [ex_at_us]); durations use {!mono_us}. *)
+
+val mono_us : unit -> float
+(** Monotonic time in microseconds (arbitrary origin) — the clock every
+    span and phase duration uses, immune to wall-clock steps. *)
 
 (** Minimal JSON document model and serializer (no external deps). *)
 module Json : sig

@@ -19,7 +19,7 @@ type t = {
   tbl : (string, Factors.t) Hashtbl.t;
 }
 
-let create ~base = { base; lock = Dsync.lock (); tbl = Hashtbl.create 8 }
+let create ~base = { base; lock = Dsync.named_lock "profile.backend_factors"; tbl = Hashtbl.create 8 }
 
 let set t name factors =
   Dsync.protect t.lock (fun () -> Hashtbl.replace t.tbl name factors)

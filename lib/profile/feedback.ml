@@ -41,7 +41,7 @@ type t = {
 
 let create ?(max_observations = 1024) () : t =
   {
-    lock = Dsync.lock ();
+    lock = Dsync.named_lock "profile.feedback";
     frags = Hashtbl.create 64;
     factors = Hashtbl.create 16;
     observations = [];

@@ -34,7 +34,7 @@ type t = {
 
 let create ?(regression_ratio = 1.5) ?(max_log = 64) () : t =
   {
-    lock = Dsync.lock ();
+    lock = Dsync.named_lock "profile.sentinel";
     best = Hashtbl.create 32;
     entries = [];
     n_entries = 0;

@@ -1,13 +1,20 @@
 (** Per-query, per-backend latency attribution.  See the interface for
     the [us] / [wait_us] double-counting contract. *)
 
-type breakdown = { rows : int; bytes : int; us : float; wait_us : float }
+type breakdown = {
+  rows : int;
+  bytes : int;
+  us : float;
+  wait_us : float;
+  alloc_bytes : int;
+}
 
 type lane = {
   mutable l_rows : int;
   mutable l_bytes : int;
   mutable l_us : float;
   mutable l_wait_us : float;
+  mutable l_alloc_bytes : int;
 }
 
 type t = {
@@ -31,19 +38,22 @@ let lane t backend =
   match Hashtbl.find_opt t.lanes backend with
   | Some l -> l
   | None ->
-      let l = { l_rows = 0; l_bytes = 0; l_us = 0.0; l_wait_us = 0.0 } in
+      let l =
+        { l_rows = 0; l_bytes = 0; l_us = 0.0; l_wait_us = 0.0; l_alloc_bytes = 0 }
+      in
       Hashtbl.replace t.lanes backend l;
       t.order <- backend :: t.order;
       l
 
-let transfer ~backend ~rows ~bytes ~us =
+let transfer ~backend ~rows ~bytes ~us ~alloc_bytes =
   match !current with
   | None -> ()
   | Some t ->
       let l = lane t backend in
       l.l_rows <- l.l_rows + rows;
       l.l_bytes <- l.l_bytes + bytes;
-      l.l_us <- l.l_us +. us
+      l.l_us <- l.l_us +. us;
+      l.l_alloc_bytes <- l.l_alloc_bytes + alloc_bytes
 
 let wait ~backend ~us =
   match !current with
@@ -65,8 +75,13 @@ let breakdown t =
     (fun name ->
       let l = Hashtbl.find t.lanes name in
       ( name,
-        { rows = l.l_rows; bytes = l.l_bytes; us = l.l_us; wait_us = l.l_wait_us }
-      ))
+        {
+          rows = l.l_rows;
+          bytes = l.l_bytes;
+          us = l.l_us;
+          wait_us = l.l_wait_us;
+          alloc_bytes = l.l_alloc_bytes;
+        } ))
     t.order
 
 let totals lanes =
@@ -77,6 +92,7 @@ let totals lanes =
         bytes = acc.bytes + b.bytes;
         us = acc.us +. b.us;
         wait_us = acc.wait_us +. b.wait_us;
+        alloc_bytes = acc.alloc_bytes + b.alloc_bytes;
       })
-    { rows = 0; bytes = 0; us = 0.0; wait_us = 0.0 }
+    { rows = 0; bytes = 0; us = 0.0; wait_us = 0.0; alloc_bytes = 0 }
     lanes

@@ -17,9 +17,12 @@
 type breakdown = {
   rows : int;  (** tuples that crossed the boundary (both directions) *)
   bytes : int;  (** bytes that crossed the boundary *)
-  us : float;  (** transfer time: wall time inside backend calls *)
+  us : float;  (** transfer time: time inside backend calls *)
   wait_us : float;
       (** gather-merge blocked time on this shard beyond [us] *)
+  alloc_bytes : int;
+      (** bytes allocated on the pulling domain inside the boundary
+          calls ({!Tango_obs.Runtime} delta) *)
 }
 
 type t
@@ -35,7 +38,8 @@ val active : unit -> bool
 (** Is a collector installed?  Lets callers skip byte-size accounting
     when nobody is listening. *)
 
-val transfer : backend:string -> rows:int -> bytes:int -> us:float -> unit
+val transfer :
+  backend:string -> rows:int -> bytes:int -> us:float -> alloc_bytes:int -> unit
 (** Record boundary work against [backend]'s lane; no-op without a
     collector. *)
 

@@ -221,17 +221,17 @@ let observed (name : string) (c : t) : t =
         spent := 0.0;
         exhausted := false;
         if Tango_obs.Trace.active () then begin
-          let t0 = Tango_obs.now_us () in
+          let t0 = Tango_obs.mono_us () in
           c.init ();
-          Tango_obs.Histogram.observe h_init (Tango_obs.now_us () -. t0)
+          Tango_obs.Histogram.observe h_init (Tango_obs.mono_us () -. t0)
         end
         else c.init ());
     next =
       (fun () ->
         if Tango_obs.Trace.active () then begin
-          let t0 = Tango_obs.now_us () in
+          let t0 = Tango_obs.mono_us () in
           let r = c.next () in
-          spent := !spent +. (Tango_obs.now_us () -. t0);
+          spent := !spent +. (Tango_obs.mono_us () -. t0);
           (match r with
           | Some _ ->
               incr produced;
@@ -249,9 +249,9 @@ let observed (name : string) (c : t) : t =
     next_batch =
       (fun () ->
         if Tango_obs.Trace.active () then begin
-          let t0 = Tango_obs.now_us () in
+          let t0 = Tango_obs.mono_us () in
           let r = c.next_batch () in
-          spent := !spent +. (Tango_obs.now_us () -. t0);
+          spent := !spent +. (Tango_obs.mono_us () -. t0);
           (match r with
           | Some b ->
               produced := !produced + Array.length b;

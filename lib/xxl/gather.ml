@@ -17,11 +17,11 @@ let waited name f =
   | Some backend ->
       if not (Attribution.active ()) then f ()
       else begin
-        let t0 = Tango_obs.now_us () in
+        let t0 = Tango_obs.mono_us () in
         let u0 = Attribution.transfer_us ~backend in
         Fun.protect
           ~finally:(fun () ->
-            let blocked = Tango_obs.now_us () -. t0 in
+            let blocked = Tango_obs.mono_us () -. t0 in
             let inner = Attribution.transfer_us ~backend -. u0 in
             Attribution.wait ~backend ~us:(Float.max 0.0 (blocked -. inner)))
           f

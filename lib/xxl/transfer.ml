@@ -26,14 +26,19 @@ let attributed backend ~rows f =
   if not (Attribution.active ()) then f ()
   else begin
     let name = Backend.name backend in
-    let t0 = Tango_obs.now_us () in
+    let t0 = Tango_obs.mono_us () in
+    let g0 = Tango_obs.Runtime.point () in
     let finish r =
-      let us = Tango_obs.now_us () -. t0 in
+      (* allocation delta first, before the byte-size fold below
+         allocates on our own account *)
+      let alloc_bytes = (Tango_obs.Runtime.delta_since g0).alloc_bytes in
+      let us = Tango_obs.mono_us () -. t0 in
       let tuples = rows r in
       let bytes =
         Array.fold_left (fun acc t -> acc + Tuple.byte_size t) 0 tuples
       in
       Attribution.transfer ~backend:name ~rows:(Array.length tuples) ~bytes ~us
+        ~alloc_bytes
     in
     match f () with
     | r ->
@@ -41,7 +46,8 @@ let attributed backend ~rows f =
         r
     | exception e ->
         Attribution.transfer ~backend:name ~rows:0 ~bytes:0
-          ~us:(Tango_obs.now_us () -. t0);
+          ~us:(Tango_obs.mono_us () -. t0)
+          ~alloc_bytes:(Tango_obs.Runtime.delta_since g0).alloc_bytes;
         raise e
   end
 

@@ -167,6 +167,53 @@ let test_prometheus_exemplars () =
   check_infix "negotiated content type" "application/openmetrics-text"
     Prometheus.openmetrics_content_type
 
+let test_prometheus_lock_profile () =
+  (* a synthetic profile snapshot renders to exactly this text *)
+  let snap =
+    {
+      Dsync.Profile.lock_name = "obs.registry";
+      acquires = 5;
+      contended = 2;
+      wait_us = 12.5;
+      hold_us = 20.0;
+      wait_buckets = [ (1.0, 0); (infinity, 2) ];
+      hold_buckets = [ (1.0, 1); (infinity, 5) ];
+    }
+  in
+  let expected =
+    "# TYPE tango_lock_acquires counter\n\
+     tango_lock_acquires{lock=\"obs.registry\"} 5\n\
+     # TYPE tango_lock_contended counter\n\
+     tango_lock_contended{lock=\"obs.registry\"} 2\n\
+     # TYPE tango_lock_wait_us histogram\n\
+     tango_lock_wait_us_bucket{lock=\"obs.registry\",le=\"1\"} 0\n\
+     tango_lock_wait_us_bucket{lock=\"obs.registry\",le=\"+Inf\"} 2\n\
+     tango_lock_wait_us_sum{lock=\"obs.registry\"} 12.5\n\
+     tango_lock_wait_us_count{lock=\"obs.registry\"} 2\n\
+     # TYPE tango_lock_hold_us histogram\n\
+     tango_lock_hold_us_bucket{lock=\"obs.registry\",le=\"1\"} 1\n\
+     tango_lock_hold_us_bucket{lock=\"obs.registry\",le=\"+Inf\"} 5\n\
+     tango_lock_hold_us_sum{lock=\"obs.registry\"} 20\n\
+     tango_lock_hold_us_count{lock=\"obs.registry\"} 5\n"
+  in
+  Alcotest.(check string) "golden lock profile" expected
+    (Prometheus.lock_profile [ snap ]);
+  Alcotest.(check string) "empty profile renders nothing" ""
+    (Prometheus.lock_profile [])
+
+let test_prometheus_runtime_gauges () =
+  (* publish this domain's counters so the per-domain families appear *)
+  Tango_obs.Runtime.touch ();
+  let text = Prometheus.runtime_gauges () in
+  check_infix "heap words gauge" "# TYPE tango_gc_heap_words gauge" text;
+  check_infix "top heap gauge" "tango_gc_top_heap_words" text;
+  check_infix "compactions gauge" "tango_gc_compactions" text;
+  check_infix "per-domain alloc family"
+    "# TYPE tango_gc_domain_alloc_bytes gauge" text;
+  check_infix "per-domain label" "tango_gc_domain_alloc_bytes{domain=\"" text;
+  check_infix "per-domain minor family" "tango_gc_domain_minor_collections"
+    text
+
 (* ---------------- chrome trace ---------------- *)
 
 (* root(100) with children a(40) and b(20), b holding attrs and a nested
@@ -284,7 +331,8 @@ let test_chrome_backend_lanes () =
 let event ?(kind = "query") ?sql ?(started_us = 0.0) ?(elapsed_us = 100.0)
     ?error () : Middleware.query_event =
   { Middleware.kind; sql; started_us; elapsed_us; cache_hit = false;
-    report = None; error; backends = [] }
+    report = None; error; backends = [];
+    resources = Tango_obs.Runtime.zero }
 
 let seqs log = List.map (fun r -> r.Event_log.seq) (Event_log.recent log)
 
@@ -773,6 +821,11 @@ let test_endpoints_end_to_end () =
   Alcotest.(check int) "healthz" 200 (get ep "/healthz").Http.status;
   check_infix "healthz json" "\"topology_generation\":"
     (get ep "/healthz").Http.body;
+  check_infix "healthz build identity" "\"ocaml_version\":"
+    (get ep "/healthz").Http.body;
+  check_infix "healthz git describe" "\"git\":" (get ep "/healthz").Http.body;
+  check_infix "healthz domain count" "\"domains\":"
+    (get ep "/healthz").Http.body;
   Alcotest.(check string) "healthz plain for probes" "ok\n"
     (get_q ep "/healthz" [ ("plain", "1") ] []).Http.body;
   (* drive >= 100 queries through POST /query, one of them invalid *)
@@ -800,6 +853,18 @@ let test_endpoints_end_to_end () =
     "tango_monitor_query_us_bucket{le=\"+Inf\"} 101" metrics.Http.body;
   check_infix "slo gauges" "tango_monitor_slo_state" metrics.Http.body;
   check_infix "middleware counters too" "tango_client_roundtrips"
+    metrics.Http.body;
+  (* the telemetry families: per-lock contention, build identity, and
+     GC/alloc attribution (whole-run counters plus per-domain gauges) *)
+  check_infix "lock acquire counters" "tango_lock_acquires{lock="
+    metrics.Http.body;
+  check_infix "lock wait histograms" "tango_lock_wait_us_bucket{lock="
+    metrics.Http.body;
+  check_infix "build info gauge" "tango_build_info{ocaml=" metrics.Http.body;
+  check_infix "heap gauges" "tango_gc_heap_words" metrics.Http.body;
+  check_infix "per-domain gc gauges" "tango_gc_domain_alloc_bytes{domain="
+    metrics.Http.body;
+  check_infix "allocation attribution counters" "tango_alloc_mw_exec_bytes"
     metrics.Http.body;
   (* openmetrics negotiation: exemplars appear and # EOF closes the
      exposition; both the Accept header and ?format=openmetrics work *)
@@ -835,6 +900,8 @@ let test_endpoints_end_to_end () =
   in
   Alcotest.(check int) "drill-down ok" 200 drill.Http.status;
   check_infix "phase breakdown" "\"phases\":" drill.Http.body;
+  check_infix "per-phase allocation" "\"mw_exec_alloc_bytes\":" drill.Http.body;
+  check_infix "whole-run gc deltas" "\"gc\":" drill.Http.body;
   check_infix "per-backend breakdown" "\"backends\":" drill.Http.body;
   check_infix "grafted trace" "\"traceEvents\":" drill.Http.body;
   Alcotest.(check int) "non-numeric seq" 400
@@ -847,6 +914,17 @@ let test_endpoints_end_to_end () =
   check_infix "watchdog state" "\"state\":" wd.Http.body;
   check_infix "watchdog signals" "\"signal\":\"slo_burn\"" wd.Http.body;
   check_infix "watchdog tail" "\"tail_records\":" wd.Http.body;
+  (* /debug/contention ranks the named locks by wait share *)
+  let cont = get ep "/debug/contention" in
+  Alcotest.(check int) "contention ok" 200 cont.Http.status;
+  check_infix "profiling enabled" "\"enabled\":true" cont.Http.body;
+  check_infix "total wait" "\"total_wait_us\":" cont.Http.body;
+  check_infix "per-lock entries" "\"locks\":" cont.Http.body;
+  check_infix "a named serve-path lock" "\"name\":\"monitor.event_log\""
+    cont.Http.body;
+  check_infix "derived wait share" "\"wait_share\":" cont.Http.body;
+  Alcotest.(check int) "contention wrong method" 405
+    (post ep "/debug/contention" "").Http.status;
   (* /slo, /trace, dispatch edges *)
   Alcotest.(check int) "slo ok" 200 (get ep "/slo").Http.status;
   check_infix "slo verdict" "\"state\":" (get ep "/slo").Http.body;
@@ -891,6 +969,10 @@ let () =
             test_prometheus_golden;
           Alcotest.test_case "names, gauges, labels" `Quick
             test_prometheus_names_and_gauges;
+          Alcotest.test_case "lock profile families" `Quick
+            test_prometheus_lock_profile;
+          Alcotest.test_case "runtime gauges" `Quick
+            test_prometheus_runtime_gauges;
           Alcotest.test_case "openmetrics exemplars" `Quick
             test_prometheus_exemplars;
         ] );

@@ -11,6 +11,44 @@ let is_infix ~affix s =
   let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
   go 0
 
+(* ---------------- clocks and runtime attribution ---------------- *)
+
+let test_clock_monotonic () =
+  (* the monotonic clock never goes backwards and actually advances
+     across a busy wait; the wall clock stays in the same epoch *)
+  let a = mono_us () in
+  let b = mono_us () in
+  Alcotest.(check bool) "mono never backwards" true (b >= a);
+  let t0 = mono_us () in
+  while mono_us () -. t0 < 1_000.0 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "mono advances" true (mono_us () -. t0 >= 1_000.0);
+  Alcotest.(check bool) "wall is epoch-based" true
+    (now_us () > 1e15 (* after 2001-09 in µs *))
+
+let test_runtime_measure () =
+  (* allocating a visible amount of data must show up in the delta, and
+     the delta must never be negative *)
+  let r, d = Runtime.measure (fun () -> Array.make 100_000 0.0) in
+  Alcotest.(check int) "result passed through" 100_000 (Array.length r);
+  Alcotest.(check bool) "allocation attributed" true
+    (d.Runtime.alloc_bytes >= 100_000 * 8);
+  Alcotest.(check bool) "counters non-negative" true
+    (d.Runtime.minor_collections >= 0
+    && d.Runtime.major_collections >= 0
+    && d.Runtime.promoted_words >= 0);
+  let zero_then_add = Runtime.add Runtime.zero d in
+  Alcotest.(check int) "zero is neutral for add" d.Runtime.alloc_bytes
+    zero_then_add.Runtime.alloc_bytes;
+  (* publishing makes this domain appear in the per-domain view *)
+  Runtime.touch ();
+  let self = (Domain.self () :> int) in
+  Alcotest.(check bool) "domain published" true
+    (List.exists
+       (fun (s : Runtime.domain_stats) -> s.Runtime.domain = self)
+       (Runtime.domains ()))
+
 (* ---------------- counters ---------------- *)
 
 let test_counter_arithmetic () =
@@ -218,6 +256,12 @@ let test_tracing_off_no_trace () =
 let () =
   Alcotest.run "tango_obs"
     [
+      ( "runtime",
+        [
+          Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+          Alcotest.test_case "gc/alloc measurement" `Quick
+            test_runtime_measure;
+        ] );
       ( "counters",
         [
           Alcotest.test_case "arithmetic" `Quick test_counter_arithmetic;
