@@ -861,6 +861,111 @@ let throughput ctx =
     (if cache_on_beats_cache_off then "" else "  (CACHE DID NOT HELP)")
 
 (* ------------------------------------------------------------------ *)
+(* param_cache: template cache vs exact cache on a literal-varying      *)
+(* OLTP stream                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* An OLTP-style stream of three statement shapes in a skewed 70/20/10
+   mix, every submission carrying fresh literals (rotating rate bounds
+   and period ends), so the exact literal-keyed cache of PR 5 never
+   hits — each spelling is new text — while auto-parameterization folds
+   the whole stream onto three templates that hit from the second
+   sighting on.  This is the regime the tentpole targets: plan reuse
+   must survive literal variation, not just verbatim resubmission.
+   The CI perf smoke greps the emitted gate:
+   [template_cache_beats_exact_cache] = template hit rate >= 90% while
+   the exact cache stays under 10%, at strictly higher qps. *)
+let param_cache ctx =
+  Fmt.pr "== Param cache: literal-varying OLTP stream, template vs exact ==@.";
+  Fmt.pr "(same plan cache underneath; the variants differ only in@.";
+  Fmt.pr " auto-parameterization — literal-keyed vs template-keyed entries)@.";
+  header
+    [ "variant"; "qps"; "total[ms]"; "hits"; "template_hits"; "misses";
+      "hit_rate" ];
+  let n = if ctx.quick then 150 else 400 in
+  let position = position_prefix ctx 400 in
+  let date i =
+    Tango_temporal.Chronon.to_string
+      (Tango_temporal.Chronon.of_string "1980-01-01" + (i * 37 mod 5000))
+  in
+  let stream =
+    List.init n (fun i ->
+        match i mod 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+            (* hot shape, 70%: a two-sided rate selection whose bound
+               pair (mod 37 x mod 53) never repeats inside the stream *)
+            Printf.sprintf
+              "VALIDTIME SELECT PosID, PayRate FROM POSITION WHERE PayRate > \
+               %d AND PayRate < %d"
+              (i mod 37)
+              (40 + (i mod 53))
+        | 7 | 8 -> Queries.q2_sql ~period_end:(date i)
+        | _ -> Queries.q3_sql ~start_bound:(date i))
+  in
+  let results =
+    List.map
+      (fun (name, auto) ->
+        let _db, mw = session ctx [ ("POSITION", position) ] in
+        Middleware.set_config mw
+          Middleware.Config.(
+            Middleware.config mw |> with_plan_cache true
+            |> with_auto_parameterize auto |> with_roundtrip_spin 0);
+        let t0 = Unix.gettimeofday () in
+        List.iter (fun sql -> ignore (Middleware.query mw sql)) stream;
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let s = Middleware.plan_cache_stats mw in
+        let hits = s.Tango_cache.Plan_cache.hits in
+        let hit_rate = float_of_int hits /. float_of_int n in
+        let qps = float_of_int n /. wall_s in
+        Fmt.pr "%-14s %8.1f %10.1f %6d %13d %7d %9.2f@." name qps
+          (1000.0 *. wall_s) hits s.Tango_cache.Plan_cache.template_hits
+          s.Tango_cache.Plan_cache.misses hit_rate;
+        ( name,
+          Tango_obs.Json.Obj
+            [
+              ("variant", Tango_obs.Json.String name);
+              ("auto_parameterize", Tango_obs.Json.Bool auto);
+              ("queries", Tango_obs.Json.Int n);
+              ("qps", Tango_obs.Json.Float qps);
+              ("total_ms", Tango_obs.Json.Float (1000.0 *. wall_s));
+              ("hits", Tango_obs.Json.Int hits);
+              ( "template_hits",
+                Tango_obs.Json.Int s.Tango_cache.Plan_cache.template_hits );
+              ("misses", Tango_obs.Json.Int s.Tango_cache.Plan_cache.misses);
+              ("hit_rate", Tango_obs.Json.Float hit_rate);
+            ],
+          qps,
+          hit_rate ))
+      [ ("exact-cache", false); ("template-cache", true) ]
+  in
+  let find name =
+    match List.find_opt (fun (n', _, _, _) -> String.equal n' name) results with
+    | Some (_, _, qps, rate) -> (qps, rate)
+    | None -> (nan, nan)
+  in
+  let exact_qps, exact_rate = find "exact-cache" in
+  let tmpl_qps, tmpl_rate = find "template-cache" in
+  let gate = tmpl_rate >= 0.9 && exact_rate <= 0.1 && tmpl_qps > exact_qps in
+  let doc =
+    Tango_obs.Json.Obj
+      [
+        ("experiment", Tango_obs.Json.String "param_cache");
+        ("queries", Tango_obs.Json.Int n);
+        ( "variants",
+          Tango_obs.Json.List (List.map (fun (_, j, _, _) -> j) results) );
+        ("template_hit_rate", Tango_obs.Json.Float tmpl_rate);
+        ("exact_hit_rate", Tango_obs.Json.Float exact_rate);
+        ("speedup", Tango_obs.Json.Float (tmpl_qps /. exact_qps));
+        ("template_cache_beats_exact_cache", Tango_obs.Json.Bool gate);
+      ]
+  in
+  bench_payload := Some doc;
+  Fmt.pr "%s@." (Tango_obs.Json.to_string doc);
+  Fmt.pr "# template vs exact: %.2fx qps; hit rates %.2f vs %.2f%s@.@."
+    (tmpl_qps /. exact_qps) tmpl_rate exact_rate
+    (if gate then "" else "  (TEMPLATE CACHE DID NOT WIN)")
+
+(* ------------------------------------------------------------------ *)
 (* sharding: scatter/gather over N backends + partition pruning         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1346,6 +1451,7 @@ let experiments =
     ("prefetch", prefetch); ("calib", calib); ("feedback", feedback);
     ("sharing", sharing); ("adapt", adapt); ("obs", obs);
     ("baseline", baseline); ("throughput", throughput);
+    ("param-cache", param_cache);
     ("sharding", sharding); ("tail", tail); ("telemetry", telemetry);
     ("micro", micro) ]
 
@@ -1361,7 +1467,8 @@ let write_bench_json ~dir ~name ~scale ~quick ~wall_s payload =
           match payload with Some j -> j | None -> Tango_obs.Json.Null );
       ]
   in
-  let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+  let file_name = String.map (fun c -> if c = '-' then '_' else c) name in
+  let path = Filename.concat dir ("BENCH_" ^ file_name ^ ".json") in
   let oc = open_out path in
   output_string oc (Tango_obs.Json.to_string doc);
   output_char oc '\n';

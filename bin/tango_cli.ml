@@ -175,7 +175,9 @@ let report_json mw (report : Middleware.report) =
   let cache =
     match report.Middleware.cache with
     | None -> "null"
-    | Some c -> Printf.sprintf "{\"hit\":%b}" c.Middleware.cache_hit
+    | Some c ->
+        Printf.sprintf "{\"hit\":%b,\"class\":\"%s\"}" c.Middleware.cache_hit
+          (json_escape c.Middleware.cache_class)
   in
   Printf.sprintf
     "{\"rows\":%d,\"optimize_us\":%.1f,\"execute_us\":%.1f,\
@@ -207,12 +209,12 @@ let print_analysis (report : Middleware.report) =
       Fmt.pr "@.estimated vs actual:@.%s@?" (Tango_profile.Analyze.to_string a)
   | None -> ()
 
-let run_query ?json mw ~explain_only ~analyze ~verbose sql =
+let run_query ?json ?(params = []) mw ~explain_only ~analyze ~verbose sql =
   if explain_only then begin
     if analyze then begin
       (* EXPLAIN ANALYZE: execute the query (profiling is on) and print
          the annotated plan instead of the result rows *)
-      let report = Middleware.query mw sql in
+      let report = Middleware.query_params mw sql params in
       Fmt.pr "physical plan (estimated %.0f us, actual %.0f us):@.%s@."
         report.Middleware.estimated_cost_us report.Middleware.execute_us
         (Tango_volcano.Physical.to_string report.Middleware.physical);
@@ -252,7 +254,7 @@ let run_query ?json mw ~explain_only ~analyze ~verbose sql =
     end
   end
   else begin
-    let report = Middleware.query mw sql in
+    let report = Middleware.query_params mw sql params in
     if verbose then begin
       Fmt.pr "plan:@.%s@."
         (Tango_volcano.Physical.to_string report.Middleware.physical);
@@ -342,6 +344,15 @@ let analyze_arg =
                  per-operator estimated vs actual rows, time, page reads \
                  and round trips, with q-errors.")
 
+let param_arg =
+  Arg.(value & opt_all string []
+       & info [ "param" ] ~docv:"VALUE"
+           ~doc:"Bind a parameter value, positionally ($(docv) binds \
+                 \\$1, the next --param \\$2, ...), for SQL carrying ? \
+                 or \\$n markers.  Values type naturally: integers, \
+                 floats, true/false, null, YYYY-MM-DD dates; anything \
+                 else is a string.  Repeatable.")
+
 let plan_cache_arg =
   Arg.(value & flag
        & info [ "plan-cache" ]
@@ -351,7 +362,7 @@ let plan_cache_arg =
 
 let run_term =
   let f scale csvs shards prefetch no_histograms calibrate verbose trace
-      trace_out analyze plan_cache json sql =
+      trace_out analyze plan_cache params json sql =
     catch_errors (fun () ->
         setup_logs verbose;
         let trace = trace || trace_out <> None in
@@ -359,7 +370,8 @@ let run_term =
           setup ~scale ~csvs ~shards ~prefetch ~no_histograms ~calibrate
             ~trace ~profiling:analyze ~plan_cache ()
         in
-        run_query ?json mw ~explain_only:false ~analyze ~verbose sql;
+        let params = List.map Tango_sql.Parameterize.value_of_string params in
+        run_query ?json ~params mw ~explain_only:false ~analyze ~verbose sql;
         match trace_out with
         | None -> ()
         | Some path -> (
@@ -374,7 +386,7 @@ let run_term =
   in
   Term.(const f $ scale_arg $ csv_arg $ shards_arg $ prefetch_arg $ no_hist_arg
         $ calibrate_arg $ verbose_arg $ trace_arg $ trace_out_arg
-        $ analyze_arg $ plan_cache_arg $ json_arg $ sql_arg)
+        $ analyze_arg $ plan_cache_arg $ param_arg $ json_arg $ sql_arg)
 
 let run_cmd =
   let doc = "Run a temporal SQL query through the middleware." in

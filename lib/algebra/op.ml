@@ -231,6 +231,23 @@ let with_children op args =
 
 let rec size (op : t) = 1 + List.fold_left (fun n c -> n + size c) 0 (children op)
 
+(** Rewrite every scalar expression in the tree with [f] (predicates and
+    projection items; grouping/aggregate/sort attributes are names, not
+    expressions, and pass through). *)
+let rec map_exprs f (op : t) : t =
+  let op =
+    match op with
+    | Select s -> Select { s with pred = f s.pred }
+    | Project p ->
+        Project { p with items = List.map (fun (e, n) -> (f e, n)) p.items }
+    | Join j -> Join { j with pred = f j.pred }
+    | Temporal_join j -> Temporal_join { j with pred = f j.pred }
+    | Scan _ | Sort _ | Product _ | Temporal_aggregate _ | Dup_elim _
+    | Coalesce _ | Difference _ | To_mw _ | To_db _ ->
+        op
+  in
+  with_children op (List.map (map_exprs f) (children op))
+
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing                                                      *)
 (* ------------------------------------------------------------------ *)

@@ -72,6 +72,11 @@ val children : t -> t list
 val with_children : t -> t list -> t
 val size : t -> int
 
+val map_exprs : (Tango_sql.Ast.expr -> Tango_sql.Ast.expr) -> t -> t
+(** Rewrite every scalar expression in the tree with [f] (predicates
+    and projection items; grouping/aggregate/sort attributes are names,
+    not expressions, and pass through). *)
+
 (** {1 Printing} *)
 
 val op_name : t -> string

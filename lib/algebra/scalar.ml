@@ -36,6 +36,10 @@ let rec compile (schema : Schema.t) (e : Ast.expr) : Tuple.t -> Value.t =
   let recur = compile schema in
   match e with
   | Ast.Lit v -> fun _ -> v
+  | Ast.Param n ->
+      (* templates are instantiated (Param -> Lit) before any evaluator
+         is built; reaching one here means a missing bind *)
+      unsupported (Printf.sprintf "unbound parameter $%d" n)
   | Ast.Col (q, c) -> (
       let name = match q with None -> c | Some q -> q ^ "." ^ c in
       match Schema.index_opt schema name with
@@ -112,6 +116,10 @@ let rec dtype (schema : Schema.t) (e : Ast.expr) : Value.dtype =
   match e with
   | Ast.Lit Value.Null -> Value.TInt
   | Ast.Lit v -> Value.type_of v
+  | Ast.Param _ ->
+      (* like [Lit Null]: the value is unknown while planning a
+         template, and comparisons type TBool without consulting it *)
+      Value.TInt
   | Ast.Col (q, c) ->
       let name = match q with None -> c | Some q -> q ^ "." ^ c in
       Schema.dtype_of schema name
@@ -135,7 +143,7 @@ let rec dtype (schema : Schema.t) (e : Ast.expr) : Value.dtype =
     projections). *)
 let rec map_cols f (e : Ast.expr) : Ast.expr =
   match e with
-  | Ast.Lit _ -> e
+  | Ast.Lit _ | Ast.Param _ -> e
   | Ast.Col (q, c) -> f q c
   | Ast.Binop (op, a, b) -> Ast.Binop (op, map_cols f a, map_cols f b)
   | Ast.Not a -> Ast.Not (map_cols f a)

@@ -1,26 +1,34 @@
 (** A fingerprint-keyed LRU cache for optimized plans.
 
     Keys are derived from the {e normalized SQL text} — whitespace
-    collapsed, nothing else touched — so two submissions of the same query
-    string hit, while a change to any literal misses (unlike the
-    structural plan fingerprints of [Tango_profile], which strip
-    literals: a cached physical plan carries its literals and must not be
-    reused under different ones).
+    collapsed and case folded outside single-quoted literals — so two
+    spellings of the same query hit regardless of keyword case, while a
+    change to any {e literal} misses.  Entries come in two flavors,
+    distinguished by how the caller keys them:
 
-    The cache is parametric in the entry type: the middleware stores its
-    optimized physical plan together with verify diagnostics and the
-    database schema generation it was planned against.
+    - {e exact} entries are keyed on the full query text, literals
+      included: a cached physical plan carries its literals and must not
+      be reused under different ones;
+    - {e template} entries are keyed on parameterized text ([$n] markers
+      in place of literals — explicit bind variables or the
+      auto-parameterizer's output): one entry serves every binding, and
+      the stored plan is instantiated at bind time.
+
+    The cache itself is agnostic — it stores what it is given under the
+    key it is given — but lookups declare their {!kind} so hits are
+    classified (template vs exact) in both per-cache {!stats} and the
+    process-wide [cache.*] counters of {!Tango_obs}.
 
     Invalidation is explicit ({!invalidate_all}) and coarse: statistics
     refreshes (ANALYZE), schema DDL, and adaptive cost-factor refits all
     flush the whole cache, since any of them can change which plan is
-    best for {e every} cached query.
-
-    Hits, misses, evictions and invalidations are mirrored to the
-    process-wide [cache.*] counters of {!Tango_obs} (and hence to the
-    Prometheus endpoint). *)
+    best for {e every} cached query. *)
 
 type 'a t
+
+(** How a lookup's key was built: [Template] = parameterized text with
+    [$n] slots; [Exact] = full text, literals included. *)
+type kind = Exact | Template
 
 val create : ?capacity:int -> unit -> 'a t
 (** LRU cache holding at most [capacity] entries (default 128; a
@@ -29,21 +37,29 @@ val create : ?capacity:int -> unit -> 'a t
 val capacity : 'a t -> int
 
 val normalize_sql : string -> string
-(** Collapse runs of whitespace to single spaces and trim; case is
-    preserved, and single-quoted literals are copied verbatim (their
-    whitespace is significant).  This is the text the key is computed
-    from, and what {!find} compares against to guard hash collisions. *)
+(** Collapse runs of whitespace to single spaces, trim, and fold case —
+    except inside single-quoted literals, which are copied verbatim
+    (their spelling and whitespace are significant).  This is the text
+    the key is computed from, and what {!find} compares against to
+    guard hash collisions. *)
 
 val key_of_sql : string -> string
 (** 64-bit FNV-1a hash of the normalized SQL, as 16 hex digits. *)
 
-val find : 'a t -> sql:string -> 'a option
-(** Look up the plan cached for [sql]; a hit refreshes its LRU position.
-    Collisions are guarded by comparing the stored normalized text. *)
+val find : ?kind:kind -> 'a t -> sql:string -> 'a option
+(** Look up the plan cached for [sql]; a hit refreshes its LRU position
+    and is classified under [kind] (default [Exact]).  Collisions are
+    guarded by comparing the stored normalized text. *)
 
 val add : 'a t -> sql:string -> 'a -> unit
 (** Insert (or replace) the entry for [sql], evicting the least recently
     used entry when at capacity. *)
+
+val note_replan : 'a t -> sql:string -> unit
+(** Record that the sensitivity guard re-optimized under the entry for
+    [sql] (a parameter region the generic plan was bad for).  Feeds the
+    [replans]/[max_replans] stats the watchdog's parameter-sensitivity
+    signal reads.  No-op when the entry is gone. *)
 
 val invalidate_all : ?reason:string -> 'a t -> unit
 (** Drop every entry.  [reason] (e.g. ["analyze"], ["ddl"],
@@ -53,10 +69,16 @@ val length : 'a t -> int
 
 (** Per-cache counters since [create]. *)
 type stats = {
-  hits : int;
+  hits : int;  (** total: template + exact *)
+  template_hits : int;
+  exact_hits : int;
   misses : int;
   evictions : int;
   invalidations : int;  (** number of {!invalidate_all} calls *)
+  replans : int;  (** {!note_replan} calls that found their entry *)
+  max_replans : int;
+      (** high-water replan count of any single entry — an entry
+          accumulating these is a parameter-sensitive plan *)
   last_invalidation : string option;  (** reason of the most recent one *)
 }
 

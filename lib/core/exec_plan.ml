@@ -242,7 +242,7 @@ let alpha_normalize (q : Ast.query) : Ast.query =
   in
   let rec expr (e : Ast.expr) =
     match e with
-    | Ast.Lit _ -> e
+    | Ast.Lit _ | Ast.Param _ -> e
     | Ast.Col (Some q, c) -> (
         match Hashtbl.find_opt mapping q with
         | Some cq -> Ast.Col (Some cq, rename_name c)

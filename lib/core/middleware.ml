@@ -44,6 +44,9 @@ module Config = struct
     verify_plans : verify_mode;
     plan_cache : bool;
     plan_cache_capacity : int;
+    auto_parameterize : bool;
+    param_buckets : int;
+    replan_q_error : float;
     batch_execution : bool;
     telemetry : bool;
   }
@@ -65,6 +68,9 @@ module Config = struct
       verify_plans = Verify_off;
       plan_cache = false;
       plan_cache_capacity = 128;
+      auto_parameterize = true;
+      param_buckets = 8;
+      replan_q_error = 0.0;
       batch_execution = true;
       telemetry = true;
     }
@@ -102,13 +108,30 @@ module Config = struct
         Option.value ~default:c.plan_cache_capacity capacity;
     }
 
+  let with_auto_parameterize b c = { c with auto_parameterize = b }
+  let with_param_buckets n c = { c with param_buckets = max 1 n }
+
+  let with_replan_q_error q c =
+    (* the guard judges plans by their measured q-errors, so it needs the
+       per-execution analysis *)
+    { c with replan_q_error = q; profiling = (q > 0.0) || c.profiling }
+
   let with_batching b c = { c with batch_execution = b }
   let with_telemetry b c = { c with telemetry = b }
 end
 
+module Ast = Tango_sql.Ast
+module Parameterize = Tango_sql.Parameterize
+
 (* What the plan cache stores for a query text: everything needed to skip
    parse + optimize on a hit.  Translation (Exec_plan.of_physical) still
-   runs per execution — temp-table names must be fresh. *)
+   runs per execution — temp-table names must be fresh.
+
+   Template entries (keyed on parameterized text) additionally carry the
+   initial logical plan (for sensitivity-guard re-optimization under a
+   binding), the parameterized comparison slots the guard buckets on, and
+   the per-bucket region plans it has accumulated.  Exact entries leave
+   all three empty. *)
 type cache_entry = {
   cached_physical : Physical.plan;
   cached_required_order : Order.t;
@@ -118,15 +141,24 @@ type cache_entry = {
   cached_generation : int;  (* DBMS schema generation at plan time *)
   cached_topology_gen : int;  (* topology generation at plan time *)
   cached_fp : string;  (* query fingerprint, for the sentinel *)
+  cached_template : Op.t option;  (* initial plan with parameters intact *)
+  cached_slots : (Rel_stats.t * string * Ast.binop * int) list;
+      (* (input stats, attr, op, $n) per parameterized comparison *)
+  cached_buckets : (string * Physical.plan) list;
+      (* selectivity-region plans the guard re-optimized; still templates *)
 }
 
 (* Plan-cache outcome attached to a report (only for {!query} with the
    cache enabled). *)
 type cache_report = {
   cache_hit : bool;  (** this query was answered from the cache *)
+  cache_class : string;  (** ["template-hit"] | ["exact-hit"] | ["miss"] *)
   cache_hits : int;  (** session totals since connect *)
+  cache_template_hits : int;
+  cache_exact_hits : int;
   cache_misses : int;
   cache_invalidations : int;
+  cache_replans : int;  (** sensitivity-guard re-optimizations *)
   cache_entries : int;  (** entries resident after this query *)
 }
 
@@ -246,6 +278,9 @@ type query_event = {
   started_us : float;  (** wall clock ({!Tango_obs.now_us}) at entry *)
   elapsed_us : float;  (** total pipeline wall time, parse to result *)
   cache_hit : bool;  (** answered from the plan cache (no parse/optimize) *)
+  cache_class : string;
+      (** ["template-hit"] | ["exact-hit"] | ["miss"]; [""] when the run
+          was not a cache-eligible query *)
   report : report option;  (** [None] when the pipeline raised *)
   error : string option;  (** the exception text when the pipeline raised *)
   backends : (string * backend_breakdown) list;
@@ -415,9 +450,9 @@ let base_stats t ~qualifier table : Rel_stats.t =
       Hashtbl.replace t.stats_cache (qualifier, table) s;
       s
 
-let stats_env t : Derive.env =
-  Derive.env ~mode:t.config.Config.selectivity_mode (fun ~qualifier table ->
-      base_stats t ~qualifier table)
+let stats_env ?binding t : Derive.env =
+  Derive.env ~mode:t.config.Config.selectivity_mode ?binding
+    (fun ~qualifier table -> base_stats t ~qualifier table)
 
 let schema_lookup t name = Database.table_schema (database t) name
 
@@ -478,7 +513,7 @@ let log_diagnostics diags =
     [T^M]).  When the session's [verify_plans] mode is on, the final plan
     (and, per-rule, every saturation step) is verified; findings land in
     {!last_diagnostics}. *)
-let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
+let optimize t ?(required_order : Order.t = []) ?binding (initial : Op.t) :
     Search.result =
   let gate =
     match t.config.Config.verify_plans with
@@ -492,7 +527,8 @@ let optimize t ?(required_order : Order.t = []) (initial : Op.t) :
   in
   let partition = partition_layout t in
   let r =
-    Search.optimize ~factors:t.factors ~stats_env:(stats_env t) ~required_order
+    Search.optimize ~factors:t.factors ~stats_env:(stats_env ?binding t)
+      ~required_order
       ~max_elements:t.config.Config.max_memo_elements ?rule_observer ?partition
       ~shard_factors:(shard_factors t) initial
   in
@@ -600,10 +636,10 @@ let observed t ~kind ?sql (f : unit -> report) : report =
       let emit report error =
         let resources = gc_delta g0 in
         if telemetry_on t then account_resources report resources;
-        let cache_hit =
+        let cache_hit, cache_class =
           match report with
-          | Some { cache = Some c; _ } -> c.cache_hit
-          | _ -> false
+          | Some { cache = Some c; _ } -> (c.cache_hit, c.cache_class)
+          | _ -> (false, "")
         in
         let ev =
           {
@@ -612,6 +648,7 @@ let observed t ~kind ?sql (f : unit -> report) : report =
             started_us;
             elapsed_us = mono_us () -. m0;
             cache_hit;
+            cache_class;
             report;
             error;
             backends =
@@ -868,10 +905,10 @@ let run_plan t ?required_order (initial : Op.t) : report =
 (* Plan-cache lookup for {!query}.  A hit whose entry was planned under an
    older DBMS schema generation means DDL/ANALYZE happened behind our
    back: flush everything and report a miss. *)
-let cache_find t (sql : string) : cache_entry option =
+let cache_find ?kind t (sql : string) : cache_entry option =
   if not t.config.Config.plan_cache then None
   else
-    match Tango_cache.Plan_cache.find t.plan_cache ~sql with
+    match Tango_cache.Plan_cache.find ?kind t.plan_cache ~sql with
     | Some entry
       when entry.cached_generation
            <> Database.schema_generation (database t) ->
@@ -884,86 +921,332 @@ let cache_find t (sql : string) : cache_entry option =
         None
     | found -> found
 
-let cache_report_now t ~hit : cache_report option =
+let cache_report_now t ~cls : cache_report option =
   if not t.config.Config.plan_cache then None
   else
     let s = plan_cache_stats t in
     Some
       {
-        cache_hit = hit;
+        cache_hit = not (String.equal cls "miss");
+        cache_class = cls;
         cache_hits = s.Tango_cache.Plan_cache.hits;
+        cache_template_hits = s.Tango_cache.Plan_cache.template_hits;
+        cache_exact_hits = s.Tango_cache.Plan_cache.exact_hits;
         cache_misses = s.Tango_cache.Plan_cache.misses;
         cache_invalidations = s.Tango_cache.Plan_cache.invalidations;
+        cache_replans = s.Tango_cache.Plan_cache.replans;
         cache_entries = Tango_cache.Plan_cache.length t.plan_cache;
       }
 
+(* Execute an already-chosen plan under a cache entry's metadata — the
+   common tail of both hit paths (no parse or optimize phases). *)
+let finish_hit t ~(entry : cache_entry) ~(physical : Physical.plan) ~cls :
+    report =
+  Tango_obs.Trace.attr "cache" (Tango_obs.Trace.Str cls);
+  Log.debug (fun m -> m "plan cache %s" cls);
+  t.last_diagnostics <- entry.cached_diagnostics;
+  let result, exec, execute_us, translate_us, backends, translate_res,
+      execute_res =
+    execute_physical_full t physical
+  in
+  let analysis =
+    profile_execution t ~query_fingerprint:entry.cached_fp physical exec
+      ~execute_us
+  in
+  {
+    result;
+    physical;
+    exec;
+    optimize_us = 0.0;
+    execute_us;
+    classes = entry.cached_classes;
+    elements = entry.cached_elements;
+    estimated_cost_us = physical.Physical.total_cost;
+    trace = None;
+    analysis;
+    diagnostics = entry.cached_diagnostics;
+    cache = cache_report_now t ~cls;
+    phases =
+      make_phases ~translate_res ~execute_res ~translate_us ~execute_us
+        backends;
+    backends;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized queries: templates, binding, sensitivity buckets        *)
+(* ------------------------------------------------------------------ *)
+
+(* The parameterized comparison slots of a template's initial plan: for
+   each selection conjunct [attr op $n], the statistics of the selection's
+   input (so bind-time bucketing sees the same distribution the optimizer
+   estimated against). *)
+let param_slots t (initial : Op.t) :
+    (Rel_stats.t * string * Ast.binop * int) list =
+  let env = stats_env t in
+  let slots = ref [] in
+  let seen = Hashtbl.create 4 in
+  let rec walk op =
+    (match op with
+    | Op.Select { pred; arg } -> (
+        match Selectivity.param_bounds pred with
+        | [] -> ()
+        | bounds ->
+            let s = try Some (Derive.derive env arg) with _ -> None in
+            Option.iter
+              (fun s ->
+                List.iter
+                  (fun (attr, bop, n) ->
+                    if not (Hashtbl.mem seen n) then begin
+                      Hashtbl.replace seen n ();
+                      slots := (s, attr, bop, n) :: !slots
+                    end)
+                  bounds)
+              s)
+    | _ -> ());
+    List.iter walk (Op.children op)
+  in
+  walk initial;
+  List.rev !slots
+
+(* Selectivity-region key of a binding: each slot's value is placed in
+   its column's distribution (the estimated fraction of tuples below it,
+   quantized to [param_buckets] buckets), so bindings with similar
+   selectivity share a bucket — and a region plan.  Strings hash to a
+   bucket directly; an unbindable slot contributes ["x"]. *)
+let bucket_of t (slots : (Rel_stats.t * string * Ast.binop * int) list)
+    (values : Value.t array) : string =
+  let nb = max 1 t.config.Config.param_buckets in
+  String.concat "_"
+    (List.map
+       (fun (s, attr, _op, n) ->
+         if n < 1 || n > Array.length values then "x"
+         else
+           match values.(n - 1) with
+           | Value.Null -> "x"
+           | Value.Str _ as v ->
+               Printf.sprintf "s%d" (Hashtbl.hash v mod nb)
+           | v ->
+               let frac =
+                 Selectivity.conjunct_selectivity s
+                   (Ast.Binop (Ast.Le, Ast.Col (None, attr), Ast.Lit v))
+               in
+               string_of_int
+                 (min (nb - 1) (max 0 (int_of_float (frac *. float_of_int nb)))))
+       slots)
+
+(* Instantiate a plan template under a binding: substitute literals for
+   parameters, then re-run partition pruning — the template was planned
+   with parameterized period predicates unresolved (every shard kept),
+   and the bound values may exclude shards. *)
+let instantiate_for t (values : Value.t array) (template : Physical.plan) :
+    Physical.plan =
+  let p = Physical.instantiate values template in
+  match partition_layout t with
+  | Some layout -> Physical.prune_scatter layout p
+  | None -> p
+
+(* The parameter-sensitivity guard.  After a template hit executed the
+   generic plan, compare its measured cardinality q-error against the
+   threshold; past it, re-optimize the template with the binding's values
+   closed in (value-specific selectivities) and store the result as this
+   bucket's region plan.  The judgment is made once per bucket — even a
+   region plan identical to the generic one is stored, recording "judged,
+   generic is fine here". *)
+let maybe_replan t ~(template : string) ~(entry : cache_entry)
+    ~(bucket : string) ~(values : Value.t array)
+    (analysis : Tango_profile.Analyze.report option) : unit =
+  let thr = t.config.Config.replan_q_error in
+  match analysis with
+  | Some a
+    when thr > 0.0
+         && a.Tango_profile.Analyze.max_q_rows >= thr
+         && (not (List.mem_assoc bucket entry.cached_buckets))
+         && t.config.Config.plan_cache -> (
+      match entry.cached_template with
+      | None -> ()
+      | Some initial -> (
+          Log.info (fun m ->
+              m "sensitivity guard: q_rows=%.1f >= %.1f, replanning bucket %s"
+                a.Tango_profile.Analyze.max_q_rows thr bucket);
+          let r =
+            optimize t ~required_order:entry.cached_required_order
+              ~binding:values initial
+          in
+          (* the replan's verification findings are its own; the serving
+             query keeps the template's *)
+          t.last_diagnostics <- entry.cached_diagnostics;
+          match r.Search.plan with
+          | Some region_plan ->
+              Tango_cache.Plan_cache.add t.plan_cache ~sql:template
+                {
+                  entry with
+                  cached_buckets =
+                    (bucket, region_plan) :: entry.cached_buckets;
+                };
+              Tango_cache.Plan_cache.note_replan t.plan_cache ~sql:template
+          | None -> ()))
+  | _ -> ()
+
+(* The template pipeline: look the parameterized text up as a template
+   entry, pick the bucket's region plan (or the generic one), instantiate
+   under the binding and execute.  On a miss, parse + optimize the
+   *template* (parameters unresolved — generic estimates), cache it, then
+   instantiate and execute. *)
+let query_template_body t ~(template : string) ~(values : Value.t array) :
+    report =
+  match cache_find ~kind:Tango_cache.Plan_cache.Template t template with
+  | Some entry ->
+      let bucket = bucket_of t entry.cached_slots values in
+      let template_plan =
+        match List.assoc_opt bucket entry.cached_buckets with
+        | Some region_plan -> region_plan
+        | None -> entry.cached_physical
+      in
+      let physical = instantiate_for t values template_plan in
+      let report = finish_hit t ~entry ~physical ~cls:"template-hit" in
+      maybe_replan t ~template ~entry ~bucket ~values report.analysis;
+      report
+  | None -> (
+      let p0 = mono_us () in
+      let g_p = gc_point (telemetry_on t) in
+      let initial, required_order =
+        Tango_obs.Trace.span "parse" (fun () ->
+            ( Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t)
+                template,
+              Tango_tsql.Compile.required_order template ))
+      in
+      let parse_res = gc_delta g_p in
+      let parse_us = mono_us () -. p0 in
+      let g_opt = gc_point (telemetry_on t) in
+      let r =
+        Tango_obs.Trace.span "optimize" (fun () ->
+            let r = optimize t ~required_order initial in
+            Tango_obs.Trace.attr "classes"
+              (Tango_obs.Trace.Int r.Search.classes);
+            Tango_obs.Trace.attr "elements"
+              (Tango_obs.Trace.Int r.Search.elements);
+            r)
+      in
+      let optimize_res = gc_delta g_opt in
+      match r.Search.plan with
+      | None -> raise (No_plan "optimizer found no feasible plan")
+      | Some template_plan ->
+          let fp = Physical.op_fingerprint initial in
+          if t.config.Config.plan_cache then
+            Tango_cache.Plan_cache.add t.plan_cache ~sql:template
+              {
+                cached_physical = template_plan;
+                cached_required_order = required_order;
+                cached_classes = r.Search.classes;
+                cached_elements = r.Search.elements;
+                cached_diagnostics = t.last_diagnostics;
+                cached_generation = Database.schema_generation (database t);
+                cached_topology_gen = Topology.generation t.topology;
+                cached_fp = fp;
+                cached_template = Some initial;
+                cached_slots = param_slots t initial;
+                cached_buckets = [];
+              };
+          let physical = instantiate_for t values template_plan in
+          let result, exec, execute_us, translate_us, backends,
+              translate_res, execute_res =
+            execute_physical_full t physical
+          in
+          let analysis =
+            profile_execution t ~query_fingerprint:fp physical exec
+              ~execute_us
+          in
+          {
+            result;
+            physical;
+            exec;
+            optimize_us = r.Search.time_us;
+            execute_us;
+            classes = r.Search.classes;
+            elements = r.Search.elements;
+            estimated_cost_us = physical.Physical.total_cost;
+            trace = None;
+            analysis;
+            diagnostics = t.last_diagnostics;
+            cache = cache_report_now t ~cls:"miss";
+            phases =
+              make_phases ~parse_us ~optimize_us:r.Search.time_us ~parse_res
+                ~optimize_res ~translate_res ~execute_res ~translate_us
+                ~execute_us backends;
+            backends;
+          })
+
+(* The exact pipeline — full text (literals included) as the cache key. *)
+let query_exact_body t (sql : string) : report =
+  match cache_find ~kind:Tango_cache.Plan_cache.Exact t sql with
+  | Some entry ->
+      finish_hit t ~entry ~physical:entry.cached_physical ~cls:"exact-hit"
+  | None ->
+      let p0 = mono_us () in
+      let g_p = gc_point (telemetry_on t) in
+      let initial, required_order =
+        Tango_obs.Trace.span "parse" (fun () ->
+            ( Tango_tsql.Compile.initial_plan ~lookup:(schema_lookup t) sql,
+              Tango_tsql.Compile.required_order sql ))
+      in
+      let parse_res = gc_delta g_p in
+      let parse_us = mono_us () -. p0 in
+      let report =
+        run_plan_body t ~parse_us ~parse_res ~required_order initial
+      in
+      if t.config.Config.plan_cache then
+        Tango_cache.Plan_cache.add t.plan_cache ~sql
+          {
+            cached_physical = report.physical;
+            cached_required_order = required_order;
+            cached_classes = report.classes;
+            cached_elements = report.elements;
+            cached_diagnostics = report.diagnostics;
+            cached_generation = Database.schema_generation (database t);
+            cached_topology_gen = Topology.generation t.topology;
+            cached_fp = Physical.op_fingerprint initial;
+            cached_template = None;
+            cached_slots = [];
+            cached_buckets = [];
+          };
+      { report with cache = cache_report_now t ~cls:"miss" }
+
 (** The full pipeline: temporal SQL in, relation out.  With the session's
     [plan_cache] on, a re-submitted query text skips parse and optimize
-    entirely and executes the cached physical plan. *)
+    entirely and executes the cached physical plan; with
+    [auto_parameterize] additionally on, constant literals are folded
+    into bind variables first, so literal-varying repetitions of one
+    query shape share a single template entry. *)
 let query t (sql : string) : report =
   Log.debug (fun m -> m "query: %s" sql);
   observed t ~kind:"query" ~sql (fun () ->
       with_query_trace t "middleware.query" (fun () ->
-          match cache_find t sql with
-          | Some entry ->
-              Tango_obs.Trace.attr "cache" (Tango_obs.Trace.Str "hit");
-              Log.debug (fun m -> m "plan cache hit");
-              t.last_diagnostics <- entry.cached_diagnostics;
-              let result, exec, execute_us, translate_us, backends,
-                  translate_res, execute_res =
-                execute_physical_full t entry.cached_physical
-              in
-              let analysis =
-                profile_execution t ~query_fingerprint:entry.cached_fp
-                  entry.cached_physical exec ~execute_us
-              in
-              {
-                result;
-                physical = entry.cached_physical;
-                exec;
-                optimize_us = 0.0;
-                execute_us;
-                classes = entry.cached_classes;
-                elements = entry.cached_elements;
-                estimated_cost_us =
-                  entry.cached_physical.Physical.total_cost;
-                trace = None;
-                analysis;
-                diagnostics = entry.cached_diagnostics;
-                cache = cache_report_now t ~hit:true;
-                phases =
-                  make_phases ~translate_res ~execute_res ~translate_us
-                    ~execute_us backends;
-                backends;
-              }
-          | None ->
-              let p0 = mono_us () in
-              let g_p = gc_point (telemetry_on t) in
-              let initial, required_order =
-                Tango_obs.Trace.span "parse" (fun () ->
-                    ( Tango_tsql.Compile.initial_plan
-                        ~lookup:(schema_lookup t) sql,
-                      Tango_tsql.Compile.required_order sql ))
-              in
-              let parse_res = gc_delta g_p in
-              let parse_us = mono_us () -. p0 in
-              let report =
-                run_plan_body t ~parse_us ~parse_res ~required_order initial
-              in
-              if t.config.Config.plan_cache then
-                Tango_cache.Plan_cache.add t.plan_cache ~sql
-                  {
-                    cached_physical = report.physical;
-                    cached_required_order = required_order;
-                    cached_classes = report.classes;
-                    cached_elements = report.elements;
-                    cached_diagnostics = report.diagnostics;
-                    cached_generation =
-                      Database.schema_generation (database t);
-                    cached_topology_gen = Topology.generation t.topology;
-                    cached_fp = Physical.op_fingerprint initial;
-                  };
-              { report with cache = cache_report_now t ~hit:false }))
+          let auto =
+            if t.config.Config.plan_cache && t.config.Config.auto_parameterize
+            then Parameterize.extract sql
+            else None
+          in
+          match auto with
+          | Some { Parameterize.template; values } ->
+              query_template_body t ~template
+                ~values:(Array.of_list values)
+          | None -> query_exact_body t sql))
+
+(** The parameterized pipeline: SQL carrying bind variables ([?] or
+    [$n]) plus the values to bind, positionally.  The text is the cache
+    key, so every binding of one statement shares a single template
+    entry; the plan is instantiated under the binding at execution
+    time. *)
+let query_params t (sql : string) (values : Value.t list) : report =
+  Log.debug (fun m ->
+      m "query (%d params): %s" (List.length values) sql);
+  match values with
+  | [] -> query t sql
+  | values ->
+      observed t ~kind:"query" ~sql (fun () ->
+          with_query_trace t "middleware.query" (fun () ->
+              query_template_body t ~template:sql
+                ~values:(Array.of_list values)))
 
 (** Execute a {e fixed} plan tree (used by the experiments to time the
     paper's hand-enumerated plan alternatives). *)

@@ -61,6 +61,22 @@ module Config : sig
         (** cache optimized physical plans keyed by normalized query text;
             a re-submitted {!query} skips parse and optimize *)
     plan_cache_capacity : int;  (** LRU capacity of the plan cache *)
+    auto_parameterize : bool;
+        (** with [plan_cache] on, fold an incoming query's constant
+            literals into bind variables before the cache lookup, so
+            literal-varying repetitions of one query shape share a single
+            {e template} entry (on by default; moot while [plan_cache] is
+            off) *)
+    param_buckets : int;
+        (** selectivity-bucket count of the parameter-sensitivity guard:
+            bound values are placed in their column's distribution and
+            quantized to this many regions (default 8) *)
+    replan_q_error : float;
+        (** parameter-sensitivity guard threshold: when a template hit's
+            measured cardinality q-error reaches it, the template is
+            re-optimized with the bound values and the result stored as
+            that selectivity bucket's region plan (0 = guard off;
+            a positive value implies [profiling]) *)
     batch_execution : bool;
         (** pull tuples through the middleware pipeline in array batches
             (default); unset to force the classic tuple-at-a-time XXL
@@ -98,6 +114,18 @@ module Config : sig
   val with_plan_cache : ?capacity:int -> bool -> t -> t
   (** Enable/disable the plan cache; [capacity] additionally overrides
       the LRU capacity (default 128 entries). *)
+
+  val with_auto_parameterize : bool -> t -> t
+  (** Auto-parameterization of literal constants (on by default; only
+      takes effect while [plan_cache] is on). *)
+
+  val with_param_buckets : int -> t -> t
+  (** Selectivity-bucket count of the sensitivity guard (clamped to
+      at least 1). *)
+
+  val with_replan_q_error : float -> t -> t
+  (** Sensitivity-guard q-error threshold; a positive value also enables
+      [profiling] (the guard judges plans by measured q-errors). *)
 
   val with_batching : bool -> t -> t
   (** Batch-at-a-time execution (on by default); unset for the classic
@@ -205,16 +233,26 @@ val base_stats : t -> qualifier:string -> string -> Tango_stats.Rel_stats.t
 (** The Statistics Collector hook: statistics for a base table under a
     qualifier, cached per session. *)
 
-val stats_env : t -> Tango_stats.Derive.env
+val stats_env : ?binding:Value.t array -> t -> Tango_stats.Derive.env
+(** The optimizer's statistics environment.  [binding] closes [Param n]
+    to its bound value before estimating — the sensitivity guard's
+    value-specific re-optimization. *)
+
 val schema_lookup : t -> string -> Schema.t
 
 (** {1 Optimization} *)
 
-val optimize : t -> ?required_order:Order.t -> Op.t -> Tango_volcano.Search.result
+val optimize :
+  t ->
+  ?required_order:Order.t ->
+  ?binding:Value.t array ->
+  Op.t ->
+  Tango_volcano.Search.result
 (** Optimize an initial algebra plan (which must carry its top [T^M]).
     When [verify_plans] is on, the chosen plan — and with
     [Verify_per_rule], every rule application — is verified; findings are
-    in {!last_diagnostics}. *)
+    in {!last_diagnostics}.  [binding] makes parameterized predicates
+    estimate under the given values instead of generic defaults. *)
 
 val cost_plan :
   t -> ?required_order:Order.t -> Op.t -> Tango_volcano.Physical.plan option
@@ -226,9 +264,18 @@ val cost_plan :
     runs with the configuration's [plan_cache] on). *)
 type cache_report = {
   cache_hit : bool;  (** this query was answered from the cache *)
+  cache_class : string;
+      (** ["template-hit"] — a parameterized template entry served this
+          query (the plan was instantiated under the binding);
+          ["exact-hit"] — the full text matched an exact entry;
+          ["miss"] — parse + optimize ran *)
   cache_hits : int;  (** session totals since connect *)
+  cache_template_hits : int;
+  cache_exact_hits : int;
   cache_misses : int;
   cache_invalidations : int;
+  cache_replans : int;
+      (** parameter-sensitivity re-optimizations (region plans stored) *)
   cache_entries : int;  (** entries resident after this query *)
 }
 
@@ -329,6 +376,9 @@ type query_event = {
   cache_hit : bool;
       (** answered from the plan cache — no parse or optimize ran (so a
           zero [optimize_us] means "skipped", not "instantaneous") *)
+  cache_class : string;
+      (** ["template-hit"] | ["exact-hit"] | ["miss"]; [""] when the run
+          was not a cache-eligible query *)
   report : report option;  (** [None] when the pipeline raised *)
   error : string option;  (** the exception text when the pipeline raised *)
   backends : (string * backend_breakdown) list;
@@ -357,7 +407,21 @@ val run_plan : t -> ?required_order:Order.t -> Op.t -> report
 (** Optimize and execute an initial algebra plan. *)
 
 val query : t -> string -> report
-(** The full pipeline: temporal SQL in, relation out. *)
+(** The full pipeline: temporal SQL in, relation out.  With [plan_cache]
+    on, a re-submitted text skips parse and optimize; with
+    [auto_parameterize] additionally on, constant literals are folded
+    into bind variables first, so literal-varying repetitions of one
+    query shape share a single template entry whose plan is instantiated
+    per binding. *)
+
+val query_params : t -> string -> Value.t list -> report
+(** The parameterized pipeline: temporal SQL carrying bind variables
+    ([?] markers, numbered left to right, or explicit [$n]) plus the
+    values to bind, positionally ([$1] first).  The parameterized text is
+    the cache key, so every binding of one statement shares a single
+    template entry; at execution time the cached plan template is
+    instantiated under the binding (literals substituted, partition
+    pruning re-run).  With an empty value list this is {!query}. *)
 
 val run_fixed : t -> ?required_order:Order.t -> Op.t -> report
 (** Execute a {e fixed} plan tree (used by the experiments to time the

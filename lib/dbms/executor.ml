@@ -89,6 +89,10 @@ let rec infer_dtype infer_query schemas (e : Ast.expr) : Value.dtype =
   match e with
   | Lit Value.Null -> Value.TInt
   | Lit v -> Value.type_of v
+  | Param n ->
+      (* the DBMS never sees bind variables: the middleware instantiates
+         plan templates before shipping SQL *)
+      sql_error "unbound parameter $%d" n
   | Col (q, c) -> (
       match resolve schemas q c with
       | Some (frame, i) -> Schema.dtype_at (List.nth schemas frame) i
@@ -161,6 +165,7 @@ and compile_expr ctx (schemas : Schema.t list) (e : Ast.expr) : value_fn =
   let recur = compile_expr ctx schemas in
   match e with
   | Lit v -> fun _ -> v
+  | Param n -> sql_error "unbound parameter $%d" n
   | Col (q, c) -> (
       match resolve schemas q c with
       | Some (0, i) -> fun rows -> (List.hd rows).(i)

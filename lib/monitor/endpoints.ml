@@ -258,11 +258,56 @@ let query_failure = function
   | Failure m -> Some m
   | _ -> None
 
+(* A [POST /query] body is either raw temporal SQL (the original
+   protocol) or, when it starts with '{', a JSON object
+   [{"sql": "...", "params": [...]}] binding parameter values
+   positionally.  JSON strings that spell a date become [Date] values so
+   clients can bind period predicates. *)
+let param_of_json : Tango_obs.Json.t -> (Tango_rel.Value.t, string) result =
+  function
+  | Tango_obs.Json.Null -> Ok Tango_rel.Value.Null
+  | Tango_obs.Json.Bool b -> Ok (Tango_rel.Value.Bool b)
+  | Tango_obs.Json.Int i -> Ok (Tango_rel.Value.Int i)
+  | Tango_obs.Json.Float f -> Ok (Tango_rel.Value.Float f)
+  | Tango_obs.Json.String s -> (
+      match Tango_temporal.Chronon.of_string s with
+      | c -> Ok (Tango_rel.Value.Date c)
+      | exception _ -> Ok (Tango_rel.Value.Str s))
+  | Tango_obs.Json.List _ | Tango_obs.Json.Obj _ ->
+      Error "params must be scalars (string/number/bool/null)"
+
+let parse_query_body (body : string) :
+    (string * Tango_rel.Value.t list, string) result =
+  if String.length body > 0 && body.[0] = '{' then
+    match Tango_obs.Json.parse body with
+    | Error msg -> Error ("bad JSON body: " ^ msg)
+    | Ok (Tango_obs.Json.Obj fields) -> (
+        match List.assoc_opt "sql" fields with
+        | Some (Tango_obs.Json.String sql) -> (
+            match List.assoc_opt "params" fields with
+            | None -> Ok (sql, [])
+            | Some (Tango_obs.Json.List ps) ->
+                List.fold_right
+                  (fun p acc ->
+                    match (acc, param_of_json p) with
+                    | Ok vs, Ok v -> Ok (v :: vs)
+                    | (Error _ as e), _ -> e
+                    | _, Error msg -> Error msg)
+                  ps (Ok [])
+                |> Result.map (fun vs -> (sql, vs))
+            | Some _ -> Error "\"params\" must be a JSON list")
+        | Some _ -> Error "\"sql\" must be a JSON string"
+        | None -> Error "JSON body needs a \"sql\" field")
+    | Ok _ -> Error "JSON body must be an object"
+  else Ok (body, [])
+
 let run_query t (req : Http.request) =
-  let sql = String.trim req.Http.body in
-  if sql = "" then error_response 400 "empty request body; POST temporal SQL"
-  else
-    match Middleware.query t.mw sql with
+  match parse_query_body (String.trim req.Http.body) with
+  | Error msg -> error_response 400 msg
+  | Ok ("", _) ->
+      error_response 400 "empty request body; POST temporal SQL"
+  | Ok (sql, params) -> (
+    match Middleware.query_params t.mw sql params with
     | report ->
         let open Tango_obs.Json in
         json_response
@@ -281,11 +326,15 @@ let run_query t (req : Http.request) =
                  String
                    (Tango_volcano.Physical.signature report.Middleware.physical)
                );
+               ( "cache",
+                 match report.Middleware.cache with
+                 | Some c -> String c.Middleware.cache_class
+                 | None -> Null );
              ])
     | exception e -> (
         match query_failure e with
         | Some msg -> error_response 400 msg
-        | None -> raise e)
+        | None -> raise e))
 
 let strip_prefix ~prefix s =
   let np = String.length prefix in

@@ -59,6 +59,7 @@ type record = {
   backends : (string * Middleware.backend_breakdown) list;
   trace : Tango_obs.Trace.span option;
   cache_hit : bool;
+  cache_class : string;  (** "template-hit" | "exact-hit" | "miss" | "" *)
   rows : int;
   mw_operators : int;
   transfers : int;
@@ -162,6 +163,7 @@ let record_of_event ?(seq = 0) ?(kept = Sampled)
       backends = [];
       trace = None;
       cache_hit = ev.Middleware.cache_hit;
+      cache_class = ev.Middleware.cache_class;
       rows = 0;
       mw_operators = 0;
       transfers = 0;
@@ -397,6 +399,7 @@ let record_to_json (r : record) : Tango_obs.Json.t =
       ("execute_us", Float r.execute_us);
       ("backends", backends_to_json r.backends);
       ("cache_hit", Bool r.cache_hit);
+      ("cache_class", String r.cache_class);
       ("rows", Int r.rows);
       ("mw_operators", Int r.mw_operators);
       ("transfers", Int r.transfers);

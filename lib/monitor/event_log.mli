@@ -62,6 +62,9 @@ type record = {
   cache_hit : bool;
       (** answered from the plan cache — parse/optimize were skipped, so
           a zero [optimize_us] means "skipped", not "instantaneous" *)
+  cache_class : string;
+      (** ["template-hit"] | ["exact-hit"] | ["miss"]; [""] when the run
+          was not a cache-eligible query *)
   rows : int;  (** result cardinality *)
   mw_operators : int;  (** middleware-resident operators executed *)
   transfers : int;  (** [TRANSFER^M] statements issued *)

@@ -33,6 +33,7 @@ type t = {
   hit_rate_drop : float;
   tail_fraction : float;
   contention_warn : float;
+  replan_warn : int;
   lock : Dsync.lock;  (* guards the cross-evaluation trend fields *)
   mutable last_generation : int;
   mutable last_hit_rate : float option;
@@ -41,7 +42,8 @@ type t = {
 }
 
 let create ?(q_error_warn = 2.0) ?(hit_rate_drop = 0.2)
-    ?(tail_fraction = 0.9) ?(contention_warn = 0.25) ~generation () =
+    ?(tail_fraction = 0.9) ?(contention_warn = 0.25) ?(replan_warn = 2)
+    ~generation () =
   if not (tail_fraction >= 0.0 && tail_fraction < 1.0) then
     invalid_arg "Watchdog.create: tail_fraction must be in [0, 1)";
   {
@@ -49,6 +51,7 @@ let create ?(q_error_warn = 2.0) ?(hit_rate_drop = 0.2)
     hit_rate_drop;
     tail_fraction;
     contention_warn;
+    replan_warn;
     lock = Dsync.named_lock "monitor.watchdog";
     last_generation = generation;
     last_hit_rate = None;
@@ -202,6 +205,29 @@ let cache_signal t cache =
             }
       end
 
+(* A single cache entry accumulating sensitivity-guard re-optimizations
+   is a parameter-sensitive plan: no one generic plan serves its whole
+   binding space, so its latency depends on which selectivity region the
+   workload hits.  Evidence for "the same statement is sometimes slow". *)
+let replan_signal t cache =
+  match cache with
+  | None ->
+      {
+        name = "parameter_sensitive_plan";
+        firing = false;
+        detail = "no plan cache";
+      }
+  | Some (s : Tango_cache.Plan_cache.stats) ->
+      {
+        name = "parameter_sensitive_plan";
+        firing = s.Tango_cache.Plan_cache.max_replans >= t.replan_warn;
+        detail =
+          Printf.sprintf
+            "%d replans total; worst entry holds %d region plans"
+            s.Tango_cache.Plan_cache.replans
+            s.Tango_cache.Plan_cache.max_replans;
+      }
+
 let topology_signal t ~generation =
   let previous =
     Dsync.protect t.lock (fun () ->
@@ -286,6 +312,7 @@ let evaluate t ~now_us ~slo ~log ?feedback ?cache ~generation () : verdict =
       slo_signal slo_verdict;
       q_error_signal t feedback;
       cache_signal t cache;
+      replan_signal t cache;
       topology_signal t ~generation;
       contention_signal t;
     ]

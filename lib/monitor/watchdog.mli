@@ -7,7 +7,8 @@
 type signal = {
   name : string;
       (** ["slo_burn"] | ["q_error"] | ["cache_hit_rate"] |
-          ["topology_generation"] | ["lock_contention"] *)
+          ["parameter_sensitive_plan"] | ["topology_generation"] |
+          ["lock_contention"] *)
   firing : bool;
   detail : string;  (** human-readable evidence, firing or not *)
 }
@@ -35,6 +36,7 @@ val create :
   ?hit_rate_drop:float ->
   ?tail_fraction:float ->
   ?contention_warn:float ->
+  ?replan_warn:int ->
   generation:int ->
   unit ->
   t
@@ -47,7 +49,10 @@ val create :
     ring.  [contention_warn] (default 0.25): lock wait accumulated
     since the previous check, divided by the wall time between checks,
     above this fires [lock_contention] (the first check only primes the
-    baseline).  [generation] seeds the topology baseline. *)
+    baseline).  [replan_warn] (default 2): a single plan-cache entry
+    holding at least this many sensitivity-guard region plans fires
+    [parameter_sensitive_plan] — that statement's best plan depends on
+    its bound values.  [generation] seeds the topology baseline. *)
 
 val evaluate :
   t ->

@@ -103,6 +103,170 @@ module Json = struct
     let b = Buffer.create 256 in
     emit b j;
     Buffer.contents b
+
+  (* Minimal recursive-descent reader for the same document model — just
+     enough for request bodies ([POST /query] with bound parameters).
+     Numbers with a fraction or exponent become [Float], others [Int];
+     the only escapes decoded are the ones [escape] emits (plus [\/] and
+     [\b], [\f] passed through; [\uXXXX] below 0x80 decodes, the rest is
+     kept verbatim — good enough for SQL text and parameter values). *)
+  exception Parse_error of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let w = String.length word in
+      if !pos + w <= n && String.sub s !pos w = word then begin
+        pos := !pos + w;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              if !pos + 1 >= n then fail "dangling escape";
+              (match s.[!pos + 1] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                  if !pos + 5 >= n then fail "truncated \\u escape";
+                  let hex = String.sub s (!pos + 2) 4 in
+                  (match int_of_string_opt ("0x" ^ hex) with
+                  | Some code when code < 0x80 ->
+                      Buffer.add_char b (Char.chr code)
+                  | Some _ -> Buffer.add_string b ("\\u" ^ hex)
+                  | None -> fail "bad \\u escape");
+                  pos := !pos + 4
+              | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              pos := !pos + 2;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      let is_num = ref false in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' | '+' | '-' ->
+            is_num := true;
+            true
+        | _ -> false
+      do
+        incr pos
+      done;
+      let text = String.sub s start (!pos - start) in
+      if !is_num then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            items []
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos < n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
 end
 
 (* One lock guards the find-or-create name registries of both counters

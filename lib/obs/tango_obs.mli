@@ -53,6 +53,12 @@ module Json : sig
 
   val to_string : t -> string
   (** Compact serialization; non-finite floats become [null]. *)
+
+  val parse : string -> (t, string) result
+  (** Minimal reader for the same document model (request bodies).
+      Numbers with a fraction or exponent parse as [Float], others as
+      [Int]; [\uXXXX] escapes decode below 0x80 and are kept verbatim
+      otherwise. *)
 end
 
 module Counter : sig

@@ -24,6 +24,9 @@ let aggfun_name = function
 
 type expr =
   | Lit of Value.t
+  | Param of int
+      (** bind variable, 1-based ([$n]; bare [?] markers are numbered
+          left-to-right by the parser) *)
   | Col of string option * string  (** optional qualifier, column name *)
   | Binop of binop * expr * expr
   | Not of expr
@@ -96,7 +99,7 @@ let rec conjuncts = function
 (** Column references appearing in an expression (ignoring subqueries, whose
     references are resolved in their own scope or via correlation). *)
 let rec columns = function
-  | Lit _ -> []
+  | Lit _ | Param _ -> []
   | Col (q, c) -> [ (q, c) ]
   | Binop (_, a, b) -> columns a @ columns b
   | Not e | Is_null e | Is_not_null e -> columns e
@@ -107,9 +110,66 @@ let rec columns = function
   | Scalar_subquery _ | Exists _ -> []
   | In_subquery (e, _) -> columns e
 
+(** Replace every [Param n] by [f n], recursing into subqueries.  Used to
+    close a plan template over its bound values ([f n = Lit values.(n-1)]). *)
+let rec map_params f e =
+  match e with
+  | Lit _ | Col _ -> e
+  | Param n -> f n
+  | Binop (op, a, b) -> Binop (op, map_params f a, map_params f b)
+  | Not e -> Not (map_params f e)
+  | Is_null e -> Is_null (map_params f e)
+  | Is_not_null e -> Is_not_null (map_params f e)
+  | Between (a, b, c) ->
+      Between (map_params f a, map_params f b, map_params f c)
+  | Greatest es -> Greatest (List.map (map_params f) es)
+  | Least es -> Least (List.map (map_params f) es)
+  | Agg (fn, Some e) -> Agg (fn, Some (map_params f e))
+  | Agg (_, None) -> e
+  | Scalar_subquery q -> Scalar_subquery (map_params_query f q)
+  | In_subquery (e, q) -> In_subquery (map_params f e, map_params_query f q)
+  | Exists q -> Exists (map_params_query f q)
+
+and map_params_query f = function
+  | Select s ->
+      let item = function
+        | Star -> Star
+        | Expr (e, a) -> Expr (map_params f e, a)
+      in
+      let table_ref = function
+        | Table _ as t -> t
+        | Derived (q, a) -> Derived (map_params_query f q, a)
+      in
+      Select
+        {
+          s with
+          items = List.map item s.items;
+          from = List.map table_ref s.from;
+          where = Option.map (map_params f) s.where;
+          group_by = List.map (map_params f) s.group_by;
+          having = Option.map (map_params f) s.having;
+          order_by = List.map (fun (e, asc) -> (map_params f e, asc)) s.order_by;
+        }
+  | Union (a, b) -> Union (map_params_query f a, map_params_query f b)
+  | Union_all (a, b) -> Union_all (map_params_query f a, map_params_query f b)
+
+(** Bind-variable indices appearing in an expression, in syntactic order
+    (duplicates kept; subqueries ignored, matching {!columns}). *)
+let rec params = function
+  | Lit _ | Col _ -> []
+  | Param n -> [ n ]
+  | Binop (_, a, b) -> params a @ params b
+  | Not e | Is_null e | Is_not_null e -> params e
+  | Between (a, b, c) -> params a @ params b @ params c
+  | Greatest es | Least es -> List.concat_map params es
+  | Agg (_, Some e) -> params e
+  | Agg (_, None) -> []
+  | Scalar_subquery _ | Exists _ -> []
+  | In_subquery (e, _) -> params e
+
 let rec contains_agg = function
   | Agg _ -> true
-  | Lit _ | Col _ | Scalar_subquery _ | Exists _ -> false
+  | Lit _ | Param _ | Col _ | Scalar_subquery _ | Exists _ -> false
   | Binop (_, a, b) -> contains_agg a || contains_agg b
   | Not e | Is_null e | Is_not_null e -> contains_agg e
   | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
@@ -118,7 +178,7 @@ let rec contains_agg = function
 
 let rec contains_subquery = function
   | Scalar_subquery _ | Exists _ | In_subquery _ -> true
-  | Lit _ | Col _ | Agg (_, None) -> false
+  | Lit _ | Param _ | Col _ | Agg (_, None) -> false
   | Agg (_, Some e) | Not e | Is_null e | Is_not_null e -> contains_subquery e
   | Binop (_, a, b) -> contains_subquery a || contains_subquery b
   | Between (a, b, c) ->

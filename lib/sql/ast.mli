@@ -20,6 +20,9 @@ val aggfun_name : aggfun -> string
 
 type expr =
   | Lit of Value.t
+  | Param of int
+      (** bind variable, 1-based ([$n]; bare [?] markers are numbered
+          left-to-right by the parser) *)
   | Col of string option * string  (** optional qualifier, column name *)
   | Binop of binop * expr * expr
   | Not of expr
@@ -95,6 +98,18 @@ val columns : expr -> (string option * string) list
 (** Column references appearing in an expression (ignoring subqueries,
     whose references are resolved in their own scope or via
     correlation). *)
+
+val map_params : (int -> expr) -> expr -> expr
+(** Replace every [Param n] by [f n], recursing into subqueries.  Used
+    to close a plan template over its bound values
+    ([f n = Lit values.(n-1)]). *)
+
+val map_params_query : (int -> expr) -> query -> query
+(** {!map_params} over every expression of a query. *)
+
+val params : expr -> int list
+(** Bind-variable indices appearing in an expression, in syntactic
+    order (duplicates kept; subqueries ignored, matching {!columns}). *)
 
 val contains_agg : expr -> bool
 val contains_subquery : expr -> bool

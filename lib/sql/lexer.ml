@@ -9,6 +9,7 @@ type token =
   | STRING of string
   | KW of string  (** uppercase keyword *)
   | SYM of string  (** punctuation / operator *)
+  | PARAM of int  (** bind variable: [$n] carries n; a bare [?] carries 0 *)
   | EOF
 
 exception Lex_error of string
@@ -91,6 +92,18 @@ let tokenize (s : string) : token list =
         emit (STRING (Buffer.contents buf));
         go next
       end
+      else if c = '?' then begin
+        emit (PARAM 0);
+        go (i + 1)
+      end
+      else if c = '$' then begin
+        let j = ref (i + 1) in
+        while !j < n && is_digit s.[!j] do incr j done;
+        if !j = i + 1 then
+          raise (Lex_error (Printf.sprintf "expected digits after $ at %d" i));
+        emit (PARAM (int_of_string (String.sub s (i + 1) (!j - i - 1))));
+        go !j
+      end
       else begin
         let two = if i + 1 < n then String.sub s i 2 else "" in
         match two with
@@ -118,4 +131,6 @@ let token_to_string = function
   | STRING s -> "'" ^ s ^ "'"
   | KW k -> k
   | SYM s -> s
+  | PARAM 0 -> "?"
+  | PARAM n -> "$" ^ string_of_int n
   | EOF -> "<eof>"

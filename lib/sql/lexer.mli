@@ -8,6 +8,7 @@ type token =
   | STRING of string
   | KW of string  (** uppercase keyword *)
   | SYM of string  (** punctuation / operator *)
+  | PARAM of int  (** bind variable: [$n] carries n; a bare [?] carries 0 *)
   | EOF
 
 exception Lex_error of string

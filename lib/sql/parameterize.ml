@@ -1,0 +1,117 @@
+(** Token-level auto-parameterization: fold the constant literals of an
+    incoming query into bind variables so literal-varying repetitions of
+    the same query shape share one plan-cache template.
+
+    Working on the token stream (not the AST) keeps the template text
+    canonical for free — keywords come back uppercased and whitespace
+    collapses to single spaces — and guarantees the rewrite cannot
+    change expression structure: each [INT]/[FLOAT]/[STRING] token (and
+    each [DATE 'lit'] pair) is replaced by the next [$n] marker, and
+    everything else is re-emitted verbatim.  [TRUE], [FALSE] and [NULL]
+    are keywords, not literal tokens, so they stay inline — their value
+    can change plan shape (NULL comparisons) and they carry no
+    cache-fragmentation risk. *)
+
+open Tango_rel
+
+type extraction = {
+  template : string;
+      (** the query with literals replaced by [$1..$n], re-rendered
+          canonically (uppercase keywords, single spaces) *)
+  values : Value.t list;  (** the extracted literals, in [$n] order *)
+}
+
+let escape_string s =
+  "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let token_text = function
+  | Lexer.IDENT s -> s
+  | Lexer.INT i -> string_of_int i
+  | Lexer.FLOAT f -> Printf.sprintf "%.17g" f
+  | Lexer.STRING s -> escape_string s
+  | Lexer.KW k -> k
+  | Lexer.SYM s -> s
+  | Lexer.PARAM 0 -> "?"
+  | Lexer.PARAM n -> "$" ^ string_of_int n
+  | Lexer.EOF -> ""
+
+(** Auto-parameterize a query.  Returns [None] when there is nothing to
+    do: the text does not lex, is not a query (only SELECT shapes are
+    safe — INSERT VALUES must stay literal), already carries explicit
+    bind variables (the client is parameterizing; don't second-guess
+    its numbering), or contains no literals. *)
+let extract (sql : string) : extraction option =
+  match Lexer.tokenize sql with
+  | exception Lexer.Lex_error _ -> None
+  | toks ->
+      let is_query =
+        match toks with
+        | (Lexer.KW ("SELECT" | "VALIDTIME") | Lexer.SYM "(") :: _ -> true
+        | _ -> false
+      in
+      let has_explicit_param =
+        List.exists (function Lexer.PARAM _ -> true | _ -> false) toks
+      in
+      if (not is_query) || has_explicit_param then None
+      else begin
+        let buf = Buffer.create (String.length sql) in
+        let values = ref [] in
+        let count = ref 0 in
+        let emit s =
+          if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf s
+        in
+        let param v =
+          incr count;
+          values := v :: !values;
+          emit ("$" ^ string_of_int !count)
+        in
+        let rec go = function
+          | [] -> ()
+          | Lexer.KW "DATE" :: Lexer.STRING s :: rest -> (
+              match Tango_temporal.Chronon.of_string s with
+              | d ->
+                  param (Value.Date d);
+                  go rest
+              | exception _ ->
+                  (* not a date after all; keep the pair verbatim and
+                     let the parser produce its own error *)
+                  emit "DATE";
+                  emit (escape_string s);
+                  go rest)
+          | Lexer.INT i :: rest ->
+              param (Value.Int i);
+              go rest
+          | Lexer.FLOAT f :: rest ->
+              param (Value.Float f);
+              go rest
+          | Lexer.STRING s :: rest ->
+              param (Value.Str s);
+              go rest
+          | Lexer.EOF :: rest -> go rest
+          | t :: rest ->
+              emit (token_text t);
+              go rest
+        in
+        go toks;
+        if !count = 0 then None
+        else Some { template = Buffer.contents buf; values = List.rev !values }
+      end
+
+(* Untyped surfaces (CLI flags) carry parameter values as text; give
+   each spelling its natural type, falling back to a string. *)
+let value_of_string (s : string) : Value.t =
+  match int_of_string_opt s with
+  | Some i -> Value.Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> (
+          match String.lowercase_ascii s with
+          | "true" -> Value.Bool true
+          | "false" -> Value.Bool false
+          | "null" -> Value.Null
+          | _ -> (
+              match Tango_temporal.Chronon.of_string s with
+              | c -> Value.Date c
+              | exception _ -> Value.Str s)))

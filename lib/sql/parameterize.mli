@@ -1,0 +1,23 @@
+(** Token-level auto-parameterization: fold the constant literals of an
+    incoming query into bind variables ([$1..$n]) so literal-varying
+    repetitions of the same query shape share one plan-cache template. *)
+
+open Tango_rel
+
+type extraction = {
+  template : string;
+      (** the query with literals replaced by [$1..$n], re-rendered
+          canonically (uppercase keywords, single spaces) *)
+  values : Value.t list;  (** the extracted literals, in [$n] order *)
+}
+
+val extract : string -> extraction option
+(** Auto-parameterize a query.  [None] when there is nothing to do: the
+    text does not lex, is not a SELECT shape (INSERT VALUES must stay
+    literal), already carries explicit bind variables, or contains no
+    literals. *)
+
+val value_of_string : string -> Value.t
+(** Natural typing of a parameter value spelled as text (CLI [--param]):
+    integer, float, [true]/[false], [null], [YYYY-MM-DD] dates; anything
+    else is a string. *)

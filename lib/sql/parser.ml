@@ -7,7 +7,10 @@ open Tango_rel
 
 exception Parse_error of string
 
-type state = { mutable toks : Lexer.token list }
+type state = {
+  mutable toks : Lexer.token list;
+  mutable next_param : int;  (** next number for a bare [?] marker *)
+}
 
 let error st msg =
   let next =
@@ -347,6 +350,15 @@ and parse_primary st =
   | Lexer.IDENT name ->
       advance st;
       col_of_ident name
+  | Lexer.PARAM 0 ->
+      advance st;
+      let n = st.next_param in
+      st.next_param <- n + 1;
+      Ast.Param n
+  | Lexer.PARAM n when n > 0 ->
+      advance st;
+      Ast.Param n
+  | Lexer.PARAM _ -> error st "parameter numbers start at $1"
   | _ -> error st "expected expression"
 
 let parse_column_defs st =
@@ -419,7 +431,7 @@ let parse_statement st : Ast.statement =
 
 (** Parse a complete SQL statement (a trailing [;] is allowed). *)
 let statement (sql : string) : Ast.statement =
-  let st = { toks = Lexer.tokenize sql } in
+  let st = { toks = Lexer.tokenize sql; next_param = 1 } in
   let stmt = parse_statement st in
   ignore (try_sym st ";");
   (match peek st with

@@ -41,8 +41,8 @@ let precedence (e : Ast.expr) =
   | Ast.Is_null _ | Ast.Is_not_null _ | Ast.Between _ | Ast.In_subquery _ -> 3
   | Ast.Binop ((Add | Sub), _, _) -> 4
   | Ast.Binop ((Mul | Div), _, _) -> 5
-  | Ast.Lit _ | Ast.Col _ | Ast.Greatest _ | Ast.Least _ | Ast.Agg _
-  | Ast.Scalar_subquery _ | Ast.Exists _ -> 6
+  | Ast.Lit _ | Ast.Param _ | Ast.Col _ | Ast.Greatest _ | Ast.Least _
+  | Ast.Agg _ | Ast.Scalar_subquery _ | Ast.Exists _ -> 6
 
 let rec expr_to_sql (e : Ast.expr) =
   (* [at level sub]: render [sub] as an operand requiring at least
@@ -53,6 +53,7 @@ let rec expr_to_sql (e : Ast.expr) =
   in
   match e with
   | Lit v -> value_to_sql v
+  | Param n -> "$" ^ string_of_int n
   | Col (None, c) -> c
   | Col (Some q, c) -> q ^ "." ^ c
   | Binop (Or, a, b) ->

@@ -5,14 +5,24 @@
 open Tango_sql
 open Tango_algebra
 
+open Tango_rel
+
 type env = {
   base : qualifier:string -> string -> Rel_stats.t;
       (** statistics for a base table under a qualifier *)
   mode : Selectivity.mode;
+  binding : Value.t array option;
+      (** bound parameter values: when present, [Param n] is closed to
+          [Lit binding.(n-1)] before estimating, so re-optimization for
+          a sensitivity bucket sees value-specific selectivities; when
+          absent, parameters keep their generic estimates *)
 }
 
 val env :
-  ?mode:Selectivity.mode -> (qualifier:string -> string -> Rel_stats.t) -> env
+  ?mode:Selectivity.mode ->
+  ?binding:Value.t array ->
+  (qualifier:string -> string -> Rel_stats.t) ->
+  env
 
 val strip_indexes : Rel_stats.t -> Rel_stats.t
 (** Clear index-availability flags — applied whenever an operator hides the

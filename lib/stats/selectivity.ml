@@ -97,6 +97,29 @@ let bound_of = function
       | _ -> None)
   | _ -> None
 
+let is_param = function Ast.Param _ -> true | _ -> false
+
+(** Parameterized comparison conjuncts of [e], normalized to
+    [(attr, op, param_index)] with the column on the left.  These are the
+    slots a plan template's sensitivity guard buckets at bind time. *)
+let param_bounds (e : Ast.expr) : (string * Ast.binop * int) list =
+  let flip = function
+    | Ast.Lt -> Ast.Gt
+    | Ast.Le -> Ast.Ge
+    | Ast.Gt -> Ast.Lt
+    | Ast.Ge -> Ast.Le
+    | op -> op
+  in
+  List.filter_map
+    (function
+      | Ast.Binop (op, l, r) -> (
+          match (col_name l, r, l, col_name r) with
+          | Some c, Ast.Param n, _, _ -> Some (c, op, n)
+          | _, _, Ast.Param n, Some c -> Some (c, flip op, n)
+          | _ -> None)
+      | _ -> None)
+    (Ast.conjuncts e)
+
 let is_period_attr base e =
   match col_name e with
   | Some c -> String.equal (Schema.base_name c) base
@@ -128,6 +151,22 @@ let rec conjunct_selectivity (s : Rel_stats.t) (e : Ast.expr) : float =
       | _ -> default_unknown)
   | Ast.Lit (Value.Bool true) -> 1.0
   | Ast.Lit (Value.Bool false) -> 0.0
+  | Ast.Binop (op, a, b)
+    when (col_name a <> None && is_param b)
+         || (is_param a && col_name b <> None) ->
+      (* Generic estimate for a parameterized comparison — the value is
+         unknown while planning a template, so assume an "average"
+         binding: equality hits one of the distinct values; a range
+         keeps a fixed third (the industry default for unknown
+         inequality bounds). *)
+      let c =
+        match col_name a with Some c -> c | None -> Option.get (col_name b)
+      in
+      (match op with
+      | Ast.Eq -> 1.0 /. Float.max 1.0 (Rel_stats.distinct_of s c)
+      | Ast.Neq -> 1.0 -. (1.0 /. Float.max 1.0 (Rel_stats.distinct_of s c))
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 1.0 /. 3.0
+      | _ -> default_unknown)
   | _ -> (
       match bound_of e with
       | None -> default_unknown

@@ -82,7 +82,7 @@ let check_refs acc ~path ~what s e =
 let rec check_expr_types acc ~path ~what s e =
   let recur x = check_expr_types acc ~path ~what s x in
   match e with
-  | Ast.Lit _ | Ast.Col _ -> ()
+  | Ast.Lit _ | Ast.Param _ | Ast.Col _ -> ()
   | Ast.Binop (op, a, b) ->
       recur a;
       recur b;

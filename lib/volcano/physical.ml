@@ -621,7 +621,7 @@ let base_name (name : string) : string =
 
 let rec canon_expr (e : Ast.expr) : string =
   match e with
-  | Ast.Lit _ -> "?"
+  | Ast.Lit _ | Ast.Param _ -> "?"
   | Ast.Col (_, c) -> base_name c
   | Ast.Binop (op, a, b) ->
       Printf.sprintf "(%s %s %s)" (canon_expr a)
@@ -764,6 +764,26 @@ let prune_scatter (layout : Partition.layout) (plan : plan) : plan =
     | _ -> plan
   in
   go Partition.top plan
+
+(** Close a plan template over bound parameter values: every [Ast.Param n]
+    in every operator's expressions becomes [Lit values.(n-1)].  Costs,
+    algorithms and orders are untouched — instantiation must not re-plan;
+    re-run {!prune_scatter} afterwards to restore per-binding shard
+    pruning (templates are planned with parameters unresolved, so their
+    scatter lists are unpruned).  Raises {!Op.Ill_formed} when a
+    parameter has no bound value. *)
+let instantiate (values : Value.t array) (plan : plan) : plan =
+  let subst =
+    Ast.map_params (fun n ->
+        if n >= 1 && n <= Array.length values then Ast.Lit values.(n - 1)
+        else
+          Op.ill_formed "parameter $%d has no bound value (%d given)" n
+            (Array.length values))
+  in
+  let rec go p =
+    { p with op = Op.map_exprs subst p.op; children = List.map go p.children }
+  in
+  go plan
 
 (** Partition-safety violations in a physical plan: transfers that would
     read a single shard's slice of partitioned data, scatters over

@@ -106,6 +106,16 @@ val fingerprint : plan -> string
     logical tree, so the same logical fragment under a different algorithm
     choice keys separately. *)
 
+(** {2 Plan templates} *)
+
+val instantiate : Value.t array -> plan -> plan
+(** Close a plan template over bound parameter values: every
+    [Ast.Param n] in every operator's expressions becomes
+    [Lit values.(n-1)].  Costs, algorithms and orders are untouched —
+    instantiation must not re-plan; re-run {!prune_scatter} afterwards
+    to restore per-binding shard pruning.  Raises {!Op.Ill_formed} when
+    a parameter has no bound value. *)
+
 (** {2 Partition-aware refinement} *)
 
 val prune_scatter : Partition.layout -> plan -> plan

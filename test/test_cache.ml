@@ -24,6 +24,44 @@ let test_key_literal_sensitive () =
     (Plan_cache.key_of_sql "SELECT A\n FROM  T")
     (Plan_cache.key_of_sql " SELECT A FROM T")
 
+(* Keyword case must not split cache entries; literal case must.  The
+   normalizer folds case outside single-quoted strings only. *)
+let test_keyword_case_insensitive () =
+  Alcotest.(check string) "keywords folded, literal kept"
+    "SELECT 'Ab' FROM T"
+    (Plan_cache.normalize_sql "select 'Ab' from t");
+  let c = Plan_cache.create () in
+  Plan_cache.add c ~sql:"SELECT 'Ab' FROM T" 1;
+  Alcotest.(check (option int)) "keyword-case variant hits" (Some 1)
+    (Plan_cache.find c ~sql:"select 'Ab' from t");
+  Alcotest.(check (option int)) "literal-case change misses" None
+    (Plan_cache.find c ~sql:"select 'ab' from t")
+
+let test_hit_kinds_and_replans () =
+  let c = Plan_cache.create () in
+  Plan_cache.add c ~sql:"SELECT A FROM T WHERE A < $1" 1;
+  ignore
+    (Plan_cache.find ~kind:Plan_cache.Template c
+       ~sql:"SELECT A FROM T WHERE A < $1");
+  ignore (Plan_cache.find c ~sql:"SELECT A FROM T WHERE A < $1");
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "template hit classified" 1 s.Plan_cache.template_hits;
+  Alcotest.(check int) "exact hit classified" 1 s.Plan_cache.exact_hits;
+  Alcotest.(check int) "total hits" 2 s.Plan_cache.hits;
+  (* replans accumulate on the entry and survive value replacement (the
+     guard re-adds the entry with an extended bucket table) *)
+  Plan_cache.note_replan c ~sql:"SELECT A FROM T WHERE A < $1";
+  Plan_cache.add c ~sql:"SELECT A FROM T WHERE A < $1" 2;
+  Plan_cache.note_replan c ~sql:"SELECT A FROM T WHERE A < $1";
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "replans counted" 2 s.Plan_cache.replans;
+  Alcotest.(check int) "entry high-water survives re-add" 2
+    s.Plan_cache.max_replans;
+  (* a note for an evicted/unknown statement is a no-op *)
+  Plan_cache.note_replan c ~sql:"SELECT B FROM T";
+  Alcotest.(check int) "unknown entry ignored" 2
+    (Plan_cache.stats c).Plan_cache.replans
+
 let test_find_add () =
   let c = Plan_cache.create ~capacity:4 () in
   Alcotest.(check (option int)) "empty" None (Plan_cache.find c ~sql:"Q1");
@@ -94,13 +132,153 @@ let test_hit_on_resubmission () =
   let s = Middleware.plan_cache_stats mw in
   Alcotest.(check int) "one hit" 1 s.Plan_cache.hits
 
-let test_miss_on_literal_change () =
+let cache_class (r : Middleware.report) =
+  match r.Middleware.cache with
+  | Some c -> c.Middleware.cache_class
+  | None -> Alcotest.fail "no cache report on a plan_cache session"
+
+(* With auto-parameterization (the default) a literal change no longer
+   misses: both spellings normalize to one template, and the second
+   submission instantiates the cached generic plan under the new
+   binding.  The old literal-keyed behavior is still reachable with
+   [with_auto_parameterize false]. *)
+let test_template_hit_on_literal_change () =
   let _db, mw = setup () in
+  let r1 = Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01") in
+  Alcotest.(check string) "first submission misses" "miss" (cache_class r1);
+  let r2 = Middleware.query mw (Queries.q2_sql ~period_end:"1997-01-01") in
+  Alcotest.(check string) "changed literal template-hits" "template-hit"
+    (cache_class r2);
+  Alcotest.(check bool) "template hit skips optimize" true
+    (r2.Middleware.optimize_us = 0.0);
+  let s = Middleware.plan_cache_stats mw in
+  Alcotest.(check int) "classified as template hit" 1 s.Plan_cache.template_hits;
+  (* the instantiated plan must answer the new binding, not the cached
+     literals: compare against an uncached session *)
+  let db2 = Tango_dbms.Database.create () in
+  Uis.load ~scale:0.005 db2;
+  let mw2 = Middleware.connect ~roundtrip_spin:0 db2 in
+  let expect = Middleware.query mw2 (Queries.q2_sql ~period_end:"1997-01-01") in
+  Alcotest.(check bool) "instantiated plan answers the new literals" true
+    (Relation.equal_list expect.Middleware.result r2.Middleware.result)
+
+let test_exact_mode_misses_on_literal_change () =
+  let _db, mw = setup () in
+  Middleware.set_config mw
+    (Middleware.Config.with_auto_parameterize false (Middleware.config mw));
   ignore (Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01"));
   let r = Middleware.query mw (Queries.q2_sql ~period_end:"1997-01-01") in
   Alcotest.(check bool) "changed literal misses" false (cache_hit r);
   let r2 = Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01") in
-  Alcotest.(check bool) "original still cached" true (cache_hit r2)
+  Alcotest.(check bool) "original still cached" true (cache_hit r2);
+  Alcotest.(check string) "classified as exact hit" "exact-hit" (cache_class r2)
+
+(* Explicit bind variables: same template text + different bindings =
+   one entry, and results match the literal-inlined spelling. *)
+let test_query_params () =
+  let _db, mw = setup () in
+  let sql =
+    "VALIDTIME SELECT PosID, PayRate FROM POSITION WHERE PayRate > $1"
+  in
+  let r1 = Middleware.query_params mw sql [ Value.Int 10 ] in
+  Alcotest.(check string) "first binding misses" "miss" (cache_class r1);
+  let r2 = Middleware.query_params mw sql [ Value.Int 25 ] in
+  Alcotest.(check string) "second binding template-hits" "template-hit"
+    (cache_class r2);
+  let lit10 =
+    Middleware.query mw
+      "VALIDTIME SELECT PosID, PayRate FROM POSITION WHERE PayRate > 10"
+  in
+  Alcotest.(check bool) "binding 10 = literal 10" true
+    (Relation.equal_multiset r1.Middleware.result lit10.Middleware.result);
+  let lit25 =
+    Middleware.query mw
+      "VALIDTIME SELECT PosID, PayRate FROM POSITION WHERE PayRate > 25"
+  in
+  Alcotest.(check bool) "binding 25 = literal 25" true
+    (Relation.equal_multiset r2.Middleware.result lit25.Middleware.result);
+  Alcotest.(check bool) "bindings select different rows" true
+    (Relation.cardinality r1.Middleware.result
+    > Relation.cardinality r2.Middleware.result);
+  (* '?' positional markers are the same thing *)
+  let r3 =
+    Middleware.query_params mw
+      "VALIDTIME SELECT PosID, PayRate FROM POSITION WHERE PayRate > ?"
+      [ Value.Int 10 ]
+  in
+  Alcotest.(check bool) "? binding matches $1 binding" true
+    (Relation.equal_multiset r1.Middleware.result r3.Middleware.result)
+
+(* The parameter-sensitivity guard: with a (deliberately hair-trigger)
+   q-error threshold, every first hit in a selectivity bucket re-optimizes
+   under the bound values and stores a region plan; later hits in that
+   bucket reuse it without another replan. *)
+let test_sensitivity_guard_replans_per_region () =
+  let _db, mw = setup () in
+  Middleware.set_config mw
+    (Middleware.Config.with_replan_q_error 1.0 (Middleware.config mw));
+  (* region A: a late period end selects almost every version *)
+  let late = Queries.q2_sql ~period_end:"1997-01-01" in
+  ignore (Middleware.query mw late);
+  (* first hit in region A executes the generic plan, then replans *)
+  let r2 = Middleware.query mw late in
+  Alcotest.(check string) "hit served from template" "template-hit"
+    (cache_class r2);
+  let s = Middleware.plan_cache_stats mw in
+  Alcotest.(check int) "one region judged" 1 s.Plan_cache.replans;
+  (* second hit in region A rides the stored region plan: no new replan *)
+  let r3 = Middleware.query mw late in
+  Alcotest.(check string) "still a template hit" "template-hit" (cache_class r3);
+  Alcotest.(check int) "region plan reused, not re-judged" 1
+    (Middleware.plan_cache_stats mw).Plan_cache.replans;
+  (* region B: an early period end selects almost nothing — lands in a
+     different selectivity bucket and is judged on its own *)
+  let early = Queries.q2_sql ~period_end:"1975-06-01" in
+  let r4 = Middleware.query mw early in
+  Alcotest.(check string) "other region is the same template" "template-hit"
+    (cache_class r4);
+  let s = Middleware.plan_cache_stats mw in
+  Alcotest.(check int) "second region judged separately" 2 s.Plan_cache.replans;
+  Alcotest.(check int) "both replans hit one entry" 2 s.Plan_cache.max_replans;
+  let r5 = Middleware.query mw early in
+  (* the guard picked per-region plans; the regions are extreme enough
+     that they differ *)
+  Alcotest.(check bool) "regions run different plans" true
+    (not
+       (String.equal
+          (Tango_volcano.Physical.signature r3.Middleware.physical)
+          (Tango_volcano.Physical.signature r5.Middleware.physical)));
+  (* and the region plans still answer their bindings correctly *)
+  let db2 = Tango_dbms.Database.create () in
+  Uis.load ~scale:0.005 db2;
+  let mw2 = Middleware.connect ~roundtrip_spin:0 db2 in
+  Alcotest.(check bool) "region plan (late) is correct" true
+    (Relation.equal_multiset (Middleware.query mw2 late).Middleware.result
+       r3.Middleware.result);
+  Alcotest.(check bool) "region plan (early) is correct" true
+    (Relation.equal_multiset (Middleware.query mw2 early).Middleware.result
+       r5.Middleware.result)
+
+let test_event_log_records_cache_class () =
+  let _db, mw = setup () in
+  let log = Tango_monitor.Event_log.create () in
+  Middleware.set_query_observer mw (Some (Tango_monitor.Event_log.observe log));
+  ignore (Middleware.query mw (Queries.q2_sql ~period_end:"1996-01-01"));
+  ignore (Middleware.query mw (Queries.q2_sql ~period_end:"1997-01-01"));
+  ignore (Middleware.query mw Queries.q1_sql);
+  ignore (Middleware.query mw Queries.q1_sql);
+  match Tango_monitor.Event_log.recent log with
+  | [ d; c; b; a ] ->
+      (* newest first *)
+      Alcotest.(check string) "template miss" "miss"
+        a.Tango_monitor.Event_log.cache_class;
+      Alcotest.(check string) "template hit" "template-hit"
+        b.Tango_monitor.Event_log.cache_class;
+      Alcotest.(check string) "exact miss" "miss"
+        c.Tango_monitor.Event_log.cache_class;
+      Alcotest.(check string) "exact hit" "exact-hit"
+        d.Tango_monitor.Event_log.cache_class
+  | rs -> Alcotest.failf "expected 4 records, got %d" (List.length rs)
 
 let test_invalidation_on_analyze () =
   let db, mw = setup () in
@@ -190,6 +368,9 @@ let () =
         [
           Alcotest.test_case "normalize" `Quick test_normalize;
           Alcotest.test_case "literal-sensitive keys" `Quick test_key_literal_sensitive;
+          Alcotest.test_case "keyword-case-insensitive keys" `Quick
+            test_keyword_case_insensitive;
+          Alcotest.test_case "hit kinds and replans" `Quick test_hit_kinds_and_replans;
           Alcotest.test_case "find/add" `Quick test_find_add;
           Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
           Alcotest.test_case "invalidate all" `Quick test_invalidate_all;
@@ -197,7 +378,15 @@ let () =
       ( "middleware",
         [
           Alcotest.test_case "hit on resubmission" `Quick test_hit_on_resubmission;
-          Alcotest.test_case "miss on literal change" `Quick test_miss_on_literal_change;
+          Alcotest.test_case "template hit on literal change" `Quick
+            test_template_hit_on_literal_change;
+          Alcotest.test_case "exact mode misses on literal change" `Quick
+            test_exact_mode_misses_on_literal_change;
+          Alcotest.test_case "explicit bind variables" `Quick test_query_params;
+          Alcotest.test_case "sensitivity guard replans per region" `Quick
+            test_sensitivity_guard_replans_per_region;
+          Alcotest.test_case "event log records cache class" `Quick
+            test_event_log_records_cache_class;
           Alcotest.test_case "invalidation on ANALYZE" `Quick test_invalidation_on_analyze;
           Alcotest.test_case "invalidation on DDL" `Quick test_invalidation_on_ddl;
           Alcotest.test_case "invalidation on factor change" `Quick

@@ -330,7 +330,7 @@ let test_chrome_backend_lanes () =
 
 let event ?(kind = "query") ?sql ?(started_us = 0.0) ?(elapsed_us = 100.0)
     ?error () : Middleware.query_event =
-  { Middleware.kind; sql; started_us; elapsed_us; cache_hit = false;
+  { Middleware.kind; sql; started_us; elapsed_us; cache_hit = false; cache_class = "";
     report = None; error; backends = [];
     resources = Tango_obs.Runtime.zero }
 
@@ -511,18 +511,60 @@ let test_slo_json_and_gauges () =
 
 (* ---------------- watchdog ---------------- *)
 
-let cache_stats ~hits ~misses =
+let cache_stats ?(replans = 0) ?(max_replans = 0) ~hits ~misses () =
   {
     Tango_cache.Plan_cache.hits;
+    template_hits = 0;
+    exact_hits = hits;
     misses;
     evictions = 0;
     invalidations = 0;
+    replans;
+    max_replans;
     last_invalidation = None;
   }
 
 let signal (v : Watchdog.verdict) name =
   List.find (fun (s : Watchdog.signal) -> s.Watchdog.name = name)
     v.Watchdog.signals
+
+(* A single entry accumulating sensitivity-guard replans is flagged as a
+   parameter-sensitive plan; scattered one-off replans are not. *)
+let test_watchdog_parameter_sensitivity () =
+  Histogram.reset Event_log.query_us;
+  let slo = Slo.create ~objective:slo_objective () in
+  Slo.observe slo ~now_us:0.0 ~latency_us:100.0 ~ok:true;
+  let log = Event_log.create () in
+  Event_log.observe log (event ~elapsed_us:100.0 ());
+  let wd = Watchdog.create ~generation:0 () in
+  let eval cache = Watchdog.evaluate wd ~now_us:1e6 ~slo ~log ~generation:0 ?cache () in
+  let v = eval None in
+  let s = signal v "parameter_sensitive_plan" in
+  Alcotest.(check bool) "silent without a cache" false s.Watchdog.firing;
+  let v =
+    eval (Some (cache_stats ~hits:9 ~misses:1 ~replans:2 ~max_replans:1 ()))
+  in
+  Alcotest.(check bool) "one region plan per entry is normal" false
+    (signal v "parameter_sensitive_plan").Watchdog.firing;
+  let v =
+    eval (Some (cache_stats ~hits:9 ~misses:1 ~replans:3 ~max_replans:2 ()))
+  in
+  let s = signal v "parameter_sensitive_plan" in
+  Alcotest.(check bool) "an entry accumulating replans fires" true
+    s.Watchdog.firing;
+  Alcotest.(check bool) "detail carries the evidence" true
+    (s.Watchdog.detail = "3 replans total; worst entry holds 2 region plans");
+  Alcotest.(check bool) "firing signal raises the verdict" true
+    (v.Watchdog.state <> Slo.Ok);
+  (* a stricter threshold is available for noisy workloads *)
+  let wd = Watchdog.create ~generation:0 ~replan_warn:5 () in
+  let v =
+    Watchdog.evaluate wd ~now_us:1e6 ~slo ~log ~generation:0
+      ~cache:(cache_stats ~hits:9 ~misses:1 ~replans:3 ~max_replans:2 ())
+      ()
+  in
+  Alcotest.(check bool) "below a raised threshold" false
+    (signal v "parameter_sensitive_plan").Watchdog.firing
 
 let test_watchdog_transitions () =
   Histogram.reset Event_log.query_us;
@@ -553,7 +595,7 @@ let test_watchdog_transitions () =
   (* ...and clears at the next check of the same generation *)
   let v =
     Watchdog.evaluate wd ~now_us ~slo ~log
-      ~cache:(cache_stats ~hits:90 ~misses:10)
+      ~cache:(cache_stats ~hits:90 ~misses:10 ())
       ~generation:6 ()
   in
   Alcotest.(check bool) "topology cleared" false
@@ -563,7 +605,7 @@ let test_watchdog_transitions () =
      signal: 0.90 -> 0.45 against a 0.2 threshold *)
   let v =
     Watchdog.evaluate wd ~now_us ~slo ~log
-      ~cache:(cache_stats ~hits:90 ~misses:110)
+      ~cache:(cache_stats ~hits:90 ~misses:110 ())
       ~generation:6 ()
   in
   Alcotest.(check bool) "cache firing" true
@@ -572,7 +614,7 @@ let test_watchdog_transitions () =
   (* a steady rate clears it *)
   let v =
     Watchdog.evaluate wd ~now_us ~slo ~log
-      ~cache:(cache_stats ~hits:90 ~misses:110)
+      ~cache:(cache_stats ~hits:90 ~misses:110 ())
       ~generation:6 ()
   in
   Alcotest.(check bool) "cache cleared" false
@@ -913,6 +955,8 @@ let test_endpoints_end_to_end () =
   Alcotest.(check int) "watchdog ok" 200 wd.Http.status;
   check_infix "watchdog state" "\"state\":" wd.Http.body;
   check_infix "watchdog signals" "\"signal\":\"slo_burn\"" wd.Http.body;
+  check_infix "watchdog names the sensitivity signal"
+    "\"signal\":\"parameter_sensitive_plan\"" wd.Http.body;
   check_infix "watchdog tail" "\"tail_records\":" wd.Http.body;
   (* /debug/contention ranks the named locks by wait share *)
   let cont = get ep "/debug/contention" in
@@ -1003,6 +1047,8 @@ let () =
         [
           Alcotest.test_case "signal transitions" `Quick
             test_watchdog_transitions;
+          Alcotest.test_case "parameter sensitivity signal" `Quick
+            test_watchdog_parameter_sensitivity;
           Alcotest.test_case "sharded attribution conservation" `Quick
             test_sharded_attribution_conservation;
         ] );
